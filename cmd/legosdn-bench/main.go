@@ -1,0 +1,104 @@
+// Command legosdn-bench regenerates the LegoSDN evaluation: every
+// table, figure and quantitative claim from the paper, as text tables.
+// The same experiment code backs the root bench_test.go, so
+// `go test -bench=.` and this binary agree.
+//
+// Usage:
+//
+//	legosdn-bench            # full run
+//	legosdn-bench -quick     # reduced iteration counts
+//	legosdn-bench -only C3   # a single experiment by id
+//	legosdn-bench -list      # experiment index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"legosdn/internal/experiments"
+)
+
+// index maps experiment ids to constructors, using full-run parameters.
+var index = []struct {
+	id    string
+	title string
+	run   func(quick bool) experiments.Table
+}{
+	{"T1", "fate sharing (paper Table 1)", func(bool) experiments.Table { return experiments.Table1FateSharing() }},
+	{"T2", "app survey (paper Table 2)", func(bool) experiments.Table { return experiments.Table2AppSurvey() }},
+	{"F1", "architecture latency (paper Figure 1)", func(q bool) experiments.Table {
+		return experiments.Figure1ArchLatency(pick(q, 500, 2000))
+	}},
+	{"C1", "bug corpus, 16% catastrophic (§2.1)", func(q bool) experiments.Table {
+		return experiments.ClaimBugCorpus(pick(q, 12, 50), 7)
+	}},
+	{"C2", "control-loop latency (§3.1)", func(q bool) experiments.Table {
+		return experiments.ClaimControlLoop(pick(q, 5, 20))
+	}},
+	{"C3", "NetLog rollback (§3.2)", func(bool) experiments.Table {
+		return experiments.ClaimNetLogRollback([]int{1, 2, 4, 8, 16, 32, 64})
+	}},
+	{"C4", "Crash-Pad recovery by policy (§3.3)", func(q bool) experiments.Table {
+		return experiments.ClaimCrashPadRecovery(pick(q, 3, 10))
+	}},
+	{"C5", "equivalence transform (§3.3)", func(bool) experiments.Table { return experiments.ClaimEquivalence() }},
+	{"C6", "controller upgrade (§3.4)", func(bool) experiments.Table { return experiments.ClaimUpgrade(6) }},
+	{"C7", "atomic updates (§3.4)", func(bool) experiments.Table { return experiments.ClaimAtomicUpdate() }},
+	{"C8", "checkpoint cadence sweep (§5)", func(q bool) experiments.Table {
+		return experiments.ClaimCheckpointSweep([]int{1, 2, 4, 8, 16, 32}, pick(q, 200, 1000))
+	}},
+	{"C9", "clone switchover (§5)", func(q bool) experiments.Table {
+		return experiments.ClaimCloneSwitchover(pick(q, 60, 200))
+	}},
+	{"C10", "N-version voting (§3.4)", func(q bool) experiments.Table {
+		return experiments.ClaimNVersion(pick(q, 60, 120))
+	}},
+	{"C11", "minimal causal sequences (§5)", func(bool) experiments.Table { return experiments.ClaimMCS(48) }},
+	{"C12", "per-app resource limits (§3.4)", func(q bool) experiments.Table {
+		return experiments.ClaimResourceLimits(pick(q, 100, 300))
+	}},
+	{"C13", "No-Compromise escalation (§5)", func(bool) experiments.Table {
+		return experiments.ClaimInvariantEscalation()
+	}},
+}
+
+func pick(quick bool, q, full int) int {
+	if quick {
+		return q
+	}
+	return full
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced iteration counts")
+	only := flag.String("only", "", "run a single experiment by id (e.g. C3)")
+	list := flag.Bool("list", false, "print the experiment index and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range index {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+	ran := 0
+	start := time.Now()
+	for _, e := range index {
+		if *only != "" && !strings.EqualFold(*only, e.id) {
+			continue
+		}
+		t0 := time.Now()
+		table := e.run(*quick)
+		fmt.Println(table.Render())
+		fmt.Printf("(%s completed in %s)\n\n", e.id, time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "legosdn-bench: no experiment %q (try -list)\n", *only)
+		os.Exit(2)
+	}
+	fmt.Printf("ran %d experiment(s) in %s\n", ran, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,66 @@
+// Command legosdn-trace prints an OpenFlow control-traffic trace
+// recorded by `legosdn -trace`, one line per message, with optional
+// filtering — tcpdump for the control channel.
+//
+// Usage:
+//
+//	legosdn-trace file.trace
+//	legosdn-trace -dir out -type FLOW_MOD file.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"legosdn/internal/oftrace"
+)
+
+func main() {
+	dir := flag.String("dir", "", "filter by direction: in | out")
+	msgType := flag.String("type", "", "filter by message type, e.g. FLOW_MOD, PACKET_IN")
+	dpid := flag.Uint64("dpid", 0, "filter by datapath id (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: legosdn-trace [flags] <file.trace>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatalf("legosdn-trace: %v", err)
+	}
+	defer f.Close()
+	r, err := oftrace.NewReader(f)
+	if err != nil {
+		log.Fatalf("legosdn-trace: %v", err)
+	}
+	shown, total := 0, 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatalf("legosdn-trace: record %d: %v", total, err)
+		}
+		total++
+		if *dir != "" && !strings.EqualFold(rec.Dir.String(), *dir) {
+			continue
+		}
+		if *dpid != 0 && rec.DPID != *dpid {
+			continue
+		}
+		if *msgType != "" {
+			msg, err := rec.Decode()
+			if err != nil || !strings.EqualFold(msg.Type().String(), *msgType) {
+				continue
+			}
+		}
+		fmt.Println(rec)
+		shown++
+	}
+	fmt.Fprintf(os.Stderr, "%d record(s), %d shown\n", total, shown)
+}

@@ -1,0 +1,11 @@
+// Package legosdn is a from-scratch Go reproduction of "Tolerating SDN
+// Application Failures with LegoSDN" (Chandrasekaran & Benson,
+// HotNets-XIII 2014). The implementation lives under internal/: an
+// OpenFlow 1.0 wire codec, a switch/network simulator, a
+// FloodLight-style controller, the AppVisor isolation layer, the NetLog
+// transaction engine, the Crash-Pad recovery engine, invariant
+// checkers, sample SDN applications and the evaluation harness. See
+// README.md for the tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for reproduced results. The root-level bench_test.go
+// regenerates every table and figure via `go test -bench=.`.
+package legosdn

@@ -1,0 +1,90 @@
+// N-version programming (§3.4): three independently implemented
+// versions of one app vote on every event. One version is byzantine —
+// it installs a bogus rule — and the majority masks it. A hot clone
+// then demonstrates the §5 switchover for transient bugs.
+//
+//	go run ./examples/nversion
+package main
+
+import (
+	"fmt"
+
+	"legosdn/internal/apps"
+	"legosdn/internal/controller"
+	"legosdn/internal/diversity"
+	"legosdn/internal/faultinject"
+	"legosdn/internal/openflow"
+	"legosdn/internal/workload"
+)
+
+// sink counts what reaches the "network".
+type sink struct {
+	flowMods int
+	badRules int
+}
+
+func (s *sink) SendMessage(dpid uint64, msg openflow.Message) error {
+	if fm, ok := msg.(*openflow.FlowMod); ok {
+		s.flowMods++
+		if fm.Priority == 999 {
+			s.badRules++
+		}
+	}
+	return nil
+}
+func (s *sink) SendFlowMod(d uint64, m *openflow.FlowMod) error     { return s.SendMessage(d, m) }
+func (s *sink) SendPacketOut(d uint64, m *openflow.PacketOut) error { return s.SendMessage(d, m) }
+func (s *sink) RequestStats(uint64, *openflow.StatsRequest) (*openflow.StatsReply, error) {
+	return &openflow.StatsReply{}, nil
+}
+func (s *sink) Barrier(uint64) error            { return nil }
+func (s *sink) Switches() []uint64              { return []uint64{1} }
+func (s *sink) Ports(uint64) []openflow.PhyPort { return nil }
+func (s *sink) Topology() []controller.LinkInfo { return nil }
+
+func main() {
+	// Version 2 is byzantine: every 4th packet-in it emits a bogus
+	// priority-999 rule instead of its real output.
+	buggy := faultinject.Wrap(apps.NewLearningSwitch(), faultinject.Bug{
+		Severity:     faultinject.ByzantineSev,
+		TriggerKind:  controller.EventPacketIn,
+		TriggerEvery: 4,
+		Description:  "team 2 shipped a broken build",
+	}, 1)
+
+	voter := diversity.NewVoter("learning-switch",
+		apps.NewLearningSwitch(), // team 1
+		buggy,                    // team 2
+		apps.NewLearningSwitch(), // team 3
+	)
+
+	net := &sink{}
+	for _, ev := range workload.PacketInEvents(100, 1, 8, 42) {
+		if err := voter.HandleEvent(net, ev); err != nil {
+			fmt.Println("voter error:", err)
+		}
+	}
+	fmt.Printf("events: 100, disagreements: %d, masked by majority: %d\n",
+		voter.Disagreements, voter.Masked)
+	fmt.Printf("flow mods reaching the network: %d, bogus rules that got through: %d\n",
+		net.flowMods, net.badRules)
+
+	// Hot standby: the clone shadows the primary and takes over on the
+	// primary's (transient) crash without losing a single event.
+	primary := faultinject.Wrap(apps.NewLearningSwitch(), faultinject.Bug{
+		Severity:     faultinject.Catastrophic,
+		TriggerKind:  controller.EventPacketIn,
+		TriggerEvery: 50,
+		Probability:  0.99, // effectively deterministic for the demo
+		Description:  "rare heap corruption",
+	}, 9)
+	hs := diversity.NewHotStandby("learning-switch", primary, apps.NewLearningSwitch())
+	lost := 0
+	for _, ev := range workload.PacketInEvents(100, 1, 8, 43) {
+		if err := hs.HandleEvent(&sink{}, ev); err != nil {
+			lost++
+		}
+	}
+	fmt.Printf("hot standby: switchovers=%d, events lost=%d, using clone=%v\n",
+		hs.Switchovers, lost, hs.UsingClone())
+}

@@ -1,0 +1,60 @@
+// Quickstart: bring up a LegoSDN stack on a simulated network, host a
+// learning switch in an isolated stub, and watch traffic get installed
+// into flow tables.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"legosdn/internal/apps"
+	"legosdn/internal/controller"
+	"legosdn/internal/core"
+	"legosdn/internal/netsim"
+)
+
+func main() {
+	// 1. A full LegoSDN stack: AppVisor isolation + NetLog transactions
+	//    + Crash-Pad recovery, behind one constructor.
+	stack := core.NewStack(core.Config{Mode: core.ModeLegoSDN})
+	defer stack.Close()
+
+	// 2. Host an SDN-App. The factory runs once per stub launch — after
+	//    a crash, Crash-Pad respawns the stub from the same factory and
+	//    restores the last checkpoint.
+	if err := stack.AddApp(func() controller.App { return apps.NewLearningSwitch() }); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A simulated network: one switch, three hosts.
+	n := netsim.Single(3, nil)
+	if err := stack.ConnectNetwork(n); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Drive traffic. The first packet floods (unknown destination);
+	//    the reply triggers a learned forwarding rule.
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	n.SendFromHost("h1", netsim.TCPFrame(h1, h2, 5000, 80, []byte("hello")))
+	n.SendFromHost("h2", netsim.TCPFrame(h2, h1, 80, 5000, []byte("world")))
+	time.Sleep(100 * time.Millisecond) // let the control loop settle
+
+	// 5. Inspect the result.
+	fmt.Printf("h1 received %d frame(s), h2 received %d frame(s)\n",
+		h1.ReceivedCount(), h2.ReceivedCount())
+	fmt.Printf("switch s1 flow table (%d entries):\n", n.Switch(1).Table().Len())
+	for _, e := range n.Switch(1).Table().Entries() {
+		fmt.Printf("  prio=%-3d match=[%v] actions=%d idle=%ds\n",
+			e.Priority, e.Match, len(e.Actions), e.IdleTimeout)
+	}
+
+	// Subsequent packets forward entirely in the dataplane.
+	before := n.Switch(1).PacketIns.Load()
+	n.SendFromHost("h2", netsim.TCPFrame(h2, h1, 80, 5000, []byte("again")))
+	time.Sleep(50 * time.Millisecond)
+	fmt.Printf("packet-ins for the repeat flow: %d (rules handled it)\n",
+		n.Switch(1).PacketIns.Load()-before)
+}

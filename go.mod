@@ -1,0 +1,3 @@
+module legosdn
+
+go 1.22

@@ -1,0 +1,351 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/netsim"
+	"legosdn/internal/openflow"
+)
+
+// hostPortBase mirrors netsim's host attachment convention.
+const hostPortBase = 100
+
+func startStack(t *testing.T, n *netsim.Network, appList ...controller.App) *controller.Controller {
+	t.Helper()
+	c := controller.New(controller.Config{})
+	t.Cleanup(c.Stop)
+	for _, a := range appList {
+		c.Register(a)
+	}
+	for _, sw := range n.Switches() {
+		ctrlSide, swSide := openflow.Pipe()
+		if err := sw.Attach(swSide); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AttachSwitchConn(ctrlSide); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestHubFloodsTraffic(t *testing.T) {
+	n := netsim.Single(3, nil)
+	startStack(t, n, NewHub())
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	n.SendFromHost("h1", netsim.TCPFrame(h1, h2, 1, 2, []byte("x")))
+	waitFor(t, "delivery via flood", func() bool { return h2.ReceivedCount() == 1 })
+	// Hub never installs rules.
+	if n.Switch(1).Table().Len() != 0 {
+		t.Fatal("hub installed flow state")
+	}
+}
+
+func TestFlooderInstallsWildcardRule(t *testing.T) {
+	n := netsim.Single(2, nil)
+	startStack(t, n, NewFlooder())
+	waitFor(t, "wildcard rule", func() bool { return n.Switch(1).Table().Len() == 1 })
+	// Dataplane now floods without the controller.
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	before := n.Switch(1).PacketIns.Load()
+	n.SendFromHost("h1", netsim.TCPFrame(h1, h2, 1, 2, nil))
+	waitFor(t, "dataplane flood", func() bool { return h2.ReceivedCount() == 1 })
+	if n.Switch(1).PacketIns.Load() != before {
+		t.Fatal("traffic still reaching the controller")
+	}
+}
+
+func TestLearningSwitchLearnsAndInstalls(t *testing.T) {
+	n := netsim.Single(3, nil)
+	ls := NewLearningSwitch()
+	startStack(t, n, ls)
+	h1, h2 := n.Host("h1"), n.Host("h2")
+
+	// First packet h1->h2: floods (dst unknown), learns h1.
+	n.SendFromHost("h1", netsim.TCPFrame(h1, h2, 1, 2, nil))
+	waitFor(t, "initial flood", func() bool { return h2.ReceivedCount() == 1 })
+
+	// Reply h2->h1: h1 is known, so a rule lands and the packet is
+	// forwarded directly.
+	n.SendFromHost("h2", netsim.TCPFrame(h2, h1, 2, 1, nil))
+	waitFor(t, "reply delivery", func() bool { return h1.ReceivedCount() == 1 })
+	waitFor(t, "rule towards h1", func() bool { return n.Switch(1).Table().Len() >= 1 })
+
+	// Subsequent h2->h1 traffic flows without packet-ins.
+	before := n.Switch(1).PacketIns.Load()
+	n.SendFromHost("h2", netsim.TCPFrame(h2, h1, 2, 1, nil))
+	waitFor(t, "dataplane forward", func() bool { return h1.ReceivedCount() == 2 })
+	if n.Switch(1).PacketIns.Load() != before {
+		t.Fatal("known flow still punted to controller")
+	}
+	// h3 must not have seen the directly forwarded reply.
+	if n.Host("h3").ReceivedCount() != 0 {
+		t.Fatal("directed traffic leaked to a third host")
+	}
+}
+
+func TestLearningSwitchSnapshotRoundTrip(t *testing.T) {
+	ls := NewLearningSwitch()
+	ls.macs[1] = map[openflow.EthAddr]uint16{{1, 2, 3, 4, 5, 6}: 7}
+	state, err := ls.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls2 := NewLearningSwitch()
+	if err := ls2.Restore(state); err != nil {
+		t.Fatal(err)
+	}
+	if ls2.macs[1][openflow.EthAddr{1, 2, 3, 4, 5, 6}] != 7 {
+		t.Fatal("state lost in round trip")
+	}
+	if err := ls2.Restore([]byte("garbage")); err == nil {
+		t.Fatal("garbage restore should fail")
+	}
+}
+
+func TestLearningSwitchForgetsDeadSwitch(t *testing.T) {
+	ls := NewLearningSwitch()
+	ls.macs[9] = map[openflow.EthAddr]uint16{{1}: 1}
+	ls.HandleEvent(nil, controller.Event{Kind: controller.EventSwitchDown, DPID: 9})
+	if ls.KnownMACs(9) != 0 {
+		t.Fatal("state for dead switch retained")
+	}
+}
+
+func TestShortestPathRouterEndToEnd(t *testing.T) {
+	n := netsim.Linear(3, nil)
+	router := NewShortestPathRouter()
+	c := startStack(t, n, router)
+
+	// Discover the topology first, as a deployment would.
+	if err := c.DiscoverTopology(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "topology discovery", func() bool { return len(c.Topology()) == 4 })
+
+	h1, h3 := n.Host("h1"), n.Host("h3")
+	// h3 must be known: prime with one broadcast from h3 (ARP-style).
+	n.SendFromHost("h3", netsim.ARPFrame(h3, h1.IP))
+	waitFor(t, "h3 learned", func() bool { return router.KnownHosts() >= 1 })
+
+	// Now h1 sends to h3: the router installs the full path.
+	n.SendFromHost("h1", netsim.TCPFrame(h1, h3, 1, 2, nil))
+	waitFor(t, "path installed", func() bool { return router.PathsInstalled() >= 1 })
+	waitFor(t, "delivery", func() bool { return h3.ReceivedCount() >= 1 })
+
+	// Every switch on the path carries the rule.
+	for _, dpid := range []uint64{1, 2, 3} {
+		if n.Switch(dpid).Table().Len() == 0 {
+			t.Fatalf("switch %d missing path rule", dpid)
+		}
+	}
+	// Follow-up traffic stays in the dataplane.
+	before := n.Switch(1).PacketIns.Load()
+	n.SendFromHost("h1", netsim.TCPFrame(h1, h3, 3, 4, nil))
+	waitFor(t, "dataplane delivery", func() bool { return h3.ReceivedCount() >= 2 })
+	if n.Switch(1).PacketIns.Load() != before {
+		t.Fatal("routed flow still hits the controller")
+	}
+}
+
+func TestRouterSnapshotRoundTrip(t *testing.T) {
+	r := NewShortestPathRouter()
+	r.hostAt[openflow.EthAddr{1}] = attachment{DPID: 3, Port: 9}
+	r.pathsInstalled = 5
+	state, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewShortestPathRouter()
+	if err := r2.Restore(state); err != nil {
+		t.Fatal(err)
+	}
+	if r2.hostAt[openflow.EthAddr{1}] != (attachment{DPID: 3, Port: 9}) || r2.pathsInstalled != 5 {
+		t.Fatal("router state lost")
+	}
+}
+
+func TestLoadBalancerSpreadsFlows(t *testing.T) {
+	// One switch with two uplinks (ports 1 and 2) and four hosts.
+	n := netsim.NewNetwork(nil)
+	n.AddSwitch(1)
+	n.AddSwitch(2)
+	n.AddSwitch(3)
+	n.AddLink(1, 1, 2, 1)
+	n.AddLink(1, 2, 3, 1)
+	h1, err := n.AddHost("h1", netsim.HostMAC(1), netsim.HostIP(1), 1, hostPortBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := NewLoadBalancer(map[uint64][]uint16{1: {1, 2}})
+	startStack(t, n, lb)
+
+	// Many distinct flows from h1.
+	for i := 0; i < 64; i++ {
+		f := &netsim.Frame{
+			DlSrc: h1.MAC, DlDst: netsim.HostMAC(2), DlType: netsim.EtherTypeIPv4,
+			NwProto: netsim.IPProtoTCP, NwSrc: h1.IP, NwDst: netsim.HostIP(2),
+			TpSrc: uint16(20000 + i), TpDst: 80,
+		}
+		n.SendFromHost("h1", f)
+	}
+	waitFor(t, "all flows assigned", func() bool {
+		return lb.Assigned(1, 1)+lb.Assigned(1, 2) == 64
+	})
+	a1, a2 := lb.Assigned(1, 1), lb.Assigned(1, 2)
+	if a1 == 0 || a2 == 0 {
+		t.Fatalf("one uplink unused: %d/%d", a1, a2)
+	}
+	if a1+a2 != 64 {
+		t.Fatalf("flows assigned = %d, want 64", a1+a2)
+	}
+
+	// Snapshot round trip.
+	state, err := lb.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb2 := NewLoadBalancer(map[uint64][]uint16{1: {1, 2}})
+	if err := lb2.Restore(state); err != nil {
+		t.Fatal(err)
+	}
+	if lb2.Assigned(1, 1) != a1 {
+		t.Fatal("balancer state lost")
+	}
+}
+
+func TestFirewallBlocksDeniedTraffic(t *testing.T) {
+	n := netsim.Single(2, nil)
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	fw := NewFirewall([]FirewallRule{{NwDst: h2.IP, TpDst: 22}})
+	ls := NewLearningSwitch()
+	startStack(t, n, fw, ls)
+
+	// Blocked flow: h1 -> h2:22.
+	n.SendFromHost("h1", netsim.TCPFrame(h1, h2, 1000, 22, nil))
+	waitFor(t, "drop rule", func() bool { return fw.Blocked() == 1 })
+	waitFor(t, "drop rule installed", func() bool {
+		for _, e := range n.Switch(1).Table().Entries() {
+			if e.Priority == fw.Priority && len(e.Actions) == 0 {
+				return true
+			}
+		}
+		return false
+	})
+	// Subsequent blocked traffic dies in the dataplane.
+	h2.ClearReceived()
+	n.SendFromHost("h1", netsim.TCPFrame(h1, h2, 1001, 22, nil))
+	time.Sleep(20 * time.Millisecond)
+	if h2.ReceivedCount() != 0 {
+		t.Fatal("blocked flow delivered")
+	}
+
+	// Allowed flow still works (learning switch floods it).
+	n.SendFromHost("h1", netsim.TCPFrame(h1, h2, 1000, 80, nil))
+	waitFor(t, "allowed delivery", func() bool { return h2.ReceivedCount() >= 1 })
+}
+
+func TestStatsCollectorAccumulates(t *testing.T) {
+	sc := NewStatsCollector()
+	sc.HandleEvent(nil, controller.Event{Kind: controller.EventFlowRemoved,
+		Message: &openflow.FlowRemoved{PacketCount: 10, ByteCount: 1000}})
+	sc.HandleEvent(nil, controller.Event{Kind: controller.EventFlowRemoved,
+		Message: &openflow.FlowRemoved{PacketCount: 5, ByteCount: 500}})
+	if sc.TotalPackets != 15 || sc.TotalBytes != 1500 || sc.FlowsEnded != 2 {
+		t.Fatalf("collector %+v", sc)
+	}
+	state, _ := sc.Snapshot()
+	sc2 := NewStatsCollector()
+	sc2.Restore(state)
+	if sc2.TotalPackets != 15 {
+		t.Fatal("collector snapshot lost")
+	}
+}
+
+func TestSpanningTreeBlocksRingLoop(t *testing.T) {
+	n := netsim.Ring(4, nil)
+	stp := NewSpanningTree()
+	hub := NewHub()
+	c := startStack(t, n, stp, hub)
+
+	if err := c.DiscoverTopology(); err != nil {
+		t.Fatal(err)
+	}
+	// Ring(4) has 8 directed links; wait for discovery, then converge.
+	waitFor(t, "topology discovered", func() bool { return len(c.Topology()) == 8 })
+	if err := stp.Recompute(c); err != nil {
+		t.Fatal(err)
+	}
+	// A 4-ring spanning tree keeps 3 cables; 1 cable (2 ports) blocks.
+	waitFor(t, "tree convergence", func() bool { return stp.BlockedPorts() == 2 })
+
+	// Broadcast from h1: with the tree in place, flooding must reach
+	// every other host without tripping the hop limit.
+	h1 := n.Host("h1")
+	drops := n.TotalLoopDrops()
+	n.SendFromHost("h1", netsim.ARPFrame(h1, netsim.HostIP(3)))
+	waitFor(t, "broadcast reaches all hosts", func() bool {
+		for _, h := range n.Hosts() {
+			if h != h1 && h.ReceivedCount() == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	if got := n.TotalLoopDrops(); got != drops {
+		t.Fatalf("flood looped %d times despite spanning tree", got-drops)
+	}
+}
+
+func TestSpanningTreeReconvergesOnFailure(t *testing.T) {
+	n := netsim.Ring(4, nil)
+	stp := NewSpanningTree()
+	c := startStack(t, n, stp)
+	if err := c.DiscoverTopology(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "topology discovered", func() bool { return len(c.Topology()) == 8 })
+	stp.Recompute(c)
+	waitFor(t, "initial convergence", func() bool { return stp.BlockedPorts() == 2 })
+
+	// Fail a tree link: the blocked cable must be re-opened so the
+	// surviving path is usable (PortStatus events trigger recompute).
+	if err := n.SetLinkDown(1, 2, 2, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "reconvergence", func() bool {
+		// After losing one ring cable the remainder is a line: no
+		// blocked ports.  (The downed cable itself is not "blocked".)
+		return stp.BlockedPorts() == 0
+	})
+}
+
+func TestSpanningTreeSnapshotRoundTrip(t *testing.T) {
+	st := NewSpanningTree()
+	st.blocked[1] = map[uint16]bool{2: true}
+	st.recomputes = 3
+	state, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := NewSpanningTree()
+	if err := st2.Restore(state); err != nil {
+		t.Fatal(err)
+	}
+	if st2.BlockedPorts() != 1 || st2.Recomputes() != 3 {
+		t.Fatal("state lost")
+	}
+}

@@ -1,0 +1,47 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"legosdn/internal/controller"
+)
+
+// builders maps registry names to app constructors. Apps needing
+// configuration (LoadBalancer, Firewall) get sensible demo defaults;
+// programmatic users construct them directly instead.
+var builders = map[string]func() controller.App{
+	"hub":             func() controller.App { return NewHub() },
+	"flooder":         func() controller.App { return NewFlooder() },
+	"learning-switch": func() controller.App { return NewLearningSwitch() },
+	"routing":         func() controller.App { return NewShortestPathRouter() },
+	"flowscale": func() controller.App {
+		return NewLoadBalancer(map[uint64][]uint16{1: {1, 2}})
+	},
+	"firewall": func() controller.App {
+		return NewFirewall([]FirewallRule{{TpDst: 22}})
+	},
+	"stats-collector": func() controller.App { return NewStatsCollector() },
+	"spanning-tree":   func() controller.App { return NewSpanningTree() },
+}
+
+// New constructs a registered app by name. The registry backs
+// cmd/legosdn-stub, which must materialize an app from a string it
+// received on the command line.
+func New(name string) (controller.App, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: unknown app %q (have %v)", name, Names())
+	}
+	return b(), nil
+}
+
+// Names lists the registered app names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for n := range builders {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,139 @@
+package appvisor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// dgFrag carries one fragment of a datagram too large for a single UDP
+// payload — snapshots and restores of apps with real state routinely
+// exceed a datagram. Fragment payload layout:
+//
+//	origType(1) fragIdx(2) fragCount(2) data...
+//
+// Fragments share the original datagram's ID; the receiver reassembles
+// by (ID, origType). Single-frame messages keep the plain wire format,
+// so fragmentation is invisible unless needed.
+const dgFrag uint8 = 100
+
+// fragDataSize is the data carried per fragment, kept well under the
+// UDP payload ceiling.
+const fragDataSize = 32 * 1024
+
+// maxReassembly bounds memory a peer can pin with unfinished fragments.
+const maxReassembly = 16 << 20
+
+// marshalFrames encodes d into one or more wire frames.
+func marshalFrames(d *datagram) ([][]byte, error) {
+	if len(d.Payload) <= maxDatagram-headerLen {
+		b, err := d.marshal()
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{b}, nil
+	}
+	count := (len(d.Payload) + fragDataSize - 1) / fragDataSize
+	if count > 0xffff {
+		return nil, fmt.Errorf("appvisor: payload too large to fragment (%d bytes)", len(d.Payload))
+	}
+	frames := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		lo := i * fragDataSize
+		hi := lo + fragDataSize
+		if hi > len(d.Payload) {
+			hi = len(d.Payload)
+		}
+		fp := make([]byte, 0, 5+hi-lo)
+		fp = append(fp, d.Type)
+		fp = binary.BigEndian.AppendUint16(fp, uint16(i))
+		fp = binary.BigEndian.AppendUint16(fp, uint16(count))
+		fp = append(fp, d.Payload[lo:hi]...)
+		frame, err := (&datagram{Type: dgFrag, ID: d.ID, Payload: fp}).marshal()
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, frame)
+	}
+	return frames, nil
+}
+
+// pendingReassembly is one partially received fragmented datagram.
+type pendingReassembly struct {
+	origType uint8
+	parts    [][]byte
+	received int
+	size     int
+	started  time.Time
+}
+
+// reassembler rebuilds fragmented datagrams. It is used from a single
+// read loop, so it needs no locking.
+type reassembler struct {
+	pending map[uint64]*pendingReassembly
+	total   int
+}
+
+func newReassembler() *reassembler {
+	return &reassembler{pending: make(map[uint64]*pendingReassembly)}
+}
+
+// accept consumes one parsed datagram. For ordinary datagrams it
+// returns them unchanged; for fragments it returns the reassembled
+// datagram once complete, or nil while parts are outstanding.
+func (r *reassembler) accept(d *datagram) (*datagram, error) {
+	if d.Type != dgFrag {
+		return d, nil
+	}
+	if len(d.Payload) < 5 {
+		return nil, ErrBadDatagram
+	}
+	origType := d.Payload[0]
+	idx := int(binary.BigEndian.Uint16(d.Payload[1:3]))
+	count := int(binary.BigEndian.Uint16(d.Payload[3:5]))
+	data := d.Payload[5:]
+	if count == 0 || idx >= count {
+		return nil, ErrBadDatagram
+	}
+	p := r.pending[d.ID]
+	if p == nil {
+		p = &pendingReassembly{origType: origType, parts: make([][]byte, count), started: time.Now()}
+		r.pending[d.ID] = p
+	}
+	if p.origType != origType || len(p.parts) != count {
+		// Conflicting reassembly state: drop and restart with this part.
+		r.total -= p.size
+		p = &pendingReassembly{origType: origType, parts: make([][]byte, count), started: time.Now()}
+		r.pending[d.ID] = p
+	}
+	if p.parts[idx] == nil {
+		p.parts[idx] = data
+		p.received++
+		p.size += len(data)
+		r.total += len(data)
+	}
+	if r.total > maxReassembly {
+		// Shed the oldest pending reassembly to bound memory.
+		var oldest uint64
+		var oldestAt time.Time
+		for id, q := range r.pending {
+			if oldestAt.IsZero() || q.started.Before(oldestAt) {
+				oldest, oldestAt = id, q.started
+			}
+		}
+		if q := r.pending[oldest]; q != nil {
+			r.total -= q.size
+			delete(r.pending, oldest)
+		}
+	}
+	if p.received < count {
+		return nil, nil
+	}
+	delete(r.pending, d.ID)
+	r.total -= p.size
+	payload := make([]byte, 0, p.size)
+	for _, part := range p.parts {
+		payload = append(payload, part...)
+	}
+	return &datagram{Type: p.origType, ID: d.ID, Payload: payload}, nil
+}

@@ -1,0 +1,249 @@
+package appvisor
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"legosdn/internal/controller"
+)
+
+func TestMarshalFramesSmallUnchanged(t *testing.T) {
+	d := &datagram{Type: dgEvent, ID: 7, Payload: []byte("small")}
+	frames, err := marshalFrames(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	got, err := parseDatagram(frames[0])
+	if err != nil || got.Type != dgEvent || string(got.Payload) != "small" {
+		t.Fatalf("got %+v err %v", got, err)
+	}
+}
+
+func TestFragmentationRoundTrip(t *testing.T) {
+	payload := make([]byte, 3*fragDataSize+100)
+	rand.New(rand.NewSource(1)).Read(payload)
+	d := &datagram{Type: dgSnapshotReply, ID: 42, Payload: payload}
+	frames, err := marshalFrames(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 4 {
+		t.Fatalf("frames = %d, want 4", len(frames))
+	}
+	r := newReassembler()
+	var out *datagram
+	for i, f := range frames {
+		parsed, err := parseDatagram(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err = r.accept(parsed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < len(frames)-1 && out != nil {
+			t.Fatal("reassembly completed early")
+		}
+	}
+	if out == nil {
+		t.Fatal("reassembly never completed")
+	}
+	if out.Type != dgSnapshotReply || out.ID != 42 || !bytes.Equal(out.Payload, payload) {
+		t.Fatalf("reassembled mismatch: type=%d id=%d len=%d", out.Type, out.ID, len(out.Payload))
+	}
+	if len(r.pending) != 0 || r.total != 0 {
+		t.Fatal("reassembler retained state")
+	}
+}
+
+func TestFragmentationOutOfOrderAndDuplicates(t *testing.T) {
+	payload := make([]byte, 2*fragDataSize+9)
+	rand.New(rand.NewSource(2)).Read(payload)
+	frames, _ := marshalFrames(&datagram{Type: dgRestoreReq, ID: 5, Payload: payload})
+	r := newReassembler()
+	order := []int{2, 0, 0, 1, 2} // shuffled with duplicates
+	var out *datagram
+	for _, idx := range order {
+		parsed, _ := parseDatagram(frames[idx])
+		got, err := r.accept(parsed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != nil {
+			out = got
+		}
+	}
+	if out == nil || !bytes.Equal(out.Payload, payload) {
+		t.Fatal("out-of-order reassembly failed")
+	}
+}
+
+func TestFragmentMalformed(t *testing.T) {
+	r := newReassembler()
+	if _, err := r.accept(&datagram{Type: dgFrag, Payload: []byte{1, 2}}); err == nil {
+		t.Error("short fragment should fail")
+	}
+	// count == 0
+	if _, err := r.accept(&datagram{Type: dgFrag, Payload: []byte{dgEvent, 0, 0, 0, 0}}); err == nil {
+		t.Error("zero count should fail")
+	}
+	// idx >= count
+	if _, err := r.accept(&datagram{Type: dgFrag, Payload: []byte{dgEvent, 0, 5, 0, 2}}); err == nil {
+		t.Error("idx out of range should fail")
+	}
+}
+
+// Property: any payload survives marshalFrames + reassembly.
+func TestQuickFragmentationIdentity(t *testing.T) {
+	f := func(seed int64, sizeRaw uint32) bool {
+		size := int(sizeRaw % (4 * fragDataSize))
+		payload := make([]byte, size)
+		rand.New(rand.NewSource(seed)).Read(payload)
+		d := &datagram{Type: dgSnapshotReply, ID: uint64(seed), Payload: payload}
+		frames, err := marshalFrames(d)
+		if err != nil {
+			return false
+		}
+		r := newReassembler()
+		var out *datagram
+		for _, fr := range frames {
+			parsed, err := parseDatagram(fr)
+			if err != nil {
+				return false
+			}
+			got, err := r.accept(parsed)
+			if err != nil {
+				return false
+			}
+			if got != nil {
+				out = got
+			}
+		}
+		return out != nil && bytes.Equal(out.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bigStateApp carries state far larger than one UDP datagram.
+type bigStateApp struct {
+	state []byte
+}
+
+func (a *bigStateApp) Name() string                                           { return "big" }
+func (a *bigStateApp) Subscriptions() []controller.EventKind                  { return controller.AllEventKinds() }
+func (a *bigStateApp) HandleEvent(controller.Context, controller.Event) error { return nil }
+func (a *bigStateApp) Snapshot() ([]byte, error) {
+	return append([]byte(nil), a.state...), nil
+}
+func (a *bigStateApp) Restore(b []byte) error {
+	a.state = append([]byte(nil), b...)
+	return nil
+}
+
+func TestLargeSnapshotOverRPC(t *testing.T) {
+	// 300 KB of state: ~10 fragments each way.
+	state := make([]byte, 300*1024)
+	rand.New(rand.NewSource(3)).Read(state)
+	app := &bigStateApp{state: state}
+	p, err := NewProxy("big", &fakeCtx{},
+		InProcessFactory(func() controller.App { return app }, StubOptions{}),
+		ProxyOptions{EventTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	snap, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap, state) {
+		t.Fatalf("snapshot len=%d corrupted over fragmentation", len(snap))
+	}
+	// Restore an equally large different state.
+	state2 := make([]byte, 280*1024)
+	rand.New(rand.NewSource(4)).Read(state2)
+	if err := p.Restore(state2); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap2, state2) {
+		t.Fatal("restore corrupted over fragmentation")
+	}
+}
+
+func TestProxySurvivesGarbageDatagrams(t *testing.T) {
+	p, _ := newTestProxy(t, func() controller.App { return &echoApp{} }, ProxyOptions{})
+	// Blast garbage at the proxy's socket from a stranger.
+	conn, err := dialUDP(p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		b := make([]byte, r.Intn(200))
+		r.Read(b)
+		conn.Write(b)
+	}
+	// Valid-magic, malformed-payload datagrams too.
+	for _, payload := range [][]byte{
+		{},              // short fragment
+		{1, 2},          // short register
+		{0, 0, 0, 0, 0}, // zero-count fragment body
+	} {
+		d := &datagram{Type: dgFrag, ID: 1, Payload: payload}
+		if b, err := d.marshal(); err == nil {
+			conn.Write(b)
+		}
+	}
+	// The proxy must still serve real traffic.
+	if err := p.HandleEvent(nil, pktInEvent(1, 5)); err != nil {
+		t.Fatalf("proxy wedged by garbage: %v", err)
+	}
+}
+
+func dialUDP(addr string) (*net.UDPConn, error) {
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return net.DialUDP("udp", nil, raddr)
+}
+
+func TestForeignRegistrationCannotHijackLiveStub(t *testing.T) {
+	p, ctx := newTestProxy(t, func() controller.App { return &echoApp{} }, ProxyOptions{})
+	// A stranger claims to be the app.
+	conn, err := dialUDP(p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	d := &datagram{Type: dgRegister, Payload: encodeRegister("evil-app", nil)}
+	b, _ := d.marshal()
+	conn.Write(b)
+	time.Sleep(20 * time.Millisecond)
+
+	if p.Name() != "echo" {
+		t.Fatalf("registration hijacked: name = %q", p.Name())
+	}
+	// Events still flow to the real stub.
+	if err := p.HandleEvent(nil, pktInEvent(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.sentCount() != 1 {
+		t.Fatal("real stub lost the event stream")
+	}
+}

@@ -1,0 +1,582 @@
+package appvisor
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/openflow"
+)
+
+// CrashReason classifies how the proxy learned of an app crash.
+type CrashReason int
+
+// Crash detection channels, in order of decreasing information.
+const (
+	CrashReported  CrashReason = iota // stub wrapper sent a dgCrash report
+	CrashHeartbeat                    // heartbeats stopped
+	CrashTimeout                      // an event RPC timed out
+)
+
+func (r CrashReason) String() string {
+	switch r {
+	case CrashReported:
+		return "reported"
+	case CrashHeartbeat:
+		return "heartbeat-loss"
+	case CrashTimeout:
+		return "rpc-timeout"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
+
+// CrashReport is the proxy's record of one app crash: the raw material
+// for Crash-Pad's recovery decision and the operator problem ticket.
+type CrashReport struct {
+	App        string
+	Reason     CrashReason
+	PanicValue string
+	Stack      string
+	// Event is the event in flight when the crash was detected; by the
+	// paper's determinism argument, the likely trigger.
+	Event    controller.Event
+	HasEvent bool
+	Detected time.Time
+}
+
+// CrashError is returned by Proxy.HandleEvent when the hosted app died
+// processing an event. Crash-Pad unwraps it to drive recovery.
+type CrashError struct {
+	Report *CrashReport
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("appvisor: app %q crashed (%v): %s", e.Report.App, e.Report.Reason, e.Report.PanicValue)
+}
+
+// ErrStubDown is returned for events delivered while no live stub is
+// attached (crashed and not yet respawned).
+var ErrStubDown = errors.New("appvisor: stub down")
+
+// StubFactory (re)creates the stub hosting the app, pointing it at the
+// given proxy address. In-process deployments return StartStub with a
+// fresh app instance; subprocess deployments exec cmd/legosdn-stub.
+type StubFactory func(proxyAddr string) (StubHandle, error)
+
+// StubHandle is the proxy's grip on a running stub.
+type StubHandle interface {
+	// Kill force-stops the stub.
+	Kill()
+	// Alive reports liveness as known locally (subprocess handles may
+	// only know whether the process has been reaped).
+	Alive() bool
+}
+
+// InProcessFactory adapts an app constructor to a StubFactory using
+// goroutine-domain stubs.
+func InProcessFactory(newApp func() controller.App, opts StubOptions) StubFactory {
+	return func(proxyAddr string) (StubHandle, error) {
+		return StartStub(newApp(), proxyAddr, opts)
+	}
+}
+
+// ProxyOptions tunes a Proxy.
+type ProxyOptions struct {
+	// EventTimeout bounds one event round-trip before the app is
+	// declared crashed (default 2s).
+	EventTimeout time.Duration
+	// HeartbeatTimeout is the silence window after which the stub is
+	// declared dead (default 500ms). Zero disables heartbeat monitoring.
+	HeartbeatTimeout time.Duration
+	// RegisterTimeout bounds the initial stub registration (default 5s).
+	RegisterTimeout time.Duration
+	// OnCrash observes every detected crash (problem tickets hook here).
+	OnCrash func(*CrashReport)
+}
+
+func (o *ProxyOptions) fill() {
+	if o.EventTimeout <= 0 {
+		o.EventTimeout = 2 * time.Second
+	}
+	if o.HeartbeatTimeout == 0 {
+		o.HeartbeatTimeout = 500 * time.Millisecond
+	}
+	if o.RegisterTimeout <= 0 {
+		o.RegisterTimeout = 5 * time.Second
+	}
+}
+
+// Proxy is the controller-resident half of AppVisor. It is a regular
+// controller.App — the controller needs no modification to host
+// isolated apps, which is the paper's headline design constraint — and
+// it is a controller.Snapshotter, forwarding checkpoint operations to
+// the stub.
+type Proxy struct {
+	name string
+	ctx  controller.Context
+	opts ProxyOptions
+
+	conn    *net.UDPConn
+	factory StubFactory
+
+	mu         sync.Mutex
+	stub       StubHandle
+	stubAddr   *net.UDPAddr
+	subs       []controller.EventKind
+	waiters    map[uint64]chan *datagram
+	registered chan struct{}
+	lastCrash  *CrashReport
+
+	nextID   atomic.Uint64
+	lastBeat atomic.Int64 // unix nanos of last heartbeat
+	stubUp   atomic.Bool
+	inFlight atomic.Pointer[controller.Event]
+	closed   atomic.Bool
+	done     chan struct{}
+
+	// EventsRelayed counts events round-tripped through the stub.
+	EventsRelayed atomic.Uint64
+	// CrashesDetected counts crash detections by any signal.
+	CrashesDetected atomic.Uint64
+}
+
+// NewProxy creates the proxy, binds its UDP socket, launches a stub via
+// factory and waits for the stub to register. name is used until the
+// stub's registration supplies the authoritative app name.
+func NewProxy(name string, ctx controller.Context, factory StubFactory, opts ProxyOptions) (*Proxy, error) {
+	opts.fill()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("appvisor: binding proxy socket: %w", err)
+	}
+	// Fragmented snapshots/restores arrive in bursts; large socket
+	// buffers keep loopback UDP from shedding them.
+	_ = conn.SetReadBuffer(8 << 20)
+	_ = conn.SetWriteBuffer(8 << 20)
+	p := &Proxy{
+		name:       name,
+		ctx:        ctx,
+		opts:       opts,
+		conn:       conn,
+		factory:    factory,
+		waiters:    make(map[uint64]chan *datagram),
+		registered: make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	go p.readLoop()
+	if p.opts.HeartbeatTimeout > 0 {
+		go p.monitorLoop()
+	}
+	if err := p.spawn(); err != nil {
+		p.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// Addr returns the proxy's UDP address, for externally launched stubs.
+func (p *Proxy) Addr() string { return p.conn.LocalAddr().String() }
+
+// Close shuts the proxy and its stub down.
+func (p *Proxy) Close() {
+	if !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(p.done)
+	p.mu.Lock()
+	stub := p.stub
+	addr := p.stubAddr
+	p.mu.Unlock()
+	if addr != nil {
+		_ = p.sendTo(addr, &datagram{Type: dgShutdown})
+	}
+	if stub != nil {
+		stub.Kill()
+	}
+	p.conn.Close()
+}
+
+// spawn launches a stub and waits for registration.
+func (p *Proxy) spawn() error {
+	p.mu.Lock()
+	p.registered = make(chan struct{})
+	reg := p.registered
+	p.mu.Unlock()
+	stub, err := p.factory(p.Addr())
+	if err != nil {
+		return fmt.Errorf("appvisor: stub factory: %w", err)
+	}
+	p.mu.Lock()
+	p.stub = stub
+	p.mu.Unlock()
+	select {
+	case <-reg:
+		p.lastBeat.Store(time.Now().UnixNano())
+		p.stubUp.Store(true)
+		return nil
+	case <-time.After(p.opts.RegisterTimeout):
+		stub.Kill()
+		return fmt.Errorf("appvisor: stub for %q never registered", p.name)
+	}
+}
+
+// Respawn replaces a dead stub with a fresh one. Crash-Pad invokes this
+// before restoring a checkpoint.
+func (p *Proxy) Respawn() error {
+	p.mu.Lock()
+	old := p.stub
+	p.mu.Unlock()
+	if old != nil {
+		old.Kill()
+	}
+	return p.spawn()
+}
+
+// StubUp reports whether a live stub is currently attached.
+func (p *Proxy) StubUp() bool { return p.stubUp.Load() }
+
+// LastCrash returns the most recent crash report, or nil.
+func (p *Proxy) LastCrash() *CrashReport {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastCrash
+}
+
+// Name implements controller.App.
+func (p *Proxy) Name() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.name
+}
+
+// Subscriptions implements controller.App, reflecting whatever the stub
+// registered.
+func (p *Proxy) Subscriptions() []controller.EventKind {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.subs == nil {
+		return controller.AllEventKinds()
+	}
+	return append([]controller.EventKind(nil), p.subs...)
+}
+
+// HandleEvent implements controller.App: it round-trips the event
+// through the stub, preserving the controller's processing order, and
+// surfaces any crash as a *CrashError.
+func (p *Proxy) HandleEvent(_ controller.Context, ev controller.Event) error {
+	if !p.stubUp.Load() {
+		return ErrStubDown
+	}
+	p.inFlight.Store(&ev)
+	defer p.inFlight.Store(nil)
+
+	payload, err := encodeEvent(ev)
+	if err != nil {
+		return err
+	}
+	d, err := p.rpcToStub(&datagram{Type: dgEvent, ID: p.nextID.Add(1), Payload: payload}, p.opts.EventTimeout)
+	if err != nil {
+		// Timeout or socket failure: communication failure is crash
+		// detection signal #1 in §4.1.
+		report := p.noteCrash(CrashTimeout, err.Error(), "", &ev)
+		return &CrashError{Report: report}
+	}
+	if d.Type == dgCrash {
+		reason, stack, _ := decodeCrash(d.Payload)
+		report := p.noteCrash(CrashReported, reason, stack, &ev)
+		return &CrashError{Report: report}
+	}
+	status, _, ok := decodeStatus(d.Payload)
+	if !ok {
+		return ErrBadDatagram
+	}
+	p.EventsRelayed.Add(1)
+	return status
+}
+
+// Snapshot implements controller.Snapshotter by RPC to the stub.
+func (p *Proxy) Snapshot() ([]byte, error) {
+	if !p.stubUp.Load() {
+		return nil, ErrStubDown
+	}
+	d, err := p.rpcToStub(&datagram{Type: dgSnapshotReq, ID: p.nextID.Add(1)}, p.opts.EventTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if d.Type == dgCrash {
+		return nil, fmt.Errorf("appvisor: app crashed during snapshot")
+	}
+	status, rest, ok := decodeStatus(d.Payload)
+	if !ok {
+		return nil, ErrBadDatagram
+	}
+	if status != nil {
+		return nil, status
+	}
+	return rest, nil
+}
+
+// Restore implements controller.Snapshotter by RPC to the stub.
+func (p *Proxy) Restore(state []byte) error {
+	if !p.stubUp.Load() {
+		return ErrStubDown
+	}
+	d, err := p.rpcToStub(&datagram{Type: dgRestoreReq, ID: p.nextID.Add(1), Payload: state}, p.opts.EventTimeout)
+	if err != nil {
+		return err
+	}
+	if d.Type == dgCrash {
+		return fmt.Errorf("appvisor: app crashed during restore")
+	}
+	status, _, ok := decodeStatus(d.Payload)
+	if !ok {
+		return ErrBadDatagram
+	}
+	return status
+}
+
+// noteCrash records a crash, fires the OnCrash hook and marks the stub
+// down so subsequent events fail fast.
+func (p *Proxy) noteCrash(reason CrashReason, panicValue, stack string, ev *controller.Event) *CrashReport {
+	report := &CrashReport{
+		App:        p.Name(),
+		Reason:     reason,
+		PanicValue: panicValue,
+		Stack:      stack,
+		Detected:   time.Now(),
+	}
+	if ev != nil {
+		report.Event = *ev
+		report.HasEvent = true
+	}
+	p.stubUp.Store(false)
+	p.CrashesDetected.Add(1)
+	p.mu.Lock()
+	p.lastCrash = report
+	stub := p.stub
+	p.mu.Unlock()
+	if stub != nil {
+		stub.Kill() // make death certain before a respawn
+	}
+	if p.opts.OnCrash != nil {
+		p.opts.OnCrash(report)
+	}
+	return report
+}
+
+// monitorLoop watches heartbeats; silence beyond HeartbeatTimeout is
+// crash detection signal #2.
+func (p *Proxy) monitorLoop() {
+	t := time.NewTicker(p.opts.HeartbeatTimeout / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-t.C:
+			if !p.stubUp.Load() {
+				continue
+			}
+			last := p.lastBeat.Load()
+			if last == 0 {
+				continue
+			}
+			if time.Since(time.Unix(0, last)) > p.opts.HeartbeatTimeout {
+				ev := p.inFlight.Load()
+				report := p.noteCrash(CrashHeartbeat, "heartbeat lost", "", ev)
+				_ = report
+				p.failWaiters()
+			}
+		}
+	}
+}
+
+// failWaiters unblocks every pending RPC after a detected death.
+func (p *Proxy) failWaiters() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, w := range p.waiters {
+		close(w)
+		delete(p.waiters, id)
+	}
+}
+
+func (p *Proxy) sendTo(addr *net.UDPAddr, d *datagram) error {
+	frames, err := marshalFrames(d)
+	if err != nil {
+		return err
+	}
+	for _, b := range frames {
+		if _, err := p.conn.WriteToUDP(b, addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rpcToStub sends one datagram and waits for its completion (matched by
+// ID) or a crash report.
+func (p *Proxy) rpcToStub(d *datagram, timeout time.Duration) (*datagram, error) {
+	p.mu.Lock()
+	addr := p.stubAddr
+	if addr == nil {
+		p.mu.Unlock()
+		return nil, ErrStubDown
+	}
+	w := make(chan *datagram, 1)
+	p.waiters[d.ID] = w
+	p.mu.Unlock()
+
+	cleanup := func() {
+		p.mu.Lock()
+		delete(p.waiters, d.ID)
+		p.mu.Unlock()
+	}
+	if err := p.sendTo(addr, d); err != nil {
+		cleanup()
+		return nil, err
+	}
+	select {
+	case reply, ok := <-w:
+		if !ok {
+			return nil, fmt.Errorf("appvisor: stub died mid-call")
+		}
+		return reply, nil
+	case <-time.After(timeout):
+		cleanup()
+		return nil, fmt.Errorf("appvisor: stub call timed out after %v", timeout)
+	case <-p.done:
+		cleanup()
+		return nil, fmt.Errorf("appvisor: proxy closed")
+	}
+}
+
+func (p *Proxy) readLoop() {
+	buf := make([]byte, maxDatagram)
+	reasm := newReassembler()
+	for {
+		n, raddr, err := p.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		d, err := parseDatagram(buf[:n])
+		if err != nil {
+			continue
+		}
+		d, err = reasm.accept(d)
+		if err != nil || d == nil {
+			continue
+		}
+		switch d.Type {
+		case dgRegister:
+			name, subs, err := decodeRegister(d.Payload)
+			if err != nil {
+				continue
+			}
+			p.mu.Lock()
+			// While a stub is live, only it may re-register: a stray
+			// datagram must not hijack the stub address. A dead stub's
+			// replacement legitimately arrives from a new address.
+			if p.stubUp.Load() && p.stubAddr != nil && p.stubAddr.String() != raddr.String() {
+				p.mu.Unlock()
+				continue
+			}
+			p.name = name
+			p.subs = subs
+			p.stubAddr = raddr
+			reg := p.registered
+			p.mu.Unlock()
+			p.lastBeat.Store(time.Now().UnixNano())
+			_ = p.sendTo(raddr, &datagram{Type: dgRegisterAck})
+			select {
+			case <-reg:
+			default:
+				close(reg)
+			}
+		case dgHeartbeat:
+			p.lastBeat.Store(time.Now().UnixNano())
+		case dgEventDone, dgSnapshotReply, dgRestoreDone:
+			p.completeWaiter(d)
+		case dgCrash:
+			// A crash aborts whatever RPC is in flight; if none is, the
+			// report stands alone (e.g. crash in a background goroutine
+			// of the app).
+			if !p.completeAnyWaiter(d) {
+				reason, stack, _ := decodeCrash(d.Payload)
+				p.noteCrash(CrashReported, reason, stack, p.inFlight.Load())
+			}
+		case dgRequest:
+			go p.serveRequest(raddr, d)
+		}
+	}
+}
+
+func (p *Proxy) completeWaiter(d *datagram) {
+	p.mu.Lock()
+	w := p.waiters[d.ID]
+	delete(p.waiters, d.ID)
+	p.mu.Unlock()
+	if w != nil {
+		w <- d
+	}
+}
+
+// completeAnyWaiter delivers a crash datagram to some pending waiter
+// (there is at most one event in flight, which is the one that matters).
+func (p *Proxy) completeAnyWaiter(d *datagram) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, w := range p.waiters {
+		delete(p.waiters, id)
+		w <- d
+		return true
+	}
+	return false
+}
+
+// serveRequest executes one Context call on the app's behalf.
+func (p *Proxy) serveRequest(raddr *net.UDPAddr, d *datagram) {
+	op, dpid, msg, err := decodeRequest(d.Payload)
+	if err != nil {
+		_ = p.sendTo(raddr, &datagram{Type: dgResponse, ID: d.ID, Payload: encodeStatus(err)})
+		return
+	}
+	var payload []byte
+	switch op {
+	case opSendMessage:
+		payload = encodeStatus(p.ctx.SendMessage(dpid, msg))
+	case opStats:
+		req, ok := msg.(*openflow.StatsRequest)
+		if !ok {
+			payload = encodeStatus(fmt.Errorf("appvisor: stats op without request"))
+			break
+		}
+		reply, err := p.ctx.RequestStats(dpid, req)
+		if err != nil {
+			payload = encodeStatus(err)
+			break
+		}
+		raw, err := openflow.Encode(reply)
+		if err != nil {
+			payload = encodeStatus(err)
+			break
+		}
+		payload = append(encodeStatus(nil), raw...)
+	case opBarrier:
+		payload = encodeStatus(p.ctx.Barrier(dpid))
+	case opSwitches:
+		payload = encodeSwitches(p.ctx.Switches())
+	case opPorts:
+		payload = encodePorts(p.ctx.Ports(dpid))
+	case opTopology:
+		payload = encodeTopology(p.ctx.Topology())
+	default:
+		payload = encodeStatus(fmt.Errorf("appvisor: unknown op %d", op))
+	}
+	_ = p.sendTo(raddr, &datagram{Type: dgResponse, ID: d.ID, Payload: payload})
+}

@@ -1,0 +1,353 @@
+package appvisor
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/openflow"
+)
+
+// fakeCtx is a minimal controller.Context recording sent messages.
+type fakeCtx struct {
+	mu       sync.Mutex
+	sent     []openflow.Message
+	sentDPID []uint64
+	barriers int
+}
+
+func (f *fakeCtx) SendMessage(dpid uint64, msg openflow.Message) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sent = append(f.sent, msg)
+	f.sentDPID = append(f.sentDPID, dpid)
+	return nil
+}
+func (f *fakeCtx) SendFlowMod(dpid uint64, fm *openflow.FlowMod) error {
+	return f.SendMessage(dpid, fm)
+}
+func (f *fakeCtx) SendPacketOut(dpid uint64, po *openflow.PacketOut) error {
+	return f.SendMessage(dpid, po)
+}
+func (f *fakeCtx) RequestStats(dpid uint64, req *openflow.StatsRequest) (*openflow.StatsReply, error) {
+	return &openflow.StatsReply{StatsType: openflow.StatsTypeAggregate,
+		Aggregate: &openflow.AggregateStats{FlowCount: 7}}, nil
+}
+func (f *fakeCtx) Barrier(dpid uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.barriers++
+	return nil
+}
+func (f *fakeCtx) Switches() []uint64              { return []uint64{1, 2} }
+func (f *fakeCtx) Ports(uint64) []openflow.PhyPort { return []openflow.PhyPort{{PortNo: 9}} }
+func (f *fakeCtx) Topology() []controller.LinkInfo {
+	return []controller.LinkInfo{{SrcDPID: 1, SrcPort: 1, DstDPID: 2, DstPort: 1}}
+}
+func (f *fakeCtx) sentCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.sent)
+}
+
+// echoApp installs one flow per PacketIn and supports snapshots of its
+// event counter. crashOn triggers a panic on a chosen in-port.
+type echoApp struct {
+	crashOn uint16
+	count   uint64
+	queried bool
+}
+
+func (a *echoApp) Name() string { return "echo" }
+func (a *echoApp) Subscriptions() []controller.EventKind {
+	return []controller.EventKind{controller.EventPacketIn}
+}
+func (a *echoApp) HandleEvent(ctx controller.Context, ev controller.Event) error {
+	pin, ok := ev.Message.(*openflow.PacketIn)
+	if !ok {
+		return nil
+	}
+	if a.crashOn != 0 && pin.InPort == a.crashOn {
+		panic("echoApp: poisoned in-port")
+	}
+	a.count++
+	// Exercise the full Context surface once.
+	if !a.queried {
+		a.queried = true
+		if got := ctx.Switches(); len(got) != 2 {
+			return errors.New("wrong switch count over RPC")
+		}
+		if got := ctx.Ports(1); len(got) != 1 || got[0].PortNo != 9 {
+			return errors.New("wrong ports over RPC")
+		}
+		if got := ctx.Topology(); len(got) != 1 {
+			return errors.New("wrong topology over RPC")
+		}
+		if sr, err := ctx.RequestStats(1, &openflow.StatsRequest{StatsType: openflow.StatsTypeAggregate}); err != nil || sr.Aggregate.FlowCount != 7 {
+			return errors.New("stats over RPC failed")
+		}
+		if err := ctx.Barrier(1); err != nil {
+			return err
+		}
+	}
+	return ctx.SendFlowMod(ev.DPID, &openflow.FlowMod{
+		Match: openflow.MatchAll(), Command: openflow.FlowModAdd, Priority: uint16(a.count),
+		BufferID: openflow.BufferIDNone, OutPort: openflow.PortNone,
+	})
+}
+func (a *echoApp) Snapshot() ([]byte, error) {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, a.count)
+	return b, nil
+}
+func (a *echoApp) Restore(state []byte) error {
+	if len(state) != 8 {
+		return errors.New("bad snapshot")
+	}
+	a.count = binary.BigEndian.Uint64(state)
+	return nil
+}
+
+func pktInEvent(seq uint64, inPort uint16) controller.Event {
+	return controller.Event{
+		Seq: seq, Kind: controller.EventPacketIn, DPID: 1,
+		Message: &openflow.PacketIn{BufferID: openflow.BufferIDNone, InPort: inPort},
+	}
+}
+
+func newTestProxy(t *testing.T, app func() controller.App, opts ProxyOptions) (*Proxy, *fakeCtx) {
+	t.Helper()
+	ctx := &fakeCtx{}
+	p, err := NewProxy("test", ctx, InProcessFactory(app, StubOptions{HeartbeatInterval: 20 * time.Millisecond}), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p, ctx
+}
+
+func TestProxyRelaysEventsAndCommands(t *testing.T) {
+	p, ctx := newTestProxy(t, func() controller.App { return &echoApp{} }, ProxyOptions{})
+	if p.Name() != "echo" {
+		t.Fatalf("name = %q (registration should rename)", p.Name())
+	}
+	subs := p.Subscriptions()
+	if len(subs) != 1 || subs[0] != controller.EventPacketIn {
+		t.Fatalf("subs = %v", subs)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if err := p.HandleEvent(nil, pktInEvent(i, 5)); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+	}
+	if ctx.sentCount() != 3 {
+		t.Fatalf("flow mods relayed = %d, want 3", ctx.sentCount())
+	}
+	if p.EventsRelayed.Load() != 3 {
+		t.Fatalf("EventsRelayed = %d", p.EventsRelayed.Load())
+	}
+}
+
+func TestProxyDetectsReportedCrash(t *testing.T) {
+	var reports []*CrashReport
+	var mu sync.Mutex
+	p, _ := newTestProxy(t, func() controller.App { return &echoApp{crashOn: 13} },
+		ProxyOptions{OnCrash: func(r *CrashReport) {
+			mu.Lock()
+			reports = append(reports, r)
+			mu.Unlock()
+		}})
+
+	if err := p.HandleEvent(nil, pktInEvent(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	err := p.HandleEvent(nil, pktInEvent(2, 13))
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CrashError, got %v", err)
+	}
+	r := ce.Report
+	if r.Reason != CrashReported {
+		t.Fatalf("reason = %v", r.Reason)
+	}
+	if !strings.Contains(r.PanicValue, "poisoned in-port") {
+		t.Fatalf("panic value = %q", r.PanicValue)
+	}
+	if !strings.Contains(r.Stack, "goroutine") {
+		t.Fatalf("stack missing: %q", r.Stack)
+	}
+	if !r.HasEvent || r.Event.Seq != 2 {
+		t.Fatalf("offending event not recorded: %+v", r.Event)
+	}
+	if p.StubUp() {
+		t.Fatal("stub should be marked down")
+	}
+	// Subsequent events fail fast.
+	if err := p.HandleEvent(nil, pktInEvent(3, 5)); !errors.Is(err, ErrStubDown) {
+		t.Fatalf("want ErrStubDown, got %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reports) != 1 {
+		t.Fatalf("OnCrash fired %d times", len(reports))
+	}
+	if p.LastCrash() == nil {
+		t.Fatal("LastCrash not recorded")
+	}
+}
+
+func TestProxyRespawnRestoresService(t *testing.T) {
+	p, ctx := newTestProxy(t, func() controller.App { return &echoApp{crashOn: 13} }, ProxyOptions{})
+	p.HandleEvent(nil, pktInEvent(1, 5))
+	p.HandleEvent(nil, pktInEvent(2, 13)) // crash
+	if err := p.Respawn(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.StubUp() {
+		t.Fatal("stub should be up after respawn")
+	}
+	if err := p.HandleEvent(nil, pktInEvent(3, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.sentCount() != 2 {
+		t.Fatalf("sent = %d, want 2 (one before crash, one after respawn)", ctx.sentCount())
+	}
+}
+
+func TestProxySnapshotRestoreRoundTrip(t *testing.T) {
+	p, _ := newTestProxy(t, func() controller.App { return &echoApp{} }, ProxyOptions{})
+	p.HandleEvent(nil, pktInEvent(1, 5))
+	p.HandleEvent(nil, pktInEvent(2, 5))
+	snap, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.BigEndian.Uint64(snap) != 2 {
+		t.Fatalf("snapshot count = %d", binary.BigEndian.Uint64(snap))
+	}
+	p.HandleEvent(nil, pktInEvent(3, 5))
+	if err := p.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.BigEndian.Uint64(snap2) != 2 {
+		t.Fatalf("restored count = %d, want 2", binary.BigEndian.Uint64(snap2))
+	}
+}
+
+// plainApp has no Snapshotter support.
+type plainApp struct{}
+
+func (plainApp) Name() string                                           { return "plain" }
+func (plainApp) Subscriptions() []controller.EventKind                  { return controller.AllEventKinds() }
+func (plainApp) HandleEvent(controller.Context, controller.Event) error { return nil }
+
+func TestProxySnapshotUnsupported(t *testing.T) {
+	p, _ := newTestProxy(t, func() controller.App { return plainApp{} }, ProxyOptions{})
+	if _, err := p.Snapshot(); err == nil || !strings.Contains(err.Error(), "does not snapshot") {
+		t.Fatalf("want unsupported error, got %v", err)
+	}
+}
+
+func TestProxyHeartbeatLossDetection(t *testing.T) {
+	var gotReason CrashReason
+	var mu sync.Mutex
+	done := make(chan struct{})
+	p, _ := newTestProxy(t, func() controller.App { return &echoApp{} },
+		ProxyOptions{
+			HeartbeatTimeout: 150 * time.Millisecond,
+			OnCrash: func(r *CrashReport) {
+				mu.Lock()
+				gotReason = r.Reason
+				mu.Unlock()
+				close(done)
+			},
+		})
+	// Hard-kill the stub (no crash report): only heartbeats reveal it.
+	p.mu.Lock()
+	stub := p.stub
+	p.mu.Unlock()
+	stub.Kill()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("heartbeat loss never detected")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotReason != CrashHeartbeat {
+		t.Fatalf("reason = %v", gotReason)
+	}
+	if p.StubUp() {
+		t.Fatal("stub should be marked down")
+	}
+}
+
+func TestProxyEventTimeoutDetection(t *testing.T) {
+	block := make(chan struct{})
+	slow := &funcApp{name: "slow", handle: func(controller.Context, controller.Event) error {
+		<-block
+		return nil
+	}}
+	p, _ := newTestProxy(t, func() controller.App { return slow },
+		ProxyOptions{EventTimeout: 100 * time.Millisecond, HeartbeatTimeout: -1})
+	defer close(block)
+	err := p.HandleEvent(nil, pktInEvent(1, 1))
+	var ce *CrashError
+	if !errors.As(err, &ce) || ce.Report.Reason != CrashTimeout {
+		t.Fatalf("want timeout CrashError, got %v", err)
+	}
+}
+
+// funcApp adapts a function to controller.App.
+type funcApp struct {
+	name   string
+	handle func(controller.Context, controller.Event) error
+}
+
+func (a *funcApp) Name() string                          { return a.name }
+func (a *funcApp) Subscriptions() []controller.EventKind { return controller.AllEventKinds() }
+func (a *funcApp) HandleEvent(ctx controller.Context, ev controller.Event) error {
+	return a.handle(ctx, ev)
+}
+
+func TestStubAliveAndKill(t *testing.T) {
+	p, _ := newTestProxy(t, func() controller.App { return &echoApp{} },
+		ProxyOptions{HeartbeatTimeout: -1})
+	p.mu.Lock()
+	stub := p.stub.(*Stub)
+	p.mu.Unlock()
+	if !stub.Alive() {
+		t.Fatal("fresh stub should be alive")
+	}
+	stub.Kill()
+	if stub.Alive() {
+		t.Fatal("killed stub should be dead")
+	}
+	stub.Kill() // idempotent
+}
+
+func TestProxyHandlerErrorIsNotACrash(t *testing.T) {
+	failing := &funcApp{name: "fails", handle: func(controller.Context, controller.Event) error {
+		return errors.New("handler declined")
+	}}
+	p, _ := newTestProxy(t, func() controller.App { return failing }, ProxyOptions{})
+	err := p.HandleEvent(nil, pktInEvent(1, 1))
+	if err == nil || !strings.Contains(err.Error(), "handler declined") {
+		t.Fatalf("got %v", err)
+	}
+	var ce *CrashError
+	if errors.As(err, &ce) {
+		t.Fatal("handler error must not be a crash")
+	}
+	if !p.StubUp() {
+		t.Fatal("stub must stay up after a handler error")
+	}
+}

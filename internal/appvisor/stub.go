@@ -1,0 +1,402 @@
+package appvisor
+
+import (
+	"fmt"
+	"net"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/openflow"
+)
+
+// StubOptions tunes a Stub.
+type StubOptions struct {
+	// HeartbeatInterval spaces liveness beacons (default 50ms).
+	HeartbeatInterval time.Duration
+	// RequestTimeout bounds the app's synchronous Context calls
+	// (default 5s).
+	RequestTimeout time.Duration
+	// QueueSize bounds queued events (default 256).
+	QueueSize int
+}
+
+func (o *StubOptions) fill() {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * time.Second
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 256
+	}
+}
+
+// Stub hosts one SDN-App in an isolated failure domain and bridges it to
+// an AppVisor proxy over UDP. The stub is a light-weight wrapper, as the
+// paper puts it: it relays events in, converts the app's controller
+// calls to RPCs, heartbeats, and — on an app panic — reports the crash
+// and dies, exactly as a crashing stub process would.
+type Stub struct {
+	app  controller.App
+	opts StubOptions
+
+	conn *net.UDPConn // connected to the proxy
+
+	mu      sync.Mutex
+	waiters map[uint64]chan *datagram
+
+	nextID atomic.Uint64
+	events chan eventWithID
+	dead   atomic.Bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	// EventsHandled counts events the app processed to completion.
+	EventsHandled atomic.Uint64
+}
+
+// StartStub launches a stub for app, registering it with the proxy at
+// proxyAddr (e.g. "127.0.0.1:7001"). The returned stub is live:
+// heartbeats flow and events will be processed in arrival order.
+func StartStub(app controller.App, proxyAddr string, opts StubOptions) (*Stub, error) {
+	opts.fill()
+	raddr, err := net.ResolveUDPAddr("udp", proxyAddr)
+	if err != nil {
+		return nil, fmt.Errorf("appvisor: resolving proxy address: %w", err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, fmt.Errorf("appvisor: dialing proxy: %w", err)
+	}
+	// Fragmented snapshots/restores arrive in bursts; large socket
+	// buffers keep loopback UDP from shedding them.
+	_ = conn.SetReadBuffer(8 << 20)
+	_ = conn.SetWriteBuffer(8 << 20)
+	s := &Stub{
+		app:     app,
+		opts:    opts,
+		conn:    conn,
+		waiters: make(map[uint64]chan *datagram),
+		events:  make(chan eventWithID, opts.QueueSize),
+		done:    make(chan struct{}),
+	}
+	if err := s.send(&datagram{Type: dgRegister, Payload: encodeRegister(app.Name(), app.Subscriptions())}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	s.wg.Add(3)
+	go s.readLoop()
+	go s.workLoop()
+	go s.heartbeatLoop()
+	return s, nil
+}
+
+// Alive reports whether the stub (and so the hosted app) is running.
+func (s *Stub) Alive() bool { return !s.dead.Load() }
+
+// Kill hard-stops the stub without a crash report, simulating a
+// SIGKILL'd stub process. The proxy must discover the death through
+// heartbeat loss or RPC timeout.
+func (s *Stub) Kill() { s.terminate() }
+
+// terminate stops all stub goroutines and closes the socket.
+func (s *Stub) terminate() {
+	if !s.dead.CompareAndSwap(false, true) {
+		return
+	}
+	close(s.done)
+	s.conn.Close()
+	// Fail anything blocked on a Context RPC.
+	s.mu.Lock()
+	for id, w := range s.waiters {
+		close(w)
+		delete(s.waiters, id)
+	}
+	s.mu.Unlock()
+}
+
+// die is the wrapper's crash path: report the panic to the proxy, then
+// terminate. A real stub process would exit here.
+func (s *Stub) die(reason string, stack []byte) {
+	_ = s.send(&datagram{Type: dgCrash, Payload: encodeCrash(reason, string(stack))})
+	s.terminate()
+}
+
+func (s *Stub) send(d *datagram) error {
+	frames, err := marshalFrames(d)
+	if err != nil {
+		return err
+	}
+	for _, b := range frames {
+		if _, err := s.conn.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Stub) readLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, maxDatagram)
+	reasm := newReassembler()
+	for {
+		n, err := s.conn.Read(buf)
+		if err != nil {
+			return
+		}
+		d, err := parseDatagram(buf[:n])
+		if err != nil {
+			continue
+		}
+		d, err = reasm.accept(d)
+		if err != nil || d == nil {
+			continue
+		}
+		switch d.Type {
+		case dgRegisterAck:
+			// Registration complete; nothing to store stub-side.
+		case dgEvent:
+			ev, err := decodeEvent(d.Payload)
+			if err != nil {
+				_ = s.send(&datagram{Type: dgEventDone, ID: d.ID, Payload: encodeStatus(err)})
+				continue
+			}
+			select {
+			case s.events <- eventWithID{Event: ev, rpcID: d.ID}:
+			default:
+				_ = s.send(&datagram{Type: dgEventDone, ID: d.ID,
+					Payload: encodeStatus(fmt.Errorf("appvisor: stub queue full"))})
+			}
+		case dgResponse:
+			s.mu.Lock()
+			w := s.waiters[d.ID]
+			delete(s.waiters, d.ID)
+			s.mu.Unlock()
+			if w != nil {
+				w <- d
+			}
+		case dgSnapshotReq:
+			s.handleSnapshot(d.ID)
+		case dgRestoreReq:
+			s.handleRestore(d.ID, d.Payload)
+		case dgShutdown:
+			s.terminate()
+			return
+		}
+	}
+}
+
+// eventWithID pairs a delivered event with its per-delivery RPC id, so
+// the same event can be redelivered during replay under a fresh id.
+type eventWithID struct {
+	controller.Event
+	rpcID uint64
+}
+
+func (s *Stub) workLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case ev := <-s.events:
+			s.handleEvent(ev)
+		}
+	}
+}
+
+// handleEvent runs the app's handler inside the containment boundary.
+func (s *Stub) handleEvent(ev eventWithID) {
+	var handlerErr error
+	crashed := func() (crashed bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				crashed = true
+				s.die(fmt.Sprint(r), debug.Stack())
+			}
+		}()
+		handlerErr = s.app.HandleEvent(&stubContext{s: s}, ev.Event)
+		return false
+	}()
+	if crashed {
+		return
+	}
+	s.EventsHandled.Add(1)
+	_ = s.send(&datagram{Type: dgEventDone, ID: ev.rpcID, Payload: encodeStatus(handlerErr)})
+}
+
+func (s *Stub) handleSnapshot(id uint64) {
+	snap, ok := s.app.(controller.Snapshotter)
+	if !ok {
+		_ = s.send(&datagram{Type: dgSnapshotReply, ID: id,
+			Payload: encodeStatus(fmt.Errorf("app %q does not snapshot", s.app.Name()))})
+		return
+	}
+	state, err := snap.Snapshot()
+	if err != nil {
+		_ = s.send(&datagram{Type: dgSnapshotReply, ID: id, Payload: encodeStatus(err)})
+		return
+	}
+	payload := append(encodeStatus(nil), state...)
+	_ = s.send(&datagram{Type: dgSnapshotReply, ID: id, Payload: payload})
+}
+
+func (s *Stub) handleRestore(id uint64, state []byte) {
+	snap, ok := s.app.(controller.Snapshotter)
+	if !ok {
+		_ = s.send(&datagram{Type: dgRestoreDone, ID: id,
+			Payload: encodeStatus(fmt.Errorf("app %q does not snapshot", s.app.Name()))})
+		return
+	}
+	err := snap.Restore(state)
+	_ = s.send(&datagram{Type: dgRestoreDone, ID: id, Payload: encodeStatus(err)})
+}
+
+func (s *Stub) heartbeatLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			_ = s.send(&datagram{Type: dgHeartbeat})
+		}
+	}
+}
+
+// rpc performs one synchronous exchange with the proxy.
+func (s *Stub) rpc(op uint8, dpid uint64, msg openflow.Message) (*datagram, error) {
+	if s.dead.Load() {
+		return nil, fmt.Errorf("appvisor: stub is dead")
+	}
+	payload, err := encodeRequest(op, dpid, msg)
+	if err != nil {
+		return nil, err
+	}
+	id := s.nextID.Add(1)
+	w := make(chan *datagram, 1)
+	s.mu.Lock()
+	s.waiters[id] = w
+	s.mu.Unlock()
+	if err := s.send(&datagram{Type: dgRequest, ID: id, Payload: payload}); err != nil {
+		s.mu.Lock()
+		delete(s.waiters, id)
+		s.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case d, ok := <-w:
+		if !ok {
+			return nil, fmt.Errorf("appvisor: stub terminated mid-call")
+		}
+		return d, nil
+	case <-time.After(s.opts.RequestTimeout):
+		s.mu.Lock()
+		delete(s.waiters, id)
+		s.mu.Unlock()
+		return nil, fmt.Errorf("appvisor: proxy call timed out")
+	}
+}
+
+// stubContext implements controller.Context for the hosted app by
+// translating every call into a proxy RPC.
+type stubContext struct {
+	s *Stub
+}
+
+func (c *stubContext) SendMessage(dpid uint64, msg openflow.Message) error {
+	d, err := c.s.rpc(opSendMessage, dpid, msg)
+	if err != nil {
+		return err
+	}
+	status, _, ok := decodeStatus(d.Payload)
+	if !ok {
+		return ErrBadDatagram
+	}
+	return status
+}
+
+func (c *stubContext) SendFlowMod(dpid uint64, fm *openflow.FlowMod) error {
+	return c.SendMessage(dpid, fm)
+}
+
+func (c *stubContext) SendPacketOut(dpid uint64, po *openflow.PacketOut) error {
+	return c.SendMessage(dpid, po)
+}
+
+func (c *stubContext) RequestStats(dpid uint64, req *openflow.StatsRequest) (*openflow.StatsReply, error) {
+	d, err := c.s.rpc(opStats, dpid, req)
+	if err != nil {
+		return nil, err
+	}
+	status, rest, ok := decodeStatus(d.Payload)
+	if !ok {
+		return nil, ErrBadDatagram
+	}
+	if status != nil {
+		return nil, status
+	}
+	msg, err := openflow.Decode(rest)
+	if err != nil {
+		return nil, err
+	}
+	sr, ok := msg.(*openflow.StatsReply)
+	if !ok {
+		return nil, fmt.Errorf("appvisor: stats answered by %v", msg.Type())
+	}
+	return sr, nil
+}
+
+func (c *stubContext) Barrier(dpid uint64) error {
+	d, err := c.s.rpc(opBarrier, dpid, nil)
+	if err != nil {
+		return err
+	}
+	status, _, ok := decodeStatus(d.Payload)
+	if !ok {
+		return ErrBadDatagram
+	}
+	return status
+}
+
+func (c *stubContext) Switches() []uint64 {
+	d, err := c.s.rpc(opSwitches, 0, nil)
+	if err != nil {
+		return nil
+	}
+	out, err := decodeSwitches(d.Payload)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+func (c *stubContext) Ports(dpid uint64) []openflow.PhyPort {
+	d, err := c.s.rpc(opPorts, dpid, nil)
+	if err != nil {
+		return nil
+	}
+	out, err := decodePorts(d.Payload)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+func (c *stubContext) Topology() []controller.LinkInfo {
+	d, err := c.s.rpc(opTopology, 0, nil)
+	if err != nil {
+		return nil
+	}
+	out, err := decodeTopology(d.Payload)
+	if err != nil {
+		return nil
+	}
+	return out
+}

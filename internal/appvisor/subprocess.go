@@ -1,0 +1,70 @@
+package appvisor
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// SubprocessHandle is the proxy's grip on a stub running as a separate
+// OS process — the deployment the paper's prototype uses (stand-alone
+// JVMs). Address-space isolation is real: a crashing app cannot corrupt
+// controller memory, only its own process.
+type SubprocessHandle struct {
+	mu   sync.Mutex
+	cmd  *exec.Cmd
+	dead bool
+}
+
+// Kill implements StubHandle by killing the process group.
+func (h *SubprocessHandle) Kill() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dead {
+		return
+	}
+	h.dead = true
+	if h.cmd.Process != nil {
+		_ = h.cmd.Process.Kill()
+	}
+}
+
+// Alive implements StubHandle.
+func (h *SubprocessHandle) Alive() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !h.dead
+}
+
+// Pid reports the stub process id (0 before start).
+func (h *SubprocessHandle) Pid() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.cmd.Process == nil {
+		return 0
+	}
+	return h.cmd.Process.Pid
+}
+
+// SubprocessFactory launches cmd/legosdn-stub binaries: one process per
+// app instance, pointed at the proxy's UDP address. binary is the path
+// to a built legosdn-stub; appName selects the app from the registry.
+func SubprocessFactory(binary, appName string) StubFactory {
+	return func(proxyAddr string) (StubHandle, error) {
+		cmd := exec.Command(binary, "-proxy", proxyAddr, "-app", appName)
+		cmd.Stdout = os.Stderr // stub diagnostics ride on our stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("appvisor: starting stub process: %w", err)
+		}
+		h := &SubprocessHandle{cmd: cmd}
+		go func() {
+			_ = cmd.Wait() // reap; death is detected via heartbeats/RPC
+			h.mu.Lock()
+			h.dead = true
+			h.mu.Unlock()
+		}()
+		return h, nil
+	}
+}

@@ -1,0 +1,111 @@
+package appvisor
+
+import (
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/openflow"
+)
+
+// buildStubBinary compiles cmd/legosdn-stub into a temp dir once per
+// test run.
+func buildStubBinary(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	bin := filepath.Join(t.TempDir(), "legosdn-stub")
+	cmd := exec.Command("go", "build", "-o", bin, "legosdn/cmd/legosdn-stub")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building stub binary: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	return filepath.Dir(string(out[:len(out)-1]))
+}
+
+// TestSubprocessStubEndToEnd runs a genuine separate-process stub — the
+// paper's actual deployment shape — and exercises event relay, crash
+// detection and respawn across a real process boundary.
+func TestSubprocessStubEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary; skipped in -short")
+	}
+	bin := buildStubBinary(t)
+	ctx := &fakeCtx{}
+	p, err := NewProxy("learning-switch", ctx,
+		SubprocessFactory(bin, "learning-switch"),
+		ProxyOptions{RegisterTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if p.Name() != "learning-switch" {
+		t.Fatalf("registered name %q", p.Name())
+	}
+	handle := func() *SubprocessHandle {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.stub.(*SubprocessHandle)
+	}()
+	if handle.Pid() == 0 {
+		t.Fatal("stub process has no pid")
+	}
+
+	// Relay a packet-in through the process boundary: the learning
+	// switch floods unknown destinations via a PacketOut command.
+	ev := controller.Event{
+		Seq: 1, Kind: controller.EventPacketIn, DPID: 1,
+		Message: &openflow.PacketIn{
+			BufferID: openflow.BufferIDNone,
+			InPort:   3,
+			Data: append(append([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+				0x02, 0, 0, 0, 0, 1), 0x08, 0x00),
+		},
+	}
+	if err := p.HandleEvent(nil, ev); err != nil {
+		t.Fatalf("event relay: %v", err)
+	}
+	if ctx.sentCount() != 1 {
+		t.Fatalf("commands relayed = %d", ctx.sentCount())
+	}
+
+	// Snapshot over the process boundary.
+	if _, err := p.Snapshot(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+
+	// Kill the process; heartbeat loss must flag the crash, and respawn
+	// must bring a new process up.
+	handle.Kill()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.StubUp() {
+		if time.Now().After(deadline) {
+			t.Fatal("process death never detected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := p.Respawn(); err != nil {
+		t.Fatalf("respawn: %v", err)
+	}
+	if err := p.HandleEvent(nil, ev); err != nil {
+		var ce *CrashError
+		if errors.As(err, &ce) {
+			t.Fatalf("respawned stub crashed: %v", err)
+		}
+		t.Fatalf("post-respawn event: %v", err)
+	}
+}

@@ -1,0 +1,325 @@
+// Package appvisor implements LegoSDN's isolation layer (§3.1, §4.1 of
+// the paper): each SDN-App runs inside a Stub — a wrapper holding the
+// app in its own failure domain — while a Proxy runs inside the
+// controller as a regular SDN-App. Proxy and stub speak a compact RPC
+// protocol over UDP, exactly as the paper's FloodLight prototype does.
+//
+// The stub relays events to the app and converts the app's controller
+// calls (FlowMod, PacketOut, stats, topology queries) back into RPCs.
+// The proxy detects app crashes through three signals: an explicit
+// crash report from the stub wrapper, heartbeat loss, and RPC timeouts.
+// Stubs run either in-process (a goroutine domain whose panics are
+// contained, the default for tests and benchmarks) or as genuinely
+// separate OS processes via cmd/legosdn-stub.
+package appvisor
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/openflow"
+)
+
+// Datagram types.
+const (
+	dgRegister      uint8 = 1  // stub -> proxy: app name + subscriptions
+	dgRegisterAck   uint8 = 2  // proxy -> stub
+	dgEvent         uint8 = 3  // proxy -> stub: deliver one controller event
+	dgEventDone     uint8 = 4  // stub -> proxy: event processed (or handler error)
+	dgRequest       uint8 = 5  // stub -> proxy: synchronous Context call
+	dgResponse      uint8 = 6  // proxy -> stub: Context call result
+	dgHeartbeat     uint8 = 7  // stub -> proxy: liveness beacon
+	dgSnapshotReq   uint8 = 8  // proxy -> stub: serialize app state
+	dgSnapshotReply uint8 = 9  // stub -> proxy
+	dgRestoreReq    uint8 = 10 // proxy -> stub: load app state
+	dgRestoreDone   uint8 = 11 // stub -> proxy
+	dgShutdown      uint8 = 12 // proxy -> stub: exit cleanly
+	dgCrash         uint8 = 13 // stub -> proxy: app crashed (wrapper's last gasp)
+)
+
+// Context call opcodes carried by dgRequest.
+const (
+	opSendMessage uint8 = 1
+	opStats       uint8 = 2
+	opBarrier     uint8 = 3
+	opSwitches    uint8 = 4
+	opPorts       uint8 = 5
+	opTopology    uint8 = 6
+)
+
+const (
+	wireMagic   uint16 = 0x4c53 // "LS"
+	wireVersion uint8  = 1
+	headerLen          = 12
+	// maxDatagram bounds a single UDP payload; events larger than this
+	// (possible only with pathological PacketIn payloads) are rejected.
+	maxDatagram = 60 * 1024
+)
+
+// ErrBadDatagram reports a malformed or foreign datagram.
+var ErrBadDatagram = errors.New("appvisor: bad datagram")
+
+// datagram is one framed RPC message.
+type datagram struct {
+	Type    uint8
+	ID      uint64 // RPC correlation id; 0 for one-way messages
+	Payload []byte
+}
+
+func (d *datagram) marshal() ([]byte, error) {
+	if len(d.Payload) > maxDatagram-headerLen {
+		return nil, fmt.Errorf("appvisor: datagram payload %d too large", len(d.Payload))
+	}
+	b := make([]byte, headerLen+len(d.Payload))
+	binary.BigEndian.PutUint16(b[0:2], wireMagic)
+	b[2] = wireVersion
+	b[3] = d.Type
+	binary.BigEndian.PutUint64(b[4:12], d.ID)
+	copy(b[headerLen:], d.Payload)
+	return b, nil
+}
+
+func parseDatagram(b []byte) (*datagram, error) {
+	if len(b) < headerLen {
+		return nil, ErrBadDatagram
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != wireMagic || b[2] != wireVersion {
+		return nil, ErrBadDatagram
+	}
+	return &datagram{
+		Type:    b[3],
+		ID:      binary.BigEndian.Uint64(b[4:12]),
+		Payload: append([]byte(nil), b[headerLen:]...),
+	}, nil
+}
+
+// --- payload codecs ---
+
+// encodeRegister carries the app name and its event subscriptions.
+func encodeRegister(name string, subs []controller.EventKind) []byte {
+	b := make([]byte, 0, 3+len(name)+len(subs))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(name)))
+	b = append(b, name...)
+	b = append(b, byte(len(subs)))
+	for _, k := range subs {
+		b = append(b, byte(k))
+	}
+	return b
+}
+
+func decodeRegister(b []byte) (name string, subs []controller.EventKind, err error) {
+	if len(b) < 3 {
+		return "", nil, ErrBadDatagram
+	}
+	n := int(binary.BigEndian.Uint16(b[0:2]))
+	if len(b) < 2+n+1 {
+		return "", nil, ErrBadDatagram
+	}
+	name = string(b[2 : 2+n])
+	cnt := int(b[2+n])
+	rest := b[2+n+1:]
+	if len(rest) < cnt {
+		return "", nil, ErrBadDatagram
+	}
+	subs = make([]controller.EventKind, cnt)
+	for i := 0; i < cnt; i++ {
+		subs[i] = controller.EventKind(rest[i])
+	}
+	return name, subs, nil
+}
+
+// encodeEvent serializes a controller event: kind, dpid, seq, and the
+// embedded OpenFlow message (if any) in its native wire format.
+func encodeEvent(ev controller.Event) ([]byte, error) {
+	b := make([]byte, 0, 32)
+	b = binary.BigEndian.AppendUint32(b, uint32(ev.Kind))
+	b = binary.BigEndian.AppendUint64(b, ev.DPID)
+	b = binary.BigEndian.AppendUint64(b, ev.Seq)
+	if ev.Message == nil {
+		return append(b, 0), nil
+	}
+	b = append(b, 1)
+	return openflow.AppendMessage(b, ev.Message)
+}
+
+func decodeEvent(b []byte) (controller.Event, error) {
+	var ev controller.Event
+	if len(b) < 21 {
+		return ev, ErrBadDatagram
+	}
+	ev.Kind = controller.EventKind(binary.BigEndian.Uint32(b[0:4]))
+	ev.DPID = binary.BigEndian.Uint64(b[4:12])
+	ev.Seq = binary.BigEndian.Uint64(b[12:20])
+	if b[20] == 1 {
+		msg, err := openflow.Decode(b[21:])
+		if err != nil {
+			return ev, err
+		}
+		ev.Message = msg
+	}
+	return ev, nil
+}
+
+// encodeStatus carries an optional error string (dgEventDone,
+// dgRestoreDone, dgResponse error halves).
+func encodeStatus(err error) []byte {
+	if err == nil {
+		return []byte{0}
+	}
+	s := err.Error()
+	b := make([]byte, 0, 3+len(s))
+	b = append(b, 1)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func decodeStatus(b []byte) (error, []byte, bool) {
+	if len(b) < 1 {
+		return nil, nil, false
+	}
+	if b[0] == 0 {
+		return nil, b[1:], true
+	}
+	if len(b) < 3 {
+		return nil, nil, false
+	}
+	n := int(binary.BigEndian.Uint16(b[1:3]))
+	if len(b) < 3+n {
+		return nil, nil, false
+	}
+	return errors.New(string(b[3 : 3+n])), b[3+n:], true
+}
+
+// encodeCrash carries the wrapper's crash report: the panic value and
+// stack trace, which the proxy folds into a problem ticket.
+func encodeCrash(reason, stack string) []byte {
+	b := make([]byte, 0, 8+len(reason)+len(stack))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(reason)))
+	b = append(b, reason...)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(stack)))
+	return append(b, stack...)
+}
+
+func decodeCrash(b []byte) (reason, stack string, err error) {
+	if len(b) < 4 {
+		return "", "", ErrBadDatagram
+	}
+	n := int(binary.BigEndian.Uint32(b[0:4]))
+	if len(b) < 4+n+4 {
+		return "", "", ErrBadDatagram
+	}
+	reason = string(b[4 : 4+n])
+	rest := b[4+n:]
+	m := int(binary.BigEndian.Uint32(rest[0:4]))
+	if len(rest) < 4+m {
+		return "", "", ErrBadDatagram
+	}
+	return reason, string(rest[4 : 4+m]), nil
+}
+
+// encodeRequest frames a Context call: opcode, dpid, optional message.
+func encodeRequest(op uint8, dpid uint64, msg openflow.Message) ([]byte, error) {
+	b := make([]byte, 0, 16)
+	b = append(b, op)
+	b = binary.BigEndian.AppendUint64(b, dpid)
+	if msg == nil {
+		return b, nil
+	}
+	return openflow.AppendMessage(b, msg)
+}
+
+func decodeRequest(b []byte) (op uint8, dpid uint64, msg openflow.Message, err error) {
+	if len(b) < 9 {
+		return 0, 0, nil, ErrBadDatagram
+	}
+	op = b[0]
+	dpid = binary.BigEndian.Uint64(b[1:9])
+	if len(b) > 9 {
+		msg, err = openflow.Decode(b[9:])
+		if err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	return op, dpid, msg, nil
+}
+
+// encodeSwitches packs a dpid list.
+func encodeSwitches(dpids []uint64) []byte {
+	b := make([]byte, 0, 2+8*len(dpids))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(dpids)))
+	for _, d := range dpids {
+		b = binary.BigEndian.AppendUint64(b, d)
+	}
+	return b
+}
+
+func decodeSwitches(b []byte) ([]uint64, error) {
+	if len(b) < 2 {
+		return nil, ErrBadDatagram
+	}
+	n := int(binary.BigEndian.Uint16(b[0:2]))
+	if len(b) < 2+8*n {
+		return nil, ErrBadDatagram
+	}
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = binary.BigEndian.Uint64(b[2+8*i : 2+8*(i+1)])
+	}
+	return out, nil
+}
+
+// encodePorts packs PhyPort descriptors in their OpenFlow wire form.
+func encodePorts(ports []openflow.PhyPort) []byte {
+	// Reuse the FeaturesReply body layout for the port array.
+	fr := &openflow.FeaturesReply{Ports: ports}
+	raw, _ := openflow.Encode(fr)
+	return raw
+}
+
+func decodePorts(b []byte) ([]openflow.PhyPort, error) {
+	msg, err := openflow.Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	fr, ok := msg.(*openflow.FeaturesReply)
+	if !ok {
+		return nil, ErrBadDatagram
+	}
+	return fr.Ports, nil
+}
+
+// encodeTopology packs discovered links.
+func encodeTopology(links []controller.LinkInfo) []byte {
+	b := make([]byte, 0, 2+20*len(links))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(links)))
+	for _, l := range links {
+		b = binary.BigEndian.AppendUint64(b, l.SrcDPID)
+		b = binary.BigEndian.AppendUint16(b, l.SrcPort)
+		b = binary.BigEndian.AppendUint64(b, l.DstDPID)
+		b = binary.BigEndian.AppendUint16(b, l.DstPort)
+	}
+	return b
+}
+
+func decodeTopology(b []byte) ([]controller.LinkInfo, error) {
+	if len(b) < 2 {
+		return nil, ErrBadDatagram
+	}
+	n := int(binary.BigEndian.Uint16(b[0:2]))
+	if len(b) < 2+20*n {
+		return nil, ErrBadDatagram
+	}
+	out := make([]controller.LinkInfo, n)
+	for i := 0; i < n; i++ {
+		off := 2 + 20*i
+		out[i] = controller.LinkInfo{
+			SrcDPID: binary.BigEndian.Uint64(b[off : off+8]),
+			SrcPort: binary.BigEndian.Uint16(b[off+8 : off+10]),
+			DstDPID: binary.BigEndian.Uint64(b[off+10 : off+18]),
+			DstPort: binary.BigEndian.Uint16(b[off+18 : off+20]),
+		}
+	}
+	return out, nil
+}

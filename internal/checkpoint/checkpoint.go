@@ -1,0 +1,150 @@
+// Package checkpoint is LegoSDN's CRIU substitute: a store of SDN-App
+// state snapshots taken before event processing, plus the every-N
+// checkpointing policy from §5 of the paper ("rather than checkpointing
+// after every event, we can checkpoint after every few events... and
+// replay all events since that checkpoint").
+//
+// The paper's prototype freezes whole JVM processes with CRIU; here an
+// app exposes its state through controller.Snapshotter and the store
+// keeps the serialized images. The measurable quantity — per-event
+// checkpoint cost versus recovery-time replay cost — is the same
+// trade-off §5 discusses.
+package checkpoint
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Checkpoint is one stored app image.
+type Checkpoint struct {
+	App   string
+	Seq   uint64 // sequence number of the first event NOT reflected in State
+	State []byte
+	Taken time.Time
+}
+
+// Store keeps bounded per-app checkpoint histories. It is safe for
+// concurrent use.
+type Store struct {
+	mu        sync.Mutex
+	histories map[string][]*Checkpoint
+	maxPerApp int
+
+	// Saves and Bytes count stored checkpoints and their cumulative
+	// size, for the overhead benchmarks.
+	Saves uint64
+	Bytes uint64
+}
+
+// NewStore creates a store keeping at most maxPerApp checkpoints per app
+// (default 64 when <= 0). History depth matters for the §5 extension:
+// multi-event failures roll back to older checkpoints.
+func NewStore(maxPerApp int) *Store {
+	if maxPerApp <= 0 {
+		maxPerApp = 64
+	}
+	return &Store{histories: make(map[string][]*Checkpoint), maxPerApp: maxPerApp}
+}
+
+// Put stores a checkpoint of app state taken just before the event with
+// sequence number seq.
+func (s *Store) Put(app string, seq uint64, state []byte) *Checkpoint {
+	cp := &Checkpoint{App: app, Seq: seq, State: append([]byte(nil), state...), Taken: time.Now()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := append(s.histories[app], cp)
+	if len(h) > s.maxPerApp {
+		h = h[len(h)-s.maxPerApp:]
+	}
+	s.histories[app] = h
+	s.Saves++
+	s.Bytes += uint64(len(state))
+	return cp
+}
+
+// Latest returns the most recent checkpoint for app, or nil.
+func (s *Store) Latest(app string) *Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.histories[app]
+	if len(h) == 0 {
+		return nil
+	}
+	return h[len(h)-1]
+}
+
+// Before returns the most recent checkpoint whose Seq is <= seq, i.e.
+// the image to restore when every event from Seq onward must be
+// reconsidered. Returns nil when no checkpoint is old enough.
+func (s *Store) Before(app string, seq uint64) *Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.histories[app]
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].Seq <= seq {
+			return h[i]
+		}
+	}
+	return nil
+}
+
+// History returns the app's checkpoints, oldest first.
+func (s *Store) History(app string) []*Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Checkpoint(nil), s.histories[app]...)
+}
+
+// Drop discards all checkpoints for app.
+func (s *Store) Drop(app string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.histories, app)
+}
+
+// String summarizes the store for logs.
+func (s *Store) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("checkpoint.Store{apps=%d saves=%d bytes=%d}", len(s.histories), s.Saves, s.Bytes)
+}
+
+// EveryN decides when to checkpoint: every Nth event per app. N=1 is
+// the paper's base design (checkpoint before every event); larger N
+// trades recovery-time replay for lower steady-state overhead (§5).
+type EveryN struct {
+	mu     sync.Mutex
+	n      int
+	counts map[string]int
+}
+
+// NewEveryN creates the policy; n < 1 is treated as 1.
+func NewEveryN(n int) *EveryN {
+	if n < 1 {
+		n = 1
+	}
+	return &EveryN{n: n, counts: make(map[string]int)}
+}
+
+// N reports the configured interval.
+func (p *EveryN) N() int { return p.n }
+
+// ShouldCheckpoint reports whether app's next event needs a checkpoint
+// first, advancing the per-app counter.
+func (p *EveryN) ShouldCheckpoint(app string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c := p.counts[app]
+	p.counts[app] = c + 1
+	return c%p.n == 0
+}
+
+// Reset restarts app's cadence (used after a recovery, which always
+// re-checkpoints immediately).
+func (p *EveryN) Reset(app string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.counts, app)
+}

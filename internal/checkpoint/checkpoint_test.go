@@ -1,0 +1,121 @@
+package checkpoint
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStorePutLatestBefore(t *testing.T) {
+	s := NewStore(0)
+	s.Put("app", 1, []byte("one"))
+	s.Put("app", 5, []byte("five"))
+	s.Put("app", 9, []byte("nine"))
+	s.Put("other", 2, []byte("x"))
+
+	if got := s.Latest("app"); got == nil || string(got.State) != "nine" {
+		t.Fatalf("latest = %+v", got)
+	}
+	if got := s.Latest("missing"); got != nil {
+		t.Fatal("missing app should have no checkpoint")
+	}
+	if got := s.Before("app", 7); got == nil || got.Seq != 5 {
+		t.Fatalf("before(7) = %+v", got)
+	}
+	if got := s.Before("app", 9); got == nil || got.Seq != 9 {
+		t.Fatalf("before(9) = %+v", got)
+	}
+	if got := s.Before("app", 0); got != nil {
+		t.Fatal("before(0) should be nil")
+	}
+	if h := s.History("app"); len(h) != 3 || h[0].Seq != 1 {
+		t.Fatalf("history %v", h)
+	}
+	if s.Saves != 4 || s.Bytes != uint64(len("one")+len("five")+len("nine")+1) {
+		t.Fatalf("saves=%d bytes=%d", s.Saves, s.Bytes)
+	}
+	s.Drop("app")
+	if s.Latest("app") != nil {
+		t.Fatal("drop failed")
+	}
+}
+
+func TestStoreBounded(t *testing.T) {
+	s := NewStore(3)
+	for i := uint64(1); i <= 10; i++ {
+		s.Put("a", i, []byte{byte(i)})
+	}
+	h := s.History("a")
+	if len(h) != 3 || h[0].Seq != 8 || h[2].Seq != 10 {
+		t.Fatalf("history %v", h)
+	}
+}
+
+func TestStateCopied(t *testing.T) {
+	s := NewStore(0)
+	buf := []byte("mutable")
+	s.Put("a", 1, buf)
+	buf[0] = 'X'
+	if string(s.Latest("a").State) != "mutable" {
+		t.Fatal("store aliased caller's buffer")
+	}
+}
+
+func TestEveryN(t *testing.T) {
+	p := NewEveryN(3)
+	want := []bool{true, false, false, true, false, false, true}
+	for i, w := range want {
+		if got := p.ShouldCheckpoint("a"); got != w {
+			t.Fatalf("event %d: got %v want %v", i, got, w)
+		}
+	}
+	// Independent cadence per app.
+	if !p.ShouldCheckpoint("b") {
+		t.Fatal("fresh app should checkpoint immediately")
+	}
+	// Reset restarts the cadence.
+	p.Reset("a")
+	if !p.ShouldCheckpoint("a") {
+		t.Fatal("reset should force a checkpoint")
+	}
+	if NewEveryN(0).N() != 1 {
+		t.Fatal("n<1 should clamp to 1")
+	}
+}
+
+// Property: Before(seq) returns the newest checkpoint with Seq <= seq.
+func TestQuickBeforeIsNewestNotAfter(t *testing.T) {
+	f := func(seqs []uint64, q uint64) bool {
+		s := NewStore(0)
+		var sorted []uint64
+		last := uint64(0)
+		for _, x := range seqs {
+			last += x%100 + 1 // strictly increasing
+			sorted = append(sorted, last)
+			s.Put("a", last, nil)
+		}
+		got := s.Before("a", q)
+		var want uint64
+		found := false
+		for _, x := range sorted {
+			if x <= q {
+				want, found = x, true
+			}
+		}
+		if !found {
+			return got == nil
+		}
+		return got != nil && got.Seq == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreString(t *testing.T) {
+	s := NewStore(0)
+	s.Put("a", 1, []byte("zz"))
+	if !strings.Contains(s.String(), "saves=1") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}

@@ -1,0 +1,416 @@
+package controller
+
+import (
+	"errors"
+	"net"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"legosdn/internal/openflow"
+)
+
+// Config tunes a Controller. The zero value is a usable monolithic
+// controller.
+type Config struct {
+	// Monolithic selects the fate-sharing baseline: app panics unwind
+	// into the dispatch loop and crash the controller. When false the
+	// Runner (or a recovering default) isolates failures.
+	Monolithic bool
+	// Runner executes app handlers. nil selects the direct call in
+	// monolithic mode, or a recover-only runner otherwise.
+	Runner AppRunner
+	// OnAppFailure observes unrecovered app crashes in non-monolithic
+	// mode (after the app has been quarantined). May be nil.
+	OnAppFailure func(*AppFailure)
+	// QueueSize bounds the pending event queue (default 1024).
+	QueueSize int
+	// RequestTimeout bounds synchronous exchanges (default 5s).
+	RequestTimeout time.Duration
+	// EchoInterval spaces liveness probes to each switch; a probe that
+	// goes unanswered within the interval closes the connection and
+	// surfaces a SwitchDown. Zero disables probing (the default: tests
+	// and pipes have no silent-failure mode).
+	EchoInterval time.Duration
+	// Logf receives diagnostic output; nil silences it.
+	Logf func(format string, args ...any)
+}
+
+// ErrCrashed is returned by controller operations after a monolithic
+// crash has taken the control plane down.
+var ErrCrashed = errors.New("controller: crashed")
+
+// ErrNoSwitch is returned when a message targets an unknown datapath.
+var ErrNoSwitch = errors.New("controller: no such switch")
+
+// OutboundHook observes and may rewrite or suppress controller-to-
+// switch messages. Returning (nil, nil) suppresses the message;
+// returning an error aborts the send. NetLog installs itself here.
+type OutboundHook func(dpid uint64, msg openflow.Message) (openflow.Message, error)
+
+// appEntry tracks one registered app and its dispatch state.
+type appEntry struct {
+	app      App
+	subs     map[EventKind]bool
+	disabled bool
+	events   uint64 // events delivered
+	failures uint64
+}
+
+// Controller is the FloodLight-like control plane core.
+type Controller struct {
+	cfg    Config
+	runner AppRunner
+
+	mu             sync.Mutex
+	apps           []*appEntry
+	switches       map[uint64]*swHandle
+	lastPorts      map[uint64][]openflow.PhyPort // ports of departed switches
+	links          map[LinkInfo]struct{}
+	hooks          []OutboundHook
+	statsRewriters []StatsRewriter
+
+	seq     atomic.Uint64
+	events  chan Event
+	stopped chan struct{}
+	crashed atomic.Bool
+	wg      sync.WaitGroup
+
+	// Dispatched counts events delivered to at least one app.
+	Dispatched atomic.Uint64
+	// Processed counts every event the dispatch loop consumed, whether
+	// or not any app subscribed to it.
+	Processed atomic.Uint64
+}
+
+// recoveringRunner is the default isolated runner: panics become
+// AppFailures but no recovery is attempted (the app stays quarantined).
+type recoveringRunner struct{}
+
+func (recoveringRunner) RunEvent(app App, ctx Context, ev Event) (failure *AppFailure) {
+	defer func() {
+		if r := recover(); r != nil {
+			failure = &AppFailure{App: app.Name(), Event: ev, PanicValue: r, Stack: debug.Stack()}
+		}
+	}()
+	_ = app.HandleEvent(ctx, ev)
+	return nil
+}
+
+// New creates a controller and starts its dispatch loop.
+func New(cfg Config) *Controller {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 1024
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	c := &Controller{
+		cfg:       cfg,
+		switches:  make(map[uint64]*swHandle),
+		lastPorts: make(map[uint64][]openflow.PhyPort),
+		links:     make(map[LinkInfo]struct{}),
+		events:    make(chan Event, cfg.QueueSize),
+		stopped:   make(chan struct{}),
+	}
+	switch {
+	case cfg.Runner != nil:
+		c.runner = cfg.Runner
+	case cfg.Monolithic:
+		c.runner = directRunner{}
+	default:
+		c.runner = recoveringRunner{}
+	}
+	c.wg.Add(1)
+	go c.dispatchLoop()
+	return c
+}
+
+func (c *Controller) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// SetRunner swaps the app runner. Benchmarks use this to compare
+// architectures over one controller; production code sets Config.Runner.
+func (c *Controller) SetRunner(r AppRunner) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.runner = r
+}
+
+// Register adds an app to the end of the dispatch chain.
+func (c *Controller) Register(app App) {
+	subs := make(map[EventKind]bool)
+	for _, k := range app.Subscriptions() {
+		subs[k] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.apps = append(c.apps, &appEntry{app: app, subs: subs})
+}
+
+// Apps lists registered app names in dispatch order.
+func (c *Controller) Apps() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.apps))
+	for i, e := range c.apps {
+		out[i] = e.app.Name()
+	}
+	return out
+}
+
+// AppDisabled reports whether the named app has been quarantined.
+func (c *Controller) AppDisabled(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.apps {
+		if e.app.Name() == name {
+			return e.disabled
+		}
+	}
+	return false
+}
+
+// SetAppDisabled quarantines or revives an app.
+func (c *Controller) SetAppDisabled(name string, disabled bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.apps {
+		if e.app.Name() == name {
+			e.disabled = disabled
+		}
+	}
+}
+
+// AddOutboundHook appends a hook to the outbound message path.
+func (c *Controller) AddOutboundHook(h OutboundHook) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hooks = append(c.hooks, h)
+}
+
+// StatsRewriter adjusts a StatsReply before it reaches the requesting
+// app. NetLog's counter-cache registers one to mask rollback artifacts
+// in flow counters, as §3.2 of the paper describes.
+type StatsRewriter func(dpid uint64, reply *openflow.StatsReply)
+
+// AddStatsRewriter appends a rewriter to the stats reply path.
+func (c *Controller) AddStatsRewriter(rw StatsRewriter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.statsRewriters = append(c.statsRewriters, rw)
+}
+
+// Crashed reports whether a monolithic fate-sharing crash occurred.
+func (c *Controller) Crashed() bool { return c.crashed.Load() }
+
+// Stop shuts the controller down, closing all switch channels. Safe to
+// call more than once.
+func (c *Controller) Stop() {
+	select {
+	case <-c.stopped:
+		return
+	default:
+	}
+	close(c.stopped)
+	c.mu.Lock()
+	handles := make([]*swHandle, 0, len(c.switches))
+	for _, h := range c.switches {
+		handles = append(handles, h)
+	}
+	c.mu.Unlock()
+	for _, h := range handles {
+		h.close()
+	}
+	c.wg.Wait()
+}
+
+// crash simulates process death after a monolithic app failure: every
+// switch connection closes and no further events are processed.
+func (c *Controller) crash(reason any) {
+	if !c.crashed.CompareAndSwap(false, true) {
+		return
+	}
+	c.logf("controller: FATAL app failure, control plane down: %v", reason)
+	c.mu.Lock()
+	handles := make([]*swHandle, 0, len(c.switches))
+	for _, h := range c.switches {
+		handles = append(handles, h)
+	}
+	c.mu.Unlock()
+	for _, h := range handles {
+		h.close()
+	}
+}
+
+// dispatchLoop is the single goroutine that delivers events to apps in
+// registration order, preserving the per-controller total order of
+// message processing that replay depends on.
+func (c *Controller) dispatchLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stopped:
+			return
+		case ev := <-c.events:
+			if c.crashed.Load() {
+				continue
+			}
+			c.dispatchOne(ev)
+		}
+	}
+}
+
+func (c *Controller) dispatchOne(ev Event) {
+	if c.cfg.Monolithic {
+		defer func() {
+			if r := recover(); r != nil {
+				// Fate sharing: the app's panic is the controller's panic.
+				c.crash(r)
+			}
+		}()
+	}
+	c.mu.Lock()
+	entries := make([]*appEntry, len(c.apps))
+	copy(entries, c.apps)
+	runner := c.runner
+	c.mu.Unlock()
+
+	delivered := false
+	for _, e := range entries {
+		if e.disabled || !e.subs[ev.Kind] {
+			continue
+		}
+		delivered = true
+		atomic.AddUint64(&e.events, 1)
+		if failure := runner.RunEvent(e.app, c, ev); failure != nil {
+			atomic.AddUint64(&e.failures, 1)
+			c.mu.Lock()
+			e.disabled = true
+			cb := c.cfg.OnAppFailure
+			c.mu.Unlock()
+			c.logf("controller: app %q quarantined after crash on %v", failure.App, ev)
+			if cb != nil {
+				cb(failure)
+			}
+		}
+	}
+	if delivered {
+		c.Dispatched.Add(1)
+	}
+	c.Processed.Add(1)
+}
+
+// Inject queues an event as if it arrived from the network. The
+// workload generators and Crash-Pad's replay path use this.
+func (c *Controller) Inject(ev Event) error {
+	if c.crashed.Load() {
+		return ErrCrashed
+	}
+	if ev.Seq == 0 {
+		ev.Seq = c.seq.Add(1)
+	}
+	select {
+	case c.events <- ev:
+		return nil
+	case <-c.stopped:
+		return ErrCrashed
+	}
+}
+
+// InjectSync dispatches an event inline on the caller's goroutine,
+// bypassing the queue. It preserves ordering only if the caller owns
+// the event source; benchmarks use it to measure the bare dispatch path.
+func (c *Controller) InjectSync(ev Event) error {
+	if c.crashed.Load() {
+		return ErrCrashed
+	}
+	if ev.Seq == 0 {
+		ev.Seq = c.seq.Add(1)
+	}
+	c.dispatchOne(ev)
+	return nil
+}
+
+// AppStats reports (delivered, failures) for a named app.
+func (c *Controller) AppStats(name string) (events, failures uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.apps {
+		if e.app.Name() == name {
+			return atomic.LoadUint64(&e.events), atomic.LoadUint64(&e.failures)
+		}
+	}
+	return 0, 0
+}
+
+// Switches implements Context.
+func (c *Controller) Switches() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint64, 0, len(c.switches))
+	for d := range c.switches {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Ports implements Context. For a departed switch it returns the
+// last-known port set, which Crash-Pad's switch-down → link-downs
+// equivalence transform needs after the handle is gone.
+func (c *Controller) Ports(dpid uint64) []openflow.PhyPort {
+	c.mu.Lock()
+	h := c.switches[dpid]
+	if h == nil {
+		last := append([]openflow.PhyPort(nil), c.lastPorts[dpid]...)
+		c.mu.Unlock()
+		return last
+	}
+	c.mu.Unlock()
+	return h.portList()
+}
+
+// Topology implements Context.
+func (c *Controller) Topology() []LinkInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]LinkInfo, 0, len(c.links))
+	for l := range c.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.SrcDPID != b.SrcDPID {
+			return a.SrcDPID < b.SrcDPID
+		}
+		if a.SrcPort != b.SrcPort {
+			return a.SrcPort < b.SrcPort
+		}
+		return a.DstDPID < b.DstDPID
+	})
+	return out
+}
+
+// Serve accepts switch connections from l until the controller stops.
+func (c *Controller) Serve(l net.Listener) {
+	go func() {
+		<-c.stopped
+		l.Close()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		if err := c.AttachSwitchConn(openflow.NewConn(conn)); err != nil {
+			c.logf("controller: attach failed: %v", err)
+			conn.Close()
+		}
+	}
+}

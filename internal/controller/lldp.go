@@ -1,0 +1,77 @@
+package controller
+
+import (
+	"encoding/binary"
+
+	"legosdn/internal/openflow"
+)
+
+// etherTypeLLDP is the LLDP ethertype used by topology discovery.
+const etherTypeLLDP uint16 = 0x88cc
+
+// lldpMulticast is the canonical LLDP destination address.
+var lldpMulticast = openflow.EthAddr{0x01, 0x80, 0xc2, 0x00, 0x00, 0x0e}
+
+// lldpFrame builds a discovery frame advertising (dpid, port). The body
+// is a compact fixed layout (dpid:8, port:2) rather than full TLVs —
+// both ends are this controller, so the representation is private.
+func lldpFrame(dpid uint64, port uint16, hw openflow.EthAddr) []byte {
+	b := make([]byte, 0, 14+10)
+	b = append(b, lldpMulticast[:]...)
+	b = append(b, hw[:]...)
+	b = binary.BigEndian.AppendUint16(b, etherTypeLLDP)
+	b = binary.BigEndian.AppendUint64(b, dpid)
+	b = binary.BigEndian.AppendUint16(b, port)
+	return b
+}
+
+// parseLLDP extracts (dpid, port) from a discovery frame, reporting
+// false for anything that is not one of ours.
+func parseLLDP(data []byte) (dpid uint64, port uint16, ok bool) {
+	if len(data) < 24 {
+		return 0, 0, false
+	}
+	if binary.BigEndian.Uint16(data[12:14]) != etherTypeLLDP {
+		return 0, 0, false
+	}
+	return binary.BigEndian.Uint64(data[14:22]), binary.BigEndian.Uint16(data[22:24]), true
+}
+
+// handleLLDP consumes discovery PacketIns, recording the link they
+// reveal. It returns true when the message was an LLDP frame (and so
+// must not be dispatched to apps).
+func (c *Controller) handleLLDP(h *swHandle, m *openflow.PacketIn) bool {
+	srcDPID, srcPort, ok := parseLLDP(m.Data)
+	if !ok {
+		return false
+	}
+	link := LinkInfo{SrcDPID: srcDPID, SrcPort: srcPort, DstDPID: h.dpid.Load(), DstPort: m.InPort}
+	c.mu.Lock()
+	c.links[link] = struct{}{}
+	c.mu.Unlock()
+	return true
+}
+
+// DiscoverTopology floods one round of LLDP probes out every known
+// switch port. Links appear in Topology() as the probes arrive at their
+// far ends; callers needing a settled view should allow the probes a
+// moment to propagate (or call this from a quiesced test).
+func (c *Controller) DiscoverTopology() error {
+	for _, dpid := range c.Switches() {
+		for _, p := range c.Ports(dpid) {
+			if p.PortNo > openflow.PortMax {
+				continue
+			}
+			po := &openflow.PacketOut{
+				BufferID: openflow.BufferIDNone,
+				InPort:   openflow.PortNone,
+				Actions:  []openflow.Action{&openflow.ActionOutput{Port: p.PortNo}},
+				Data:     lldpFrame(dpid, p.PortNo, p.HWAddr),
+			}
+			if err := c.SendPacketOut(dpid, po); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,311 @@
+// Package core is LegoSDN's public façade: it assembles the controller,
+// AppVisor isolation layer, NetLog transaction engine and Crash-Pad
+// recovery engine into one Stack, configured by architecture mode. The
+// three modes reproduce the paper's comparison axis:
+//
+//   - ModeMonolithic — Figure 1 (left): apps share the controller's
+//     fate; one crash downs the control plane.
+//   - ModeIsolated — AppVisor only: crashes are contained, the crashed
+//     app stays down until respawned, no rollback.
+//   - ModeLegoSDN — the full system: isolation + checkpoints + network
+//     transactions + policy-driven recovery (Figure 1, right).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"legosdn/internal/appvisor"
+	"legosdn/internal/checkpoint"
+	"legosdn/internal/controller"
+	"legosdn/internal/crashpad"
+	"legosdn/internal/flowtable"
+	"legosdn/internal/netlog"
+	"legosdn/internal/netsim"
+	"legosdn/internal/openflow"
+)
+
+// Mode selects the controller architecture.
+type Mode int
+
+// Architecture modes.
+const (
+	ModeMonolithic Mode = iota
+	ModeIsolated
+	ModeLegoSDN
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeMonolithic:
+		return "monolithic"
+	case ModeIsolated:
+		return "isolated"
+	case ModeLegoSDN:
+		return "legosdn"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config assembles a Stack.
+type Config struct {
+	// Mode picks the architecture (default ModeLegoSDN).
+	Mode Mode
+	// CheckpointEvery is Crash-Pad's checkpoint cadence (default 1).
+	CheckpointEvery int
+	// Policies is the operator availability/correctness policy set
+	// (default: absolute compromise everywhere).
+	Policies *crashpad.PolicySet
+	// UseDelayBuffer replaces NetLog with the §4.1 delay-buffer
+	// prototype (ablation).
+	UseDelayBuffer bool
+	// Checker, when set, enables byzantine failure detection.
+	Checker crashpad.InvariantChecker
+	// OnNetworkShutdown handles No-Compromise invariant escalation.
+	OnNetworkShutdown func([]crashpad.Violation)
+	// Store persists checkpoints across Stack instances (controller
+	// upgrades); nil allocates a private store.
+	Store *checkpoint.Store
+	// Clock drives NetLog timeout bookkeeping (nil = real time).
+	Clock flowtable.Clock
+	// EventTimeout bounds one proxied event round trip (default 2s).
+	EventTimeout time.Duration
+	// HeartbeatTimeout tunes crash detection via heartbeat loss
+	// (default 500ms; negative disables).
+	HeartbeatTimeout time.Duration
+	// StubBinary, when set, hosts each app in its own OS process using
+	// this cmd/legosdn-stub binary (true address-space isolation, as in
+	// the paper's prototype). Apps must then be registry apps: the stub
+	// process materializes them by name. Empty selects in-process
+	// goroutine-domain stubs.
+	StubBinary string
+	// OnTicket observes Crash-Pad problem tickets.
+	OnTicket func(*crashpad.Ticket)
+	// Logf receives controller diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Stack is a fully wired LegoSDN deployment.
+type Stack struct {
+	Mode       Mode
+	Controller *controller.Controller
+	NetLog     *netlog.Manager
+	DelayBuf   *netlog.DelayBuffer
+	CrashPad   *crashpad.CrashPad
+	Store      *checkpoint.Store
+
+	cfg Config
+
+	mu       sync.Mutex
+	proxies  map[string]*appvisor.Proxy
+	replicas map[string]func() controller.App
+	closed   bool
+}
+
+// NewStack builds and starts a stack in the configured mode.
+func NewStack(cfg Config) *Stack {
+	if cfg.CheckpointEvery < 1 {
+		cfg.CheckpointEvery = 1
+	}
+	if cfg.Store == nil {
+		cfg.Store = checkpoint.NewStore(0)
+	}
+	s := &Stack{
+		Mode:     cfg.Mode,
+		Store:    cfg.Store,
+		cfg:      cfg,
+		proxies:  make(map[string]*appvisor.Proxy),
+		replicas: make(map[string]func() controller.App),
+	}
+
+	ctrlCfg := controller.Config{Logf: cfg.Logf}
+	switch cfg.Mode {
+	case ModeMonolithic:
+		ctrlCfg.Monolithic = true
+		s.Controller = controller.New(ctrlCfg)
+	case ModeIsolated:
+		ctrlCfg.Runner = isolatedRunner{}
+		s.Controller = controller.New(ctrlCfg)
+	case ModeLegoSDN:
+		s.Controller = controller.New(ctrlCfg)
+		if cfg.UseDelayBuffer {
+			s.DelayBuf = netlog.NewDelayBuffer(s.Controller)
+			s.Controller.AddOutboundHook(s.DelayBuf.Hook())
+		} else {
+			s.NetLog = netlog.NewManager(s.Controller, cfg.Clock)
+			s.NetLog.Install(s.Controller)
+		}
+		s.CrashPad = crashpad.New(crashpad.Options{
+			Store:             cfg.Store,
+			CheckpointEvery:   cfg.CheckpointEvery,
+			Policies:          cfg.Policies,
+			NetLog:            s.NetLog,
+			DelayBuffer:       s.DelayBuf,
+			Checker:           cfg.Checker,
+			OnTicket:          cfg.OnTicket,
+			OnNetworkShutdown: cfg.OnNetworkShutdown,
+			// Deep recovery (§5) replays against throwaway replicas
+			// built from the same factories AddApp registered.
+			ReplicaFactory: func(name string) controller.App {
+				s.mu.Lock()
+				factory := s.replicas[name]
+				s.mu.Unlock()
+				if factory == nil {
+					return nil
+				}
+				return factory()
+			},
+		})
+		s.Controller.SetRunner(s.CrashPad)
+	}
+	return s
+}
+
+// AddApp installs an SDN-App under the stack's architecture. newApp
+// must return a fresh instance on each call: isolation modes use it to
+// (re)launch stubs, and the monolithic mode calls it exactly once. If
+// the checkpoint store holds prior state for the app (e.g. from before
+// a controller upgrade), the app is restored from it.
+func (s *Stack) AddApp(newApp func() controller.App) error {
+	probe := newApp()
+	name := probe.Name()
+	s.mu.Lock()
+	s.replicas[name] = newApp
+	s.mu.Unlock()
+	switch s.Mode {
+	case ModeMonolithic:
+		s.restoreIfCheckpointed(probe, name)
+		s.Controller.Register(probe)
+		return nil
+	default:
+		factory := appvisor.InProcessFactory(newApp, appvisor.StubOptions{})
+		if s.cfg.StubBinary != "" {
+			factory = appvisor.SubprocessFactory(s.cfg.StubBinary, name)
+		}
+		proxy, err := appvisor.NewProxy(name, s.Controller, factory,
+			appvisor.ProxyOptions{
+				EventTimeout:     s.cfg.EventTimeout,
+				HeartbeatTimeout: s.cfg.HeartbeatTimeout,
+			})
+		if err != nil {
+			return fmt.Errorf("core: launching stub for %q: %w", name, err)
+		}
+		s.restoreIfCheckpointed(proxy, name)
+		s.mu.Lock()
+		s.proxies[name] = proxy
+		s.mu.Unlock()
+		s.Controller.Register(proxy)
+		return nil
+	}
+}
+
+// restoreIfCheckpointed loads the newest stored image into the app, the
+// §3.4 controller-upgrade path: state survives in the isolation layer
+// while the controller restarts.
+func (s *Stack) restoreIfCheckpointed(app controller.App, name string) {
+	snap, ok := app.(controller.Snapshotter)
+	if !ok {
+		return
+	}
+	if cp := s.Store.Latest(name); cp != nil {
+		_ = snap.Restore(cp.State)
+	}
+}
+
+// Proxy returns the AppVisor proxy hosting the named app (nil in
+// monolithic mode or for unknown names).
+func (s *Stack) Proxy(name string) *appvisor.Proxy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.proxies[name]
+}
+
+// ConnectNetwork attaches every switch in the simulated network over
+// in-memory pipes and waits for their handshakes to finish dispatching.
+func (s *Stack) ConnectNetwork(n *netsim.Network) error {
+	target := s.Controller.Processed.Load()
+	for _, sw := range n.Switches() {
+		ctrlSide, swSide := openflow.Pipe()
+		if err := sw.Attach(swSide); err != nil {
+			return err
+		}
+		if err := s.Controller.AttachSwitchConn(ctrlSide); err != nil {
+			return err
+		}
+		target++
+	}
+	// Wait for the queued SwitchUp events to dispatch, so callers can
+	// immediately inject traffic without racing app registration state.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Controller.Processed.Load() < target {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: switch-up events never dispatched")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// Snapshot checkpoints the named app immediately (outside the every-N
+// cadence); used before planned controller upgrades.
+func (s *Stack) Snapshot(name string) error {
+	var snap controller.Snapshotter
+	if p := s.Proxy(name); p != nil {
+		snap = p
+	} else {
+		return fmt.Errorf("core: no proxy for %q", name)
+	}
+	state, err := snap.Snapshot()
+	if err != nil {
+		return err
+	}
+	s.Store.Put(name, 0, state)
+	return nil
+}
+
+// Close shuts down the controller and every stub.
+func (s *Stack) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	proxies := make([]*appvisor.Proxy, 0, len(s.proxies))
+	for _, p := range s.proxies {
+		proxies = append(proxies, p)
+	}
+	s.mu.Unlock()
+	s.Controller.Stop()
+	for _, p := range proxies {
+		p.Close()
+	}
+}
+
+// isolatedRunner is the AppVisor-only mode's runner: in-process panics
+// are contained, and a proxy's CrashError quarantines the app (no
+// recovery machinery, matching a deployment with isolation but without
+// Crash-Pad).
+type isolatedRunner struct{}
+
+func (isolatedRunner) RunEvent(app controller.App, ctx controller.Context, ev controller.Event) (failure *controller.AppFailure) {
+	defer func() {
+		if r := recover(); r != nil {
+			failure = &controller.AppFailure{App: app.Name(), Event: ev, PanicValue: r}
+		}
+	}()
+	err := app.HandleEvent(ctx, ev)
+	var ce *appvisor.CrashError
+	if errors.As(err, &ce) {
+		return &controller.AppFailure{
+			App:        app.Name(),
+			Event:      ev,
+			PanicValue: ce.Report.PanicValue,
+			Stack:      []byte(ce.Report.Stack),
+		}
+	}
+	return nil
+}

@@ -1,0 +1,460 @@
+package crashpad
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"legosdn/internal/appvisor"
+	"legosdn/internal/checkpoint"
+	"legosdn/internal/controller"
+	"legosdn/internal/netlog"
+)
+
+// Restartable is implemented by apps whose failure domain can be
+// relaunched after a crash (appvisor.Proxy via Respawn).
+type Restartable interface {
+	Respawn() error
+}
+
+// livenessReporter is implemented by apps that know whether their
+// failure domain is currently up (appvisor.Proxy via StubUp).
+type livenessReporter interface {
+	StubUp() bool
+}
+
+// Violation is one invariant breach found after an event's effects hit
+// the network.
+type Violation struct {
+	// Desc names the breach, e.g. "black-hole at switch 3 for 10.0.0.2".
+	Desc string
+	// NoCompromise marks invariants the operator listed as
+	// non-negotiable: a breach escalates to network shutdown (§5).
+	NoCompromise bool
+}
+
+// InvariantChecker detects byzantine failures: output that violates
+// network invariants (§3.3, detection via policy checkers).
+type InvariantChecker interface {
+	Check() []Violation
+}
+
+// Options configures a CrashPad.
+type Options struct {
+	// Store holds checkpoints (fresh store if nil).
+	Store *checkpoint.Store
+	// CheckpointEvery takes a checkpoint before every Nth event
+	// (default 1 = the paper's base design; larger N enables the §5
+	// replay optimization).
+	CheckpointEvery int
+	// Policies decides the availability/correctness trade per app and
+	// event kind (default: AbsoluteCompromise everywhere).
+	Policies *PolicySet
+	// NetLog wraps each event in a network transaction and rolls back
+	// on failure. Optional but strongly recommended.
+	NetLog *netlog.Manager
+	// DelayBuffer is the §4.1 prototype alternative to NetLog: hold
+	// messages until the event completes. Ignored when NetLog is set.
+	DelayBuffer *netlog.DelayBuffer
+	// Checker, when set, is consulted after each event; violations are
+	// byzantine failures.
+	Checker InvariantChecker
+	// OnTicket observes each problem ticket as it opens.
+	OnTicket func(*Ticket)
+	// OnNetworkShutdown fires when a No-Compromise invariant is
+	// violated; the operator hook should fail the network closed.
+	OnNetworkShutdown func(violations []Violation)
+	// ReplicaFactory creates throwaway replicas of a named app for §5's
+	// multi-event failure analysis (minimal causal sequences). nil
+	// disables deep recovery.
+	ReplicaFactory func(appName string) controller.App
+	// DeepRecoveryThreshold is the consecutive-crash count that
+	// escalates to deep recovery (default 3).
+	DeepRecoveryThreshold int
+}
+
+// CrashPad is the recovery engine. It implements controller.AppRunner;
+// install it as the controller's Runner (or via legosdn's core facade).
+type CrashPad struct {
+	opts    Options
+	everyN  *checkpoint.EveryN
+	tickets ticketLog
+
+	mu        sync.Mutex
+	replays   map[string][]controller.Event // events since last checkpoint, per app
+	histories map[string][]controller.Event // bounded full history, for deep recovery
+	streaks   map[string]int                // consecutive crashes, per app
+
+	// Metrics (atomic: read live by benchmarks and tests while the
+	// dispatch goroutine recovers).
+	CrashesSeen       atomic.Uint64
+	ByzantineSeen     atomic.Uint64
+	Recoveries        atomic.Uint64
+	IgnoredEvents     atomic.Uint64
+	TransformedEvents atomic.Uint64
+	ReplayedEvents    atomic.Uint64
+	Fallbacks         atomic.Uint64
+	Unrecoverable     atomic.Uint64
+	DeepRecoveries    atomic.Uint64
+}
+
+// New creates a CrashPad.
+func New(opts Options) *CrashPad {
+	if opts.Store == nil {
+		opts.Store = checkpoint.NewStore(0)
+	}
+	if opts.CheckpointEvery < 1 {
+		opts.CheckpointEvery = 1
+	}
+	if opts.Policies == nil {
+		opts.Policies = NewPolicySet(AbsoluteCompromise)
+	}
+	if opts.DeepRecoveryThreshold < 1 {
+		opts.DeepRecoveryThreshold = defaultDeepThreshold
+	}
+	cp := &CrashPad{
+		opts:      opts,
+		everyN:    checkpoint.NewEveryN(opts.CheckpointEvery),
+		replays:   make(map[string][]controller.Event),
+		histories: make(map[string][]controller.Event),
+		streaks:   make(map[string]int),
+	}
+	cp.tickets.onOpen = opts.OnTicket
+	return cp
+}
+
+// Tickets returns every problem ticket opened so far.
+func (cp *CrashPad) Tickets() []*Ticket { return cp.tickets.all() }
+
+// Store exposes the checkpoint store (for inspection and benchmarks).
+func (cp *CrashPad) Store() *checkpoint.Store { return cp.opts.Store }
+
+// failInfo is the normalized crash evidence from either detection path.
+type failInfo struct {
+	panicValue string
+	stack      string
+}
+
+// invoke runs the handler inside the containment boundary, normalizing
+// in-process panics and AppVisor crash reports into failInfo.
+func invoke(app controller.App, ctx controller.Context, ev controller.Event) (handlerErr error, crash *failInfo) {
+	defer func() {
+		if r := recover(); r != nil {
+			crash = &failInfo{panicValue: fmt.Sprint(r), stack: string(stackTrace())}
+		}
+	}()
+	handlerErr = app.HandleEvent(ctx, ev)
+	var ce *appvisor.CrashError
+	if errors.As(handlerErr, &ce) {
+		return nil, &failInfo{panicValue: ce.Report.PanicValue, stack: ce.Report.Stack}
+	}
+	if errors.Is(handlerErr, appvisor.ErrStubDown) {
+		return nil, &failInfo{panicValue: "stub down"}
+	}
+	return handlerErr, nil
+}
+
+// RunEvent implements controller.AppRunner: checkpoint, transact,
+// deliver, detect, recover.
+func (cp *CrashPad) RunEvent(app controller.App, ctx controller.Context, ev controller.Event) *controller.AppFailure {
+	name := app.Name()
+	cp.maybeCheckpoint(app, name, ev.Seq)
+	cp.noteHistory(name, ev)
+
+	tx := cp.beginAtomic()
+	handlerErr, crash := invoke(app, ctx, ev)
+	_ = handlerErr // handler errors are the app's business, not a failure
+
+	if crash == nil {
+		// Byzantine detection: did the event's network effects violate
+		// an invariant? Barrier the touched switches first so in-flight
+		// FlowMods are visible to the checker.
+		if cp.opts.Checker != nil {
+			if tx != nil {
+				_ = tx.SyncTouched()
+			}
+			if violations := cp.opts.Checker.Check(); len(violations) > 0 {
+				cp.ByzantineSeen.Add(1)
+				cp.rollbackAtomic(tx)
+				return cp.recover(app, ctx, ev, Byzantine, &failInfo{panicValue: "invariant violation"}, violations)
+			}
+		}
+		cp.commitAtomic(tx)
+		cp.mu.Lock()
+		cp.replays[name] = append(cp.replays[name], ev)
+		cp.mu.Unlock()
+		cp.resetStreak(name)
+		return nil
+	}
+
+	// Fail-stop crash.
+	cp.CrashesSeen.Add(1)
+	cp.rollbackAtomic(tx)
+	return cp.recover(app, ctx, ev, FailStop, crash, nil)
+}
+
+// recover drives the §3.3 recovery loop for one failure.
+func (cp *CrashPad) recover(app controller.App, ctx controller.Context, ev controller.Event,
+	class FailureClass, info *failInfo, violations []Violation) *controller.AppFailure {
+
+	name := app.Name()
+	start := time.Now()
+	policy := cp.opts.Policies.For(name, ev.Kind)
+	ticket := &Ticket{
+		App:        name,
+		Class:      class,
+		Event:      ev,
+		HasEvent:   true,
+		PanicValue: info.panicValue,
+		Stack:      info.stack,
+		Policy:     policy,
+	}
+	for _, v := range violations {
+		ticket.Violations = append(ticket.Violations, v.Desc)
+	}
+	// The tail of the event history gives the developer a reproduction
+	// trace alongside the stack.
+	const ticketTrace = 8
+	hist := cp.history(name)
+	if len(hist) > ticketTrace {
+		hist = hist[len(hist)-ticketTrace:]
+	}
+	for _, hev := range hist {
+		ticket.RecentEvents = append(ticket.RecentEvents, hev.String())
+	}
+	finish := func(outcome Outcome) {
+		ticket.Outcome = outcome
+		ticket.RecoveryTime = time.Since(start)
+		cp.tickets.open(ticket)
+	}
+	quarantine := func() *controller.AppFailure {
+		return &controller.AppFailure{App: name, Event: ev, PanicValue: info.panicValue, Stack: []byte(info.stack)}
+	}
+
+	// No-Compromise invariant violations shut the network down (§5).
+	for _, v := range violations {
+		if v.NoCompromise {
+			if cp.opts.OnNetworkShutdown != nil {
+				cp.opts.OnNetworkShutdown(violations)
+			}
+			finish(OutcomeNetworkShutdown)
+			return quarantine()
+		}
+	}
+
+	if policy == NoCompromise {
+		// Availability sacrificed for correctness: let the app stay down.
+		finish(OutcomeAppDown)
+		return quarantine()
+	}
+
+	// A crash storm means the corruption predates the last checkpoint:
+	// escalate to the §5 multi-event pipeline (history minimization +
+	// deeper rollback) before the plain single-event path.
+	if streak := cp.crashStreak(name); streak >= cp.opts.DeepRecoveryThreshold {
+		if err := cp.deepRecover(app, ctx, name, ticket); err == nil {
+			cp.Recoveries.Add(1)
+			cp.IgnoredEvents.Add(1) // the inducing events were excised
+			finish(OutcomeRecovered)
+			return nil
+		} else {
+			ticket.Notes = append(ticket.Notes, fmt.Sprintf("deep recovery unavailable: %v", err))
+		}
+	}
+
+	// Restore the app to its pre-event state: respawn, load checkpoint,
+	// replay the suffix.
+	if err := cp.restoreApp(app, ctx, name); err != nil {
+		cp.Unrecoverable.Add(1)
+		ticket.Notes = append(ticket.Notes, fmt.Sprintf("restore failed: %v", err))
+		finish(OutcomeUnrecoverable)
+		return quarantine()
+	}
+
+	outcome := OutcomeRecovered
+	switch policy {
+	case AbsoluteCompromise:
+		cp.IgnoredEvents.Add(1)
+		ticket.Notes = append(ticket.Notes, "offending event ignored (absolute compromise)")
+	case EquivalenceCompromise:
+		evs := EquivalentEvents(ctx, ev)
+		if len(evs) == 0 {
+			cp.Fallbacks.Add(1)
+			cp.IgnoredEvents.Add(1)
+			outcome = OutcomeFallback
+			ticket.Notes = append(ticket.Notes, "no equivalent events; fell back to ignoring")
+			break
+		}
+		if err := cp.deliverTransformed(app, ctx, evs); err != nil {
+			// The transformed events crashed the app too: restore once
+			// more and fall back to ignoring.
+			cp.Fallbacks.Add(1)
+			cp.IgnoredEvents.Add(1)
+			outcome = OutcomeFallback
+			ticket.Notes = append(ticket.Notes, fmt.Sprintf("equivalent events also failed (%v); fell back to ignoring", err))
+			if err := cp.restoreApp(app, ctx, name); err != nil {
+				cp.Unrecoverable.Add(1)
+				ticket.Notes = append(ticket.Notes, fmt.Sprintf("second restore failed: %v", err))
+				finish(OutcomeUnrecoverable)
+				return quarantine()
+			}
+		} else {
+			cp.TransformedEvents.Add(1)
+			ticket.Notes = append(ticket.Notes,
+				fmt.Sprintf("event transformed into %d equivalent event(s)", len(evs)))
+		}
+	}
+
+	// Re-baseline: fresh checkpoint of the recovered state.
+	cp.rebaseline(app, name, ev.Seq+1)
+	cp.Recoveries.Add(1)
+	finish(outcome)
+	return nil // the controller sees a healthy app
+}
+
+// deliverTransformed runs the equivalence-compromise replacement events
+// through the same transactional machinery.
+func (cp *CrashPad) deliverTransformed(app controller.App, ctx controller.Context, evs []controller.Event) error {
+	for _, tev := range evs {
+		tx := cp.beginAtomic()
+		_, crash := invoke(app, ctx, tev)
+		if crash != nil {
+			cp.rollbackAtomic(tx)
+			return fmt.Errorf("crash on transformed event %v: %s", tev, crash.panicValue)
+		}
+		if cp.opts.Checker != nil {
+			if tx != nil {
+				_ = tx.SyncTouched()
+			}
+			if violations := cp.opts.Checker.Check(); len(violations) > 0 {
+				cp.rollbackAtomic(tx)
+				return fmt.Errorf("transformed event %v violated %d invariant(s)", tev, len(violations))
+			}
+		}
+		cp.commitAtomic(tx)
+	}
+	return nil
+}
+
+// restoreApp brings the app back to its last checkpointed state and
+// replays the events processed since.
+func (cp *CrashPad) restoreApp(app controller.App, ctx controller.Context, name string) error {
+	// Relaunch the failure domain if it is down.
+	if lr, ok := app.(livenessReporter); ok && !lr.StubUp() {
+		r, ok := app.(Restartable)
+		if !ok {
+			return fmt.Errorf("app %q domain is down and not restartable", name)
+		}
+		if err := r.Respawn(); err != nil {
+			return fmt.Errorf("respawn: %w", err)
+		}
+	}
+	// Load the last checkpoint. An app without one (never snapshotted)
+	// restarts fresh — the best available approximation.
+	snap, canSnap := app.(controller.Snapshotter)
+	last := cp.opts.Store.Latest(name)
+	if canSnap && last != nil {
+		if err := snap.Restore(last.State); err != nil {
+			return fmt.Errorf("restore checkpoint: %w", err)
+		}
+	}
+	// Replay the suffix (§5: checkpoint every few events, replay the
+	// rest at recovery).
+	cp.mu.Lock()
+	suffix := append([]controller.Event(nil), cp.replays[name]...)
+	cp.mu.Unlock()
+	for _, rev := range suffix {
+		tx := cp.beginAtomic()
+		_, crash := invoke(app, ctx, rev)
+		if crash != nil {
+			cp.rollbackAtomic(tx)
+			return fmt.Errorf("replay of %v crashed: %s", rev, crash.panicValue)
+		}
+		cp.commitAtomic(tx)
+		cp.ReplayedEvents.Add(1)
+	}
+	return nil
+}
+
+// maybeCheckpoint snapshots the app per the every-N cadence.
+func (cp *CrashPad) maybeCheckpoint(app controller.App, name string, seq uint64) {
+	snap, ok := app.(controller.Snapshotter)
+	if !ok {
+		return
+	}
+	if !cp.everyN.ShouldCheckpoint(name) {
+		return
+	}
+	state, err := snap.Snapshot()
+	if err != nil {
+		return // snapshotting is best-effort; recovery degrades gracefully
+	}
+	cp.opts.Store.Put(name, seq, state)
+	cp.mu.Lock()
+	cp.replays[name] = nil
+	cp.mu.Unlock()
+}
+
+// rebaseline takes an immediate post-recovery checkpoint and restarts
+// the cadence.
+func (cp *CrashPad) rebaseline(app controller.App, name string, seq uint64) {
+	snap, ok := app.(controller.Snapshotter)
+	if !ok {
+		return
+	}
+	state, err := snap.Snapshot()
+	if err != nil {
+		return
+	}
+	cp.opts.Store.Put(name, seq, state)
+	cp.mu.Lock()
+	cp.replays[name] = nil
+	cp.mu.Unlock()
+	cp.everyN.Reset(name)
+}
+
+// --- atomic-update plumbing: NetLog or the delay-buffer prototype ---
+
+func (cp *CrashPad) beginAtomic() *netlog.Txn {
+	if cp.opts.NetLog != nil {
+		tx := cp.opts.NetLog.Begin()
+		cp.opts.NetLog.SetActive(tx)
+		return tx
+	}
+	if cp.opts.DelayBuffer != nil {
+		cp.opts.DelayBuffer.BeginHold()
+	}
+	return nil
+}
+
+func (cp *CrashPad) commitAtomic(tx *netlog.Txn) {
+	if tx != nil {
+		cp.opts.NetLog.SetActive(nil)
+		_ = tx.Commit()
+		return
+	}
+	if cp.opts.DelayBuffer != nil {
+		_ = cp.opts.DelayBuffer.Flush()
+	}
+}
+
+func (cp *CrashPad) rollbackAtomic(tx *netlog.Txn) {
+	if tx != nil {
+		cp.opts.NetLog.SetActive(nil)
+		_ = tx.Abort()
+		return
+	}
+	if cp.opts.DelayBuffer != nil {
+		cp.opts.DelayBuffer.Discard()
+	}
+}
+
+// stackTrace captures the current goroutine's stack for in-process
+// crash evidence.
+func stackTrace() []byte {
+	buf := make([]byte, 16<<10)
+	n := runtimeStack(buf, false)
+	return buf[:n]
+}

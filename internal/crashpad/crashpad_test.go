@@ -1,0 +1,424 @@
+package crashpad
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/openflow"
+)
+
+// recCtx is a Context recording messages, with a scriptable port view.
+type recCtx struct {
+	mu    sync.Mutex
+	sent  []openflow.Message
+	ports map[uint64][]openflow.PhyPort
+}
+
+func (f *recCtx) SendMessage(dpid uint64, msg openflow.Message) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sent = append(f.sent, msg)
+	return nil
+}
+func (f *recCtx) SendFlowMod(d uint64, fm *openflow.FlowMod) error     { return f.SendMessage(d, fm) }
+func (f *recCtx) SendPacketOut(d uint64, po *openflow.PacketOut) error { return f.SendMessage(d, po) }
+func (f *recCtx) RequestStats(uint64, *openflow.StatsRequest) (*openflow.StatsReply, error) {
+	return &openflow.StatsReply{StatsType: openflow.StatsTypeFlow}, nil
+}
+func (f *recCtx) Barrier(uint64) error { return nil }
+func (f *recCtx) Switches() []uint64   { return nil }
+func (f *recCtx) Ports(dpid uint64) []openflow.PhyPort {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ports[dpid]
+}
+func (f *recCtx) Topology() []controller.LinkInfo { return nil }
+
+// ctApp is a checkpointable app with scriptable crash triggers.
+type ctApp struct {
+	name            string
+	crashOnPort     uint16 // PacketIn with this in-port panics
+	crashSwitchDown bool
+	crashPortStatus bool
+
+	count     uint64 // events successfully processed (the checkpointed state)
+	portDowns int    // PortStatus events seen
+}
+
+func (a *ctApp) Name() string                          { return a.name }
+func (a *ctApp) Subscriptions() []controller.EventKind { return controller.AllEventKinds() }
+func (a *ctApp) HandleEvent(ctx controller.Context, ev controller.Event) error {
+	switch ev.Kind {
+	case controller.EventPacketIn:
+		pin := ev.Message.(*openflow.PacketIn)
+		if a.crashOnPort != 0 && pin.InPort == a.crashOnPort {
+			panic("ctApp: crash on poisoned port")
+		}
+	case controller.EventSwitchDown:
+		if a.crashSwitchDown {
+			panic("ctApp: crash on switch down")
+		}
+	case controller.EventPortStatus:
+		if a.crashPortStatus {
+			panic("ctApp: crash on port status")
+		}
+		a.portDowns++
+	}
+	a.count++
+	return nil
+}
+func (a *ctApp) Snapshot() ([]byte, error) {
+	b := make([]byte, 16)
+	binary.BigEndian.PutUint64(b, a.count)
+	binary.BigEndian.PutUint64(b[8:], uint64(a.portDowns))
+	return b, nil
+}
+func (a *ctApp) Restore(state []byte) error {
+	if len(state) != 16 {
+		return errors.New("bad state")
+	}
+	a.count = binary.BigEndian.Uint64(state)
+	a.portDowns = int(binary.BigEndian.Uint64(state[8:]))
+	return nil
+}
+
+func pktIn(seq uint64, port uint16) controller.Event {
+	return controller.Event{Seq: seq, Kind: controller.EventPacketIn, DPID: 1,
+		Message: &openflow.PacketIn{BufferID: openflow.BufferIDNone, InPort: port}}
+}
+
+func TestRecoveryAbsoluteCompromise(t *testing.T) {
+	app := &ctApp{name: "a", crashOnPort: 13}
+	cp := New(Options{})
+	ctx := &recCtx{}
+
+	for seq := uint64(1); seq <= 3; seq++ {
+		if f := cp.RunEvent(app, ctx, pktIn(seq, 1)); f != nil {
+			t.Fatalf("healthy event failed: %v", f)
+		}
+	}
+	if f := cp.RunEvent(app, ctx, pktIn(4, 13)); f != nil {
+		t.Fatalf("absolute compromise should recover, got %v", f)
+	}
+	// State restored to pre-crash: 3 events processed, poisoned one ignored.
+	if app.count != 3 {
+		t.Fatalf("count = %d, want 3", app.count)
+	}
+	if cp.CrashesSeen.Load() != 1 || cp.Recoveries.Load() != 1 || cp.IgnoredEvents.Load() != 1 {
+		t.Fatalf("metrics: crashes=%d recoveries=%d ignored=%d", cp.CrashesSeen.Load(), cp.Recoveries.Load(), cp.IgnoredEvents.Load())
+	}
+	// Life goes on.
+	if f := cp.RunEvent(app, ctx, pktIn(5, 1)); f != nil {
+		t.Fatalf("post-recovery event failed: %v", f)
+	}
+	if app.count != 4 {
+		t.Fatalf("post-recovery count = %d, want 4", app.count)
+	}
+
+	tickets := cp.Tickets()
+	if len(tickets) != 1 {
+		t.Fatalf("tickets = %d", len(tickets))
+	}
+	tk := tickets[0]
+	if tk.Class != FailStop || tk.Outcome != OutcomeRecovered || !tk.HasEvent || tk.Event.Seq != 4 {
+		t.Fatalf("ticket %+v", tk)
+	}
+	if !strings.Contains(tk.PanicValue, "poisoned port") || !strings.Contains(tk.Stack, "goroutine") {
+		t.Fatalf("ticket evidence missing: %q / %d stack bytes", tk.PanicValue, len(tk.Stack))
+	}
+	if !strings.Contains(tk.Render(), "Problem Ticket #1") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestRecoveryNoCompromise(t *testing.T) {
+	app := &ctApp{name: "sec", crashOnPort: 13}
+	ps := NewPolicySet(AbsoluteCompromise)
+	ps.SetAppDefault("sec", NoCompromise)
+	cp := New(Options{Policies: ps})
+	ctx := &recCtx{}
+
+	cp.RunEvent(app, ctx, pktIn(1, 1))
+	f := cp.RunEvent(app, ctx, pktIn(2, 13))
+	if f == nil {
+		t.Fatal("no-compromise must surface the failure")
+	}
+	if f.App != "sec" {
+		t.Fatalf("failure app = %q", f.App)
+	}
+	if cp.Recoveries.Load() != 0 {
+		t.Fatal("no recovery should be counted")
+	}
+	tk := cp.Tickets()[0]
+	if tk.Outcome != OutcomeAppDown || tk.Policy != NoCompromise {
+		t.Fatalf("ticket %+v", tk)
+	}
+}
+
+func TestRecoveryEquivalenceSwitchDown(t *testing.T) {
+	// The app crashes on SWITCH_DOWN but handles the equivalent
+	// link-down PortStatus events fine.
+	app := &ctApp{name: "routing", crashSwitchDown: true}
+	ps := NewPolicySet(EquivalenceCompromise)
+	cp := New(Options{Policies: ps})
+	ctx := &recCtx{ports: map[uint64][]openflow.PhyPort{
+		7: {{PortNo: 1}, {PortNo: 2}, {PortNo: 3}},
+	}}
+
+	cp.RunEvent(app, ctx, pktIn(1, 1))
+	f := cp.RunEvent(app, ctx, controller.Event{Seq: 2, Kind: controller.EventSwitchDown, DPID: 7})
+	if f != nil {
+		t.Fatalf("equivalence should recover: %v", f)
+	}
+	if app.portDowns != 3 {
+		t.Fatalf("transformed events delivered = %d, want 3", app.portDowns)
+	}
+	if cp.TransformedEvents.Load() != 1 {
+		t.Fatalf("TransformedEvents = %d", cp.TransformedEvents.Load())
+	}
+	tk := cp.Tickets()[0]
+	if tk.Outcome != OutcomeRecovered || tk.Policy != EquivalenceCompromise {
+		t.Fatalf("ticket %+v", tk)
+	}
+}
+
+func TestRecoveryEquivalencePortStatusToSwitchDown(t *testing.T) {
+	// Inverse direction: crash on PortStatus, equivalent is SwitchDown.
+	app := &ctApp{name: "routing", crashPortStatus: true}
+	cp := New(Options{Policies: NewPolicySet(EquivalenceCompromise)})
+	ctx := &recCtx{}
+
+	ev := controller.Event{Seq: 1, Kind: controller.EventPortStatus, DPID: 4,
+		Message: &openflow.PortStatus{Reason: openflow.PortReasonModify,
+			Desc: openflow.PhyPort{PortNo: 2, State: openflow.PortStateLinkDown}}}
+	if f := cp.RunEvent(app, ctx, ev); f != nil {
+		t.Fatalf("should recover: %v", f)
+	}
+	// The app handled the synthetic SwitchDown (count incremented once
+	// in the transformed delivery).
+	if app.count != 1 {
+		t.Fatalf("count = %d, want 1", app.count)
+	}
+	if cp.TransformedEvents.Load() != 1 {
+		t.Fatal("transform not counted")
+	}
+}
+
+func TestRecoveryEquivalenceFallback(t *testing.T) {
+	// PacketIn has no equivalent: equivalence falls back to ignoring.
+	app := &ctApp{name: "a", crashOnPort: 13}
+	cp := New(Options{Policies: NewPolicySet(EquivalenceCompromise)})
+	ctx := &recCtx{}
+	if f := cp.RunEvent(app, ctx, pktIn(1, 13)); f != nil {
+		t.Fatalf("fallback should recover: %v", f)
+	}
+	if cp.Fallbacks.Load() != 1 || cp.IgnoredEvents.Load() != 1 {
+		t.Fatalf("fallbacks=%d ignored=%d", cp.Fallbacks.Load(), cp.IgnoredEvents.Load())
+	}
+	if cp.Tickets()[0].Outcome != OutcomeFallback {
+		t.Fatalf("outcome %v", cp.Tickets()[0].Outcome)
+	}
+}
+
+func TestRecoveryEquivalenceBothCrashFallsBack(t *testing.T) {
+	// Crashes on SwitchDown AND on the transformed PortStatus events:
+	// must fall back to ignoring, restoring twice.
+	app := &ctApp{name: "a", crashSwitchDown: true, crashPortStatus: true}
+	cp := New(Options{Policies: NewPolicySet(EquivalenceCompromise)})
+	ctx := &recCtx{ports: map[uint64][]openflow.PhyPort{7: {{PortNo: 1}}}}
+
+	cp.RunEvent(app, ctx, pktIn(1, 1))
+	f := cp.RunEvent(app, ctx, controller.Event{Seq: 2, Kind: controller.EventSwitchDown, DPID: 7})
+	if f != nil {
+		t.Fatalf("should fall back and recover: %v", f)
+	}
+	if app.count != 1 {
+		t.Fatalf("count = %d, want 1 (restored)", app.count)
+	}
+	if cp.Fallbacks.Load() != 1 {
+		t.Fatal("fallback not counted")
+	}
+	tk := cp.Tickets()[0]
+	if tk.Outcome != OutcomeFallback {
+		t.Fatalf("outcome %v", tk.Outcome)
+	}
+}
+
+func TestEveryNCheckpointWithReplay(t *testing.T) {
+	app := &ctApp{name: "a", crashOnPort: 13}
+	cp := New(Options{CheckpointEvery: 4})
+	ctx := &recCtx{}
+
+	// Events 1..6 succeed; checkpoints at seq 1 and 5.
+	for seq := uint64(1); seq <= 6; seq++ {
+		if f := cp.RunEvent(app, ctx, pktIn(seq, 1)); f != nil {
+			t.Fatal(f)
+		}
+	}
+	if cp.Store().Saves != 2 {
+		t.Fatalf("checkpoints = %d, want 2", cp.Store().Saves)
+	}
+	// Crash at 7: restore checkpoint (count=4, before event 5) and
+	// replay events 5,6.
+	if f := cp.RunEvent(app, ctx, pktIn(7, 13)); f != nil {
+		t.Fatal(f)
+	}
+	if app.count != 6 {
+		t.Fatalf("count = %d, want 6 (replayed to pre-crash)", app.count)
+	}
+	if cp.ReplayedEvents.Load() != 2 {
+		t.Fatalf("replayed = %d, want 2", cp.ReplayedEvents.Load())
+	}
+}
+
+func TestByzantineDetectionAndEscalation(t *testing.T) {
+	app := &ctApp{name: "byz"}
+	checker := &scriptedChecker{}
+	var shutdown []Violation
+	cp := New(Options{
+		Checker:           checker,
+		OnNetworkShutdown: func(v []Violation) { shutdown = v },
+	})
+	ctx := &recCtx{}
+
+	// Healthy event, no violations.
+	if f := cp.RunEvent(app, ctx, pktIn(1, 1)); f != nil {
+		t.Fatal(f)
+	}
+	// Violation (compromisable): recovered, event ignored.
+	checker.pending = []Violation{{Desc: "loop between s1 and s2"}}
+	if f := cp.RunEvent(app, ctx, pktIn(2, 1)); f != nil {
+		t.Fatalf("byzantine recovery failed: %v", f)
+	}
+	if cp.ByzantineSeen.Load() != 1 {
+		t.Fatal("byzantine not counted")
+	}
+	tk := cp.Tickets()[0]
+	if tk.Class != Byzantine || len(tk.Violations) != 1 {
+		t.Fatalf("ticket %+v", tk)
+	}
+
+	// No-Compromise violation: network shutdown + quarantine.
+	checker.pending = []Violation{{Desc: "black-hole at s9", NoCompromise: true}}
+	f := cp.RunEvent(app, ctx, pktIn(3, 1))
+	if f == nil {
+		t.Fatal("no-compromise violation must surface")
+	}
+	if len(shutdown) != 1 || shutdown[0].Desc != "black-hole at s9" {
+		t.Fatalf("shutdown hook: %+v", shutdown)
+	}
+	if cp.Tickets()[1].Outcome != OutcomeNetworkShutdown {
+		t.Fatalf("outcome %v", cp.Tickets()[1].Outcome)
+	}
+}
+
+// scriptedChecker returns pending violations once, then nothing (the
+// rollback "fixed" the network).
+type scriptedChecker struct {
+	pending []Violation
+}
+
+func (c *scriptedChecker) Check() []Violation {
+	v := c.pending
+	c.pending = nil
+	return v
+}
+
+func TestHandlerErrorIsNotAFailure(t *testing.T) {
+	app := &funcOnlyApp{err: errors.New("declined")}
+	cp := New(Options{})
+	if f := cp.RunEvent(app, &recCtx{}, pktIn(1, 1)); f != nil {
+		t.Fatalf("handler error treated as failure: %v", f)
+	}
+	if cp.CrashesSeen.Load() != 0 || len(cp.Tickets()) != 0 {
+		t.Fatal("no crash should be recorded")
+	}
+}
+
+// funcOnlyApp returns a fixed handler error and cannot snapshot.
+type funcOnlyApp struct{ err error }
+
+func (a *funcOnlyApp) Name() string                                           { return "plain" }
+func (a *funcOnlyApp) Subscriptions() []controller.EventKind                  { return controller.AllEventKinds() }
+func (a *funcOnlyApp) HandleEvent(controller.Context, controller.Event) error { return a.err }
+
+func TestNonSnapshotterRecoversFresh(t *testing.T) {
+	// An app without Snapshotter still gets absolute-compromise
+	// availability: the event is ignored, processing continues (state
+	// is whatever survived the panic).
+	app := &panicOnceApp{}
+	cp := New(Options{})
+	if f := cp.RunEvent(app, &recCtx{}, pktIn(1, 13)); f != nil {
+		t.Fatalf("should recover: %v", f)
+	}
+	if f := cp.RunEvent(app, &recCtx{}, pktIn(2, 1)); f != nil {
+		t.Fatalf("post-recovery event: %v", f)
+	}
+	if app.handled != 1 {
+		t.Fatalf("handled = %d", app.handled)
+	}
+}
+
+type panicOnceApp struct{ handled int }
+
+func (a *panicOnceApp) Name() string                          { return "nosnap" }
+func (a *panicOnceApp) Subscriptions() []controller.EventKind { return controller.AllEventKinds() }
+func (a *panicOnceApp) HandleEvent(_ controller.Context, ev controller.Event) error {
+	if pin, ok := ev.Message.(*openflow.PacketIn); ok && pin.InPort == 13 {
+		panic("poison")
+	}
+	a.handled++
+	return nil
+}
+
+func TestTransformsUnit(t *testing.T) {
+	ctx := &recCtx{ports: map[uint64][]openflow.PhyPort{5: {{PortNo: 1}, {PortNo: 2}}}}
+	evs := EquivalentEvents(ctx, controller.Event{Kind: controller.EventSwitchDown, DPID: 5})
+	if len(evs) != 2 {
+		t.Fatalf("switch-down transform = %d events", len(evs))
+	}
+	for _, e := range evs {
+		ps := e.Message.(*openflow.PortStatus)
+		if !ps.Desc.LinkDown() {
+			t.Fatal("transformed port status not link-down")
+		}
+	}
+	// Unknown switch: no ports, no transform.
+	if evs := EquivalentEvents(ctx, controller.Event{Kind: controller.EventSwitchDown, DPID: 99}); evs != nil {
+		t.Fatal("transform invented ports")
+	}
+	// Port-up status has no super-set equivalent.
+	up := controller.Event{Kind: controller.EventPortStatus, DPID: 5,
+		Message: &openflow.PortStatus{Reason: openflow.PortReasonModify, Desc: openflow.PhyPort{PortNo: 1}}}
+	if evs := EquivalentEvents(ctx, up); evs != nil {
+		t.Fatal("port-up should not transform")
+	}
+	// PacketIn has no equivalent.
+	if evs := EquivalentEvents(ctx, pktIn(1, 1)); evs != nil {
+		t.Fatal("packet-in should not transform")
+	}
+}
+
+func TestTicketCarriesRecentEvents(t *testing.T) {
+	app := &ctApp{name: "a", crashOnPort: 13}
+	cp := New(Options{})
+	ctx := &recCtx{}
+	for seq := uint64(1); seq <= 4; seq++ {
+		cp.RunEvent(app, ctx, pktIn(seq, 1))
+	}
+	cp.RunEvent(app, ctx, pktIn(5, 13))
+	tk := cp.Tickets()[0]
+	if len(tk.RecentEvents) != 5 {
+		t.Fatalf("recent events = %d, want 5", len(tk.RecentEvents))
+	}
+	if !strings.Contains(tk.RecentEvents[len(tk.RecentEvents)-1], "#5") {
+		t.Fatalf("last recent event should be the offending one: %v", tk.RecentEvents)
+	}
+	if !strings.Contains(tk.Render(), "Recent events") {
+		t.Fatal("render missing recent events section")
+	}
+}

@@ -1,0 +1,230 @@
+// Package crashpad implements LegoSDN's fault-tolerance layer (§3.3 of
+// the paper). Crash-Pad is an AppRunner: it checkpoints an SDN-App
+// before each event (or every Nth event with replay, the §5 extension),
+// wraps the event's network effects in a NetLog transaction, detects
+// fail-stop crashes (via AppVisor) and byzantine failures (via invariant
+// checkers), and recovers by rolling the network back, restoring the
+// app's last checkpoint and overcoming the offending event under an
+// operator-specified availability/correctness policy: ignore it
+// (Absolute Compromise), transform it into equivalent events
+// (Equivalence Compromise), or let the app stay down (No Compromise).
+// Every recovery produces a problem ticket with the stack trace,
+// offending event and recovery outcome, for bug triage.
+package crashpad
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+	"sync"
+
+	"legosdn/internal/controller"
+)
+
+// Compromise selects how much correctness to trade for availability
+// when a crash-triggering event must be overcome (§3.3).
+type Compromise int
+
+// The paper's three basic policies.
+const (
+	// NoCompromise lets the SDN-App stay down: correctness over
+	// availability.
+	NoCompromise Compromise = iota
+	// AbsoluteCompromise ignores the offending event, making the app
+	// failure-oblivious.
+	AbsoluteCompromise
+	// EquivalenceCompromise transforms the event into equivalent ones
+	// (switch-down <-> link-downs), exploiting domain knowledge that
+	// some events are super- or sub-sets of others.
+	EquivalenceCompromise
+)
+
+func (c Compromise) String() string {
+	switch c {
+	case NoCompromise:
+		return "no"
+	case AbsoluteCompromise:
+		return "absolute"
+	case EquivalenceCompromise:
+		return "equivalence"
+	default:
+		return fmt.Sprintf("compromise(%d)", int(c))
+	}
+}
+
+// ParseCompromise reads a policy keyword.
+func ParseCompromise(s string) (Compromise, error) {
+	switch strings.ToLower(s) {
+	case "no", "none", "no-compromise":
+		return NoCompromise, nil
+	case "absolute", "ignore":
+		return AbsoluteCompromise, nil
+	case "equivalence", "equivalent", "transform":
+		return EquivalenceCompromise, nil
+	default:
+		return NoCompromise, fmt.Errorf("crashpad: unknown compromise policy %q", s)
+	}
+}
+
+// PolicySet maps (app, event kind) to a compromise decision, with
+// app-level and global defaults. The zero value applies
+// AbsoluteCompromise everywhere (maximum availability).
+type PolicySet struct {
+	mu          sync.Mutex
+	global      Compromise
+	globalSet   bool
+	appDefaults map[string]Compromise
+	rules       map[string]map[controller.EventKind]Compromise
+}
+
+// NewPolicySet creates a policy set with the given global default.
+func NewPolicySet(global Compromise) *PolicySet {
+	return &PolicySet{
+		global:      global,
+		globalSet:   true,
+		appDefaults: make(map[string]Compromise),
+		rules:       make(map[string]map[controller.EventKind]Compromise),
+	}
+}
+
+func (p *PolicySet) init() {
+	if p.appDefaults == nil {
+		p.appDefaults = make(map[string]Compromise)
+	}
+	if p.rules == nil {
+		p.rules = make(map[string]map[controller.EventKind]Compromise)
+	}
+}
+
+// SetDefault sets the global default policy.
+func (p *PolicySet) SetDefault(c Compromise) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.init()
+	p.global, p.globalSet = c, true
+}
+
+// SetAppDefault sets an app-level default.
+func (p *PolicySet) SetAppDefault(app string, c Compromise) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.init()
+	p.appDefaults[app] = c
+}
+
+// SetRule sets the policy for one (app, event kind) pair.
+func (p *PolicySet) SetRule(app string, kind controller.EventKind, c Compromise) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.init()
+	m := p.rules[app]
+	if m == nil {
+		m = make(map[controller.EventKind]Compromise)
+		p.rules[app] = m
+	}
+	m[kind] = c
+}
+
+// For resolves the policy for app and kind: exact rule, then app
+// default, then global default, then AbsoluteCompromise.
+func (p *PolicySet) For(app string, kind controller.EventKind) Compromise {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m, ok := p.rules[app]; ok {
+		if c, ok := m[kind]; ok {
+			return c
+		}
+	}
+	if c, ok := p.appDefaults[app]; ok {
+		return c
+	}
+	if p.globalSet {
+		return p.global
+	}
+	return AbsoluteCompromise
+}
+
+var kindByName = map[string]controller.EventKind{
+	"PACKET_IN":    controller.EventPacketIn,
+	"FLOW_REMOVED": controller.EventFlowRemoved,
+	"PORT_STATUS":  controller.EventPortStatus,
+	"SWITCH_UP":    controller.EventSwitchUp,
+	"SWITCH_DOWN":  controller.EventSwitchDown,
+	"ERROR":        controller.EventErrorMsg,
+}
+
+// ParsePolicies reads the operator policy language (§3.3): one
+// directive per line, '#' comments.
+//
+//	default <policy>
+//	app <name> default <policy>
+//	app <name> on <EVENT_KIND> <policy>
+//
+// where <policy> is "no", "absolute" or "equivalence". Example:
+//
+//	# security apps must never compromise correctness
+//	default equivalence
+//	app firewall default no
+//	app routing on PACKET_IN absolute
+func ParsePolicies(text string) (*PolicySet, error) {
+	ps := NewPolicySet(AbsoluteCompromise)
+	ps.globalSet = false
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(msg string) error {
+			return fmt.Errorf("crashpad: policy line %d: %s", lineNo, msg)
+		}
+		switch fields[0] {
+		case "default":
+			if len(fields) != 2 {
+				return nil, fail("want: default <policy>")
+			}
+			c, err := ParseCompromise(fields[1])
+			if err != nil {
+				return nil, fail(err.Error())
+			}
+			ps.SetDefault(c)
+		case "app":
+			if len(fields) < 4 {
+				return nil, fail("want: app <name> default <policy> | app <name> on <KIND> <policy>")
+			}
+			name := fields[1]
+			switch fields[2] {
+			case "default":
+				c, err := ParseCompromise(fields[3])
+				if err != nil {
+					return nil, fail(err.Error())
+				}
+				ps.SetAppDefault(name, c)
+			case "on":
+				if len(fields) != 5 {
+					return nil, fail("want: app <name> on <KIND> <policy>")
+				}
+				kind, ok := kindByName[strings.ToUpper(fields[3])]
+				if !ok {
+					return nil, fail(fmt.Sprintf("unknown event kind %q", fields[3]))
+				}
+				c, err := ParseCompromise(fields[4])
+				if err != nil {
+					return nil, fail(err.Error())
+				}
+				ps.SetRule(name, kind, c)
+			default:
+				return nil, fail(fmt.Sprintf("unknown app directive %q", fields[2]))
+			}
+		default:
+			return nil, fail(fmt.Sprintf("unknown directive %q", fields[0]))
+		}
+	}
+	return ps, sc.Err()
+}

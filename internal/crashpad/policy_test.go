@@ -1,0 +1,99 @@
+package crashpad
+
+import (
+	"strings"
+	"testing"
+
+	"legosdn/internal/controller"
+)
+
+func TestParseCompromise(t *testing.T) {
+	cases := map[string]Compromise{
+		"no": NoCompromise, "none": NoCompromise, "no-compromise": NoCompromise,
+		"absolute": AbsoluteCompromise, "ignore": AbsoluteCompromise,
+		"equivalence": EquivalenceCompromise, "transform": EquivalenceCompromise,
+		"EQUIVALENCE": EquivalenceCompromise,
+	}
+	for in, want := range cases {
+		got, err := ParseCompromise(in)
+		if err != nil || got != want {
+			t.Errorf("ParseCompromise(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseCompromise("yolo"); err == nil {
+		t.Error("unknown keyword should fail")
+	}
+}
+
+func TestPolicySetPrecedence(t *testing.T) {
+	ps := NewPolicySet(AbsoluteCompromise)
+	ps.SetAppDefault("firewall", NoCompromise)
+	ps.SetRule("firewall", controller.EventPacketIn, EquivalenceCompromise)
+
+	if got := ps.For("firewall", controller.EventPacketIn); got != EquivalenceCompromise {
+		t.Errorf("exact rule: %v", got)
+	}
+	if got := ps.For("firewall", controller.EventSwitchDown); got != NoCompromise {
+		t.Errorf("app default: %v", got)
+	}
+	if got := ps.For("routing", controller.EventPacketIn); got != AbsoluteCompromise {
+		t.Errorf("global default: %v", got)
+	}
+	// Zero value resolves to AbsoluteCompromise.
+	var zero PolicySet
+	if got := zero.For("anything", controller.EventPacketIn); got != AbsoluteCompromise {
+		t.Errorf("zero value: %v", got)
+	}
+}
+
+func TestParsePolicies(t *testing.T) {
+	text := `
+# operator policy
+default equivalence
+app firewall default no
+app routing on PACKET_IN absolute
+app routing on SWITCH_DOWN equivalence
+`
+	ps, err := ParsePolicies(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ps.For("firewall", controller.EventPortStatus); got != NoCompromise {
+		t.Errorf("firewall default = %v", got)
+	}
+	if got := ps.For("routing", controller.EventPacketIn); got != AbsoluteCompromise {
+		t.Errorf("routing packet_in = %v", got)
+	}
+	if got := ps.For("routing", controller.EventSwitchDown); got != EquivalenceCompromise {
+		t.Errorf("routing switch_down = %v", got)
+	}
+	if got := ps.For("other", controller.EventPacketIn); got != EquivalenceCompromise {
+		t.Errorf("global = %v", got)
+	}
+}
+
+func TestParsePoliciesErrors(t *testing.T) {
+	bad := []string{
+		"default",                           // missing policy
+		"default maybe",                     // bad keyword
+		"app x default",                     // short
+		"app x on WEIRD_KIND absolute",      // bad kind
+		"app x flarb no",                    // bad directive
+		"banana split",                      // unknown directive
+		"app x on PACKET_IN absolute extra", // trailing token
+	}
+	for _, text := range bad {
+		if _, err := ParsePolicies(text); err == nil {
+			t.Errorf("ParsePolicies(%q) should fail", text)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("error should cite line: %v", err)
+		}
+	}
+}
+
+func TestCompromiseString(t *testing.T) {
+	if NoCompromise.String() != "no" || AbsoluteCompromise.String() != "absolute" ||
+		EquivalenceCompromise.String() != "equivalence" {
+		t.Error("string forms changed")
+	}
+}

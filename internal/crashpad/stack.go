@@ -1,0 +1,6 @@
+package crashpad
+
+import "runtime"
+
+// runtimeStack is indirected for clarity at the call site.
+func runtimeStack(buf []byte, all bool) int { return runtime.Stack(buf, all) }

@@ -1,0 +1,138 @@
+package crashpad
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"legosdn/internal/controller"
+)
+
+// FailureClass distinguishes the two §3.3 failure categories.
+type FailureClass int
+
+// Failure classes.
+const (
+	FailStop  FailureClass = iota // the app crashed
+	Byzantine                     // the app's output violated a network invariant
+)
+
+func (c FailureClass) String() string {
+	if c == Byzantine {
+		return "byzantine"
+	}
+	return "fail-stop"
+}
+
+// Outcome records how a recovery ended.
+type Outcome int
+
+// Recovery outcomes.
+const (
+	OutcomeRecovered       Outcome = iota // app live again, event overcome
+	OutcomeAppDown                        // NoCompromise: app left quarantined
+	OutcomeFallback                       // equivalence failed; event ignored instead
+	OutcomeUnrecoverable                  // restart/restore machinery itself failed
+	OutcomeNetworkShutdown                // a No-Compromise invariant forced shutdown
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeRecovered:
+		return "recovered"
+	case OutcomeAppDown:
+		return "app-down"
+	case OutcomeFallback:
+		return "fallback-ignored"
+	case OutcomeUnrecoverable:
+		return "unrecoverable"
+	case OutcomeNetworkShutdown:
+		return "network-shutdown"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Ticket is the problem ticket §3.3 promises operators: everything a
+// developer needs to triage the bug that Crash-Pad just survived.
+type Ticket struct {
+	ID         int
+	App        string
+	Class      FailureClass
+	Opened     time.Time
+	Event      controller.Event // the (likely) failure-inducing event
+	HasEvent   bool
+	PanicValue string
+	Stack      string
+	Violations []string // byzantine: the violated invariants
+	Policy     Compromise
+	Outcome    Outcome
+	Notes      []string
+	// RecentEvents is the tail of the app's event history before the
+	// failure — the trace a developer replays to reproduce the bug.
+	RecentEvents []string
+	// RecoveryTime is how long detection-to-recovery took.
+	RecoveryTime time.Duration
+}
+
+// Render formats the ticket as operator-readable text.
+func (t *Ticket) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Problem Ticket #%d ==\n", t.ID)
+	fmt.Fprintf(&b, "App:        %s\n", t.App)
+	fmt.Fprintf(&b, "Class:      %v\n", t.Class)
+	fmt.Fprintf(&b, "Opened:     %s\n", t.Opened.Format(time.RFC3339))
+	if t.HasEvent {
+		fmt.Fprintf(&b, "Event:      %v\n", t.Event)
+	}
+	fmt.Fprintf(&b, "Policy:     %v\n", t.Policy)
+	fmt.Fprintf(&b, "Outcome:    %v (recovery took %v)\n", t.Outcome, t.RecoveryTime)
+	if t.PanicValue != "" {
+		fmt.Fprintf(&b, "Panic:      %s\n", t.PanicValue)
+	}
+	for _, v := range t.Violations {
+		fmt.Fprintf(&b, "Violation:  %s\n", v)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "Note:       %s\n", n)
+	}
+	if len(t.RecentEvents) > 0 {
+		fmt.Fprintf(&b, "Recent events (oldest first):\n")
+		for _, e := range t.RecentEvents {
+			fmt.Fprintf(&b, "  %s\n", e)
+		}
+	}
+	if t.Stack != "" {
+		fmt.Fprintf(&b, "Stack trace:\n%s\n", t.Stack)
+	}
+	return b.String()
+}
+
+// ticketLog accumulates tickets thread-safely.
+type ticketLog struct {
+	mu      sync.Mutex
+	tickets []*Ticket
+	nextID  int
+	onOpen  func(*Ticket)
+}
+
+func (l *ticketLog) open(t *Ticket) *Ticket {
+	l.mu.Lock()
+	l.nextID++
+	t.ID = l.nextID
+	t.Opened = time.Now()
+	l.tickets = append(l.tickets, t)
+	cb := l.onOpen
+	l.mu.Unlock()
+	if cb != nil {
+		cb(t)
+	}
+	return t
+}
+
+func (l *ticketLog) all() []*Ticket {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Ticket(nil), l.tickets...)
+}

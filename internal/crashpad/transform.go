@@ -1,0 +1,69 @@
+package crashpad
+
+import (
+	"legosdn/internal/controller"
+	"legosdn/internal/openflow"
+)
+
+// EquivalentEvents computes the paper's equivalence transform for an
+// offending event (§3.3): a switch-down decomposes into a series of
+// link-down PortStatus events ("certain events are super-sets of other
+// events"), and a link-down PortStatus aggregates into a switch-down
+// ("and vice versa"). Events with no usable equivalent return nil, and
+// the caller falls back to a harder compromise.
+func EquivalentEvents(ctx controller.Context, ev controller.Event) []controller.Event {
+	switch ev.Kind {
+	case controller.EventSwitchDown:
+		return switchDownToLinkDowns(ctx, ev)
+	case controller.EventPortStatus:
+		return portStatusToSwitchDown(ev)
+	default:
+		return nil
+	}
+}
+
+// switchDownToLinkDowns synthesizes one link-down PortStatus per known
+// port of the failed switch. The port set comes from the controller's
+// last-known view (retained past disconnection).
+func switchDownToLinkDowns(ctx controller.Context, ev controller.Event) []controller.Event {
+	if ctx == nil {
+		return nil
+	}
+	ports := ctx.Ports(ev.DPID)
+	if len(ports) == 0 {
+		return nil
+	}
+	out := make([]controller.Event, 0, len(ports))
+	for _, p := range ports {
+		desc := p
+		desc.State |= openflow.PortStateLinkDown
+		out = append(out, controller.Event{
+			Kind: controller.EventPortStatus,
+			DPID: ev.DPID,
+			Message: &openflow.PortStatus{
+				Reason: openflow.PortReasonModify,
+				Desc:   desc,
+			},
+		})
+	}
+	return out
+}
+
+// portStatusToSwitchDown turns a link-down notification into the
+// super-set event: the whole switch is treated as failed. Non-down port
+// changes have no super-set equivalent.
+func portStatusToSwitchDown(ev controller.Event) []controller.Event {
+	ps, ok := ev.Message.(*openflow.PortStatus)
+	if !ok {
+		return nil
+	}
+	down := ps.Reason == openflow.PortReasonDelete || ps.Desc.LinkDown() ||
+		ps.Desc.Config&openflow.PortConfigDown != 0
+	if !down {
+		return nil
+	}
+	return []controller.Event{{
+		Kind: controller.EventSwitchDown,
+		DPID: ev.DPID,
+	}}
+}

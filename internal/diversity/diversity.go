@@ -1,0 +1,292 @@
+// Package diversity implements the software-and-data-diversity use case
+// from §3.4 of the LegoSDN paper and the clone-switchover technique for
+// non-deterministic bugs from §5.
+//
+// Voter runs N independently implemented versions of one SDN-App on
+// every event, compares their outputs (the OpenFlow messages they
+// emit), forwards the majority's output to the network and flags
+// dissenting versions. HotStandby feeds a primary and a clone the same
+// events but only lets the primary's outputs through; when the primary
+// crashes, the clone — warm, with identical state — is promoted
+// in place, masking even bugs that a restore-and-replay would re-trigger.
+package diversity
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/openflow"
+)
+
+// capturedMsg is one output message with its destination.
+type capturedMsg struct {
+	dpid uint64
+	raw  string // canonical wire encoding
+	msg  openflow.Message
+}
+
+// captureContext records an app's outputs instead of sending them,
+// while delegating reads to the real context.
+type captureContext struct {
+	real controller.Context
+
+	mu   sync.Mutex
+	msgs []capturedMsg
+}
+
+func (c *captureContext) SendMessage(dpid uint64, msg openflow.Message) error {
+	b, err := openflow.Encode(msg)
+	if err != nil {
+		return err
+	}
+	// Zero the xid bytes: versions allocate xids independently and the
+	// vote must compare semantic content.
+	if len(b) >= 8 {
+		b[4], b[5], b[6], b[7] = 0, 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs = append(c.msgs, capturedMsg{dpid: dpid, raw: string(b), msg: msg})
+	return nil
+}
+
+func (c *captureContext) SendFlowMod(d uint64, fm *openflow.FlowMod) error {
+	return c.SendMessage(d, fm)
+}
+func (c *captureContext) SendPacketOut(d uint64, po *openflow.PacketOut) error {
+	return c.SendMessage(d, po)
+}
+func (c *captureContext) RequestStats(d uint64, r *openflow.StatsRequest) (*openflow.StatsReply, error) {
+	if c.real == nil {
+		return &openflow.StatsReply{}, nil
+	}
+	return c.real.RequestStats(d, r)
+}
+func (c *captureContext) Barrier(d uint64) error {
+	if c.real == nil {
+		return nil
+	}
+	return c.real.Barrier(d)
+}
+func (c *captureContext) Switches() []uint64 {
+	if c.real == nil {
+		return nil
+	}
+	return c.real.Switches()
+}
+func (c *captureContext) Ports(d uint64) []openflow.PhyPort {
+	if c.real == nil {
+		return nil
+	}
+	return c.real.Ports(d)
+}
+func (c *captureContext) Topology() []controller.LinkInfo {
+	if c.real == nil {
+		return nil
+	}
+	return c.real.Topology()
+}
+
+// fingerprint canonicalizes an output set: sorted multiset of
+// (dpid, message bytes).
+func (c *captureContext) fingerprint() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, len(c.msgs))
+	for i, m := range c.msgs {
+		keys[i] = fmt.Sprintf("%d|%s", m.dpid, m.raw)
+	}
+	sort.Strings(keys)
+	var out string
+	for _, k := range keys {
+		out += k + "\x00"
+	}
+	return out
+}
+
+// Voter runs multiple versions of one app and forwards the majority
+// output (§3.4: "the correct output for any given input can be chosen
+// using a majority vote").
+type Voter struct {
+	name     string
+	versions []controller.App
+
+	// Disagreements counts events where at least one version dissented.
+	Disagreements uint64
+	// Masked counts events where a minority's wrong output was outvoted.
+	Masked uint64
+	// NoQuorum counts events with no majority; the first version's
+	// output is used as a deterministic tiebreak.
+	NoQuorum uint64
+	// crashed marks versions that have panicked and are excluded.
+	crashed []bool
+}
+
+// NewVoter bundles the versions under one app name.
+func NewVoter(name string, versions ...controller.App) *Voter {
+	return &Voter{name: name, versions: versions, crashed: make([]bool, len(versions))}
+}
+
+// Name implements controller.App.
+func (v *Voter) Name() string { return v.name }
+
+// Subscriptions implements controller.App: the union of all versions'
+// subscriptions.
+func (v *Voter) Subscriptions() []controller.EventKind {
+	seen := map[controller.EventKind]bool{}
+	var out []controller.EventKind
+	for _, ver := range v.versions {
+		for _, k := range ver.Subscriptions() {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// LiveVersions reports how many versions are still participating.
+func (v *Voter) LiveVersions() int {
+	n := 0
+	for _, c := range v.crashed {
+		if !c {
+			n++
+		}
+	}
+	return n
+}
+
+// HandleEvent implements controller.App: every live version processes
+// the event against a capture context; the majority fingerprint's
+// output is replayed onto the real context.
+func (v *Voter) HandleEvent(ctx controller.Context, ev controller.Event) error {
+	type result struct {
+		idx int
+		cap *captureContext
+	}
+	var results []result
+	for i, ver := range v.versions {
+		if v.crashed[i] {
+			continue
+		}
+		cap := &captureContext{real: ctx}
+		crashed := runContained(ver, cap, ev)
+		if crashed {
+			// A crashing version is a dissent: exclude it from now on.
+			v.crashed[i] = true
+			continue
+		}
+		results = append(results, result{idx: i, cap: cap})
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("diversity: all versions of %q failed", v.name)
+	}
+
+	// Tally fingerprints.
+	votes := make(map[string][]result)
+	for _, r := range results {
+		fp := r.cap.fingerprint()
+		votes[fp] = append(votes[fp], r)
+	}
+	// Pick the winner: most votes, ties broken by lowest version index
+	// for determinism.
+	var winnerFP string
+	winnerCount, winnerIdx := -1, -1
+	for fp, rs := range votes {
+		if len(rs) > winnerCount || (len(rs) == winnerCount && rs[0].idx < winnerIdx) {
+			winnerFP, winnerCount, winnerIdx = fp, len(rs), rs[0].idx
+		}
+	}
+	if len(votes) > 1 {
+		v.Disagreements++
+		if winnerCount > len(results)/2 {
+			v.Masked++
+		} else {
+			v.NoQuorum++
+		}
+	}
+	// Forward the winner's output in original order.
+	winner := votes[winnerFP][0]
+	winner.cap.mu.Lock()
+	msgs := append([]capturedMsg(nil), winner.cap.msgs...)
+	winner.cap.mu.Unlock()
+	for _, m := range msgs {
+		if err := ctx.SendMessage(m.dpid, m.msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runContained executes one app with panic containment.
+func runContained(app controller.App, ctx controller.Context, ev controller.Event) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			crashed = true
+		}
+	}()
+	_ = app.HandleEvent(ctx, ev)
+	return false
+}
+
+// HotStandby implements §5's clone strategy for non-deterministic bugs:
+// the clone processes every event with its outputs discarded, so when
+// the primary dies the clone takes over with warm, identical state.
+// Because the bug is non-deterministic, the clone is unlikely to have
+// tripped it.
+type HotStandby struct {
+	name    string
+	primary controller.App
+	clone   controller.App
+
+	primaryDown bool
+	// Switchovers counts promotions.
+	Switchovers uint64
+}
+
+// NewHotStandby pairs a primary with its clone.
+func NewHotStandby(name string, primary, clone controller.App) *HotStandby {
+	return &HotStandby{name: name, primary: primary, clone: clone}
+}
+
+// Name implements controller.App.
+func (h *HotStandby) Name() string { return h.name }
+
+// Subscriptions implements controller.App.
+func (h *HotStandby) Subscriptions() []controller.EventKind { return h.primary.Subscriptions() }
+
+// UsingClone reports whether the clone has been promoted.
+func (h *HotStandby) UsingClone() bool { return h.primaryDown }
+
+// HandleEvent implements controller.App.
+func (h *HotStandby) HandleEvent(ctx controller.Context, ev controller.Event) error {
+	if h.primaryDown {
+		// Post-switchover: the clone is the app.
+		if crashed := runContained(h.clone, ctx, ev); crashed {
+			return fmt.Errorf("diversity: clone of %q crashed too", h.name)
+		}
+		return nil
+	}
+	// Primary output flows to the network; clone processes in the
+	// shadow (outputs discarded) to stay state-synchronized.
+	primaryCrashed := runContained(h.primary, ctx, ev)
+	cloneCrashed := runContained(h.clone, &captureContext{real: ctx}, ev)
+
+	if primaryCrashed {
+		h.primaryDown = true
+		h.Switchovers++
+		if cloneCrashed {
+			return fmt.Errorf("diversity: primary and clone of %q both crashed", h.name)
+		}
+		// The event that killed the primary was already processed by
+		// the clone in the shadow, but its outputs were discarded.
+		// Re-run it live so the network sees the clone's response.
+		if crashed := runContained(h.clone, ctx, ev); crashed {
+			return fmt.Errorf("diversity: clone of %q crashed on promotion", h.name)
+		}
+	}
+	return nil
+}

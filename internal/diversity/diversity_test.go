@@ -1,0 +1,233 @@
+package diversity
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/openflow"
+)
+
+// sink records messages reaching the "network".
+type sink struct {
+	mu   sync.Mutex
+	sent []openflow.Message
+}
+
+func (c *sink) SendMessage(dpid uint64, msg openflow.Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sent = append(c.sent, msg)
+	return nil
+}
+func (c *sink) SendFlowMod(d uint64, m *openflow.FlowMod) error     { return c.SendMessage(d, m) }
+func (c *sink) SendPacketOut(d uint64, m *openflow.PacketOut) error { return c.SendMessage(d, m) }
+func (c *sink) RequestStats(uint64, *openflow.StatsRequest) (*openflow.StatsReply, error) {
+	return nil, nil
+}
+func (c *sink) Barrier(uint64) error            { return nil }
+func (c *sink) Switches() []uint64              { return []uint64{1} }
+func (c *sink) Ports(uint64) []openflow.PhyPort { return nil }
+func (c *sink) Topology() []controller.LinkInfo { return nil }
+func (c *sink) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sent)
+}
+
+// portApp outputs a FlowMod to a fixed port on every PacketIn; a
+// "buggy" variant outputs to a wrong port or panics.
+type portApp struct {
+	name  string
+	port  uint16
+	panik bool
+}
+
+func (a *portApp) Name() string                          { return a.name }
+func (a *portApp) Subscriptions() []controller.EventKind { return controller.AllEventKinds() }
+func (a *portApp) HandleEvent(ctx controller.Context, ev controller.Event) error {
+	if a.panik {
+		panic("version bug")
+	}
+	return ctx.SendFlowMod(ev.DPID, &openflow.FlowMod{
+		Match: openflow.MatchAll(), Command: openflow.FlowModAdd, Priority: 5,
+		BufferID: openflow.BufferIDNone, OutPort: openflow.PortNone,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: a.port}},
+	})
+}
+
+func pktIn(seq uint64) controller.Event {
+	return controller.Event{Seq: seq, Kind: controller.EventPacketIn, DPID: 1,
+		Message: &openflow.PacketIn{BufferID: openflow.BufferIDNone}}
+}
+
+func TestVoterAgreement(t *testing.T) {
+	v := NewVoter("ls", &portApp{name: "v1", port: 2}, &portApp{name: "v2", port: 2}, &portApp{name: "v3", port: 2})
+	ctx := &sink{}
+	if err := v.HandleEvent(ctx, pktIn(1)); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.count() != 1 {
+		t.Fatalf("forwarded %d messages, want 1", ctx.count())
+	}
+	if v.Disagreements != 0 {
+		t.Fatal("unanimous vote counted as disagreement")
+	}
+}
+
+func TestVoterMasksWrongOutput(t *testing.T) {
+	v := NewVoter("ls",
+		&portApp{name: "v1", port: 2},
+		&portApp{name: "v2", port: 9}, // buggy version: wrong port
+		&portApp{name: "v3", port: 2})
+	ctx := &sink{}
+	if err := v.HandleEvent(ctx, pktIn(1)); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.count() != 1 {
+		t.Fatalf("forwarded %d", ctx.count())
+	}
+	fm := ctx.sent[0].(*openflow.FlowMod)
+	if fm.Actions[0].(*openflow.ActionOutput).Port != 2 {
+		t.Fatalf("minority output won: port %d", fm.Actions[0].(*openflow.ActionOutput).Port)
+	}
+	if v.Disagreements != 1 || v.Masked != 1 {
+		t.Fatalf("disagreements=%d masked=%d", v.Disagreements, v.Masked)
+	}
+}
+
+func TestVoterMasksCrashingVersion(t *testing.T) {
+	v := NewVoter("ls",
+		&portApp{name: "v1", port: 2},
+		&portApp{name: "v2", panik: true},
+		&portApp{name: "v3", port: 2})
+	ctx := &sink{}
+	if err := v.HandleEvent(ctx, pktIn(1)); err != nil {
+		t.Fatal(err)
+	}
+	if v.LiveVersions() != 2 {
+		t.Fatalf("live = %d, want 2", v.LiveVersions())
+	}
+	// Voting continues with survivors.
+	if err := v.HandleEvent(ctx, pktIn(2)); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.count() != 2 {
+		t.Fatalf("forwarded %d", ctx.count())
+	}
+}
+
+func TestVoterAllVersionsDead(t *testing.T) {
+	v := NewVoter("ls", &portApp{name: "v1", panik: true}, &portApp{name: "v2", panik: true})
+	err := v.HandleEvent(&sink{}, pktIn(1))
+	if err == nil || !strings.Contains(err.Error(), "all versions") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVoterNoQuorumTiebreak(t *testing.T) {
+	v := NewVoter("ls", &portApp{name: "v1", port: 2}, &portApp{name: "v2", port: 9})
+	ctx := &sink{}
+	if err := v.HandleEvent(ctx, pktIn(1)); err != nil {
+		t.Fatal(err)
+	}
+	if v.NoQuorum != 1 {
+		t.Fatalf("noquorum = %d", v.NoQuorum)
+	}
+	// Deterministic tiebreak: lowest version index wins.
+	fm := ctx.sent[0].(*openflow.FlowMod)
+	if fm.Actions[0].(*openflow.ActionOutput).Port != 2 {
+		t.Fatal("tiebreak not deterministic")
+	}
+}
+
+func TestVoterSubscriptionsUnion(t *testing.T) {
+	a := &subsApp{kinds: []controller.EventKind{controller.EventPacketIn}}
+	b := &subsApp{kinds: []controller.EventKind{controller.EventPacketIn, controller.EventSwitchDown}}
+	v := NewVoter("u", a, b)
+	subs := v.Subscriptions()
+	if len(subs) != 2 {
+		t.Fatalf("subs = %v", subs)
+	}
+}
+
+type subsApp struct{ kinds []controller.EventKind }
+
+func (a *subsApp) Name() string                                           { return "subs" }
+func (a *subsApp) Subscriptions() []controller.EventKind                  { return a.kinds }
+func (a *subsApp) HandleEvent(controller.Context, controller.Event) error { return nil }
+
+// flakyApp crashes on a specific event seq the first time only —
+// a non-deterministic bug in the §5 sense (state-dependent).
+type flakyApp struct {
+	name    string
+	port    uint16
+	crashAt uint64
+	crashed bool
+	seen    int
+}
+
+func (a *flakyApp) Name() string                          { return a.name }
+func (a *flakyApp) Subscriptions() []controller.EventKind { return controller.AllEventKinds() }
+func (a *flakyApp) HandleEvent(ctx controller.Context, ev controller.Event) error {
+	if ev.Seq == a.crashAt && !a.crashed {
+		a.crashed = true
+		panic("transient bug")
+	}
+	a.seen++
+	return ctx.SendFlowMod(ev.DPID, &openflow.FlowMod{
+		Match: openflow.MatchAll(), Command: openflow.FlowModAdd, Priority: uint16(a.seen),
+		BufferID: openflow.BufferIDNone, OutPort: openflow.PortNone,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: a.port}},
+	})
+}
+
+func TestHotStandbySwitchover(t *testing.T) {
+	primary := &flakyApp{name: "p", port: 2, crashAt: 3}
+	clone := &flakyApp{name: "c", port: 2, crashAt: 0} // clone never crashes
+	hs := NewHotStandby("ls", primary, clone)
+	ctx := &sink{}
+
+	// Events 1-2: primary serves, clone shadows.
+	hs.HandleEvent(ctx, pktIn(1))
+	hs.HandleEvent(ctx, pktIn(2))
+	if ctx.count() != 2 || hs.UsingClone() {
+		t.Fatalf("count=%d clone=%v", ctx.count(), hs.UsingClone())
+	}
+	if clone.seen != 2 {
+		t.Fatalf("clone shadow-processed %d events", clone.seen)
+	}
+
+	// Event 3 kills the primary; the clone takes over and serves it.
+	if err := hs.HandleEvent(ctx, pktIn(3)); err != nil {
+		t.Fatal(err)
+	}
+	if !hs.UsingClone() || hs.Switchovers != 1 {
+		t.Fatalf("clone=%v switchovers=%d", hs.UsingClone(), hs.Switchovers)
+	}
+	// The clone's live replay of event 3 reached the network.
+	if ctx.count() != 3 {
+		t.Fatalf("count = %d, want 3", ctx.count())
+	}
+
+	// Post-switchover events flow through the clone.
+	if err := hs.HandleEvent(ctx, pktIn(4)); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.count() != 4 {
+		t.Fatalf("count = %d", ctx.count())
+	}
+}
+
+func TestHotStandbyBothCrash(t *testing.T) {
+	primary := &flakyApp{name: "p", crashAt: 1}
+	clone := &flakyApp{name: "c", crashAt: 1}
+	hs := NewHotStandby("ls", primary, clone)
+	// The clone shadow-crashes on the same event (deterministic bug):
+	// switchover cannot mask it.
+	err := hs.HandleEvent(&sink{}, pktIn(1))
+	if err == nil || !strings.Contains(err.Error(), "both crashed") {
+		t.Fatalf("err = %v", err)
+	}
+}

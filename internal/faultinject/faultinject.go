@@ -1,0 +1,216 @@
+// Package faultinject supplies the bug population the LegoSDN
+// evaluation needs. The paper motivates with the FlowScale bug tracker,
+// where 16% of reported bugs were catastrophic (§2.1); since that
+// tracker is long gone, this package synthesizes a deterministic bug
+// corpus with a configurable catastrophic fraction and wraps real
+// SDN-Apps so the bugs fire on reproducible triggers. Both
+// deterministic bugs (the paper's main assumption) and non-deterministic
+// bugs (§5's clone-switchover target) are supported.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/openflow"
+)
+
+// Severity classifies a bug's effect, mirroring the classes a bug
+// tracker would show.
+type Severity int
+
+// Bug severities.
+const (
+	// Catastrophic bugs crash the app (unhandled panic — the 16%).
+	Catastrophic Severity = iota
+	// Byzantine bugs corrupt output: wrong or harmful rules, no crash.
+	ByzantineSev
+	// Benign bugs degrade quality (swallowed events) without crashing
+	// or violating invariants.
+	Benign
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Catastrophic:
+		return "catastrophic"
+	case ByzantineSev:
+		return "byzantine"
+	default:
+		return "benign"
+	}
+}
+
+// Bug is one injectable defect.
+type Bug struct {
+	ID       int
+	Severity Severity
+	// TriggerKind restricts firing to one event kind.
+	TriggerKind controller.EventKind
+	// TriggerEvery fires on every Nth matching event (1 = always).
+	TriggerEvery int
+	// Probability, when < 1, makes the bug non-deterministic: it fires
+	// on a matching event with this probability (seeded per wrapper).
+	Probability float64
+	// Description for tickets and tables.
+	Description string
+
+	// BadRule, for byzantine bugs, is installed instead of (or after)
+	// the app's own output. nil selects a generated loop/black-hole rule.
+	BadRule func(ev controller.Event) *openflow.FlowMod
+}
+
+// Deterministic reports whether the bug fires identically on replay.
+func (b Bug) Deterministic() bool { return b.Probability >= 1 }
+
+// Wrapper hosts an inner app and fires a bug on its trigger condition.
+// It passes through Snapshotter so Crash-Pad treats the wrapped app as
+// the original.
+type Wrapper struct {
+	inner controller.App
+	bug   Bug
+
+	seen int
+	rng  *rand.Rand
+
+	// Fired counts bug activations.
+	Fired int
+}
+
+// Wrap attaches a bug to an app. seed feeds the probabilistic trigger.
+func Wrap(inner controller.App, bug Bug, seed int64) *Wrapper {
+	if bug.TriggerEvery < 1 {
+		bug.TriggerEvery = 1
+	}
+	if bug.Probability <= 0 {
+		bug.Probability = 1
+	}
+	return &Wrapper{inner: inner, bug: bug, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Inner returns the wrapped app.
+func (w *Wrapper) Inner() controller.App { return w.inner }
+
+// Bug returns the injected defect.
+func (w *Wrapper) Bug() Bug { return w.bug }
+
+// Name implements controller.App (transparent wrapping).
+func (w *Wrapper) Name() string { return w.inner.Name() }
+
+// Subscriptions implements controller.App.
+func (w *Wrapper) Subscriptions() []controller.EventKind { return w.inner.Subscriptions() }
+
+// HandleEvent implements controller.App, firing the bug when triggered.
+func (w *Wrapper) HandleEvent(ctx controller.Context, ev controller.Event) error {
+	if w.triggered(ev) {
+		w.Fired++
+		switch w.bug.Severity {
+		case Catastrophic:
+			panic(fmt.Sprintf("injected bug #%d: %s", w.bug.ID, w.bug.Description))
+		case ByzantineSev:
+			fm := w.badRule(ev)
+			_ = ctx.SendFlowMod(ev.DPID, fm)
+			return nil // output corrupted; inner app never sees the event
+		case Benign:
+			return nil // event swallowed
+		}
+	}
+	return w.inner.HandleEvent(ctx, ev)
+}
+
+func (w *Wrapper) triggered(ev controller.Event) bool {
+	if ev.Kind != w.bug.TriggerKind {
+		return false
+	}
+	w.seen++
+	if w.seen%w.bug.TriggerEvery != 0 {
+		return false
+	}
+	if w.bug.Probability < 1 && w.rng.Float64() >= w.bug.Probability {
+		return false
+	}
+	return true
+}
+
+// BadRulePort is the nonexistent physical port the default byzantine
+// rule forwards into.
+const BadRulePort uint16 = 997
+
+// badRule produces a byzantine rule: by default a high-priority
+// match-everything rule forwarding into a nonexistent port — a
+// black-hole the invariant checkers flag on any topology.
+func (w *Wrapper) badRule(ev controller.Event) *openflow.FlowMod {
+	if w.bug.BadRule != nil {
+		return w.bug.BadRule(ev)
+	}
+	return &openflow.FlowMod{
+		Match:    openflow.MatchAll(),
+		Command:  openflow.FlowModAdd,
+		Priority: 999,
+		BufferID: openflow.BufferIDNone,
+		OutPort:  openflow.PortNone,
+		Actions:  []openflow.Action{&openflow.ActionOutput{Port: BadRulePort}},
+	}
+}
+
+// Snapshot implements controller.Snapshotter by delegation.
+func (w *Wrapper) Snapshot() ([]byte, error) {
+	if s, ok := w.inner.(controller.Snapshotter); ok {
+		return s.Snapshot()
+	}
+	return nil, fmt.Errorf("faultinject: %q does not snapshot", w.inner.Name())
+}
+
+// Restore implements controller.Snapshotter by delegation.
+func (w *Wrapper) Restore(state []byte) error {
+	if s, ok := w.inner.(controller.Snapshotter); ok {
+		return s.Restore(state)
+	}
+	return fmt.Errorf("faultinject: %q does not snapshot", w.inner.Name())
+}
+
+// Corpus generates n bugs with the given catastrophic fraction
+// (byzantine and benign split the rest 50/50), deterministically from
+// seed. The default fraction 0.16 reproduces the FlowScale tracker
+// population from §2.1.
+func Corpus(n int, catastrophicFrac float64, seed int64) []Bug {
+	if catastrophicFrac < 0 || catastrophicFrac > 1 {
+		catastrophicFrac = 0.16
+	}
+	r := rand.New(rand.NewSource(seed))
+	kinds := []controller.EventKind{
+		controller.EventPacketIn,
+		controller.EventPacketIn, // packet-ins dominate real event mixes
+		controller.EventPortStatus,
+		controller.EventFlowRemoved,
+		controller.EventSwitchDown,
+	}
+	nCat := int(float64(n)*catastrophicFrac + 0.5)
+	bugs := make([]Bug, 0, n)
+	for i := 0; i < n; i++ {
+		b := Bug{
+			ID:           i + 1,
+			TriggerKind:  kinds[r.Intn(len(kinds))],
+			TriggerEvery: 1 + r.Intn(5),
+		}
+		switch {
+		case i < nCat:
+			b.Severity = Catastrophic
+			b.Description = fmt.Sprintf("unhandled exception on %v (every %d)", b.TriggerKind, b.TriggerEvery)
+		case (i-nCat)%2 == 0:
+			b.Severity = ByzantineSev
+			b.Description = fmt.Sprintf("installs looping rule on %v", b.TriggerKind)
+		default:
+			b.Severity = Benign
+			b.Description = fmt.Sprintf("silently drops %v events", b.TriggerKind)
+		}
+		bugs = append(bugs, b)
+	}
+	// Shuffle so severity does not correlate with ID order.
+	r.Shuffle(len(bugs), func(i, j int) { bugs[i], bugs[j] = bugs[j], bugs[i] })
+	for i := range bugs {
+		bugs[i].ID = i + 1
+	}
+	return bugs
+}

@@ -1,0 +1,183 @@
+package faultinject
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/openflow"
+)
+
+// nullCtx records sends.
+type nullCtx struct {
+	mu   sync.Mutex
+	sent []openflow.Message
+}
+
+func (c *nullCtx) SendMessage(dpid uint64, msg openflow.Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sent = append(c.sent, msg)
+	return nil
+}
+func (c *nullCtx) SendFlowMod(d uint64, m *openflow.FlowMod) error     { return c.SendMessage(d, m) }
+func (c *nullCtx) SendPacketOut(d uint64, m *openflow.PacketOut) error { return c.SendMessage(d, m) }
+func (c *nullCtx) RequestStats(uint64, *openflow.StatsRequest) (*openflow.StatsReply, error) {
+	return nil, nil
+}
+func (c *nullCtx) Barrier(uint64) error            { return nil }
+func (c *nullCtx) Switches() []uint64              { return nil }
+func (c *nullCtx) Ports(uint64) []openflow.PhyPort { return nil }
+func (c *nullCtx) Topology() []controller.LinkInfo { return nil }
+
+// countApp counts handled events.
+type countApp struct{ n int }
+
+func (a *countApp) Name() string                          { return "victim" }
+func (a *countApp) Subscriptions() []controller.EventKind { return controller.AllEventKinds() }
+func (a *countApp) HandleEvent(controller.Context, controller.Event) error {
+	a.n++
+	return nil
+}
+func (a *countApp) Snapshot() ([]byte, error) { return []byte{byte(a.n)}, nil }
+func (a *countApp) Restore(b []byte) error {
+	a.n = int(b[0])
+	return nil
+}
+
+func pktIn(seq uint64) controller.Event {
+	return controller.Event{Seq: seq, Kind: controller.EventPacketIn,
+		Message: &openflow.PacketIn{BufferID: openflow.BufferIDNone}}
+}
+
+func TestCatastrophicBugPanics(t *testing.T) {
+	w := Wrap(&countApp{}, Bug{ID: 7, Severity: Catastrophic,
+		TriggerKind: controller.EventPacketIn, TriggerEvery: 3,
+		Description: "nil deref"}, 1)
+	crashes := 0
+	for i := 1; i <= 6; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					crashes++
+					if !strings.Contains(r.(string), "bug #7") {
+						t.Errorf("panic value %v", r)
+					}
+				}
+			}()
+			w.HandleEvent(&nullCtx{}, pktIn(uint64(i)))
+		}()
+	}
+	if crashes != 2 {
+		t.Fatalf("crashes = %d, want 2 (every 3rd of 6)", crashes)
+	}
+	if w.Fired != 2 {
+		t.Fatalf("Fired = %d", w.Fired)
+	}
+	// Inner app saw only the non-triggering events.
+	if w.Inner().(*countApp).n != 4 {
+		t.Fatalf("inner handled %d", w.Inner().(*countApp).n)
+	}
+}
+
+func TestByzantineBugInstallsBadRule(t *testing.T) {
+	ctx := &nullCtx{}
+	w := Wrap(&countApp{}, Bug{Severity: ByzantineSev,
+		TriggerKind: controller.EventPacketIn}, 1)
+	if err := w.HandleEvent(ctx, pktIn(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx.sent) != 1 {
+		t.Fatalf("sent = %d", len(ctx.sent))
+	}
+	fm := ctx.sent[0].(*openflow.FlowMod)
+	if fm.Priority != 999 || fm.Actions[0].(*openflow.ActionOutput).Port != BadRulePort {
+		t.Fatalf("bad rule %+v", fm)
+	}
+}
+
+func TestBenignBugSwallowsEvent(t *testing.T) {
+	inner := &countApp{}
+	w := Wrap(inner, Bug{Severity: Benign, TriggerKind: controller.EventPacketIn}, 1)
+	w.HandleEvent(&nullCtx{}, pktIn(1))
+	if inner.n != 0 {
+		t.Fatal("benign bug did not swallow the event")
+	}
+	// Non-matching kinds pass through.
+	w.HandleEvent(&nullCtx{}, controller.Event{Kind: controller.EventSwitchUp})
+	if inner.n != 1 {
+		t.Fatal("other kinds should pass through")
+	}
+}
+
+func TestNonDeterministicBug(t *testing.T) {
+	fire := 0
+	for trial := 0; trial < 200; trial++ {
+		w := Wrap(&countApp{}, Bug{Severity: Benign,
+			TriggerKind: controller.EventPacketIn, Probability: 0.3}, int64(trial))
+		w.HandleEvent(&nullCtx{}, pktIn(1))
+		fire += w.Fired
+	}
+	if fire < 30 || fire > 110 {
+		t.Fatalf("p=0.3 bug fired %d/200 times", fire)
+	}
+	// Same seed, same outcome (reproducible non-determinism).
+	a := Wrap(&countApp{}, Bug{Severity: Benign, TriggerKind: controller.EventPacketIn, Probability: 0.5}, 42)
+	b := Wrap(&countApp{}, Bug{Severity: Benign, TriggerKind: controller.EventPacketIn, Probability: 0.5}, 42)
+	for i := 0; i < 20; i++ {
+		a.HandleEvent(&nullCtx{}, pktIn(uint64(i)))
+		b.HandleEvent(&nullCtx{}, pktIn(uint64(i)))
+	}
+	if a.Fired != b.Fired {
+		t.Fatal("same seed diverged")
+	}
+	if a.Bug().Deterministic() {
+		t.Fatal("p<1 should not report deterministic")
+	}
+}
+
+func TestWrapperSnapshotDelegation(t *testing.T) {
+	inner := &countApp{n: 9}
+	w := Wrap(inner, Bug{Severity: Benign, TriggerKind: controller.EventSwitchUp}, 1)
+	state, err := w.Snapshot()
+	if err != nil || state[0] != 9 {
+		t.Fatalf("snapshot %v %v", state, err)
+	}
+	inner.n = 0
+	if err := w.Restore(state); err != nil || inner.n != 9 {
+		t.Fatalf("restore %v n=%d", err, inner.n)
+	}
+}
+
+func TestCorpusComposition(t *testing.T) {
+	bugs := Corpus(100, 0.16, 7)
+	if len(bugs) != 100 {
+		t.Fatalf("corpus size %d", len(bugs))
+	}
+	counts := map[Severity]int{}
+	ids := map[int]bool{}
+	for _, b := range bugs {
+		counts[b.Severity]++
+		if ids[b.ID] {
+			t.Fatal("duplicate bug id")
+		}
+		ids[b.ID] = true
+		if b.TriggerEvery < 1 || b.Description == "" {
+			t.Fatalf("malformed bug %+v", b)
+		}
+	}
+	if counts[Catastrophic] != 16 {
+		t.Fatalf("catastrophic = %d, want 16", counts[Catastrophic])
+	}
+	if counts[ByzantineSev] != 42 || counts[Benign] != 42 {
+		t.Fatalf("byzantine/benign = %d/%d", counts[ByzantineSev], counts[Benign])
+	}
+	// Deterministic for a given seed.
+	again := Corpus(100, 0.16, 7)
+	for i := range bugs {
+		if bugs[i].Description != again[i].Description || bugs[i].Severity != again[i].Severity {
+			t.Fatal("corpus not reproducible")
+		}
+	}
+}

@@ -1,0 +1,350 @@
+// Package flowtable implements OpenFlow 1.0 flow-table semantics as a
+// reusable data structure: priority lookup, strict and non-strict
+// modify/delete, overlap checking, idle/hard timeouts and per-entry
+// counters. The network simulator uses it as each switch's table, and
+// NetLog uses it as the controller-side shadow of each switch — both
+// sides of the paper's rollback machinery therefore share one tested
+// implementation of the semantics.
+package flowtable
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"legosdn/internal/openflow"
+)
+
+// Entry is one installed rule in a switch flow table.
+type Entry struct {
+	Match       openflow.Match // normalized
+	Priority    uint16
+	Cookie      uint64
+	IdleTimeout uint16
+	HardTimeout uint16
+	Flags       uint16
+	Actions     []openflow.Action
+
+	Installed   time.Time
+	LastMatched time.Time
+	PacketCount uint64
+	ByteCount   uint64
+}
+
+// key identifies an entry for strict matching: identical normalized
+// match plus identical priority.
+type flowKey struct {
+	match    openflow.Match
+	priority uint16
+}
+
+func (e *Entry) key() flowKey { return flowKey{e.Match, e.Priority} }
+
+// clone deep-copies the entry so snapshots never alias live state.
+func (e *Entry) clone() *Entry {
+	c := *e
+	c.Actions = openflow.CopyActions(e.Actions)
+	return &c
+}
+
+// Removed pairs an evicted entry with the OpenFlow removal reason, so
+// the switch can emit FlowRemoved messages and NetLog can journal the
+// destroyed state.
+type Removed struct {
+	Entry  *Entry
+	Reason openflow.FlowRemovedReason
+}
+
+// Table implements OpenFlow 1.0 single-table semantics: priority
+// lookup, strict and non-strict modify/delete, overlap checking, idle
+// and hard timeouts, and per-entry counters. It is safe for concurrent
+// use.
+type Table struct {
+	mu      sync.Mutex
+	entries map[flowKey]*Entry
+	clock   Clock
+	maxSize int // 0 = unlimited
+}
+
+// New returns an empty table reading time from clock
+// (RealClock if nil).
+func New(clock Clock) *Table {
+	if clock == nil {
+		clock = RealClock{}
+	}
+	return &Table{entries: make(map[flowKey]*Entry), clock: clock}
+}
+
+// SetMaxSize bounds the number of entries; Apply of an ADD beyond the
+// bound fails with an all-tables-full error code.
+func (t *Table) SetMaxSize(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.maxSize = n
+}
+
+// Len reports the number of installed entries.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// ErrTableFull is returned by Apply when an ADD exceeds the size bound.
+var ErrTableFull = fmt.Errorf("flowtable: flow table full")
+
+// ErrOverlap is returned when CHECK_OVERLAP finds a conflicting entry.
+var ErrOverlap = fmt.Errorf("flowtable: overlapping flow entry")
+
+// Apply executes a FlowMod against the table, returning entries removed
+// as a side effect (for DELETE commands those carry reason DELETE; an
+// ADD that replaces an identical entry returns nothing, matching
+// OpenFlow semantics where replacement resets counters silently).
+func (t *Table) Apply(fm *openflow.FlowMod) ([]Removed, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clock.Now()
+	norm := fm.Match.Normalize()
+	switch fm.Command {
+	case openflow.FlowModAdd:
+		k := flowKey{norm, fm.Priority}
+		if fm.Flags&openflow.FlowModFlagCheckOverlap != 0 {
+			for _, e := range t.entries {
+				if e.Priority == fm.Priority && e.key() != k && matchesOverlap(&e.Match, &norm) {
+					return nil, ErrOverlap
+				}
+			}
+		}
+		if _, exists := t.entries[k]; !exists && t.maxSize > 0 && len(t.entries) >= t.maxSize {
+			return nil, ErrTableFull
+		}
+		t.entries[k] = &Entry{
+			Match:       norm,
+			Priority:    fm.Priority,
+			Cookie:      fm.Cookie,
+			IdleTimeout: fm.IdleTimeout,
+			HardTimeout: fm.HardTimeout,
+			Flags:       fm.Flags,
+			Actions:     openflow.CopyActions(fm.Actions),
+			Installed:   now,
+			LastMatched: now,
+		}
+		return nil, nil
+
+	case openflow.FlowModModify, openflow.FlowModModifyStrict:
+		strict := fm.Command == openflow.FlowModModifyStrict
+		modified := false
+		for _, e := range t.entries {
+			if t.selects(e, &norm, fm.Priority, strict, openflow.PortNone) {
+				e.Actions = openflow.CopyActions(fm.Actions)
+				e.Cookie = fm.Cookie
+				modified = true
+			}
+		}
+		if !modified {
+			// OpenFlow 1.0: a modify that matches nothing behaves as an add.
+			k := flowKey{norm, fm.Priority}
+			if t.maxSize > 0 && len(t.entries) >= t.maxSize {
+				return nil, ErrTableFull
+			}
+			t.entries[k] = &Entry{
+				Match:       norm,
+				Priority:    fm.Priority,
+				Cookie:      fm.Cookie,
+				IdleTimeout: fm.IdleTimeout,
+				HardTimeout: fm.HardTimeout,
+				Flags:       fm.Flags,
+				Actions:     openflow.CopyActions(fm.Actions),
+				Installed:   now,
+				LastMatched: now,
+			}
+		}
+		return nil, nil
+
+	case openflow.FlowModDelete, openflow.FlowModDeleteStrict:
+		strict := fm.Command == openflow.FlowModDeleteStrict
+		var removed []Removed
+		for k, e := range t.entries {
+			if t.selects(e, &norm, fm.Priority, strict, fm.OutPort) {
+				delete(t.entries, k)
+				removed = append(removed, Removed{Entry: e, Reason: openflow.FlowRemovedDelete})
+			}
+		}
+		return removed, nil
+
+	default:
+		return nil, fmt.Errorf("flowtable: bad flow_mod command %v", fm.Command)
+	}
+}
+
+// selects implements the OpenFlow rule-selection predicate shared by
+// modify and delete: strict requires identical match and priority;
+// non-strict requires the given match to subsume the entry. outPort,
+// when not PortNone, additionally requires an output action to that
+// port (delete only).
+func (t *Table) selects(e *Entry, m *openflow.Match, priority uint16, strict bool, outPort uint16) bool {
+	if strict {
+		if e.Match != *m || e.Priority != priority {
+			return false
+		}
+	} else if !m.Subsumes(&e.Match) {
+		return false
+	}
+	if outPort != openflow.PortNone {
+		found := false
+		for _, a := range e.Actions {
+			if o, ok := a.(*openflow.ActionOutput); ok && o.Port == outPort {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// matchesOverlap approximates the OpenFlow overlap test: two matches
+// overlap when one subsumes the other (a sound subset of true overlap,
+// sufficient for CHECK_OVERLAP in the simulator).
+func matchesOverlap(a, b *openflow.Match) bool {
+	return a.Subsumes(b) || b.Subsumes(a)
+}
+
+// Lookup returns the highest-priority entry matching the packet fields
+// and, when found, bumps its counters by size bytes. Ties on priority
+// are broken deterministically by match string so simulation runs are
+// reproducible.
+func (t *Table) Lookup(p openflow.PacketFields, size int) *Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var best *Entry
+	for _, e := range t.entries {
+		if !e.Match.Matches(p) {
+			continue
+		}
+		if best == nil || e.Priority > best.Priority ||
+			(e.Priority == best.Priority && e.Match.String() < best.Match.String()) {
+			best = e
+		}
+	}
+	if best != nil {
+		best.PacketCount++
+		best.ByteCount += uint64(size)
+		best.LastMatched = t.clock.Now()
+	}
+	return best
+}
+
+// Peek returns a deep copy of the highest-priority entry matching the
+// packet fields without touching counters or timestamps. Invariant
+// checkers use it to trace forwarding behavior without perturbing the
+// statistics the control plane observes.
+func (t *Table) Peek(p openflow.PacketFields) *Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var best *Entry
+	for _, e := range t.entries {
+		if !e.Match.Matches(p) {
+			continue
+		}
+		if best == nil || e.Priority > best.Priority ||
+			(e.Priority == best.Priority && e.Match.String() < best.Match.String()) {
+			best = e
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.clone()
+}
+
+// Expire removes entries whose idle or hard timeout has elapsed,
+// returning them with the appropriate removal reason.
+func (t *Table) Expire() []Removed {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clock.Now()
+	var removed []Removed
+	for k, e := range t.entries {
+		switch {
+		case e.HardTimeout > 0 && now.Sub(e.Installed) >= time.Duration(e.HardTimeout)*time.Second:
+			delete(t.entries, k)
+			removed = append(removed, Removed{Entry: e, Reason: openflow.FlowRemovedHardTimeout})
+		case e.IdleTimeout > 0 && now.Sub(e.LastMatched) >= time.Duration(e.IdleTimeout)*time.Second:
+			delete(t.entries, k)
+			removed = append(removed, Removed{Entry: e, Reason: openflow.FlowRemovedIdleTimeout})
+		}
+	}
+	return removed
+}
+
+// Entries returns deep copies of all entries, ordered by descending
+// priority then match string, suitable for stats replies and snapshots.
+func (t *Table) Entries() []*Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, e.clone())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		return out[i].Match.String() < out[j].Match.String()
+	})
+	return out
+}
+
+// InsertEntry installs a fully specified entry, preserving its counters
+// and timestamps. NetLog's rollback uses this to restore deleted
+// entries together with their remaining timeout budget.
+func (t *Table) InsertEntry(e *Entry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := e.clone()
+	c.Match = c.Match.Normalize()
+	t.entries[c.key()] = c
+}
+
+// MatchingEntries returns deep copies of entries selected by an
+// OpenFlow stats-request filter (non-strict match plus out-port).
+func (t *Table) MatchingEntries(filter *openflow.Match, outPort uint16) []*Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	norm := filter.Normalize()
+	var out []*Entry
+	for _, e := range t.entries {
+		if t.selects(e, &norm, 0, false, outPort) {
+			out = append(out, e.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		return out[i].Match.String() < out[j].Match.String()
+	})
+	return out
+}
+
+// Fingerprint summarizes the table's rule state (matches, priorities,
+// actions — not counters) as a canonical string. Two tables with equal
+// fingerprints hold semantically identical forwarding state; the NetLog
+// rollback tests compare these.
+func (t *Table) Fingerprint() string {
+	entries := t.Entries()
+	var sb strings.Builder
+	for _, e := range entries {
+		fmt.Fprintf(&sb, "p%d[%s]c%d i%d h%d:", e.Priority, e.Match, e.Cookie, e.IdleTimeout, e.HardTimeout)
+		for _, a := range e.Actions {
+			fmt.Fprintf(&sb, "%v;", a)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

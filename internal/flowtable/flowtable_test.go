@@ -1,0 +1,324 @@
+package flowtable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"legosdn/internal/openflow"
+)
+
+func exactMatch(inPort uint16) openflow.Match {
+	m := openflow.MatchAll()
+	m.Wildcards &^= openflow.WildcardInPort
+	m.InPort = inPort
+	return m
+}
+
+func addMod(m openflow.Match, prio uint16, actions ...openflow.Action) *openflow.FlowMod {
+	return &openflow.FlowMod{
+		Match:    m,
+		Command:  openflow.FlowModAdd,
+		Priority: prio,
+		BufferID: openflow.BufferIDNone,
+		OutPort:  openflow.PortNone,
+		Actions:  actions,
+	}
+}
+
+func TestFlowTableAddLookup(t *testing.T) {
+	ft := New(nil)
+	if _, err := ft.Apply(addMod(exactMatch(1), 10, &openflow.ActionOutput{Port: 2})); err != nil {
+		t.Fatal(err)
+	}
+	e := ft.Lookup(openflow.PacketFields{InPort: 1}, 100)
+	if e == nil {
+		t.Fatal("lookup missed installed entry")
+	}
+	if e.PacketCount != 1 || e.ByteCount != 100 {
+		t.Errorf("counters = %d/%d, want 1/100", e.PacketCount, e.ByteCount)
+	}
+	if ft.Lookup(openflow.PacketFields{InPort: 2}, 100) != nil {
+		t.Error("lookup matched wrong port")
+	}
+}
+
+func TestFlowTablePriority(t *testing.T) {
+	ft := New(nil)
+	low := openflow.MatchAll()
+	if _, err := ft.Apply(addMod(low, 1, &openflow.ActionOutput{Port: 9})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ft.Apply(addMod(exactMatch(1), 100, &openflow.ActionOutput{Port: 2})); err != nil {
+		t.Fatal(err)
+	}
+	e := ft.Lookup(openflow.PacketFields{InPort: 1}, 1)
+	if e == nil || e.Priority != 100 {
+		t.Fatalf("expected high-priority entry, got %+v", e)
+	}
+	e2 := ft.Lookup(openflow.PacketFields{InPort: 7}, 1)
+	if e2 == nil || e2.Priority != 1 {
+		t.Fatalf("expected fallback entry, got %+v", e2)
+	}
+}
+
+func TestFlowTableAddReplacesIdentical(t *testing.T) {
+	ft := New(nil)
+	ft.Apply(addMod(exactMatch(1), 10, &openflow.ActionOutput{Port: 2}))
+	ft.Lookup(openflow.PacketFields{InPort: 1}, 50) // bump counters
+	ft.Apply(addMod(exactMatch(1), 10, &openflow.ActionOutput{Port: 3}))
+	if ft.Len() != 1 {
+		t.Fatalf("table len = %d, want 1 (replacement)", ft.Len())
+	}
+	e := ft.Lookup(openflow.PacketFields{InPort: 1}, 1)
+	if e.PacketCount != 1 {
+		t.Errorf("replacement should reset counters, got %d", e.PacketCount)
+	}
+	if e.Actions[0].(*openflow.ActionOutput).Port != 3 {
+		t.Error("replacement did not update actions")
+	}
+}
+
+func TestFlowTableDeleteStrictVsNonStrict(t *testing.T) {
+	ft := New(nil)
+	ft.Apply(addMod(exactMatch(1), 10, &openflow.ActionOutput{Port: 2}))
+	ft.Apply(addMod(exactMatch(1), 20, &openflow.ActionOutput{Port: 3}))
+	ft.Apply(addMod(exactMatch(2), 10, &openflow.ActionOutput{Port: 4}))
+
+	// Strict delete removes only the exact (match, priority) pair.
+	removed, err := ft.Apply(&openflow.FlowMod{
+		Match: exactMatch(1), Command: openflow.FlowModDeleteStrict,
+		Priority: 10, OutPort: openflow.PortNone, BufferID: openflow.BufferIDNone,
+	})
+	if err != nil || len(removed) != 1 {
+		t.Fatalf("strict delete removed %d entries, err=%v", len(removed), err)
+	}
+	if ft.Len() != 2 {
+		t.Fatalf("len = %d, want 2", ft.Len())
+	}
+
+	// Non-strict delete with MatchAll removes everything.
+	removed, err = ft.Apply(&openflow.FlowMod{
+		Match: openflow.MatchAll(), Command: openflow.FlowModDelete,
+		OutPort: openflow.PortNone, BufferID: openflow.BufferIDNone,
+	})
+	if err != nil || len(removed) != 2 {
+		t.Fatalf("wildcard delete removed %d, err=%v", len(removed), err)
+	}
+	if ft.Len() != 0 {
+		t.Fatal("table should be empty")
+	}
+	for _, r := range removed {
+		if r.Reason != openflow.FlowRemovedDelete {
+			t.Errorf("removal reason = %v", r.Reason)
+		}
+	}
+}
+
+func TestFlowTableDeleteOutPortFilter(t *testing.T) {
+	ft := New(nil)
+	ft.Apply(addMod(exactMatch(1), 10, &openflow.ActionOutput{Port: 2}))
+	ft.Apply(addMod(exactMatch(2), 10, &openflow.ActionOutput{Port: 3}))
+	removed, _ := ft.Apply(&openflow.FlowMod{
+		Match: openflow.MatchAll(), Command: openflow.FlowModDelete,
+		OutPort: 3, BufferID: openflow.BufferIDNone,
+	})
+	if len(removed) != 1 || removed[0].Entry.Actions[0].(*openflow.ActionOutput).Port != 3 {
+		t.Fatalf("out_port filter removed wrong entries: %v", removed)
+	}
+}
+
+func TestFlowTableModify(t *testing.T) {
+	ft := New(nil)
+	ft.Apply(addMod(exactMatch(1), 10, &openflow.ActionOutput{Port: 2}))
+	ft.Lookup(openflow.PacketFields{InPort: 1}, 10)
+	// Modify keeps counters, changes actions.
+	ft.Apply(&openflow.FlowMod{
+		Match: exactMatch(1), Command: openflow.FlowModModify,
+		Priority: 10, OutPort: openflow.PortNone, BufferID: openflow.BufferIDNone,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: 7}},
+	})
+	e := ft.Lookup(openflow.PacketFields{InPort: 1}, 10)
+	if e.Actions[0].(*openflow.ActionOutput).Port != 7 {
+		t.Error("modify did not change actions")
+	}
+	if e.PacketCount != 2 {
+		t.Errorf("modify should keep counters, got %d", e.PacketCount)
+	}
+	// Modify of a non-existent match adds it.
+	ft.Apply(&openflow.FlowMod{
+		Match: exactMatch(5), Command: openflow.FlowModModify,
+		Priority: 3, OutPort: openflow.PortNone, BufferID: openflow.BufferIDNone,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: 8}},
+	})
+	if ft.Lookup(openflow.PacketFields{InPort: 5}, 1) == nil {
+		t.Error("modify-as-add missing")
+	}
+}
+
+func TestFlowTableTimeouts(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1000, 0))
+	ft := New(clk)
+	idle := addMod(exactMatch(1), 10, &openflow.ActionOutput{Port: 2})
+	idle.IdleTimeout = 5
+	hard := addMod(exactMatch(2), 10, &openflow.ActionOutput{Port: 3})
+	hard.HardTimeout = 8
+	ft.Apply(idle)
+	ft.Apply(hard)
+
+	clk.Advance(4 * time.Second)
+	// Traffic refreshes the idle entry.
+	ft.Lookup(openflow.PacketFields{InPort: 1}, 1)
+	if removed := ft.Expire(); len(removed) != 0 {
+		t.Fatalf("nothing should expire yet, got %d", len(removed))
+	}
+
+	clk.Advance(5 * time.Second) // t=9: idle last matched t=4 (5s ago), hard installed 9s ago
+	removed := ft.Expire()
+	if len(removed) != 2 {
+		t.Fatalf("expected both to expire, got %d", len(removed))
+	}
+	reasons := map[openflow.FlowRemovedReason]int{}
+	for _, r := range removed {
+		reasons[r.Reason]++
+	}
+	if reasons[openflow.FlowRemovedIdleTimeout] != 1 || reasons[openflow.FlowRemovedHardTimeout] != 1 {
+		t.Errorf("reasons = %v", reasons)
+	}
+}
+
+func TestFlowTableMaxSize(t *testing.T) {
+	ft := New(nil)
+	ft.SetMaxSize(2)
+	ft.Apply(addMod(exactMatch(1), 1))
+	ft.Apply(addMod(exactMatch(2), 1))
+	if _, err := ft.Apply(addMod(exactMatch(3), 1)); err != ErrTableFull {
+		t.Fatalf("want ErrTableFull, got %v", err)
+	}
+	// Replacing an existing entry is allowed at capacity.
+	if _, err := ft.Apply(addMod(exactMatch(1), 1, &openflow.ActionOutput{Port: 5})); err != nil {
+		t.Fatalf("replacement at capacity failed: %v", err)
+	}
+}
+
+func TestFlowTableOverlapCheck(t *testing.T) {
+	ft := New(nil)
+	ft.Apply(addMod(openflow.MatchAll(), 10))
+	fm := addMod(exactMatch(1), 10)
+	fm.Flags = openflow.FlowModFlagCheckOverlap
+	if _, err := ft.Apply(fm); err != ErrOverlap {
+		t.Fatalf("want ErrOverlap, got %v", err)
+	}
+	// Different priority does not overlap.
+	fm2 := addMod(exactMatch(1), 11)
+	fm2.Flags = openflow.FlowModFlagCheckOverlap
+	if _, err := ft.Apply(fm2); err != nil {
+		t.Fatalf("different priority should not overlap: %v", err)
+	}
+}
+
+func TestInsertEntryPreservesState(t *testing.T) {
+	ft := New(nil)
+	e := &Entry{
+		Match:       exactMatch(4).Normalize(),
+		Priority:    9,
+		Cookie:      77,
+		IdleTimeout: 30,
+		PacketCount: 123,
+		ByteCount:   4567,
+		Actions:     []openflow.Action{&openflow.ActionOutput{Port: 1}},
+		Installed:   time.Unix(500, 0),
+		LastMatched: time.Unix(600, 0),
+	}
+	ft.InsertEntry(e)
+	got := ft.Entries()
+	if len(got) != 1 {
+		t.Fatal("entry not inserted")
+	}
+	if got[0].PacketCount != 123 || got[0].Cookie != 77 || !got[0].Installed.Equal(time.Unix(500, 0)) {
+		t.Errorf("restored entry lost state: %+v", got[0])
+	}
+	// Mutating the inserted source must not affect the table.
+	e.Actions[0].(*openflow.ActionOutput).Port = 42
+	if ft.Entries()[0].Actions[0].(*openflow.ActionOutput).Port == 42 {
+		t.Error("InsertEntry aliased caller's actions")
+	}
+}
+
+func TestFingerprintIgnoresCounters(t *testing.T) {
+	ft1 := New(nil)
+	ft2 := New(nil)
+	ft1.Apply(addMod(exactMatch(1), 10, &openflow.ActionOutput{Port: 2}))
+	ft2.Apply(addMod(exactMatch(1), 10, &openflow.ActionOutput{Port: 2}))
+	ft1.Lookup(openflow.PacketFields{InPort: 1}, 100)
+	if ft1.Fingerprint() != ft2.Fingerprint() {
+		t.Error("fingerprint should ignore counters")
+	}
+	ft2.Apply(addMod(exactMatch(2), 10, &openflow.ActionOutput{Port: 2}))
+	if ft1.Fingerprint() == ft2.Fingerprint() {
+		t.Error("fingerprint should reflect rule differences")
+	}
+}
+
+// Property: add-then-strict-delete is the identity on the table.
+func TestQuickAddDeleteIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ft := New(nil)
+		// Background entries.
+		for i := 0; i < 5; i++ {
+			ft.Apply(addMod(exactMatch(uint16(r.Intn(50))), uint16(r.Intn(100))))
+		}
+		before := ft.Fingerprint()
+		m := exactMatch(uint16(1000 + r.Intn(50))) // disjoint from background
+		prio := uint16(r.Intn(100))
+		ft.Apply(addMod(m, prio, &openflow.ActionOutput{Port: 1}))
+		ft.Apply(&openflow.FlowMod{
+			Match: m, Command: openflow.FlowModDeleteStrict, Priority: prio,
+			OutPort: openflow.PortNone, BufferID: openflow.BufferIDNone,
+		})
+		return ft.Fingerprint() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Lookup always returns an entry whose match accepts the
+// packet, and no strictly-higher-priority entry also accepts it.
+func TestQuickLookupHighestPriority(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ft := New(nil)
+		for i := 0; i < 10; i++ {
+			m := openflow.MatchAll()
+			if r.Intn(2) == 0 {
+				m.Wildcards &^= openflow.WildcardInPort
+				m.InPort = uint16(r.Intn(4))
+			}
+			if r.Intn(2) == 0 {
+				m.Wildcards &^= openflow.WildcardTpDst
+				m.TpDst = uint16(r.Intn(3))
+			}
+			ft.Apply(addMod(m, uint16(r.Intn(5))))
+		}
+		p := openflow.PacketFields{InPort: uint16(r.Intn(4)), TpDst: uint16(r.Intn(3))}
+		got := ft.Lookup(p, 1)
+		if got == nil {
+			return true // nothing matched; nothing to verify
+		}
+		if !got.Match.Matches(p) {
+			return false
+		}
+		for _, e := range ft.Entries() {
+			if e.Priority > got.Priority && e.Match.Matches(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+package invariant
+
+import "legosdn/internal/crashpad"
+
+// crashPadChecker adapts a Suite to Crash-Pad's detection interface.
+type crashPadChecker struct {
+	suite *Suite
+	// noCompromise decides which violations are non-negotiable (§5's
+	// "No-Compromise" invariants).
+	noCompromise func(Violation) bool
+}
+
+// CrashPadChecker adapts the suite for use as crashpad.Options.Checker.
+// noCompromise (may be nil) marks violations whose breach must shut the
+// network down rather than be compromised around.
+func (s *Suite) CrashPadChecker(noCompromise func(Violation) bool) crashpad.InvariantChecker {
+	return &crashPadChecker{suite: s, noCompromise: noCompromise}
+}
+
+// Check implements crashpad.InvariantChecker.
+func (c *crashPadChecker) Check() []crashpad.Violation {
+	raw := c.suite.Check()
+	if len(raw) == 0 {
+		return nil
+	}
+	out := make([]crashpad.Violation, len(raw))
+	for i, v := range raw {
+		out[i] = crashpad.Violation{
+			Desc:         v.String(),
+			NoCompromise: c.noCompromise != nil && c.noCompromise(v),
+		}
+	}
+	return out
+}

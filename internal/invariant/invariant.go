@@ -1,0 +1,269 @@
+// Package invariant implements VeriFlow-style network invariant
+// checking over the simulated network's flow tables: structural
+// black-hole detection, forwarding-loop detection by symbolic packet
+// tracing, and host-pair reachability. Crash-Pad consults a checker
+// suite after each event to detect byzantine SDN-App failures (§3.3 of
+// the LegoSDN paper), and the "No-Compromise" invariant set drives the
+// §5 network-shutdown escalation.
+package invariant
+
+import (
+	"fmt"
+	"sort"
+
+	"legosdn/internal/netsim"
+	"legosdn/internal/openflow"
+)
+
+// Kind classifies an invariant violation.
+type Kind int
+
+// Violation kinds.
+const (
+	KindBlackHole Kind = iota
+	KindLoop
+	KindReachability
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBlackHole:
+		return "black-hole"
+	case KindLoop:
+		return "loop"
+	case KindReachability:
+		return "reachability"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	Kind Kind
+	Desc string
+}
+
+func (v Violation) String() string { return fmt.Sprintf("%v: %s", v.Kind, v.Desc) }
+
+// Checker is one invariant check over the network.
+type Checker interface {
+	Name() string
+	Check(n *netsim.Network) []Violation
+}
+
+// BlackHoles finds flow entries whose output leads nowhere: a missing,
+// administratively downed or link-down port, or a failed peer switch.
+// These are exactly the black-holes §5 warns that ignoring switch-down
+// events can create.
+type BlackHoles struct{}
+
+// Name implements Checker.
+func (BlackHoles) Name() string { return "no-black-holes" }
+
+// Check implements Checker.
+func (BlackHoles) Check(n *netsim.Network) []Violation {
+	var out []Violation
+	for _, sw := range n.Switches() {
+		if sw.Down() {
+			continue // a dead switch forwards nothing; not a rule bug
+		}
+		for _, e := range sw.Table().Entries() {
+			for _, a := range e.Actions {
+				o, ok := a.(*openflow.ActionOutput)
+				if !ok {
+					continue
+				}
+				if o.Port > openflow.PortMax {
+					continue // logical ports (flood, controller) are fine
+				}
+				if !n.PortLive(sw.DPID, o.Port) {
+					out = append(out, Violation{
+						Kind: KindBlackHole,
+						Desc: fmt.Sprintf("switch %d rule [%v] outputs to dead port %d", sw.DPID, e.Match, o.Port),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// traceOutcome is the terminal state of one symbolic packet trace.
+type traceOutcome int
+
+const (
+	traceDelivered traceOutcome = iota
+	traceDropped
+	traceLooped
+)
+
+// trace follows a frame through flow tables without touching counters,
+// returning where it ends up. Flood/ALL outputs follow every branch;
+// any looping branch marks the trace as looped.
+func trace(n *netsim.Network, dpid uint64, inPort uint16, f *netsim.Frame, visited map[[2]uint64]bool) traceOutcome {
+	key := [2]uint64{dpid, uint64(inPort)}
+	if visited[key] {
+		return traceLooped
+	}
+	visited[key] = true
+	sw := n.Switch(dpid)
+	if sw == nil || sw.Down() {
+		return traceDropped
+	}
+	entry := sw.Table().Peek(f.Fields(inPort))
+	if entry == nil {
+		return traceDropped
+	}
+	outFrame, ports := netsim.ApplyActions(f, entry.Actions)
+	outcome := traceDropped
+	for _, p := range ports {
+		var branchPorts []uint16
+		switch {
+		case p == openflow.PortInPort:
+			branchPorts = []uint16{inPort}
+		case p == openflow.PortFlood || p == openflow.PortAll:
+			for _, pn := range sw.PortNumbers() {
+				if pn != inPort {
+					branchPorts = append(branchPorts, pn)
+				}
+			}
+		case p > openflow.PortMax:
+			continue // controller/local: not dataplane delivery
+		default:
+			branchPorts = []uint16{p}
+		}
+		for _, bp := range branchPorts {
+			kind, peerDPID, peerPort, hostName := n.Peer(dpid, bp)
+			switch kind {
+			case netsim.PeerSwitch:
+				// Branches share the visited set: a loop on any branch is a loop.
+				sub := trace(n, peerDPID, peerPort, &outFrame, visited)
+				if sub == traceLooped {
+					return traceLooped
+				}
+				if sub == traceDelivered {
+					outcome = traceDelivered
+				}
+			case netsim.PeerHost:
+				h := n.Host(hostName)
+				if h != nil && (outFrame.DlDst == h.MAC || outFrame.DlDst.IsBroadcast() || outFrame.DlDst.IsMulticast()) {
+					outcome = traceDelivered
+				}
+			}
+		}
+	}
+	return outcome
+}
+
+// Loops traces a representative packet for every ordered host pair and
+// reports pairs whose traffic cycles.
+type Loops struct{}
+
+// Name implements Checker.
+func (Loops) Name() string { return "no-loops" }
+
+// Check implements Checker.
+func (Loops) Check(n *netsim.Network) []Violation {
+	var out []Violation
+	forEachHostPair(n, func(src, dst *netsim.Host) {
+		f := netsim.TCPFrame(src, dst, 40000, 80, nil)
+		kind, dpid, port := hostAttachment(n, src)
+		if kind != netsim.PeerSwitch {
+			return
+		}
+		visited := make(map[[2]uint64]bool)
+		if trace(n, dpid, port, f, visited) == traceLooped {
+			out = append(out, Violation{
+				Kind: KindLoop,
+				Desc: fmt.Sprintf("traffic %s->%s cycles in the dataplane", src.Name, dst.Name),
+			})
+		}
+	})
+	return out
+}
+
+// Reachability verifies that the given host pairs can exchange traffic.
+// An empty pair list checks nothing (reachability is policy, not an
+// intrinsic invariant: a firewall may legitimately isolate hosts).
+type Reachability struct {
+	// Pairs lists (src, dst) host names that must remain connected.
+	Pairs [][2]string
+}
+
+// Name implements Checker.
+func (Reachability) Name() string { return "reachability" }
+
+// Check implements Checker.
+func (r Reachability) Check(n *netsim.Network) []Violation {
+	var out []Violation
+	for _, pair := range r.Pairs {
+		src, dst := n.Host(pair[0]), n.Host(pair[1])
+		if src == nil || dst == nil {
+			out = append(out, Violation{Kind: KindReachability,
+				Desc: fmt.Sprintf("pair %s->%s: host missing", pair[0], pair[1])})
+			continue
+		}
+		f := netsim.TCPFrame(src, dst, 40000, 80, nil)
+		kind, dpid, port := hostAttachment(n, src)
+		if kind != netsim.PeerSwitch {
+			out = append(out, Violation{Kind: KindReachability,
+				Desc: fmt.Sprintf("pair %s->%s: source unplugged", src.Name, dst.Name)})
+			continue
+		}
+		visited := make(map[[2]uint64]bool)
+		if trace(n, dpid, port, f, visited) != traceDelivered {
+			out = append(out, Violation{Kind: KindReachability,
+				Desc: fmt.Sprintf("pair %s->%s: traffic does not arrive", src.Name, dst.Name)})
+		}
+	}
+	return out
+}
+
+// hostAttachment locates the switch port a host hangs off.
+func hostAttachment(n *netsim.Network, h *netsim.Host) (netsim.PeerKind, uint64, uint16) {
+	for _, sw := range n.Switches() {
+		for _, pn := range sw.PortNumbers() {
+			kind, _, _, hostName := n.Peer(sw.DPID, pn)
+			if kind == netsim.PeerHost && hostName == h.Name {
+				return netsim.PeerSwitch, sw.DPID, pn
+			}
+		}
+	}
+	return netsim.PeerNone, 0, 0
+}
+
+func forEachHostPair(n *netsim.Network, fn func(src, dst *netsim.Host)) {
+	hosts := n.Hosts()
+	for _, s := range hosts {
+		for _, d := range hosts {
+			if s != d {
+				fn(s, d)
+			}
+		}
+	}
+}
+
+// Suite bundles checkers over one network and caches nothing: every
+// Check sees live state.
+type Suite struct {
+	Net      *netsim.Network
+	Checkers []Checker
+}
+
+// NewSuite builds a suite with the standard safety checkers (black-hole
+// and loop) plus any extras.
+func NewSuite(n *netsim.Network, extra ...Checker) *Suite {
+	return &Suite{Net: n, Checkers: append([]Checker{BlackHoles{}, Loops{}}, extra...)}
+}
+
+// Check runs every checker, returning all violations sorted by text for
+// deterministic output.
+func (s *Suite) Check() []Violation {
+	var out []Violation
+	for _, c := range s.Checkers {
+		out = append(out, c.Check(s.Net)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Desc < out[j].Desc })
+	return out
+}

@@ -1,0 +1,170 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"legosdn/internal/netsim"
+	"legosdn/internal/openflow"
+)
+
+func install(t *testing.T, n *netsim.Network, dpid uint64, m openflow.Match, prio uint16, actions ...openflow.Action) {
+	t.Helper()
+	if _, err := n.Switch(dpid).Table().Apply(&openflow.FlowMod{
+		Match: m, Command: openflow.FlowModAdd, Priority: prio,
+		BufferID: openflow.BufferIDNone, OutPort: openflow.PortNone,
+		Actions: actions,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dstMatch(mac openflow.EthAddr) openflow.Match {
+	m := openflow.MatchAll()
+	m.Wildcards &^= openflow.WildcardDlDst
+	m.DlDst = mac
+	return m
+}
+
+func TestBlackHoleDetection(t *testing.T) {
+	n := netsim.Linear(2, nil)
+	h2 := n.Host("h2")
+	// Healthy rule: s1 -> s2 via port 2.
+	install(t, n, 1, dstMatch(h2.MAC), 10, &openflow.ActionOutput{Port: 2})
+	if v := (BlackHoles{}).Check(n); len(v) != 0 {
+		t.Fatalf("healthy network flagged: %v", v)
+	}
+	// Kill the link: the same rule becomes a black-hole.
+	n.SetLinkDown(1, 2, 2, 1, true)
+	v := (BlackHoles{}).Check(n)
+	if len(v) != 1 || v[0].Kind != KindBlackHole {
+		t.Fatalf("violations = %v", v)
+	}
+	if !strings.Contains(v[0].Desc, "switch 1") || !strings.Contains(v[0].Desc, "port 2") {
+		t.Fatalf("desc = %q", v[0].Desc)
+	}
+}
+
+func TestBlackHoleOnDeadPeerSwitch(t *testing.T) {
+	n := netsim.Linear(3, nil)
+	h3 := n.Host("h3")
+	install(t, n, 1, dstMatch(h3.MAC), 10, &openflow.ActionOutput{Port: 2})
+	n.SetSwitchDown(2, true)
+	v := (BlackHoles{}).Check(n)
+	if len(v) == 0 {
+		t.Fatal("rule into a failed switch not flagged")
+	}
+	// Rules on the failed switch itself are not the app's problem.
+	for _, viol := range v {
+		if strings.Contains(viol.Desc, "switch 2 rule") {
+			t.Fatalf("dead switch's own rules flagged: %v", viol)
+		}
+	}
+}
+
+func TestBlackHoleIgnoresLogicalPorts(t *testing.T) {
+	n := netsim.Single(2, nil)
+	install(t, n, 1, openflow.MatchAll(), 1,
+		&openflow.ActionOutput{Port: openflow.PortController},
+		&openflow.ActionOutput{Port: openflow.PortFlood})
+	if v := (BlackHoles{}).Check(n); len(v) != 0 {
+		t.Fatalf("logical ports flagged: %v", v)
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	n := netsim.Ring(3, nil)
+	// Forward everything clockwise on every switch: a perfect loop.
+	for i := uint64(1); i <= 3; i++ {
+		install(t, n, i, openflow.MatchAll(), 1, &openflow.ActionOutput{Port: 2})
+	}
+	v := (Loops{}).Check(n)
+	if len(v) == 0 {
+		t.Fatal("ring loop not detected")
+	}
+	if v[0].Kind != KindLoop {
+		t.Fatalf("kind = %v", v[0].Kind)
+	}
+}
+
+func TestNoLoopOnValidPaths(t *testing.T) {
+	n := netsim.Linear(3, nil)
+	h3 := n.Host("h3")
+	install(t, n, 1, dstMatch(h3.MAC), 10, &openflow.ActionOutput{Port: 2})
+	install(t, n, 2, dstMatch(h3.MAC), 10, &openflow.ActionOutput{Port: 2})
+	install(t, n, 3, dstMatch(h3.MAC), 10, &openflow.ActionOutput{Port: 100})
+	if v := (Loops{}).Check(n); len(v) != 0 {
+		t.Fatalf("valid path flagged as loop: %v", v)
+	}
+}
+
+func TestReachability(t *testing.T) {
+	n := netsim.Linear(2, nil)
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	r := Reachability{Pairs: [][2]string{{"h1", "h2"}}}
+	// No rules: unreachable.
+	if v := r.Check(n); len(v) != 1 || v[0].Kind != KindReachability {
+		t.Fatalf("missing-path violations = %v", v)
+	}
+	// Install the path.
+	install(t, n, 1, dstMatch(h2.MAC), 10, &openflow.ActionOutput{Port: 2})
+	install(t, n, 2, dstMatch(h2.MAC), 10, &openflow.ActionOutput{Port: 100})
+	if v := r.Check(n); len(v) != 0 {
+		t.Fatalf("reachable pair flagged: %v", v)
+	}
+	// Unknown host.
+	bad := Reachability{Pairs: [][2]string{{"h1", "ghost"}}}
+	if v := bad.Check(n); len(v) != 1 {
+		t.Fatalf("ghost host: %v", v)
+	}
+	_ = h1
+}
+
+func TestReachabilityThroughFlood(t *testing.T) {
+	n := netsim.Single(2, nil)
+	install(t, n, 1, openflow.MatchAll(), 1, &openflow.ActionOutput{Port: openflow.PortFlood})
+	r := Reachability{Pairs: [][2]string{{"h1", "h2"}}}
+	if v := r.Check(n); len(v) != 0 {
+		t.Fatalf("flood delivery not traced: %v", v)
+	}
+}
+
+func TestSuiteAggregatesAndSorts(t *testing.T) {
+	n := netsim.Ring(3, nil)
+	for i := uint64(1); i <= 3; i++ {
+		install(t, n, i, openflow.MatchAll(), 1, &openflow.ActionOutput{Port: 2})
+	}
+	// A second, higher-priority rule on s1 into a nonexistent port: a
+	// black-hole that coexists with the ring loop.
+	m := openflow.MatchAll()
+	m.Wildcards &^= openflow.WildcardTpDst
+	m.TpDst = 9999
+	install(t, n, 1, m, 50, &openflow.ActionOutput{Port: 77})
+	s := NewSuite(n)
+	v := s.Check()
+	if len(v) < 2 {
+		t.Fatalf("expected black-hole + loop, got %v", v)
+	}
+	for i := 1; i < len(v); i++ {
+		if v[i-1].Desc > v[i].Desc {
+			t.Fatal("violations not sorted")
+		}
+	}
+}
+
+func TestCrashPadAdapter(t *testing.T) {
+	n := netsim.Linear(2, nil)
+	h2 := n.Host("h2")
+	install(t, n, 1, dstMatch(h2.MAC), 10, &openflow.ActionOutput{Port: 2})
+	s := NewSuite(n)
+	adapter := s.CrashPadChecker(func(v Violation) bool { return v.Kind == KindBlackHole })
+
+	if got := adapter.Check(); got != nil {
+		t.Fatalf("healthy network: %v", got)
+	}
+	n.SetLinkDown(1, 2, 2, 1, true)
+	got := adapter.Check()
+	if len(got) != 1 || !got[0].NoCompromise {
+		t.Fatalf("adapter output = %+v", got)
+	}
+}

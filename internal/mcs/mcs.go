@@ -1,0 +1,183 @@
+// Package mcs finds Minimal Causal Sequences: the smallest subsequence
+// of an event trace that still triggers an SDN-App failure. It plays
+// the role STS plays in §5 of the LegoSDN paper — when a failure is
+// induced by an accumulation of events rather than the last one,
+// Crash-Pad minimizes the recorded trace against a fresh app replica
+// and rolls back to the checkpoint preceding the first inducing event.
+//
+// The minimizer is the classic ddmin delta-debugging algorithm
+// (Zeller's "Simplifying and Isolating Failure-Inducing Input"),
+// specialized to event subsequences, with memoization of tested
+// subsets. It assumes the failure predicate is deterministic, which is
+// the paper's stated assumption for SDN-App bugs.
+package mcs
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+
+	"legosdn/internal/checkpoint"
+	"legosdn/internal/controller"
+)
+
+// FailFunc reports whether replaying exactly this event sequence (from
+// a fresh app instance) reproduces the failure. It must be
+// deterministic.
+type FailFunc func(events []controller.Event) bool
+
+// Stats describes one minimization run.
+type Stats struct {
+	OriginalLen int
+	MinimalLen  int
+	Probes      int // predicate evaluations
+	CacheHits   int
+}
+
+// Minimize returns a 1-minimal subsequence of trace that still fails:
+// removing any single event from the result makes the failure vanish.
+// The input trace must itself fail; if it does not, Minimize returns
+// nil.
+func Minimize(trace []controller.Event, fails FailFunc) ([]controller.Event, Stats) {
+	st := Stats{OriginalLen: len(trace)}
+	cache := make(map[string]bool)
+	probe := func(events []controller.Event) bool {
+		key := subsetKey(events)
+		if v, ok := cache[key]; ok {
+			st.CacheHits++
+			return v
+		}
+		st.Probes++
+		v := fails(events)
+		cache[key] = v
+		return v
+	}
+	if len(trace) == 0 || !probe(trace) {
+		return nil, st
+	}
+
+	cur := append([]controller.Event(nil), trace...)
+	n := 2
+	for len(cur) >= 2 {
+		chunks := split(cur, n)
+		reduced := false
+
+		// Try each chunk alone.
+		for _, c := range chunks {
+			if probe(c) {
+				cur = c
+				n = 2
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			// Try each complement.
+			for i := range chunks {
+				comp := complement(chunks, i)
+				if probe(comp) {
+					cur = comp
+					n = max(n-1, 2)
+					reduced = true
+					break
+				}
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break // 1-minimal
+			}
+			n = min(2*n, len(cur))
+		}
+	}
+	st.MinimalLen = len(cur)
+	return cur, st
+}
+
+func split(events []controller.Event, n int) [][]controller.Event {
+	out := make([][]controller.Event, 0, n)
+	size := len(events) / n
+	rem := len(events) % n
+	start := 0
+	for i := 0; i < n; i++ {
+		end := start + size
+		if i < rem {
+			end++
+		}
+		if end > start {
+			out = append(out, events[start:end])
+		}
+		start = end
+	}
+	return out
+}
+
+func complement(chunks [][]controller.Event, skip int) []controller.Event {
+	var out []controller.Event
+	for i, c := range chunks {
+		if i != skip {
+			out = append(out, c...)
+		}
+	}
+	return out
+}
+
+// subsetKey identifies a subsequence by its event sequence numbers.
+func subsetKey(events []controller.Event) string {
+	var sb strings.Builder
+	for _, e := range events {
+		fmt.Fprintf(&sb, "%d,", e.Seq)
+	}
+	return sb.String()
+}
+
+// ReplayFails builds a deterministic failure predicate: instantiate a
+// fresh app via newApp, feed it the candidate events against ctx (which
+// may be a no-op recorder), and report whether it panics.
+func ReplayFails(newApp func() controller.App, ctx controller.Context) FailFunc {
+	return func(events []controller.Event) bool {
+		app := newApp()
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					crashed = true
+					_ = debug.Stack()
+				}
+			}()
+			for _, ev := range events {
+				_ = app.HandleEvent(ctx, ev)
+			}
+		}()
+		return crashed
+	}
+}
+
+// PickCheckpoint chooses the checkpoint Crash-Pad should roll back to
+// once the minimal sequence is known: the newest image strictly older
+// than the first inducing event. Returns nil when no checkpoint
+// predates the sequence (the app must restart fresh).
+func PickCheckpoint(store *checkpoint.Store, app string, minimal []controller.Event) *checkpoint.Checkpoint {
+	if len(minimal) == 0 {
+		return nil
+	}
+	first := minimal[0].Seq
+	if first == 0 {
+		return nil
+	}
+	return store.Before(app, first)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

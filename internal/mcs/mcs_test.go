@@ -1,0 +1,170 @@
+package mcs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"legosdn/internal/checkpoint"
+	"legosdn/internal/controller"
+)
+
+func evts(seqs ...uint64) []controller.Event {
+	out := make([]controller.Event, len(seqs))
+	for i, s := range seqs {
+		out[i] = controller.Event{Seq: s, Kind: controller.EventPacketIn}
+	}
+	return out
+}
+
+func seqs(events []controller.Event) []uint64 {
+	out := make([]uint64, len(events))
+	for i, e := range events {
+		out[i] = e.Seq
+	}
+	return out
+}
+
+// failsIfContains builds a predicate that fails iff all the named seqs
+// are present, in order.
+func failsIfContains(required ...uint64) FailFunc {
+	return func(events []controller.Event) bool {
+		i := 0
+		for _, e := range events {
+			if i < len(required) && e.Seq == required[i] {
+				i++
+			}
+		}
+		return i == len(required)
+	}
+}
+
+func TestMinimizeSingleCulprit(t *testing.T) {
+	trace := evts(1, 2, 3, 4, 5, 6, 7, 8)
+	min, st := Minimize(trace, failsIfContains(5))
+	if len(min) != 1 || min[0].Seq != 5 {
+		t.Fatalf("minimal = %v", seqs(min))
+	}
+	if st.OriginalLen != 8 || st.MinimalLen != 1 || st.Probes == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestMinimizePair(t *testing.T) {
+	trace := evts(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12)
+	min, _ := Minimize(trace, failsIfContains(3, 9))
+	got := seqs(min)
+	if len(got) != 2 || got[0] != 3 || got[1] != 9 {
+		t.Fatalf("minimal = %v", got)
+	}
+}
+
+func TestMinimizeNonFailingTrace(t *testing.T) {
+	min, st := Minimize(evts(1, 2, 3), func([]controller.Event) bool { return false })
+	if min != nil || st.MinimalLen != 0 {
+		t.Fatalf("non-failing trace minimized to %v", seqs(min))
+	}
+	if min, _ := Minimize(nil, failsIfContains()); min != nil {
+		t.Fatal("empty trace should yield nil")
+	}
+}
+
+func TestMinimizeWholeTraceNeeded(t *testing.T) {
+	trace := evts(1, 2, 3, 4)
+	min, _ := Minimize(trace, failsIfContains(1, 2, 3, 4))
+	if len(min) != 4 {
+		t.Fatalf("minimal = %v", seqs(min))
+	}
+}
+
+// Property: the result always fails, and removing any one event makes
+// it pass (1-minimality), for random required subsets.
+func TestQuickMinimizeOneMinimal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(20)
+		trace := make([]controller.Event, n)
+		for i := range trace {
+			trace[i] = controller.Event{Seq: uint64(i + 1)}
+		}
+		// Pick 1-3 random required events (ordered).
+		k := 1 + r.Intn(3)
+		required := map[uint64]bool{}
+		for len(required) < k {
+			required[uint64(1+r.Intn(n))] = true
+		}
+		var req []uint64
+		for i := 1; i <= n; i++ {
+			if required[uint64(i)] {
+				req = append(req, uint64(i))
+			}
+		}
+		fails := failsIfContains(req...)
+		min, _ := Minimize(trace, fails)
+		if !fails(min) {
+			return false
+		}
+		for drop := range min {
+			reduced := append(append([]controller.Event(nil), min[:drop]...), min[drop+1:]...)
+			if fails(reduced) {
+				return false // not 1-minimal
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayFails(t *testing.T) {
+	// App crashes when it has seen two PacketIns with seq >= 10.
+	newApp := func() controller.App { return &accApp{} }
+	fails := ReplayFails(newApp, nil)
+	if !fails(evts(10, 11)) {
+		t.Fatal("predicate should fail on two big seqs")
+	}
+	if fails(evts(1, 10)) {
+		t.Fatal("predicate should pass on one big seq")
+	}
+	// Use it end-to-end with Minimize.
+	min, _ := Minimize(evts(1, 2, 10, 3, 11, 4), fails)
+	got := seqs(min)
+	if len(got) != 2 || got[0] != 10 || got[1] != 11 {
+		t.Fatalf("minimal = %v", got)
+	}
+}
+
+// accApp crashes when the accumulated big-seq count reaches 2 — a
+// multi-event (cumulative) failure, the §5 scenario.
+type accApp struct{ big int }
+
+func (a *accApp) Name() string                          { return "acc" }
+func (a *accApp) Subscriptions() []controller.EventKind { return controller.AllEventKinds() }
+func (a *accApp) HandleEvent(_ controller.Context, ev controller.Event) error {
+	if ev.Seq >= 10 {
+		a.big++
+		if a.big >= 2 {
+			panic("cumulative failure")
+		}
+	}
+	return nil
+}
+
+func TestPickCheckpoint(t *testing.T) {
+	store := checkpoint.NewStore(0)
+	store.Put("acc", 1, []byte("a"))
+	store.Put("acc", 8, []byte("b"))
+	store.Put("acc", 12, []byte("c"))
+
+	cp := PickCheckpoint(store, "acc", evts(10, 11))
+	if cp == nil || cp.Seq != 8 {
+		t.Fatalf("checkpoint = %+v", cp)
+	}
+	if PickCheckpoint(store, "acc", nil) != nil {
+		t.Fatal("empty minimal should pick nothing")
+	}
+	if got := PickCheckpoint(store, "acc", evts(13)); got == nil || got.Seq != 12 {
+		t.Fatalf("checkpoint = %+v", got)
+	}
+}

@@ -1,0 +1,665 @@
+// Package netlog implements LegoSDN's network transaction layer (§3.2
+// of the paper). Control messages that alter switch state are bundled
+// into transactions with all-or-nothing semantics; aborting a
+// transaction rolls every switch back to its pre-transaction state.
+//
+// The core insight is the paper's: every state-altering control message
+// is invertible. The inverse of an ADD is a strict delete; the inverse
+// of a MODIFY or DELETE is the restoration of the previous entries. The
+// imperfect residue of an undo — lost flow timeouts and counters — is
+// papered over exactly as §3.2 prescribes: restored entries carry their
+// remaining hard-timeout budget, and destroyed counter values live on
+// in a counter-cache that corrects subsequent statistics replies.
+//
+// The Manager maintains a shadow flow table per switch (the same
+// flowtable implementation the simulated switches run) by observing the
+// controller's outbound messages, which is how it knows what an inverse
+// must restore without querying the network on every write.
+package netlog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/flowtable"
+	"legosdn/internal/openflow"
+)
+
+// Sender abstracts the controller surface NetLog writes rollback
+// messages through. *controller.Controller satisfies it.
+type Sender interface {
+	SendMessage(dpid uint64, msg openflow.Message) error
+	Barrier(dpid uint64) error
+}
+
+// StatsRequester is optionally implemented by Senders that can read
+// flow statistics; NetLog uses it to capture an entry's counters before
+// a transactional write destroys them (*controller.Controller
+// implements it).
+type StatsRequester interface {
+	RequestStats(dpid uint64, req *openflow.StatsRequest) (*openflow.StatsReply, error)
+}
+
+// TxnState tracks a transaction's lifecycle.
+type TxnState int
+
+// Transaction states.
+const (
+	TxnOpen TxnState = iota
+	TxnCommitted
+	TxnAborted
+)
+
+func (s TxnState) String() string {
+	switch s {
+	case TxnOpen:
+		return "open"
+	case TxnCommitted:
+		return "committed"
+	case TxnAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// ErrTxnClosed reports an operation on a committed or aborted
+// transaction.
+var ErrTxnClosed = errors.New("netlog: transaction closed")
+
+// undoOp reverses one journaled FlowMod: delete what it added, restore
+// what it destroyed or overwrote.
+type undoOp struct {
+	dpid    uint64
+	remove  []strictKey        // entries the op created
+	restore []*flowtable.Entry // entries the op destroyed/overwrote (deep copies)
+}
+
+type strictKey struct {
+	match    openflow.Match
+	priority uint16
+}
+
+// Txn is one network-wide atomic update.
+type Txn struct {
+	ID    uint64
+	m     *Manager
+	state TxnState
+	ops   []undoOp
+	dpids map[uint64]bool // switches touched
+}
+
+// counterKey identifies a flow entry across delete/restore cycles.
+type counterKey struct {
+	dpid     uint64
+	match    openflow.Match
+	priority uint16
+}
+
+type counterAdjust struct {
+	packets uint64
+	bytes   uint64
+}
+
+// Manager is the NetLog engine: shadow state, transaction journal and
+// counter-cache. It is also a controller.App — register it FIRST in the
+// dispatch chain so it observes FlowRemoved and switch lifecycle events
+// before any app reacts to them.
+type Manager struct {
+	sender Sender
+	clock  flowtable.Clock
+
+	mu       sync.Mutex
+	shadows  map[uint64]*flowtable.Table
+	active   *Txn
+	nextTxn  uint64
+	rollback int // >0 while rollback messages are in flight: hook passes them through
+	counters map[counterKey]counterAdjust
+
+	// Rollbacks counts completed aborts; RolledBackMods counts inverse
+	// messages sent. Atomic: read live by benchmarks.
+	Rollbacks      atomic.Uint64
+	RolledBackMods atomic.Uint64
+	CommittedTxns  atomic.Uint64
+}
+
+// NewManager creates a NetLog engine writing rollbacks through sender.
+// clock may be nil (real time).
+func NewManager(sender Sender, clock flowtable.Clock) *Manager {
+	if clock == nil {
+		clock = flowtable.RealClock{}
+	}
+	return &Manager{
+		sender:   sender,
+		clock:    clock,
+		shadows:  make(map[uint64]*flowtable.Table),
+		counters: make(map[counterKey]counterAdjust),
+	}
+}
+
+// Install wires the manager into a controller: outbound hook, stats
+// rewriter and event subscription.
+func (m *Manager) Install(c *controller.Controller) {
+	c.AddOutboundHook(m.Hook())
+	c.AddStatsRewriter(m.RewriteStats)
+	c.Register(m)
+}
+
+func (m *Manager) shadow(dpid uint64) *flowtable.Table {
+	t := m.shadows[dpid]
+	if t == nil {
+		t = flowtable.New(m.clock)
+		m.shadows[dpid] = t
+	}
+	return t
+}
+
+// ShadowFingerprint exposes the shadow's rule state for tests and the
+// invariant checker.
+func (m *Manager) ShadowFingerprint(dpid uint64) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.shadow(dpid).Fingerprint()
+}
+
+// ShadowEntries returns deep copies of the shadow's entries.
+func (m *Manager) ShadowEntries(dpid uint64) []*flowtable.Entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.shadow(dpid).Entries()
+}
+
+// Begin opens a transaction.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextTxn++
+	return &Txn{ID: m.nextTxn, m: m, dpids: make(map[uint64]bool)}
+}
+
+// SetActive routes subsequent hooked FlowMods into tx's journal; nil
+// clears the active transaction. The controller dispatch loop is
+// single-threaded, so one active transaction suffices.
+func (m *Manager) SetActive(tx *Txn) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.active = tx
+}
+
+// Active returns the transaction messages are currently journaled into.
+func (m *Manager) Active() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.active
+}
+
+// Hook returns the outbound hook maintaining shadow state and the
+// journal. Messages are never rewritten or suppressed — NetLog is an
+// observer on the forward path.
+func (m *Manager) Hook() controller.OutboundHook {
+	return func(dpid uint64, msg openflow.Message) (openflow.Message, error) {
+		fm, ok := msg.(*openflow.FlowMod)
+		if !ok {
+			return msg, nil
+		}
+		// Capture live counters for entries this write may destroy,
+		// before any state changes (§3.2: NetLog "stores and maintains
+		// the timeout and counter information of a flow table entry
+		// before deleting it"). Only transactional writes pay this cost.
+		var live map[strictKey]openflow.FlowStatsEntry
+		if m.txnOpenAndForward() && fm.Command != openflow.FlowModAdd {
+			live = m.liveCounters(dpid, fm)
+		}
+
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.rollback > 0 {
+			// Inverse messages: shadow updates are applied directly by
+			// the abort path; pass through untouched.
+			return msg, nil
+		}
+		undo := m.computeUndo(dpid, fm)
+		for i, e := range undo.restore {
+			if ls, ok := live[strictKey{e.Match, e.Priority}]; ok {
+				undo.restore[i].PacketCount = ls.PacketCount
+				undo.restore[i].ByteCount = ls.ByteCount
+			}
+		}
+		if _, err := m.shadow(dpid).Apply(fm); err != nil {
+			// The switch will reject it too; nothing to journal.
+			return msg, nil
+		}
+		m.noteCounterEviction(dpid, fm)
+		if m.active != nil && m.active.state == TxnOpen {
+			m.active.ops = append(m.active.ops, undo)
+			m.active.dpids[dpid] = true
+		}
+		return msg, nil
+	}
+}
+
+// txnOpenAndForward reports whether an open transaction is active and
+// we are on the forward (non-rollback) path.
+func (m *Manager) txnOpenAndForward() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rollback == 0 && m.active != nil && m.active.state == TxnOpen
+}
+
+// liveCounters reads the switch's current counters for entries a
+// destructive FlowMod may touch. Best effort: a failed read simply
+// leaves zero counters in the journal.
+func (m *Manager) liveCounters(dpid uint64, fm *openflow.FlowMod) map[strictKey]openflow.FlowStatsEntry {
+	sr, ok := m.sender.(StatsRequester)
+	if !ok {
+		return nil
+	}
+	outPort := openflow.PortNone
+	if fm.Command == openflow.FlowModDelete || fm.Command == openflow.FlowModDeleteStrict {
+		outPort = fm.OutPort
+	}
+	reply, err := sr.RequestStats(dpid, &openflow.StatsRequest{
+		StatsType: openflow.StatsTypeFlow,
+		Flow:      &openflow.FlowStatsRequest{Match: fm.Match, TableID: 0xff, OutPort: outPort},
+	})
+	if err != nil {
+		return nil
+	}
+	out := make(map[strictKey]openflow.FlowStatsEntry, len(reply.Flows))
+	for _, f := range reply.Flows {
+		out[strictKey{f.Match.Normalize(), f.Priority}] = f
+	}
+	return out
+}
+
+// computeUndo derives the inverse of fm against the current shadow.
+// Caller holds m.mu.
+func (m *Manager) computeUndo(dpid uint64, fm *openflow.FlowMod) undoOp {
+	sh := m.shadow(dpid)
+	norm := fm.Match.Normalize()
+	op := undoOp{dpid: dpid}
+	switch fm.Command {
+	case openflow.FlowModAdd:
+		if prev := findStrict(sh, norm, fm.Priority); prev != nil {
+			op.restore = append(op.restore, prev)
+		} else {
+			op.remove = append(op.remove, strictKey{norm, fm.Priority})
+		}
+	case openflow.FlowModModify, openflow.FlowModModifyStrict:
+		strict := fm.Command == openflow.FlowModModifyStrict
+		affected := selectEntries(sh, norm, fm.Priority, strict)
+		if len(affected) == 0 {
+			// Behaves as an add.
+			op.remove = append(op.remove, strictKey{norm, fm.Priority})
+		} else {
+			op.restore = append(op.restore, affected...)
+		}
+	case openflow.FlowModDelete, openflow.FlowModDeleteStrict:
+		strict := fm.Command == openflow.FlowModDeleteStrict
+		victims := selectEntries(sh, norm, fm.Priority, strict)
+		// out_port filtering must mirror the table's semantics.
+		for _, v := range victims {
+			if fm.OutPort != openflow.PortNone && !outputsTo(v, fm.OutPort) {
+				continue
+			}
+			op.restore = append(op.restore, v)
+		}
+	}
+	return op
+}
+
+// noteCounterEviction clears counter-cache entries whose flow is being
+// genuinely deleted or replaced (the adjustment must not outlive the
+// rule identity it corrects). Caller holds m.mu.
+func (m *Manager) noteCounterEviction(dpid uint64, fm *openflow.FlowMod) {
+	norm := fm.Match.Normalize()
+	switch fm.Command {
+	case openflow.FlowModAdd:
+		delete(m.counters, counterKey{dpid, norm, fm.Priority})
+	case openflow.FlowModDelete, openflow.FlowModDeleteStrict:
+		for k := range m.counters {
+			if k.dpid != dpid {
+				continue
+			}
+			if fm.Command == openflow.FlowModDeleteStrict {
+				if k.match == norm && k.priority == fm.Priority {
+					delete(m.counters, k)
+				}
+			} else if norm.Subsumes(&k.match) {
+				delete(m.counters, k)
+			}
+		}
+	}
+}
+
+func findStrict(sh *flowtable.Table, norm openflow.Match, prio uint16) *flowtable.Entry {
+	for _, e := range sh.Entries() {
+		if e.Match == norm && e.Priority == prio {
+			return e
+		}
+	}
+	return nil
+}
+
+func selectEntries(sh *flowtable.Table, norm openflow.Match, prio uint16, strict bool) []*flowtable.Entry {
+	var out []*flowtable.Entry
+	for _, e := range sh.Entries() {
+		if strict {
+			if e.Match == norm && e.Priority == prio {
+				out = append(out, e)
+			}
+		} else if norm.Subsumes(&e.Match) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func outputsTo(e *flowtable.Entry, port uint16) bool {
+	for _, a := range e.Actions {
+		if o, ok := a.(*openflow.ActionOutput); ok && o.Port == port {
+			return true
+		}
+	}
+	return false
+}
+
+// Commit finalizes the transaction: barriers flush every touched switch
+// and the journal is discarded.
+func (t *Txn) Commit() error {
+	t.m.mu.Lock()
+	if t.state != TxnOpen {
+		t.m.mu.Unlock()
+		return ErrTxnClosed
+	}
+	t.state = TxnCommitted
+	if t.m.active == t {
+		t.m.active = nil
+	}
+	t.m.CommittedTxns.Add(1)
+	dpids := keys(t.dpids)
+	t.m.mu.Unlock()
+	for _, d := range dpids {
+		if err := t.m.sender.Barrier(d); err != nil {
+			return fmt.Errorf("netlog: commit barrier to %d: %w", d, err)
+		}
+	}
+	return nil
+}
+
+// Abort rolls back every journaled operation in reverse order, restoring
+// destroyed entries with their remaining timeout budget and feeding their
+// counter values into the counter-cache.
+func (t *Txn) Abort() error {
+	t.m.mu.Lock()
+	if t.state != TxnOpen {
+		t.m.mu.Unlock()
+		return ErrTxnClosed
+	}
+	t.state = TxnAborted
+	if t.m.active == t {
+		t.m.active = nil
+	}
+	t.m.rollback++
+	ops := t.ops
+	t.m.mu.Unlock()
+
+	var firstErr error
+	now := t.m.clock.Now()
+	for i := len(ops) - 1; i >= 0; i-- {
+		op := ops[i]
+		for _, k := range op.remove {
+			fm := &openflow.FlowMod{
+				Match:    k.match,
+				Command:  openflow.FlowModDeleteStrict,
+				Priority: k.priority,
+				BufferID: openflow.BufferIDNone,
+				OutPort:  openflow.PortNone,
+			}
+			if err := t.m.send(op.dpid, fm); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			t.m.mu.Lock()
+			t.m.shadow(op.dpid).Apply(fm)
+			t.m.RolledBackMods.Add(1)
+			t.m.mu.Unlock()
+		}
+		for _, e := range op.restore {
+			fm := restoreFlowMod(e, now)
+			if err := t.m.send(op.dpid, fm); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			t.m.mu.Lock()
+			// Shadow restore preserves the original metadata exactly.
+			t.m.shadow(op.dpid).InsertEntry(e)
+			if e.PacketCount > 0 || e.ByteCount > 0 {
+				key := counterKey{op.dpid, e.Match, e.Priority}
+				adj := t.m.counters[key]
+				adj.packets += e.PacketCount
+				adj.bytes += e.ByteCount
+				t.m.counters[key] = adj
+			}
+			t.m.RolledBackMods.Add(1)
+			t.m.mu.Unlock()
+		}
+	}
+
+	t.m.mu.Lock()
+	t.m.rollback--
+	t.m.Rollbacks.Add(1)
+	dpids := keys(t.dpids)
+	t.m.mu.Unlock()
+	for _, d := range dpids {
+		if err := t.m.sender.Barrier(d); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// send forwards one rollback message. The outbound hook sees it while
+// m.rollback > 0 and passes it through without journaling.
+func (m *Manager) send(dpid uint64, msg openflow.Message) error {
+	return m.sender.SendMessage(dpid, msg)
+}
+
+// restoreFlowMod builds the ADD that resurrects a destroyed entry. The
+// hard timeout carries only its unspent budget; the idle timeout is
+// reinstated whole (an idle flow's clock restarts, the closest the wire
+// protocol allows).
+func restoreFlowMod(e *flowtable.Entry, now time.Time) *openflow.FlowMod {
+	hard := e.HardTimeout
+	if hard > 0 {
+		spent := now.Sub(e.Installed)
+		remaining := int(hard) - int(spent/time.Second)
+		if remaining < 1 {
+			remaining = 1 // about to expire: give it the minimum budget
+		}
+		hard = uint16(remaining)
+	}
+	return &openflow.FlowMod{
+		Match:       e.Match,
+		Cookie:      e.Cookie,
+		Command:     openflow.FlowModAdd,
+		IdleTimeout: e.IdleTimeout,
+		HardTimeout: hard,
+		Priority:    e.Priority,
+		BufferID:    openflow.BufferIDNone,
+		OutPort:     openflow.PortNone,
+		Flags:       e.Flags,
+		Actions:     openflow.CopyActions(e.Actions),
+	}
+}
+
+// State reports the transaction's lifecycle state.
+func (t *Txn) State() TxnState {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	return t.state
+}
+
+// Ops reports how many operations the journal holds.
+func (t *Txn) Ops() int {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	return len(t.ops)
+}
+
+// RewriteStats folds cached counters into flow statistics replies, so an
+// app reading stats after a rollback sees the counters the flow had
+// accumulated before it was (transiently) destroyed.
+func (m *Manager) RewriteStats(dpid uint64, reply *openflow.StatsReply) {
+	if reply.StatsType != openflow.StatsTypeFlow {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range reply.Flows {
+		f := &reply.Flows[i]
+		key := counterKey{dpid, f.Match.Normalize(), f.Priority}
+		if adj, ok := m.counters[key]; ok {
+			f.PacketCount += adj.packets
+			f.ByteCount += adj.bytes
+		}
+	}
+}
+
+// AdjustFlowRemoved folds cached counters into a FlowRemoved message, so
+// final accounting survives rollbacks too.
+func (m *Manager) AdjustFlowRemoved(dpid uint64, fr *openflow.FlowRemoved) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := counterKey{dpid, fr.Match.Normalize(), fr.Priority}
+	if adj, ok := m.counters[key]; ok {
+		fr.PacketCount += adj.packets
+		fr.ByteCount += adj.bytes
+		delete(m.counters, key)
+	}
+}
+
+// CounterCacheSize reports how many counter adjustments are live.
+func (m *Manager) CounterCacheSize() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.counters)
+}
+
+// --- controller.App: shadow maintenance from switch events ---
+
+// Name implements controller.App.
+func (m *Manager) Name() string { return "netlog" }
+
+// Subscriptions implements controller.App.
+func (m *Manager) Subscriptions() []controller.EventKind {
+	return []controller.EventKind{
+		controller.EventFlowRemoved,
+		controller.EventSwitchUp,
+		controller.EventSwitchDown,
+	}
+}
+
+// HandleEvent implements controller.App: it keeps shadows honest as the
+// network evolves on its own (expirations, switch churn) and corrects
+// FlowRemoved counters in place before later apps observe them.
+func (m *Manager) HandleEvent(ctx controller.Context, ev controller.Event) error {
+	switch ev.Kind {
+	case controller.EventFlowRemoved:
+		fr, ok := ev.Message.(*openflow.FlowRemoved)
+		if !ok {
+			return nil
+		}
+		m.AdjustFlowRemoved(ev.DPID, fr)
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.shadow(ev.DPID).Apply(&openflow.FlowMod{
+			Match:    fr.Match,
+			Command:  openflow.FlowModDeleteStrict,
+			Priority: fr.Priority,
+			BufferID: openflow.BufferIDNone,
+			OutPort:  openflow.PortNone,
+		})
+	case controller.EventSwitchUp:
+		m.resetShadow(ev.DPID)
+		m.resyncShadow(ctx, ev.DPID)
+	case controller.EventSwitchDown:
+		// A departing switch invalidates its shadow; a reconnect will
+		// resync from flow stats.
+		m.resetShadow(ev.DPID)
+	}
+	return nil
+}
+
+func (m *Manager) resetShadow(dpid uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.shadows, dpid)
+	for k := range m.counters {
+		if k.dpid == dpid {
+			delete(m.counters, k)
+		}
+	}
+}
+
+// resyncShadow rebuilds a shadow from the switch's own flow table, so a
+// reconnecting switch that kept state across the outage is mirrored
+// faithfully. Failures leave the shadow empty; it relearns from writes.
+func (m *Manager) resyncShadow(ctx controller.Context, dpid uint64) {
+	if ctx == nil {
+		return
+	}
+	reply, err := ctx.RequestStats(dpid, &openflow.StatsRequest{StatsType: openflow.StatsTypeFlow})
+	if err != nil {
+		return
+	}
+	now := m.clock.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sh := m.shadow(dpid)
+	for _, f := range reply.Flows {
+		sh.InsertEntry(&flowtable.Entry{
+			Match:       f.Match,
+			Priority:    f.Priority,
+			Cookie:      f.Cookie,
+			IdleTimeout: f.IdleTimeout,
+			HardTimeout: f.HardTimeout,
+			Actions:     f.Actions,
+			PacketCount: f.PacketCount,
+			ByteCount:   f.ByteCount,
+			Installed:   now.Add(-time.Duration(f.DurationSec) * time.Second),
+			LastMatched: now,
+		})
+	}
+}
+
+func keys(set map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SyncTouched barriers every switch the transaction has written to, so
+// a subsequent invariant check observes all of the transaction's
+// effects. Callable only while the transaction is open.
+func (t *Txn) SyncTouched() error {
+	t.m.mu.Lock()
+	if t.state != TxnOpen {
+		t.m.mu.Unlock()
+		return ErrTxnClosed
+	}
+	dpids := keys(t.dpids)
+	t.m.mu.Unlock()
+	for _, d := range dpids {
+		if err := t.m.sender.Barrier(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

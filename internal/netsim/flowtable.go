@@ -1,0 +1,38 @@
+package netsim
+
+import "legosdn/internal/flowtable"
+
+// The flow-table machinery lives in package flowtable so NetLog's
+// shadow tables share the switch implementation; these aliases keep the
+// simulator's API surface self-contained.
+
+// Clock abstracts time for deterministic tests; see flowtable.Clock.
+type Clock = flowtable.Clock
+
+// RealClock reads the system clock.
+type RealClock = flowtable.RealClock
+
+// FakeClock is a manually advanced clock for tests.
+type FakeClock = flowtable.FakeClock
+
+// NewFakeClock returns a fake clock starting at start.
+var NewFakeClock = flowtable.NewFakeClock
+
+// FlowTable is one switch's flow table.
+type FlowTable = flowtable.Table
+
+// NewFlowTable returns an empty table (RealClock if clock is nil).
+func NewFlowTable(clock Clock) *FlowTable { return flowtable.New(clock) }
+
+// FlowEntry is one installed rule.
+type FlowEntry = flowtable.Entry
+
+// Removed pairs an evicted entry with its removal reason.
+type Removed = flowtable.Removed
+
+// Table-capacity and overlap errors, re-exported for callers matching
+// on error identity.
+var (
+	ErrTableFull = flowtable.ErrTableFull
+	ErrOverlap   = flowtable.ErrOverlap
+)

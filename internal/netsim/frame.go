@@ -1,0 +1,222 @@
+// Package netsim is the network substrate LegoSDN is evaluated on: a
+// simulator of OpenFlow 1.0 switches, links and hosts. Switches keep
+// real flow tables with priorities, idle/hard timeouts and packet/byte
+// counters, speak the openflow wire protocol over net.Conn (TCP or
+// in-memory pipes), and forward real Ethernet frames hop by hop. The
+// paper evaluated LegoSDN on FloodLight with emulated switches; this
+// package plays that role, exercising the same control loop
+// (PacketIn -> SDN-App -> FlowMod/PacketOut) over the same wire format.
+package netsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"legosdn/internal/openflow"
+)
+
+// EtherType values the simulator understands.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+	EtherTypeVLAN uint16 = 0x8100
+)
+
+// IP protocol numbers used in generated traffic.
+const (
+	IPProtoICMP uint8 = 1
+	IPProtoTCP  uint8 = 6
+	IPProtoUDP  uint8 = 17
+)
+
+// ErrFrameTooShort reports a frame too small to carry its headers.
+var ErrFrameTooShort = errors.New("netsim: frame too short")
+
+// Frame is a parsed Ethernet frame. It carries exactly the fields an
+// OpenFlow 1.0 match can test, plus an opaque payload.
+type Frame struct {
+	DlSrc     openflow.EthAddr
+	DlDst     openflow.EthAddr
+	DlVlan    uint16 // 0 = untagged
+	DlVlanPcp uint8
+	DlType    uint16
+	NwSrc     uint32
+	NwDst     uint32
+	NwTos     uint8
+	NwProto   uint8
+	TpSrc     uint16
+	TpDst     uint16
+	Payload   []byte
+}
+
+// Fields projects the frame onto an OpenFlow match tuple, with the
+// given ingress port.
+func (f *Frame) Fields(inPort uint16) openflow.PacketFields {
+	return openflow.PacketFields{
+		InPort:    inPort,
+		DlSrc:     f.DlSrc,
+		DlDst:     f.DlDst,
+		DlVlan:    f.DlVlan,
+		DlVlanPcp: f.DlVlanPcp,
+		DlType:    f.DlType,
+		NwTos:     f.NwTos,
+		NwProto:   f.NwProto,
+		NwSrc:     f.NwSrc,
+		NwDst:     f.NwDst,
+		TpSrc:     f.TpSrc,
+		TpDst:     f.TpDst,
+	}
+}
+
+// Marshal encodes the frame as real Ethernet II bytes: optional 802.1Q
+// tag, and for IPv4 a 20-byte header followed by the first 4 transport
+// bytes (ports) when NwProto is TCP or UDP. ARP frames carry a minimal
+// ARP body holding the sender/target IPs.
+func (f *Frame) Marshal() []byte {
+	size := 14 + len(f.Payload)
+	if f.DlVlan != 0 {
+		size += 4
+	}
+	switch f.DlType {
+	case EtherTypeIPv4:
+		size += 20
+		if f.NwProto == IPProtoTCP || f.NwProto == IPProtoUDP {
+			size += 4
+		}
+	case EtherTypeARP:
+		size += 28
+	}
+	b := make([]byte, 0, size)
+	b = append(b, f.DlDst[:]...)
+	b = append(b, f.DlSrc[:]...)
+	if f.DlVlan != 0 {
+		b = binary.BigEndian.AppendUint16(b, EtherTypeVLAN)
+		tci := f.DlVlan&0x0fff | uint16(f.DlVlanPcp&0x7)<<13
+		b = binary.BigEndian.AppendUint16(b, tci)
+	}
+	b = binary.BigEndian.AppendUint16(b, f.DlType)
+	switch f.DlType {
+	case EtherTypeIPv4:
+		ihl := byte(0x45) // version 4, 5 words
+		b = append(b, ihl, f.NwTos)
+		totalLen := 20 + len(f.Payload)
+		if f.NwProto == IPProtoTCP || f.NwProto == IPProtoUDP {
+			totalLen += 4
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(totalLen))
+		b = append(b, 0, 0, 0, 0) // id, flags+frag
+		b = append(b, 64, f.NwProto, 0, 0)
+		b = binary.BigEndian.AppendUint32(b, f.NwSrc)
+		b = binary.BigEndian.AppendUint32(b, f.NwDst)
+		if f.NwProto == IPProtoTCP || f.NwProto == IPProtoUDP {
+			b = binary.BigEndian.AppendUint16(b, f.TpSrc)
+			b = binary.BigEndian.AppendUint16(b, f.TpDst)
+		}
+	case EtherTypeARP:
+		// hw type ethernet, proto ipv4, sizes, opcode = NwProto (request/reply).
+		b = binary.BigEndian.AppendUint16(b, 1)
+		b = binary.BigEndian.AppendUint16(b, EtherTypeIPv4)
+		b = append(b, 6, 4)
+		b = binary.BigEndian.AppendUint16(b, uint16(f.NwProto))
+		b = append(b, f.DlSrc[:]...)
+		b = binary.BigEndian.AppendUint32(b, f.NwSrc)
+		b = append(b, f.DlDst[:]...)
+		b = binary.BigEndian.AppendUint32(b, f.NwDst)
+	}
+	b = append(b, f.Payload...)
+	return b
+}
+
+// ParseFrame decodes frame bytes produced by Marshal (or by any real
+// Ethernet source following the same layering).
+func ParseFrame(b []byte) (*Frame, error) {
+	if len(b) < 14 {
+		return nil, ErrFrameTooShort
+	}
+	f := &Frame{}
+	copy(f.DlDst[:], b[0:6])
+	copy(f.DlSrc[:], b[6:12])
+	et := binary.BigEndian.Uint16(b[12:14])
+	off := 14
+	if et == EtherTypeVLAN {
+		if len(b) < 18 {
+			return nil, ErrFrameTooShort
+		}
+		tci := binary.BigEndian.Uint16(b[14:16])
+		f.DlVlan = tci & 0x0fff
+		f.DlVlanPcp = uint8(tci >> 13)
+		et = binary.BigEndian.Uint16(b[16:18])
+		off = 18
+	}
+	f.DlType = et
+	switch et {
+	case EtherTypeIPv4:
+		if len(b) < off+20 {
+			return nil, fmt.Errorf("%w: ipv4 header", ErrFrameTooShort)
+		}
+		ip := b[off:]
+		f.NwTos = ip[1]
+		f.NwProto = ip[9]
+		f.NwSrc = binary.BigEndian.Uint32(ip[12:16])
+		f.NwDst = binary.BigEndian.Uint32(ip[16:20])
+		off += 20
+		if f.NwProto == IPProtoTCP || f.NwProto == IPProtoUDP {
+			if len(b) < off+4 {
+				return nil, fmt.Errorf("%w: transport ports", ErrFrameTooShort)
+			}
+			f.TpSrc = binary.BigEndian.Uint16(b[off : off+2])
+			f.TpDst = binary.BigEndian.Uint16(b[off+2 : off+4])
+			off += 4
+		}
+	case EtherTypeARP:
+		if len(b) < off+28 {
+			return nil, fmt.Errorf("%w: arp body", ErrFrameTooShort)
+		}
+		arp := b[off:]
+		f.NwProto = uint8(binary.BigEndian.Uint16(arp[6:8]))
+		f.NwSrc = binary.BigEndian.Uint32(arp[14:18])
+		f.NwDst = binary.BigEndian.Uint32(arp[24:28])
+		off += 28
+	}
+	f.Payload = append([]byte(nil), b[off:]...)
+	return f, nil
+}
+
+// ApplyActions produces the frame that results from executing the
+// header-rewriting actions in order, and collects the output ports (and
+// enqueue targets) in sequence. The returned frame is a copy; the input
+// is not mutated.
+func ApplyActions(f *Frame, actions []openflow.Action) (out Frame, ports []uint16) {
+	out = *f
+	out.Payload = f.Payload // payload is never rewritten; sharing is safe
+	for _, a := range actions {
+		switch v := a.(type) {
+		case *openflow.ActionOutput:
+			ports = append(ports, v.Port)
+		case *openflow.ActionEnqueue:
+			ports = append(ports, v.Port)
+		case *openflow.ActionSetVlanVID:
+			out.DlVlan = v.VlanVID
+		case *openflow.ActionSetVlanPCP:
+			out.DlVlanPcp = v.VlanPCP
+		case *openflow.ActionStripVlan:
+			out.DlVlan, out.DlVlanPcp = 0, 0
+		case *openflow.ActionSetDlSrc:
+			out.DlSrc = v.Addr
+		case *openflow.ActionSetDlDst:
+			out.DlDst = v.Addr
+		case *openflow.ActionSetNwSrc:
+			out.NwSrc = v.Addr
+		case *openflow.ActionSetNwDst:
+			out.NwDst = v.Addr
+		case *openflow.ActionSetNwTos:
+			out.NwTos = v.Tos
+		case *openflow.ActionSetTpSrc:
+			out.TpSrc = v.Port
+		case *openflow.ActionSetTpDst:
+			out.TpDst = v.Port
+		}
+	}
+	return out, ports
+}

@@ -1,0 +1,174 @@
+package netsim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"legosdn/internal/openflow"
+)
+
+func TestFrameRoundTripTCP(t *testing.T) {
+	f := &Frame{
+		DlSrc:   openflow.EthAddr{1, 2, 3, 4, 5, 6},
+		DlDst:   openflow.EthAddr{6, 5, 4, 3, 2, 1},
+		DlType:  EtherTypeIPv4,
+		NwSrc:   0x0a000001,
+		NwDst:   0x0a000002,
+		NwTos:   0x10,
+		NwProto: IPProtoTCP,
+		TpSrc:   12345,
+		TpDst:   80,
+		Payload: []byte("GET /"),
+	}
+	got, err := ParseFrame(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, f) {
+		t.Fatalf("round trip mismatch\n got %+v\nwant %+v", got, f)
+	}
+}
+
+func TestFrameRoundTripVlan(t *testing.T) {
+	f := &Frame{
+		DlSrc:     openflow.EthAddr{1, 0, 0, 0, 0, 1},
+		DlDst:     openflow.EthAddr{1, 0, 0, 0, 0, 2},
+		DlVlan:    42,
+		DlVlanPcp: 3,
+		DlType:    EtherTypeIPv4,
+		NwSrc:     1,
+		NwDst:     2,
+		NwProto:   IPProtoICMP,
+		Payload:   []byte{0xde},
+	}
+	got, err := ParseFrame(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, f) {
+		t.Fatalf("vlan round trip mismatch\n got %+v\nwant %+v", got, f)
+	}
+}
+
+func TestFrameRoundTripARP(t *testing.T) {
+	f := &Frame{
+		DlSrc:   openflow.EthAddr{1, 0, 0, 0, 0, 1},
+		DlDst:   openflow.EthAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		DlType:  EtherTypeARP,
+		NwProto: 1,
+		NwSrc:   0x0a000001,
+		NwDst:   0x0a000002,
+	}
+	got, err := ParseFrame(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, f) {
+		t.Fatalf("arp round trip mismatch\n got %+v\nwant %+v", got, f)
+	}
+}
+
+func TestParseFrameErrors(t *testing.T) {
+	if _, err := ParseFrame([]byte{1, 2, 3}); err == nil {
+		t.Error("short frame should fail")
+	}
+	// Valid ethernet header claiming IPv4 but truncated.
+	b := make([]byte, 14)
+	b[12], b[13] = 0x08, 0x00
+	if _, err := ParseFrame(b); err == nil {
+		t.Error("truncated ipv4 should fail")
+	}
+	// VLAN tag truncated.
+	b2 := make([]byte, 15)
+	b2[12], b2[13] = 0x81, 0x00
+	if _, err := ParseFrame(b2); err == nil {
+		t.Error("truncated vlan should fail")
+	}
+}
+
+// Property: Marshal/ParseFrame is the identity for generated traffic.
+func TestQuickFrameRoundTrip(t *testing.T) {
+	protos := []uint8{IPProtoICMP, IPProtoTCP, IPProtoUDP}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fr := &Frame{
+			DlType:  EtherTypeIPv4,
+			NwSrc:   r.Uint32(),
+			NwDst:   r.Uint32(),
+			NwTos:   uint8(r.Uint32()),
+			NwProto: protos[r.Intn(len(protos))],
+			Payload: make([]byte, r.Intn(100)),
+		}
+		r.Read(fr.DlSrc[:])
+		r.Read(fr.DlDst[:])
+		r.Read(fr.Payload)
+		if len(fr.Payload) == 0 {
+			fr.Payload = nil
+		}
+		if fr.NwProto == IPProtoTCP || fr.NwProto == IPProtoUDP {
+			fr.TpSrc = uint16(r.Uint32())
+			fr.TpDst = uint16(r.Uint32())
+		}
+		if r.Intn(2) == 0 {
+			fr.DlVlan = uint16(r.Intn(4095) + 1)
+			fr.DlVlanPcp = uint8(r.Intn(8))
+		}
+		got, err := ParseFrame(fr.Marshal())
+		if err != nil {
+			return false
+		}
+		if len(got.Payload) == 0 {
+			got.Payload = nil
+		}
+		return reflect.DeepEqual(got, fr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyActionsRewrites(t *testing.T) {
+	f := &Frame{DlType: EtherTypeIPv4, NwProto: IPProtoTCP, NwSrc: 1, NwDst: 2, TpDst: 80}
+	out, ports := ApplyActions(f, []openflow.Action{
+		&openflow.ActionSetNwDst{Addr: 99},
+		&openflow.ActionSetTpDst{Port: 8080},
+		&openflow.ActionSetDlDst{Addr: openflow.EthAddr{9, 9, 9, 9, 9, 9}},
+		&openflow.ActionOutput{Port: 3},
+		&openflow.ActionEnqueue{Port: 4, QueueID: 1},
+	})
+	if out.NwDst != 99 || out.TpDst != 8080 || (out.DlDst != openflow.EthAddr{9, 9, 9, 9, 9, 9}) {
+		t.Errorf("rewrites not applied: %+v", out)
+	}
+	if len(ports) != 2 || ports[0] != 3 || ports[1] != 4 {
+		t.Errorf("ports = %v, want [3 4]", ports)
+	}
+	// Input must be untouched.
+	if f.NwDst != 2 || f.TpDst != 80 {
+		t.Error("ApplyActions mutated its input")
+	}
+}
+
+func TestApplyActionsVlan(t *testing.T) {
+	f := &Frame{DlVlan: 5, DlVlanPcp: 2, DlType: EtherTypeIPv4}
+	out, _ := ApplyActions(f, []openflow.Action{&openflow.ActionStripVlan{}})
+	if out.DlVlan != 0 || out.DlVlanPcp != 0 {
+		t.Error("strip vlan failed")
+	}
+	out2, _ := ApplyActions(f, []openflow.Action{
+		&openflow.ActionSetVlanVID{VlanVID: 7},
+		&openflow.ActionSetVlanPCP{VlanPCP: 6},
+	})
+	if out2.DlVlan != 7 || out2.DlVlanPcp != 6 {
+		t.Error("set vlan failed")
+	}
+}
+
+func TestFrameFields(t *testing.T) {
+	f := &Frame{DlType: EtherTypeIPv4, NwProto: IPProtoUDP, TpSrc: 53}
+	p := f.Fields(9)
+	if p.InPort != 9 || p.DlType != EtherTypeIPv4 || p.TpSrc != 53 {
+		t.Errorf("fields projection wrong: %+v", p)
+	}
+}

@@ -1,0 +1,11 @@
+package netsim
+
+import "legosdn/internal/openflow"
+
+// exactMatch builds a match constraining only the input port.
+func exactMatch(inPort uint16) openflow.Match {
+	m := openflow.MatchAll()
+	m.Wildcards &^= openflow.WildcardInPort
+	m.InPort = inPort
+	return m
+}

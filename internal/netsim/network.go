@@ -1,0 +1,489 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"legosdn/internal/openflow"
+)
+
+// endpoint identifies one end of a link: a switch port or a host.
+type endpoint struct {
+	dpid uint64 // 0 when host != ""
+	port uint16
+	host string
+}
+
+// Link is a bidirectional cable between two endpoints.
+type Link struct {
+	a, b endpoint
+	down bool
+	// latency delays each frame crossing the link; loss drops a
+	// fraction of them. Zero values model an ideal cable.
+	latency time.Duration
+	loss    float64
+}
+
+// Host is an end-station attached to a switch port. Frames delivered to
+// a host are recorded and handed to the optional Receive callback.
+type Host struct {
+	Name string
+	MAC  openflow.EthAddr
+	IP   uint32
+
+	attach endpoint // switch side
+
+	mu       sync.Mutex
+	received []*Frame
+	// Receive, when set, observes every delivered frame.
+	Receive func(*Frame)
+}
+
+// ReceivedCount reports how many frames the host has accepted.
+func (h *Host) ReceivedCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.received)
+}
+
+// Received returns a copy of the delivered frames.
+func (h *Host) Received() []*Frame {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]*Frame(nil), h.received...)
+}
+
+// ClearReceived resets the delivery log.
+func (h *Host) ClearReceived() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.received = nil
+}
+
+func (h *Host) deliver(f *Frame) {
+	h.mu.Lock()
+	h.received = append(h.received, f)
+	cb := h.Receive
+	h.mu.Unlock()
+	if cb != nil {
+		cb(f)
+	}
+}
+
+// Network is a topology of simulated switches, hosts and links. It owns
+// frame delivery between elements and failure injection (link and
+// switch up/down), which surface to the controller as PortStatus
+// events and closed control channels — exactly the event sources the
+// paper's Crash-Pad transforms operate on.
+type Network struct {
+	clock Clock
+
+	mu       sync.Mutex
+	switches map[uint64]*Switch
+	hosts    map[string]*Host
+	links    []*Link
+	attached map[endpoint]*Link
+	lossRng  *rand.Rand
+
+	// LossDrops counts frames shed by lossy links.
+	LossDrops atomic.Uint64
+}
+
+// NewNetwork creates an empty network using clock for all switch
+// timekeeping (RealClock if nil).
+func NewNetwork(clock Clock) *Network {
+	if clock == nil {
+		clock = RealClock{}
+	}
+	return &Network{
+		clock:    clock,
+		switches: make(map[uint64]*Switch),
+		hosts:    make(map[string]*Host),
+		attached: make(map[endpoint]*Link),
+		lossRng:  rand.New(rand.NewSource(1)),
+	}
+}
+
+// AddSwitch creates a switch with the given datapath id.
+func (n *Network) AddSwitch(dpid uint64) *Switch {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s, ok := n.switches[dpid]; ok {
+		return s
+	}
+	s := newSwitch(n, dpid, n.clock)
+	n.switches[dpid] = s
+	return s
+}
+
+// Switch returns the switch with the given dpid, or nil.
+func (n *Network) Switch(dpid uint64) *Switch {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.switches[dpid]
+}
+
+// Switches returns all switches ordered by dpid.
+func (n *Network) Switches() []*Switch {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*Switch, 0, len(n.switches))
+	for _, s := range n.switches {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DPID < out[j].DPID })
+	return out
+}
+
+// Host returns the named host, or nil.
+func (n *Network) Host(name string) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hosts[name]
+}
+
+// Hosts returns all hosts ordered by name.
+func (n *Network) Hosts() []*Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AddHost attaches a new host to a switch port. The switch port is
+// created if absent.
+func (n *Network) AddHost(name string, mac openflow.EthAddr, ip uint32, dpid uint64, port uint16) (*Host, error) {
+	n.mu.Lock()
+	sw, ok := n.switches[dpid]
+	if !ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("netsim: no switch %d", dpid)
+	}
+	if _, dup := n.hosts[name]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("netsim: duplicate host %q", name)
+	}
+	swEnd := endpoint{dpid: dpid, port: port}
+	hostEnd := endpoint{host: name}
+	if _, used := n.attached[swEnd]; used {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("netsim: port %d/%d already wired", dpid, port)
+	}
+	h := &Host{Name: name, MAC: mac, IP: ip, attach: swEnd}
+	n.hosts[name] = h
+	l := &Link{a: swEnd, b: hostEnd}
+	n.links = append(n.links, l)
+	n.attached[swEnd] = l
+	n.attached[hostEnd] = l
+	n.mu.Unlock()
+	sw.addPort(port)
+	return h, nil
+}
+
+// AddLink wires two switch ports together, creating the ports if
+// absent.
+func (n *Network) AddLink(dpidA uint64, portA uint16, dpidB uint64, portB uint16) error {
+	n.mu.Lock()
+	swA, okA := n.switches[dpidA]
+	swB, okB := n.switches[dpidB]
+	if !okA || !okB {
+		n.mu.Unlock()
+		return fmt.Errorf("netsim: link endpoints missing (%d,%d)", dpidA, dpidB)
+	}
+	ea := endpoint{dpid: dpidA, port: portA}
+	eb := endpoint{dpid: dpidB, port: portB}
+	if _, used := n.attached[ea]; used {
+		n.mu.Unlock()
+		return fmt.Errorf("netsim: port %d/%d already wired", dpidA, portA)
+	}
+	if _, used := n.attached[eb]; used {
+		n.mu.Unlock()
+		return fmt.Errorf("netsim: port %d/%d already wired", dpidB, portB)
+	}
+	l := &Link{a: ea, b: eb}
+	n.links = append(n.links, l)
+	n.attached[ea] = l
+	n.attached[eb] = l
+	n.mu.Unlock()
+	swA.addPort(portA)
+	swB.addPort(portB)
+	return nil
+}
+
+// SetLinkProfile applies a latency/loss profile to the link between
+// two switch ports (as SetLinkDown addresses links). Latency delays
+// each frame on the sender's goroutine; loss drops frames with the
+// given probability (seeded, reproducible).
+func (n *Network) SetLinkProfile(dpidA uint64, portA uint16, dpidB uint64, portB uint16, latency time.Duration, loss float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := n.attached[endpoint{dpid: dpidA, port: portA}]
+	if l == nil {
+		return fmt.Errorf("netsim: no link at %d/%d", dpidA, portA)
+	}
+	want := endpoint{dpid: dpidB, port: portB}
+	if l.a != want && l.b != want {
+		return fmt.Errorf("netsim: link at %d/%d does not reach %d/%d", dpidA, portA, dpidB, portB)
+	}
+	l.latency, l.loss = latency, loss
+	return nil
+}
+
+// SetAllLinkProfiles applies one latency/loss profile to every link,
+// including host attachments — a quick way to model a uniform fabric.
+func (n *Network) SetAllLinkProfiles(latency time.Duration, loss float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, l := range n.links {
+		l.latency, l.loss = latency, loss
+	}
+}
+
+// deliver moves a frame from (dpid,port) across its link.
+func (n *Network) deliver(dpid uint64, port uint16, f *Frame, hops int) {
+	n.mu.Lock()
+	l := n.attached[endpoint{dpid: dpid, port: port}]
+	if l == nil || l.down {
+		n.mu.Unlock()
+		return
+	}
+	latency := l.latency
+	if l.loss > 0 && n.lossRng.Float64() < l.loss {
+		n.LossDrops.Add(1)
+		n.mu.Unlock()
+		return
+	}
+	other := l.a
+	if other == (endpoint{dpid: dpid, port: port}) {
+		other = l.b
+	}
+	var sw *Switch
+	var host *Host
+	if other.host != "" {
+		host = n.hosts[other.host]
+	} else {
+		sw = n.switches[other.dpid]
+	}
+	n.mu.Unlock()
+
+	if latency > 0 {
+		// Propagation delay rides on the sender's goroutine, which is
+		// exactly where a store-and-forward hop would stall.
+		time.Sleep(latency)
+	}
+
+	// Copy so downstream mutation cannot alias upstream state.
+	cp := *f
+	switch {
+	case host != nil:
+		// Hosts accept frames addressed to them, broadcast or multicast.
+		if f.DlDst == host.MAC || f.DlDst.IsBroadcast() || f.DlDst.IsMulticast() {
+			if sw := n.Switch(dpid); sw != nil {
+				sw.Delivered.Add(1)
+			}
+			host.deliver(&cp)
+		}
+	case sw != nil:
+		sw.receive(other.port, &cp, hops+1)
+	}
+}
+
+// SendFromHost injects a frame into the network from the named host.
+func (n *Network) SendFromHost(name string, f *Frame) error {
+	n.mu.Lock()
+	h, ok := n.hosts[name]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("netsim: no host %q", name)
+	}
+	l := n.attached[endpoint{host: name}]
+	sw := n.switches[h.attach.dpid]
+	n.mu.Unlock()
+	if l == nil || l.down || sw == nil {
+		return nil // cable unplugged: silently dropped, as in reality
+	}
+	if f.DlSrc == (openflow.EthAddr{}) {
+		f.DlSrc = h.MAC
+	}
+	sw.receive(h.attach.port, f, 0)
+	return nil
+}
+
+// SetLinkDown fails (or restores) the link between two switch ports.
+// Both switches emit PortStatus change notifications.
+func (n *Network) SetLinkDown(dpidA uint64, portA uint16, dpidB uint64, portB uint16, down bool) error {
+	n.mu.Lock()
+	l := n.attached[endpoint{dpid: dpidA, port: portA}]
+	if l == nil {
+		n.mu.Unlock()
+		return fmt.Errorf("netsim: no link at %d/%d", dpidA, portA)
+	}
+	want := endpoint{dpid: dpidB, port: portB}
+	if l.a != want && l.b != want {
+		n.mu.Unlock()
+		return fmt.Errorf("netsim: link at %d/%d does not reach %d/%d", dpidA, portA, dpidB, portB)
+	}
+	l.down = down
+	swA := n.switches[dpidA]
+	swB := n.switches[dpidB]
+	n.mu.Unlock()
+	if swA != nil {
+		swA.setPortLinkState(portA, down)
+	}
+	if swB != nil {
+		swB.setPortLinkState(portB, down)
+	}
+	return nil
+}
+
+// SetSwitchDown fails (or restores) a switch. Failing a switch severs
+// its control channel and marks every adjacent link down, so neighbors
+// emit PortStatus events — the "switch down" event class the paper's
+// equivalence transforms decompose into link downs.
+func (n *Network) SetSwitchDown(dpid uint64, down bool) error {
+	n.mu.Lock()
+	sw, ok := n.switches[dpid]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("netsim: no switch %d", dpid)
+	}
+	type neighbor struct {
+		sw   *Switch
+		port uint16
+	}
+	var neighbors []neighbor
+	for _, l := range n.links {
+		var mine, theirs endpoint
+		switch {
+		case l.a.dpid == dpid && l.a.host == "":
+			mine, theirs = l.a, l.b
+		case l.b.dpid == dpid && l.b.host == "":
+			mine, theirs = l.b, l.a
+		default:
+			continue
+		}
+		_ = mine
+		l.down = down
+		if theirs.host == "" {
+			if other := n.switches[theirs.dpid]; other != nil {
+				neighbors = append(neighbors, neighbor{other, theirs.port})
+			}
+		}
+	}
+	n.mu.Unlock()
+
+	sw.mu.Lock()
+	sw.down = down
+	conn := sw.conn
+	if down {
+		sw.conn = nil
+	}
+	sw.mu.Unlock()
+	if down && conn != nil {
+		conn.Close()
+	}
+	for _, nb := range neighbors {
+		nb.sw.setPortLinkState(nb.port, down)
+	}
+	return nil
+}
+
+// Tick runs one expiry pass over all switches; with a FakeClock this
+// gives tests deterministic flow timeouts.
+func (n *Network) Tick() {
+	for _, s := range n.Switches() {
+		s.Expire()
+	}
+}
+
+// ConnectAll attaches every switch to a controller connection obtained
+// from dial, typically a net.Pipe pair or a TCP dial to the controller
+// listener.
+func (n *Network) ConnectAll(dial func(dpid uint64) (*openflow.Conn, error)) error {
+	for _, s := range n.Switches() {
+		conn, err := dial(s.DPID)
+		if err != nil {
+			return fmt.Errorf("netsim: dialing for switch %d: %w", s.DPID, err)
+		}
+		if err := s.Attach(conn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalLoopDrops sums loop-drop counters across switches; a nonzero
+// value after a quiescent run indicates a forwarding loop.
+func (n *Network) TotalLoopDrops() uint64 {
+	var total uint64
+	for _, s := range n.Switches() {
+		total += s.LoopDrops.Load()
+	}
+	return total
+}
+
+// PeerKind classifies what sits at the far end of a link.
+type PeerKind int
+
+// Peer kinds for Peer lookups.
+const (
+	PeerNone PeerKind = iota // nothing wired, or the link is down
+	PeerSwitch
+	PeerHost
+)
+
+// Peer reports what the given switch port is wired to. Links that are
+// administratively down report PeerNone, matching what the dataplane
+// would experience.
+func (n *Network) Peer(dpid uint64, port uint16) (kind PeerKind, peerDPID uint64, peerPort uint16, hostName string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := n.attached[endpoint{dpid: dpid, port: port}]
+	if l == nil || l.down {
+		return PeerNone, 0, 0, ""
+	}
+	other := l.a
+	if other == (endpoint{dpid: dpid, port: port}) {
+		other = l.b
+	}
+	if other.host != "" {
+		return PeerHost, 0, 0, other.host
+	}
+	return PeerSwitch, other.dpid, other.port, ""
+}
+
+// PortLive reports whether traffic leaving (dpid, port) can reach a live
+// peer: the port exists and is administratively up, the link is up, and
+// a switch peer is not failed. Invariant checkers use this to find
+// black-holes structurally.
+func (n *Network) PortLive(dpid uint64, port uint16) bool {
+	sw := n.Switch(dpid)
+	if sw == nil || sw.Down() {
+		return false
+	}
+	sw.mu.Lock()
+	p, ok := sw.ports[port]
+	dead := !ok || p.Desc.Config&openflow.PortConfigDown != 0 || p.Desc.LinkDown()
+	sw.mu.Unlock()
+	if dead {
+		return false
+	}
+	kind, peerDPID, _, _ := n.Peer(dpid, port)
+	switch kind {
+	case PeerNone:
+		return false
+	case PeerSwitch:
+		peer := n.Switch(peerDPID)
+		return peer != nil && !peer.Down()
+	default:
+		return true
+	}
+}

@@ -1,0 +1,344 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"legosdn/internal/openflow"
+)
+
+// installPath installs forwarding entries along a linear chain so h1
+// can reach hN without a controller, for pure dataplane tests.
+func installPath(t *testing.T, n *Network, dstMAC openflow.EthAddr, hops []struct {
+	dpid uint64
+	out  uint16
+}) {
+	t.Helper()
+	for _, h := range hops {
+		m := openflow.MatchAll()
+		m.Wildcards &^= openflow.WildcardDlDst
+		m.DlDst = dstMAC
+		if _, err := n.Switch(h.dpid).Table().Apply(&openflow.FlowMod{
+			Match: m, Command: openflow.FlowModAdd, Priority: 10,
+			BufferID: openflow.BufferIDNone, OutPort: openflow.PortNone,
+			Actions: []openflow.Action{&openflow.ActionOutput{Port: h.out}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLinearForwarding(t *testing.T) {
+	n := Linear(3, nil)
+	h1, h3 := n.Host("h1"), n.Host("h3")
+	installPath(t, n, h3.MAC, []struct {
+		dpid uint64
+		out  uint16
+	}{{1, 2}, {2, 2}, {3, hostPortBase}})
+
+	if err := n.SendFromHost("h1", TCPFrame(h1, h3, 1, 2, []byte("across"))); err != nil {
+		t.Fatal(err)
+	}
+	if h3.ReceivedCount() != 1 {
+		t.Fatalf("h3 received %d frames", h3.ReceivedCount())
+	}
+	if string(h3.Received()[0].Payload) != "across" {
+		t.Fatal("payload corrupted in transit")
+	}
+}
+
+func TestLinkDownDropsTraffic(t *testing.T) {
+	n := Linear(2, nil)
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	installPath(t, n, h2.MAC, []struct {
+		dpid uint64
+		out  uint16
+	}{{1, 2}, {2, hostPortBase}})
+
+	if err := n.SetLinkDown(1, 2, 2, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	n.SendFromHost("h1", TCPFrame(h1, h2, 1, 2, nil))
+	if h2.ReceivedCount() != 0 {
+		t.Fatal("frame crossed a downed link")
+	}
+	// Restore and retry.
+	if err := n.SetLinkDown(1, 2, 2, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	n.SendFromHost("h1", TCPFrame(h1, h2, 1, 2, nil))
+	if h2.ReceivedCount() != 1 {
+		t.Fatal("restored link does not forward")
+	}
+}
+
+func TestLinkDownEmitsPortStatusBothEnds(t *testing.T) {
+	n := Linear(2, nil)
+	s1, s2 := n.Switch(1), n.Switch(2)
+	ch1, _ := attachTestController(t, s1)
+	ch2, _ := attachTestController(t, s2)
+	if err := n.SetLinkDown(1, 2, 2, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	ps1 := wait(t, ch1, openflow.TypePortStatus).(*openflow.PortStatus)
+	ps2 := wait(t, ch2, openflow.TypePortStatus).(*openflow.PortStatus)
+	if !ps1.Desc.LinkDown() || !ps2.Desc.LinkDown() {
+		t.Fatal("port status did not carry link-down state")
+	}
+	if ps1.Desc.PortNo != 2 || ps2.Desc.PortNo != 1 {
+		t.Fatalf("wrong ports: %d %d", ps1.Desc.PortNo, ps2.Desc.PortNo)
+	}
+}
+
+func TestSwitchDownSeversControlAndLinks(t *testing.T) {
+	n := Linear(3, nil)
+	s2 := n.Switch(2)
+	ch2, _ := attachTestController(t, s2)
+	ch1, _ := attachTestController(t, n.Switch(1))
+
+	if err := n.SetSwitchDown(2, true); err != nil {
+		t.Fatal(err)
+	}
+	// The failed switch's control channel closes.
+	deadline := time.After(2 * time.Second)
+	for {
+		var closed bool
+		select {
+		case _, ok := <-ch2:
+			closed = !ok
+		case <-deadline:
+			t.Fatal("control channel never closed")
+		}
+		if closed {
+			break
+		}
+	}
+	// Neighbor sees its shared link go down.
+	ps := wait(t, ch1, openflow.TypePortStatus).(*openflow.PortStatus)
+	if !ps.Desc.LinkDown() {
+		t.Fatal("neighbor did not observe link down")
+	}
+	if !s2.Down() {
+		t.Fatal("switch not marked down")
+	}
+	// Dataplane through the dead switch is dark.
+	h1, h3 := n.Host("h1"), n.Host("h3")
+	installPath(t, n, h3.MAC, []struct {
+		dpid uint64
+		out  uint16
+	}{{1, 2}, {3, hostPortBase}})
+	n.SendFromHost("h1", TCPFrame(h1, h3, 1, 2, nil))
+	if h3.ReceivedCount() != 0 {
+		t.Fatal("traffic traversed a failed switch")
+	}
+}
+
+func TestForwardingLoopBounded(t *testing.T) {
+	n := Ring(3, nil)
+	// Install "always forward right" on every switch: a deliberate loop.
+	for i := 1; i <= 3; i++ {
+		n.Switch(uint64(i)).Table().Apply(&openflow.FlowMod{
+			Match: openflow.MatchAll(), Command: openflow.FlowModAdd, Priority: 1,
+			BufferID: openflow.BufferIDNone, OutPort: openflow.PortNone,
+			Actions: []openflow.Action{&openflow.ActionOutput{Port: 2}},
+		})
+	}
+	h1 := n.Host("h1")
+	done := make(chan struct{})
+	go func() {
+		n.SendFromHost("h1", TCPFrame(h1, n.Host("h2"), 1, 2, nil))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("loop did not terminate")
+	}
+	if n.TotalLoopDrops() == 0 {
+		t.Fatal("loop drop counter never fired")
+	}
+}
+
+func TestTopologyShapes(t *testing.T) {
+	tests := []struct {
+		name     string
+		n        *Network
+		switches int
+		hosts    int
+	}{
+		{"linear5", Linear(5, nil), 5, 5},
+		{"single4", Single(4, nil), 1, 4},
+		{"tree d3 f2", Tree(3, 2, nil), 7, 8},
+		{"ring4", Ring(4, nil), 4, 4},
+		{"fattree4", FatTree(4, nil), 20, 16},
+		{"random8", Random(8, 3, 1, nil), 8, 8},
+	}
+	for _, tc := range tests {
+		if got := len(tc.n.Switches()); got != tc.switches {
+			t.Errorf("%s: switches = %d, want %d", tc.name, got, tc.switches)
+		}
+		if got := len(tc.n.Hosts()); got != tc.hosts {
+			t.Errorf("%s: hosts = %d, want %d", tc.name, got, tc.hosts)
+		}
+	}
+}
+
+func TestRandomTopologyDeterministic(t *testing.T) {
+	a := Random(10, 5, 42, nil)
+	b := Random(10, 5, 42, nil)
+	if len(a.links) != len(b.links) {
+		t.Fatal("same seed produced different link counts")
+	}
+	for i := range a.links {
+		if a.links[i].a != b.links[i].a || a.links[i].b != b.links[i].b {
+			t.Fatalf("link %d differs", i)
+		}
+	}
+}
+
+func TestAddHostErrors(t *testing.T) {
+	n := NewNetwork(nil)
+	if _, err := n.AddHost("h1", HostMAC(1), HostIP(1), 99, 1); err == nil {
+		t.Error("missing switch should fail")
+	}
+	n.AddSwitch(1)
+	if _, err := n.AddHost("h1", HostMAC(1), HostIP(1), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddHost("h1", HostMAC(2), HostIP(2), 1, 2); err == nil {
+		t.Error("duplicate host name should fail")
+	}
+	if _, err := n.AddHost("h2", HostMAC(2), HostIP(2), 1, 1); err == nil {
+		t.Error("port reuse should fail")
+	}
+}
+
+func TestAddLinkErrors(t *testing.T) {
+	n := NewNetwork(nil)
+	n.AddSwitch(1)
+	if err := n.AddLink(1, 1, 2, 1); err == nil {
+		t.Error("missing endpoint should fail")
+	}
+	n.AddSwitch(2)
+	if err := n.AddLink(1, 1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddLink(1, 1, 2, 2); err == nil {
+		t.Error("port reuse should fail")
+	}
+}
+
+func TestConnectAll(t *testing.T) {
+	n := Linear(3, nil)
+	got := map[uint64]bool{}
+	err := n.ConnectAll(func(dpid uint64) (*openflow.Conn, error) {
+		got[dpid] = true
+		a, b := openflow.Pipe()
+		go func() { // drain the controller side
+			for {
+				if _, err := a.ReadMessage(); err != nil {
+					return
+				}
+			}
+		}()
+		return b, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("dialed %d switches", len(got))
+	}
+}
+
+func TestHostReceiveCallback(t *testing.T) {
+	n := Single(2, nil)
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	var cbCount int
+	h2.Receive = func(*Frame) { cbCount++ }
+	n.Switch(1).Table().Apply(&openflow.FlowMod{
+		Match: openflow.MatchAll(), Command: openflow.FlowModAdd,
+		BufferID: openflow.BufferIDNone, OutPort: openflow.PortNone,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: hostPortBase + 1}},
+	})
+	n.SendFromHost("h1", TCPFrame(h1, h2, 1, 2, nil))
+	if cbCount != 1 {
+		t.Fatalf("callback fired %d times", cbCount)
+	}
+	h2.ClearReceived()
+	if h2.ReceivedCount() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestLinkLatencyDelaysDelivery(t *testing.T) {
+	n := Linear(2, nil)
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	installPath(t, n, h2.MAC, []struct {
+		dpid uint64
+		out  uint16
+	}{{1, 2}, {2, hostPortBase}})
+
+	// Inter-switch link gets 5ms latency; host links stay ideal.
+	if err := n.SetLinkProfile(1, 2, 2, 1, 5*time.Millisecond, 0); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	n.SendFromHost("h1", TCPFrame(h1, h2, 1, 2, nil))
+	elapsed := time.Since(start)
+	if h2.ReceivedCount() != 1 {
+		t.Fatal("frame lost")
+	}
+	if elapsed < 5*time.Millisecond {
+		t.Fatalf("delivery took %v, latency not applied", elapsed)
+	}
+	// Unknown link errors.
+	if err := n.SetLinkProfile(1, 9, 2, 1, time.Millisecond, 0); err == nil {
+		t.Fatal("unknown link should fail")
+	}
+	if err := n.SetLinkProfile(1, 2, 9, 9, time.Millisecond, 0); err == nil {
+		t.Fatal("wrong far end should fail")
+	}
+}
+
+func TestLinkLossDropsFraction(t *testing.T) {
+	n := Linear(2, nil)
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	installPath(t, n, h2.MAC, []struct {
+		dpid uint64
+		out  uint16
+	}{{1, 2}, {2, hostPortBase}})
+	if err := n.SetLinkProfile(1, 2, 2, 1, 0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	const sent = 400
+	for i := 0; i < sent; i++ {
+		n.SendFromHost("h1", TCPFrame(h1, h2, uint16(i), 2, nil))
+	}
+	got := h2.ReceivedCount()
+	if got < sent/4 || got > 3*sent/4 {
+		t.Fatalf("delivered %d of %d at 50%% loss", got, sent)
+	}
+	if n.LossDrops.Load() != uint64(sent-got) {
+		t.Fatalf("loss counter %d, want %d", n.LossDrops.Load(), sent-got)
+	}
+}
+
+func TestSetAllLinkProfiles(t *testing.T) {
+	n := Linear(3, nil)
+	n.SetAllLinkProfiles(time.Millisecond, 0)
+	h1, h3 := n.Host("h1"), n.Host("h3")
+	installPath(t, n, h3.MAC, []struct {
+		dpid uint64
+		out  uint16
+	}{{1, 2}, {2, 2}, {3, hostPortBase}})
+	start := time.Now()
+	n.SendFromHost("h1", TCPFrame(h1, h3, 1, 2, nil))
+	// 4 hops with 1ms each: host->s1, s1->s2, s2->s3, s3->host.
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Fatalf("3-switch path took %v", elapsed)
+	}
+	if h3.ReceivedCount() != 1 {
+		t.Fatal("frame lost")
+	}
+}

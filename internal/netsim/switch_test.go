@@ -1,0 +1,350 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"legosdn/internal/openflow"
+)
+
+// attachTestController wires a switch to an in-memory controller side
+// and returns a channel of asynchronous messages plus a request func
+// for synchronous exchanges.
+func attachTestController(t *testing.T, sw *Switch) (async <-chan openflow.Message, send func(openflow.Message)) {
+	t.Helper()
+	ctrl, swConn := openflow.Pipe()
+	ch := make(chan openflow.Message, 256)
+	go func() {
+		for {
+			m, err := ctrl.ReadMessage()
+			if err != nil {
+				close(ch)
+				return
+			}
+			ch <- m
+		}
+	}()
+	if err := sw.Attach(swConn); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ctrl.Close() })
+	// Consume the switch's Hello.
+	select {
+	case m := <-ch:
+		if m.Type() != openflow.TypeHello {
+			t.Fatalf("first message = %v, want HELLO", m.Type())
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no hello from switch")
+	}
+	return ch, func(m openflow.Message) {
+		if err := ctrl.WriteMessage(m); err != nil {
+			t.Fatalf("controller write: %v", err)
+		}
+	}
+}
+
+func wait(t *testing.T, ch <-chan openflow.Message, want openflow.Type) openflow.Message {
+	t.Helper()
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case m, ok := <-ch:
+			if !ok {
+				t.Fatalf("channel closed waiting for %v", want)
+			}
+			if m.Type() == want {
+				return m
+			}
+		case <-deadline:
+			t.Fatalf("timeout waiting for %v", want)
+		}
+	}
+}
+
+func TestSwitchHandshake(t *testing.T) {
+	n := NewNetwork(nil)
+	sw := n.AddSwitch(42)
+	sw.addPort(1)
+	sw.addPort(2)
+	ch, send := attachTestController(t, sw)
+	send(&openflow.Hello{})
+	send(&openflow.FeaturesRequest{BaseMsg: openflow.BaseMsg{Xid: 5}})
+	fr := wait(t, ch, openflow.TypeFeaturesReply).(*openflow.FeaturesReply)
+	if fr.DatapathID != 42 || fr.Xid != 5 {
+		t.Fatalf("features reply dpid=%d xid=%d", fr.DatapathID, fr.Xid)
+	}
+	if len(fr.Ports) != 2 {
+		t.Fatalf("ports = %d, want 2", len(fr.Ports))
+	}
+}
+
+func TestSwitchEchoAndBarrier(t *testing.T) {
+	n := NewNetwork(nil)
+	sw := n.AddSwitch(1)
+	ch, send := attachTestController(t, sw)
+	send(&openflow.EchoRequest{BaseMsg: openflow.BaseMsg{Xid: 9}, Data: []byte("hb")})
+	er := wait(t, ch, openflow.TypeEchoReply).(*openflow.EchoReply)
+	if er.Xid != 9 || string(er.Data) != "hb" {
+		t.Fatalf("echo reply %+v", er)
+	}
+	send(&openflow.BarrierRequest{BaseMsg: openflow.BaseMsg{Xid: 10}})
+	br := wait(t, ch, openflow.TypeBarrierReply)
+	if br.GetXid() != 10 {
+		t.Fatal("barrier xid mismatch")
+	}
+}
+
+func TestSwitchPacketInOnMiss(t *testing.T) {
+	n := Single(2, nil)
+	sw := n.Switch(1)
+	ch, send := attachTestController(t, sw)
+	send(&openflow.Hello{})
+
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	if err := n.SendFromHost("h1", TCPFrame(h1, h2, 1000, 80, []byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	pin := wait(t, ch, openflow.TypePacketIn).(*openflow.PacketIn)
+	if pin.InPort != hostPortBase {
+		t.Fatalf("in_port = %d, want %d", pin.InPort, hostPortBase)
+	}
+	f, err := ParseFrame(pin.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DlSrc != h1.MAC || f.DlDst != h2.MAC {
+		t.Fatal("packet-in carries wrong frame")
+	}
+	if pin.Reason != openflow.PacketInReasonNoMatch {
+		t.Fatal("wrong reason")
+	}
+}
+
+func TestSwitchFlowModThenForward(t *testing.T) {
+	n := Single(2, nil)
+	sw := n.Switch(1)
+	_, send := attachTestController(t, sw)
+
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	m := openflow.MatchAll()
+	m.Wildcards &^= openflow.WildcardDlDst
+	m.DlDst = h2.MAC
+	send(&openflow.FlowMod{
+		Match: m, Command: openflow.FlowModAdd, Priority: 10,
+		BufferID: openflow.BufferIDNone, OutPort: openflow.PortNone,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: hostPortBase + 1}},
+	})
+	send(&openflow.BarrierRequest{}) // flush
+	waitForTable(t, sw, 1)
+
+	n.SendFromHost("h1", TCPFrame(h1, h2, 1, 2, nil))
+	waitForDelivery(t, h2, 1)
+	got := h2.Received()[0]
+	if got.DlSrc != h1.MAC {
+		t.Fatal("delivered frame corrupted")
+	}
+}
+
+func waitForTable(t *testing.T, sw *Switch, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for sw.Table().Len() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("table never reached %d entries", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func waitForDelivery(t *testing.T, h *Host, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for h.ReceivedCount() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("host %s never received %d frames (got %d)", h.Name, n, h.ReceivedCount())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSwitchPacketOutFlood(t *testing.T) {
+	n := Single(3, nil)
+	sw := n.Switch(1)
+	_, send := attachTestController(t, sw)
+
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	frame := TCPFrame(h1, h2, 5, 6, nil)
+	send(&openflow.PacketOut{
+		BufferID: openflow.BufferIDNone,
+		InPort:   hostPortBase, // h1's port: excluded from flood
+		Actions:  []openflow.Action{&openflow.ActionOutput{Port: openflow.PortFlood}},
+		Data:     frame.Marshal(),
+	})
+	waitForDelivery(t, h2, 1)
+	// h1 (the in-port) and h3 (wrong MAC) must not receive it.
+	if h1.ReceivedCount() != 0 {
+		t.Error("flood went back out the in-port")
+	}
+	if got := n.Host("h3").ReceivedCount(); got != 0 {
+		t.Errorf("h3 accepted frame not addressed to it: %d", got)
+	}
+	_ = sw
+}
+
+func TestSwitchBufferedPacketOut(t *testing.T) {
+	n := Single(2, nil)
+	sw := n.Switch(1)
+	ch, send := attachTestController(t, sw)
+
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	n.SendFromHost("h1", TCPFrame(h1, h2, 1, 2, []byte("buffered")))
+	pin := wait(t, ch, openflow.TypePacketIn).(*openflow.PacketIn)
+	if pin.BufferID == openflow.BufferIDNone {
+		t.Fatal("expected a buffered packet-in")
+	}
+	send(&openflow.PacketOut{
+		BufferID: pin.BufferID,
+		InPort:   openflow.PortNone,
+		Actions:  []openflow.Action{&openflow.ActionOutput{Port: hostPortBase + 1}},
+	})
+	waitForDelivery(t, h2, 1)
+	if string(h2.Received()[0].Payload) != "buffered" {
+		t.Fatal("buffered payload lost")
+	}
+	// Reusing a consumed buffer id must produce an error message.
+	send(&openflow.PacketOut{
+		BufferID: pin.BufferID,
+		InPort:   openflow.PortNone,
+		Actions:  []openflow.Action{&openflow.ActionOutput{Port: hostPortBase + 1}},
+	})
+	em := wait(t, ch, openflow.TypeError).(*openflow.ErrorMsg)
+	if em.ErrType != openflow.ErrTypeBadRequest {
+		t.Fatalf("error type = %v", em.ErrType)
+	}
+	_ = sw
+}
+
+func TestSwitchFlowRemovedNotification(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	n := NewNetwork(clk)
+	sw := n.AddSwitch(1)
+	sw.addPort(1)
+	ch, send := attachTestController(t, sw)
+
+	send(&openflow.FlowMod{
+		Match: exactMatch(1), Command: openflow.FlowModAdd, Priority: 5,
+		IdleTimeout: 1, Flags: openflow.FlowModFlagSendFlowRem,
+		BufferID: openflow.BufferIDNone, OutPort: openflow.PortNone,
+	})
+	send(&openflow.BarrierRequest{})
+	wait(t, ch, openflow.TypeBarrierReply)
+
+	clk.Advance(2 * time.Second)
+	n.Tick()
+	fr := wait(t, ch, openflow.TypeFlowRemoved).(*openflow.FlowRemoved)
+	if fr.Reason != openflow.FlowRemovedIdleTimeout {
+		t.Fatalf("reason = %v", fr.Reason)
+	}
+	if fr.DurationSec != 2 {
+		t.Fatalf("duration = %d, want 2", fr.DurationSec)
+	}
+}
+
+func TestSwitchFlowModErrorReply(t *testing.T) {
+	n := NewNetwork(nil)
+	sw := n.AddSwitch(1)
+	sw.Table().SetMaxSize(1)
+	ch, send := attachTestController(t, sw)
+	send(&openflow.FlowMod{Match: exactMatch(1), Command: openflow.FlowModAdd,
+		BufferID: openflow.BufferIDNone, OutPort: openflow.PortNone})
+	send(&openflow.FlowMod{Match: exactMatch(2), Command: openflow.FlowModAdd,
+		BufferID: openflow.BufferIDNone, OutPort: openflow.PortNone})
+	em := wait(t, ch, openflow.TypeError).(*openflow.ErrorMsg)
+	if em.ErrType != openflow.ErrTypeFlowModFailed || em.Code != openflow.FlowModFailedAllTablesFull {
+		t.Fatalf("error %+v", em)
+	}
+}
+
+func TestSwitchStatsReplies(t *testing.T) {
+	n := Single(2, nil)
+	sw := n.Switch(1)
+	ch, send := attachTestController(t, sw)
+
+	send(&openflow.FlowMod{Match: exactMatch(hostPortBase), Command: openflow.FlowModAdd, Priority: 4,
+		BufferID: openflow.BufferIDNone, OutPort: openflow.PortNone,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: hostPortBase + 1}}})
+	send(&openflow.BarrierRequest{})
+	wait(t, ch, openflow.TypeBarrierReply)
+
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	n.SendFromHost("h1", TCPFrame(h1, h2, 1, 2, []byte("abc")))
+	waitForDelivery(t, h2, 1)
+
+	send(&openflow.StatsRequest{BaseMsg: openflow.BaseMsg{Xid: 3}, StatsType: openflow.StatsTypeFlow})
+	sr := wait(t, ch, openflow.TypeStatsReply).(*openflow.StatsReply)
+	if len(sr.Flows) != 1 || sr.Flows[0].PacketCount != 1 {
+		t.Fatalf("flow stats %+v", sr.Flows)
+	}
+
+	send(&openflow.StatsRequest{StatsType: openflow.StatsTypeAggregate})
+	ar := wait(t, ch, openflow.TypeStatsReply).(*openflow.StatsReply)
+	if ar.Aggregate == nil || ar.Aggregate.FlowCount != 1 {
+		t.Fatalf("aggregate %+v", ar.Aggregate)
+	}
+
+	send(&openflow.StatsRequest{StatsType: openflow.StatsTypePort})
+	pr := wait(t, ch, openflow.TypeStatsReply).(*openflow.StatsReply)
+	if len(pr.Ports) != 2 {
+		t.Fatalf("port stats count = %d", len(pr.Ports))
+	}
+	var sawTraffic bool
+	for _, p := range pr.Ports {
+		if p.RxPackets > 0 || p.TxPackets > 0 {
+			sawTraffic = true
+		}
+	}
+	if !sawTraffic {
+		t.Fatal("port counters never moved")
+	}
+}
+
+func TestSwitchPortMod(t *testing.T) {
+	n := Single(2, nil)
+	sw := n.Switch(1)
+	ch, send := attachTestController(t, sw)
+	send(&openflow.PortMod{
+		PortNo: hostPortBase + 1,
+		Config: openflow.PortConfigDown,
+		Mask:   openflow.PortConfigDown,
+	})
+	ps := wait(t, ch, openflow.TypePortStatus).(*openflow.PortStatus)
+	if ps.Desc.Config&openflow.PortConfigDown == 0 {
+		t.Fatal("port config not applied")
+	}
+	// Traffic to the downed port is dropped.
+	send(&openflow.FlowMod{Match: openflow.MatchAll(), Command: openflow.FlowModAdd,
+		BufferID: openflow.BufferIDNone, OutPort: openflow.PortNone,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: hostPortBase + 1}}})
+	send(&openflow.BarrierRequest{})
+	wait(t, ch, openflow.TypeBarrierReply)
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	n.SendFromHost("h1", TCPFrame(h1, h2, 1, 2, nil))
+	time.Sleep(20 * time.Millisecond)
+	if h2.ReceivedCount() != 0 {
+		t.Fatal("frame crossed an administratively downed port")
+	}
+	_ = sw
+}
+
+func TestSwitchUnknownPortModError(t *testing.T) {
+	n := NewNetwork(nil)
+	sw := n.AddSwitch(1)
+	ch, send := attachTestController(t, sw)
+	send(&openflow.PortMod{PortNo: 99})
+	em := wait(t, ch, openflow.TypeError).(*openflow.ErrorMsg)
+	if em.ErrType != openflow.ErrTypePortModFailed {
+		t.Fatalf("error %+v", em)
+	}
+	_ = sw
+}

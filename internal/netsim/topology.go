@@ -1,0 +1,239 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"legosdn/internal/openflow"
+)
+
+// HostMAC derives the deterministic MAC the topology builders assign to
+// host index i (1-based).
+func HostMAC(i int) openflow.EthAddr {
+	return openflow.EthAddr{0x0a, 0, 0, 0, byte(i >> 8), byte(i)}
+}
+
+// HostIP derives the deterministic 10.0.x.y address for host index i.
+func HostIP(i int) uint32 {
+	return 0x0a000000 | uint32(i&0xffff)
+}
+
+// hostPortBase is the first port number used for host attachments, so
+// inter-switch ports (1..hostPortBase-1) never collide with host ports.
+const hostPortBase = 100
+
+func addHostN(n *Network, i int, dpid uint64, port uint16) *Host {
+	h, err := n.AddHost(fmt.Sprintf("h%d", i), HostMAC(i), HostIP(i), dpid, port)
+	if err != nil {
+		panic(err) // topology builders use fresh networks; collision is a bug
+	}
+	return h
+}
+
+// Linear builds a chain s1-s2-...-sn with one host per switch.
+// Inter-switch links use ports 1 (left) and 2 (right); hosts attach at
+// port 100.
+func Linear(n int, clock Clock) *Network {
+	net := NewNetwork(clock)
+	for i := 1; i <= n; i++ {
+		net.AddSwitch(uint64(i))
+	}
+	for i := 1; i < n; i++ {
+		if err := net.AddLink(uint64(i), 2, uint64(i+1), 1); err != nil {
+			panic(err)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		addHostN(net, i, uint64(i), hostPortBase)
+	}
+	return net
+}
+
+// Single builds one switch with n directly attached hosts — the classic
+// learning-switch playground.
+func Single(n int, clock Clock) *Network {
+	net := NewNetwork(clock)
+	net.AddSwitch(1)
+	for i := 1; i <= n; i++ {
+		addHostN(net, i, 1, hostPortBase+uint16(i)-1)
+	}
+	return net
+}
+
+// Tree builds a complete tree of the given depth and fanout with hosts
+// at the leaves. Root is dpid 1; children of switch d occupy the next
+// dpids breadth-first.
+func Tree(depth, fanout int, clock Clock) *Network {
+	net := NewNetwork(clock)
+	next := uint64(1)
+	net.AddSwitch(next)
+	level := []uint64{next}
+	for d := 1; d < depth; d++ {
+		var nextLevel []uint64
+		for _, parent := range level {
+			for c := 0; c < fanout; c++ {
+				next++
+				net.AddSwitch(next)
+				// Parent downlink ports start at 2; child uplink is port 1.
+				if err := net.AddLink(parent, uint16(2+c), next, 1); err != nil {
+					panic(err)
+				}
+				nextLevel = append(nextLevel, next)
+			}
+		}
+		level = nextLevel
+	}
+	hostIdx := 1
+	for _, leaf := range level {
+		for c := 0; c < fanout; c++ {
+			addHostN(net, hostIdx, leaf, hostPortBase+uint16(c))
+			hostIdx++
+		}
+	}
+	return net
+}
+
+// Ring builds a cycle s1-s2-...-sn-s1 with one host per switch. Rings
+// give the invariant checkers genuine loops to find.
+func Ring(n int, clock Clock) *Network {
+	if n < 3 {
+		panic("netsim: ring needs at least 3 switches")
+	}
+	net := NewNetwork(clock)
+	for i := 1; i <= n; i++ {
+		net.AddSwitch(uint64(i))
+	}
+	for i := 1; i <= n; i++ {
+		next := i%n + 1
+		if err := net.AddLink(uint64(i), 2, uint64(next), 1); err != nil {
+			panic(err)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		addHostN(net, i, uint64(i), hostPortBase)
+	}
+	return net
+}
+
+// FatTree builds a k-ary fat-tree (k even): (k/2)^2 core switches, k
+// pods of k/2 aggregation and k/2 edge switches, and k/2 hosts per edge
+// switch — the canonical datacenter topology from the SDN literature.
+func FatTree(k int, clock Clock) *Network {
+	if k < 2 || k%2 != 0 {
+		panic("netsim: fat-tree arity must be even and >= 2")
+	}
+	net := NewNetwork(clock)
+	half := k / 2
+	core := make([]uint64, half*half)
+	next := uint64(1)
+	for i := range core {
+		core[i] = next
+		net.AddSwitch(next)
+		next++
+	}
+	hostIdx := 1
+	for pod := 0; pod < k; pod++ {
+		aggs := make([]uint64, half)
+		edges := make([]uint64, half)
+		for i := 0; i < half; i++ {
+			aggs[i] = next
+			net.AddSwitch(next)
+			next++
+		}
+		for i := 0; i < half; i++ {
+			edges[i] = next
+			net.AddSwitch(next)
+			next++
+		}
+		// Aggregation i connects to core switches [i*half, (i+1)*half).
+		for i, agg := range aggs {
+			for j := 0; j < half; j++ {
+				c := core[i*half+j]
+				// Core downlink port per pod; agg uplink ports 1..half.
+				if err := net.AddLink(c, uint16(1+pod), agg, uint16(1+j)); err != nil {
+					panic(err)
+				}
+			}
+		}
+		// Every aggregation connects to every edge in the pod.
+		for i, agg := range aggs {
+			for j, edge := range edges {
+				if err := net.AddLink(agg, uint16(1+half+j), edge, uint16(1+i)); err != nil {
+					panic(err)
+				}
+			}
+		}
+		for _, edge := range edges {
+			for hp := 0; hp < half; hp++ {
+				addHostN(net, hostIdx, edge, hostPortBase+uint16(hp))
+				hostIdx++
+			}
+		}
+	}
+	return net
+}
+
+// Random builds a connected random topology: a spanning tree over n
+// switches plus extra random links, one host per switch. The same seed
+// yields the same graph.
+func Random(n int, extraLinks int, seed int64, clock Clock) *Network {
+	net := NewNetwork(clock)
+	r := rand.New(rand.NewSource(seed))
+	for i := 1; i <= n; i++ {
+		net.AddSwitch(uint64(i))
+	}
+	nextPort := make(map[uint64]uint16)
+	port := func(d uint64) uint16 {
+		nextPort[d]++
+		return nextPort[d]
+	}
+	for i := 2; i <= n; i++ {
+		parent := uint64(r.Intn(i-1) + 1)
+		if err := net.AddLink(parent, port(parent), uint64(i), port(uint64(i))); err != nil {
+			panic(err)
+		}
+	}
+	for e := 0; e < extraLinks; e++ {
+		a := uint64(r.Intn(n) + 1)
+		b := uint64(r.Intn(n) + 1)
+		if a == b {
+			continue
+		}
+		// Port collisions are impossible: ports are allocated fresh.
+		if err := net.AddLink(a, port(a), b, port(b)); err != nil {
+			panic(err)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		addHostN(net, i, uint64(i), hostPortBase)
+	}
+	return net
+}
+
+// TCPFrame builds a TCP frame between two hosts, a convenience for
+// traffic generators and tests.
+func TCPFrame(src, dst *Host, sport, dport uint16, payload []byte) *Frame {
+	return &Frame{
+		DlSrc:   src.MAC,
+		DlDst:   dst.MAC,
+		DlType:  EtherTypeIPv4,
+		NwProto: IPProtoTCP,
+		NwSrc:   src.IP,
+		NwDst:   dst.IP,
+		TpSrc:   sport,
+		TpDst:   dport,
+		Payload: payload,
+	}
+}
+
+// ARPFrame builds a broadcast ARP request from src looking for targetIP.
+func ARPFrame(src *Host, targetIP uint32) *Frame {
+	return &Frame{
+		DlSrc:   src.MAC,
+		DlDst:   openflow.EthAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		DlType:  EtherTypeARP,
+		NwProto: 1, // ARP request opcode
+		NwSrc:   src.IP,
+		NwDst:   targetIP,
+	}
+}

@@ -1,0 +1,434 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ActionType identifies an OpenFlow 1.0 action (ofp_action_type).
+type ActionType uint16
+
+// OpenFlow 1.0 action types.
+const (
+	ActionTypeOutput     ActionType = 0
+	ActionTypeSetVlanVID ActionType = 1
+	ActionTypeSetVlanPCP ActionType = 2
+	ActionTypeStripVlan  ActionType = 3
+	ActionTypeSetDlSrc   ActionType = 4
+	ActionTypeSetDlDst   ActionType = 5
+	ActionTypeSetNwSrc   ActionType = 6
+	ActionTypeSetNwDst   ActionType = 7
+	ActionTypeSetNwTos   ActionType = 8
+	ActionTypeSetTpSrc   ActionType = 9
+	ActionTypeSetTpDst   ActionType = 10
+	ActionTypeEnqueue    ActionType = 11
+)
+
+func (t ActionType) String() string {
+	switch t {
+	case ActionTypeOutput:
+		return "OUTPUT"
+	case ActionTypeSetVlanVID:
+		return "SET_VLAN_VID"
+	case ActionTypeSetVlanPCP:
+		return "SET_VLAN_PCP"
+	case ActionTypeStripVlan:
+		return "STRIP_VLAN"
+	case ActionTypeSetDlSrc:
+		return "SET_DL_SRC"
+	case ActionTypeSetDlDst:
+		return "SET_DL_DST"
+	case ActionTypeSetNwSrc:
+		return "SET_NW_SRC"
+	case ActionTypeSetNwDst:
+		return "SET_NW_DST"
+	case ActionTypeSetNwTos:
+		return "SET_NW_TOS"
+	case ActionTypeSetTpSrc:
+		return "SET_TP_SRC"
+	case ActionTypeSetTpDst:
+		return "SET_TP_DST"
+	case ActionTypeEnqueue:
+		return "ENQUEUE"
+	default:
+		return fmt.Sprintf("ACTION(%d)", uint16(t))
+	}
+}
+
+// Action is one entry of a FlowMod or PacketOut action list.
+type Action interface {
+	// ActionType returns the wire type of the action.
+	ActionType() ActionType
+	// Len returns the encoded length in bytes (a multiple of 8).
+	Len() int
+
+	serializeTo(b []byte)
+}
+
+// ActionOutput forwards the packet out a port, optionally truncating
+// packets sent to the controller to MaxLen bytes.
+type ActionOutput struct {
+	Port   uint16
+	MaxLen uint16
+}
+
+// ActionType implements Action.
+func (*ActionOutput) ActionType() ActionType { return ActionTypeOutput }
+
+// Len implements Action.
+func (*ActionOutput) Len() int { return 8 }
+
+func (a *ActionOutput) serializeTo(b []byte) {
+	binary.BigEndian.PutUint16(b[4:6], a.Port)
+	binary.BigEndian.PutUint16(b[6:8], a.MaxLen)
+}
+
+func (a *ActionOutput) String() string { return fmt.Sprintf("output:%d", a.Port) }
+
+// ActionSetVlanVID rewrites the VLAN id.
+type ActionSetVlanVID struct {
+	VlanVID uint16
+}
+
+// ActionType implements Action.
+func (*ActionSetVlanVID) ActionType() ActionType { return ActionTypeSetVlanVID }
+
+// Len implements Action.
+func (*ActionSetVlanVID) Len() int { return 8 }
+
+func (a *ActionSetVlanVID) serializeTo(b []byte) {
+	binary.BigEndian.PutUint16(b[4:6], a.VlanVID)
+}
+
+// ActionSetVlanPCP rewrites the VLAN priority.
+type ActionSetVlanPCP struct {
+	VlanPCP uint8
+}
+
+// ActionType implements Action.
+func (*ActionSetVlanPCP) ActionType() ActionType { return ActionTypeSetVlanPCP }
+
+// Len implements Action.
+func (*ActionSetVlanPCP) Len() int { return 8 }
+
+func (a *ActionSetVlanPCP) serializeTo(b []byte) { b[4] = a.VlanPCP }
+
+// ActionStripVlan removes the VLAN tag.
+type ActionStripVlan struct{}
+
+// ActionType implements Action.
+func (*ActionStripVlan) ActionType() ActionType { return ActionTypeStripVlan }
+
+// Len implements Action.
+func (*ActionStripVlan) Len() int { return 8 }
+
+func (*ActionStripVlan) serializeTo(b []byte) {}
+
+// ActionSetDlSrc rewrites the Ethernet source address.
+type ActionSetDlSrc struct {
+	Addr EthAddr
+}
+
+// ActionType implements Action.
+func (*ActionSetDlSrc) ActionType() ActionType { return ActionTypeSetDlSrc }
+
+// Len implements Action.
+func (*ActionSetDlSrc) Len() int { return 16 }
+
+func (a *ActionSetDlSrc) serializeTo(b []byte) { copy(b[4:10], a.Addr[:]) }
+
+// ActionSetDlDst rewrites the Ethernet destination address.
+type ActionSetDlDst struct {
+	Addr EthAddr
+}
+
+// ActionType implements Action.
+func (*ActionSetDlDst) ActionType() ActionType { return ActionTypeSetDlDst }
+
+// Len implements Action.
+func (*ActionSetDlDst) Len() int { return 16 }
+
+func (a *ActionSetDlDst) serializeTo(b []byte) { copy(b[4:10], a.Addr[:]) }
+
+// ActionSetNwSrc rewrites the IPv4 source address.
+type ActionSetNwSrc struct {
+	Addr uint32
+}
+
+// ActionType implements Action.
+func (*ActionSetNwSrc) ActionType() ActionType { return ActionTypeSetNwSrc }
+
+// Len implements Action.
+func (*ActionSetNwSrc) Len() int { return 8 }
+
+func (a *ActionSetNwSrc) serializeTo(b []byte) { binary.BigEndian.PutUint32(b[4:8], a.Addr) }
+
+// ActionSetNwDst rewrites the IPv4 destination address.
+type ActionSetNwDst struct {
+	Addr uint32
+}
+
+// ActionType implements Action.
+func (*ActionSetNwDst) ActionType() ActionType { return ActionTypeSetNwDst }
+
+// Len implements Action.
+func (*ActionSetNwDst) Len() int { return 8 }
+
+func (a *ActionSetNwDst) serializeTo(b []byte) { binary.BigEndian.PutUint32(b[4:8], a.Addr) }
+
+// ActionSetNwTos rewrites the IP ToS field.
+type ActionSetNwTos struct {
+	Tos uint8
+}
+
+// ActionType implements Action.
+func (*ActionSetNwTos) ActionType() ActionType { return ActionTypeSetNwTos }
+
+// Len implements Action.
+func (*ActionSetNwTos) Len() int { return 8 }
+
+func (a *ActionSetNwTos) serializeTo(b []byte) { b[4] = a.Tos }
+
+// ActionSetTpSrc rewrites the transport source port.
+type ActionSetTpSrc struct {
+	Port uint16
+}
+
+// ActionType implements Action.
+func (*ActionSetTpSrc) ActionType() ActionType { return ActionTypeSetTpSrc }
+
+// Len implements Action.
+func (*ActionSetTpSrc) Len() int { return 8 }
+
+func (a *ActionSetTpSrc) serializeTo(b []byte) { binary.BigEndian.PutUint16(b[4:6], a.Port) }
+
+// ActionSetTpDst rewrites the transport destination port.
+type ActionSetTpDst struct {
+	Port uint16
+}
+
+// ActionType implements Action.
+func (*ActionSetTpDst) ActionType() ActionType { return ActionTypeSetTpDst }
+
+// Len implements Action.
+func (*ActionSetTpDst) Len() int { return 8 }
+
+func (a *ActionSetTpDst) serializeTo(b []byte) { binary.BigEndian.PutUint16(b[4:6], a.Port) }
+
+// ActionEnqueue forwards the packet through a port queue.
+type ActionEnqueue struct {
+	Port    uint16
+	QueueID uint32
+}
+
+// ActionType implements Action.
+func (*ActionEnqueue) ActionType() ActionType { return ActionTypeEnqueue }
+
+// Len implements Action.
+func (*ActionEnqueue) Len() int { return 16 }
+
+func (a *ActionEnqueue) serializeTo(b []byte) {
+	binary.BigEndian.PutUint16(b[4:6], a.Port)
+	binary.BigEndian.PutUint32(b[12:16], a.QueueID)
+}
+
+// actionsLen returns the total encoded length of an action list.
+func actionsLen(actions []Action) int {
+	n := 0
+	for _, a := range actions {
+		n += a.Len()
+	}
+	return n
+}
+
+// serializeActions writes the action list into b, which must be exactly
+// actionsLen(actions) bytes long.
+func serializeActions(b []byte, actions []Action) {
+	off := 0
+	for _, a := range actions {
+		n := a.Len()
+		binary.BigEndian.PutUint16(b[off:off+2], uint16(a.ActionType()))
+		binary.BigEndian.PutUint16(b[off+2:off+4], uint16(n))
+		a.serializeTo(b[off : off+n])
+		off += n
+	}
+}
+
+// decodeActions parses an action list occupying the whole of b.
+func decodeActions(b []byte) ([]Action, error) {
+	var actions []Action
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, ErrBadAction
+		}
+		t := ActionType(binary.BigEndian.Uint16(b[0:2]))
+		n := int(binary.BigEndian.Uint16(b[2:4]))
+		if n < 8 || n%8 != 0 || n > len(b) {
+			return nil, fmt.Errorf("%w: type %v length %d", ErrBadAction, t, n)
+		}
+		a, err := decodeAction(t, b[:n])
+		if err != nil {
+			return nil, err
+		}
+		actions = append(actions, a)
+		b = b[n:]
+	}
+	return actions, nil
+}
+
+func decodeAction(t ActionType, b []byte) (Action, error) {
+	wantLen := func(n int) error {
+		if len(b) != n {
+			return fmt.Errorf("%w: %v wants %d bytes, got %d", ErrBadAction, t, n, len(b))
+		}
+		return nil
+	}
+	switch t {
+	case ActionTypeOutput:
+		if err := wantLen(8); err != nil {
+			return nil, err
+		}
+		return &ActionOutput{
+			Port:   binary.BigEndian.Uint16(b[4:6]),
+			MaxLen: binary.BigEndian.Uint16(b[6:8]),
+		}, nil
+	case ActionTypeSetVlanVID:
+		if err := wantLen(8); err != nil {
+			return nil, err
+		}
+		return &ActionSetVlanVID{VlanVID: binary.BigEndian.Uint16(b[4:6])}, nil
+	case ActionTypeSetVlanPCP:
+		if err := wantLen(8); err != nil {
+			return nil, err
+		}
+		return &ActionSetVlanPCP{VlanPCP: b[4]}, nil
+	case ActionTypeStripVlan:
+		if err := wantLen(8); err != nil {
+			return nil, err
+		}
+		return &ActionStripVlan{}, nil
+	case ActionTypeSetDlSrc:
+		if err := wantLen(16); err != nil {
+			return nil, err
+		}
+		a := &ActionSetDlSrc{}
+		copy(a.Addr[:], b[4:10])
+		return a, nil
+	case ActionTypeSetDlDst:
+		if err := wantLen(16); err != nil {
+			return nil, err
+		}
+		a := &ActionSetDlDst{}
+		copy(a.Addr[:], b[4:10])
+		return a, nil
+	case ActionTypeSetNwSrc:
+		if err := wantLen(8); err != nil {
+			return nil, err
+		}
+		return &ActionSetNwSrc{Addr: binary.BigEndian.Uint32(b[4:8])}, nil
+	case ActionTypeSetNwDst:
+		if err := wantLen(8); err != nil {
+			return nil, err
+		}
+		return &ActionSetNwDst{Addr: binary.BigEndian.Uint32(b[4:8])}, nil
+	case ActionTypeSetNwTos:
+		if err := wantLen(8); err != nil {
+			return nil, err
+		}
+		return &ActionSetNwTos{Tos: b[4]}, nil
+	case ActionTypeSetTpSrc:
+		if err := wantLen(8); err != nil {
+			return nil, err
+		}
+		return &ActionSetTpSrc{Port: binary.BigEndian.Uint16(b[4:6])}, nil
+	case ActionTypeSetTpDst:
+		if err := wantLen(8); err != nil {
+			return nil, err
+		}
+		return &ActionSetTpDst{Port: binary.BigEndian.Uint16(b[4:6])}, nil
+	case ActionTypeEnqueue:
+		if err := wantLen(16); err != nil {
+			return nil, err
+		}
+		return &ActionEnqueue{
+			Port:    binary.BigEndian.Uint16(b[4:6]),
+			QueueID: binary.BigEndian.Uint32(b[12:16]),
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownAction, uint16(t))
+	}
+}
+
+// ActionsEqual reports whether two action lists are identical in order,
+// type and arguments. Crash-Pad's N-version voter compares app outputs
+// with this.
+func ActionsEqual(a, b []Action) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ActionType() != b[i].ActionType() {
+			return false
+		}
+		buf1 := make([]byte, a[i].Len())
+		buf2 := make([]byte, b[i].Len())
+		serializeActions(buf1, a[i:i+1])
+		serializeActions(buf2, b[i:i+1])
+		if string(buf1) != string(buf2) {
+			return false
+		}
+	}
+	return true
+}
+
+// CopyActions returns a deep copy of an action list, so NetLog's journal
+// entries cannot alias mutable app-owned actions.
+func CopyActions(actions []Action) []Action {
+	if actions == nil {
+		return nil
+	}
+	out := make([]Action, len(actions))
+	for i, a := range actions {
+		switch v := a.(type) {
+		case *ActionOutput:
+			c := *v
+			out[i] = &c
+		case *ActionSetVlanVID:
+			c := *v
+			out[i] = &c
+		case *ActionSetVlanPCP:
+			c := *v
+			out[i] = &c
+		case *ActionStripVlan:
+			c := *v
+			out[i] = &c
+		case *ActionSetDlSrc:
+			c := *v
+			out[i] = &c
+		case *ActionSetDlDst:
+			c := *v
+			out[i] = &c
+		case *ActionSetNwSrc:
+			c := *v
+			out[i] = &c
+		case *ActionSetNwDst:
+			c := *v
+			out[i] = &c
+		case *ActionSetNwTos:
+			c := *v
+			out[i] = &c
+		case *ActionSetTpSrc:
+			c := *v
+			out[i] = &c
+		case *ActionSetTpDst:
+			c := *v
+			out[i] = &c
+		case *ActionEnqueue:
+			c := *v
+			out[i] = &c
+		default:
+			out[i] = a
+		}
+	}
+	return out
+}

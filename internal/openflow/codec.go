@@ -1,0 +1,130 @@
+package openflow
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// XIDSource hands out transaction ids. It is safe for concurrent use.
+type XIDSource struct {
+	next atomic.Uint32
+}
+
+// Next returns a fresh, non-zero transaction id.
+func (s *XIDSource) Next() uint32 {
+	for {
+		x := s.next.Add(1)
+		if x != 0 {
+			return x
+		}
+	}
+}
+
+// Reader decodes a stream of OpenFlow frames from an io.Reader. It owns
+// a reusable buffer, so a single Reader must not be shared between
+// goroutines.
+type Reader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewReader wraps r for frame-at-a-time reading.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 32<<10), buf: make([]byte, 0, 512)}
+}
+
+// ReadMessage reads and decodes the next complete frame. It returns
+// io.EOF (possibly wrapped) when the stream ends cleanly between frames.
+func (d *Reader) ReadMessage() (Message, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	h, err := DecodeHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	n := int(h.Length)
+	if cap(d.buf) < n {
+		d.buf = make([]byte, 0, n)
+	}
+	frame := d.buf[:n]
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(d.r, frame[HeaderLen:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return Decode(frame)
+}
+
+// Conn is a message-oriented wrapper over a byte-stream connection.
+// Reads must come from a single goroutine; writes are serialized
+// internally and may come from many.
+type Conn struct {
+	conn net.Conn
+	rd   *Reader
+
+	wmu  sync.Mutex
+	wbuf []byte
+	w    *bufio.Writer
+
+	xids XIDSource
+}
+
+// NewConn wraps a stream connection for OpenFlow framing.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{
+		conn: c,
+		rd:   NewReader(c),
+		w:    bufio.NewWriterSize(c, 32<<10),
+	}
+}
+
+// ReadMessage reads the next frame. Not safe for concurrent use.
+func (c *Conn) ReadMessage() (Message, error) { return c.rd.ReadMessage() }
+
+// WriteMessage encodes and sends msg, stamping a fresh XID when the
+// message has none. Safe for concurrent use.
+func (c *Conn) WriteMessage(msg Message) error {
+	if msg.GetXid() == 0 {
+		msg.SetXid(c.xids.Next())
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	b, err := AppendMessage(c.wbuf[:0], msg)
+	if err != nil {
+		return err
+	}
+	c.wbuf = b[:0]
+	if _, err := c.w.Write(b); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// NextXid returns a fresh transaction id from the connection's source.
+func (c *Conn) NextXid() uint32 { return c.xids.Next() }
+
+// SetReadDeadline forwards to the underlying connection.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+
+// Close closes the underlying connection; any blocked read or write is
+// unblocked with an error.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// RemoteAddr reports the peer address of the underlying connection.
+func (c *Conn) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }
+
+// Pipe returns a connected pair of in-memory OpenFlow connections, used
+// by the simulator to attach switches to the controller without a real
+// network (net.Pipe is synchronous; each side must keep reading).
+func Pipe() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}

@@ -1,0 +1,166 @@
+package openflow
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestReaderStreamFraming(t *testing.T) {
+	var buf []byte
+	msgs := []Message{
+		&Hello{BaseMsg{Xid: 1}},
+		&EchoRequest{BaseMsg: BaseMsg{Xid: 2}, Data: []byte("x")},
+		&FlowMod{BaseMsg: BaseMsg{Xid: 3}, Match: MatchAll(), BufferID: BufferIDNone, OutPort: PortNone,
+			Actions: []Action{&ActionOutput{Port: 1}}},
+		&BarrierRequest{BaseMsg{Xid: 4}},
+	}
+	var err error
+	for _, m := range msgs {
+		buf, err = AppendMessage(buf, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := NewReader(bytes.NewReader(buf))
+	for i, want := range msgs {
+		got, err := rd.ReadMessage()
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if got.Type() != want.Type() || got.GetXid() != want.GetXid() {
+			t.Fatalf("msg %d: got %v xid=%d", i, got.Type(), got.GetXid())
+		}
+	}
+	if _, err := rd.ReadMessage(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF at stream end, got %v", err)
+	}
+}
+
+func TestReaderTruncatedFrame(t *testing.T) {
+	b, _ := Encode(&EchoRequest{Data: []byte("hello")})
+	rd := NewReader(bytes.NewReader(b[:len(b)-2]))
+	if _, err := rd.ReadMessage(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want unexpected EOF, got %v", err)
+	}
+}
+
+func TestConnPipeExchange(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		msg, err := b.ReadMessage()
+		if err != nil {
+			done <- err
+			return
+		}
+		// Echo back with the same xid, as a switch would.
+		done <- b.WriteMessage(&EchoReply{BaseMsg: BaseMsg{Xid: msg.GetXid()}, Data: msg.(*EchoRequest).Data})
+	}()
+
+	req := &EchoRequest{BaseMsg: BaseMsg{Xid: 77}, Data: []byte("liveness")}
+	if err := a.WriteMessage(req); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := a.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	er, ok := reply.(*EchoReply)
+	if !ok || er.Xid != 77 || string(er.Data) != "liveness" {
+		t.Fatalf("bad reply %#v", reply)
+	}
+}
+
+func TestConnConcurrentWriters(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := a.WriteMessage(&Hello{}); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	got := 0
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		for got < writers*perWriter {
+			m, err := b.ReadMessage()
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			if m.Type() != TypeHello {
+				t.Errorf("interleaved frame corrupted: got %v", m.Type())
+				return
+			}
+			got++
+		}
+	}()
+	wg.Wait()
+	select {
+	case <-readDone:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("reader stalled after %d frames", got)
+	}
+}
+
+func TestConnAutoXid(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		for i := 0; i < 2; i++ {
+			if _, err := b.ReadMessage(); err != nil {
+				return
+			}
+		}
+	}()
+	m1 := &Hello{}
+	m2 := &Hello{}
+	if err := a.WriteMessage(m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteMessage(m2); err != nil {
+		t.Fatal(err)
+	}
+	if m1.Xid == 0 || m2.Xid == 0 || m1.Xid == m2.Xid {
+		t.Fatalf("auto xids not unique: %d %d", m1.Xid, m2.Xid)
+	}
+}
+
+func TestXIDSourceSkipsZero(t *testing.T) {
+	var s XIDSource
+	seen := map[uint32]bool{}
+	for i := 0; i < 1000; i++ {
+		x := s.Next()
+		if x == 0 {
+			t.Fatal("zero xid issued")
+		}
+		if seen[x] {
+			t.Fatalf("duplicate xid %d", x)
+		}
+		seen[x] = true
+	}
+}

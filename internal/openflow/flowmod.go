@@ -1,0 +1,190 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FlowModCommand selects the FlowMod operation (ofp_flow_mod_command).
+type FlowModCommand uint16
+
+// FlowMod commands.
+const (
+	FlowModAdd          FlowModCommand = 0 // add a new flow
+	FlowModModify       FlowModCommand = 1 // modify all matching flows
+	FlowModModifyStrict FlowModCommand = 2 // modify flow with identical match & priority
+	FlowModDelete       FlowModCommand = 3 // delete all matching flows
+	FlowModDeleteStrict FlowModCommand = 4 // delete flow with identical match & priority
+)
+
+func (c FlowModCommand) String() string {
+	switch c {
+	case FlowModAdd:
+		return "ADD"
+	case FlowModModify:
+		return "MODIFY"
+	case FlowModModifyStrict:
+		return "MODIFY_STRICT"
+	case FlowModDelete:
+		return "DELETE"
+	case FlowModDeleteStrict:
+		return "DELETE_STRICT"
+	default:
+		return fmt.Sprintf("COMMAND(%d)", uint16(c))
+	}
+}
+
+// FlowMod flag bits (ofp_flow_mod_flags).
+const (
+	FlowModFlagSendFlowRem  uint16 = 1 << 0 // emit FlowRemoved when this flow expires
+	FlowModFlagCheckOverlap uint16 = 1 << 1
+	FlowModFlagEmerg        uint16 = 1 << 2
+)
+
+const flowModFixedLen = MatchLen + 24 // match + cookie..flags
+
+// FlowMod adds, modifies or deletes flow-table entries (OFPT_FLOW_MOD).
+// It is the canonical state-altering message NetLog journals and
+// inverts.
+type FlowMod struct {
+	BaseMsg
+	Match       Match
+	Cookie      uint64
+	Command     FlowModCommand
+	IdleTimeout uint16 // seconds; 0 = no idle expiry
+	HardTimeout uint16 // seconds; 0 = no hard expiry
+	Priority    uint16
+	BufferID    uint32 // buffered packet to apply to, or BufferIDNone
+	OutPort     uint16 // for DELETE*: require an output action to this port, or PortNone
+	Flags       uint16
+	Actions     []Action
+}
+
+// Type implements Message.
+func (*FlowMod) Type() Type     { return TypeFlowMod }
+func (m *FlowMod) bodyLen() int { return flowModFixedLen + actionsLen(m.Actions) }
+func (m *FlowMod) serializeBody(b []byte) {
+	m.Match.serializeTo(b[0:MatchLen])
+	off := MatchLen
+	binary.BigEndian.PutUint64(b[off:off+8], m.Cookie)
+	binary.BigEndian.PutUint16(b[off+8:off+10], uint16(m.Command))
+	binary.BigEndian.PutUint16(b[off+10:off+12], m.IdleTimeout)
+	binary.BigEndian.PutUint16(b[off+12:off+14], m.HardTimeout)
+	binary.BigEndian.PutUint16(b[off+14:off+16], m.Priority)
+	binary.BigEndian.PutUint32(b[off+16:off+20], m.BufferID)
+	binary.BigEndian.PutUint16(b[off+20:off+22], m.OutPort)
+	binary.BigEndian.PutUint16(b[off+22:off+24], m.Flags)
+	serializeActions(b[flowModFixedLen:], m.Actions)
+}
+func (m *FlowMod) decodeBody(b []byte) error {
+	if len(b) < flowModFixedLen {
+		return ErrTooShort
+	}
+	if err := m.Match.decodeFrom(b[0:MatchLen]); err != nil {
+		return err
+	}
+	off := MatchLen
+	m.Cookie = binary.BigEndian.Uint64(b[off : off+8])
+	m.Command = FlowModCommand(binary.BigEndian.Uint16(b[off+8 : off+10]))
+	m.IdleTimeout = binary.BigEndian.Uint16(b[off+10 : off+12])
+	m.HardTimeout = binary.BigEndian.Uint16(b[off+12 : off+14])
+	m.Priority = binary.BigEndian.Uint16(b[off+14 : off+16])
+	m.BufferID = binary.BigEndian.Uint32(b[off+16 : off+20])
+	m.OutPort = binary.BigEndian.Uint16(b[off+20 : off+22])
+	m.Flags = binary.BigEndian.Uint16(b[off+22 : off+24])
+	actions, err := decodeActions(b[flowModFixedLen:])
+	if err != nil {
+		return err
+	}
+	m.Actions = actions
+	return nil
+}
+
+func (m *FlowMod) String() string {
+	return fmt.Sprintf("flow_mod %v prio=%d match=[%v] actions=%d", m.Command, m.Priority, m.Match, len(m.Actions))
+}
+
+// Clone returns a deep copy of the FlowMod so journals and replay logs
+// cannot alias the caller's actions slice.
+func (m *FlowMod) Clone() *FlowMod {
+	c := *m
+	c.Actions = CopyActions(m.Actions)
+	return &c
+}
+
+// FlowRemovedReason explains why a flow entry was removed
+// (ofp_flow_removed_reason).
+type FlowRemovedReason uint8
+
+// FlowRemoved reasons.
+const (
+	FlowRemovedIdleTimeout FlowRemovedReason = 0
+	FlowRemovedHardTimeout FlowRemovedReason = 1
+	FlowRemovedDelete      FlowRemovedReason = 2
+)
+
+func (r FlowRemovedReason) String() string {
+	switch r {
+	case FlowRemovedIdleTimeout:
+		return "IDLE_TIMEOUT"
+	case FlowRemovedHardTimeout:
+		return "HARD_TIMEOUT"
+	case FlowRemovedDelete:
+		return "DELETE"
+	default:
+		return fmt.Sprintf("REASON(%d)", uint8(r))
+	}
+}
+
+const flowRemovedBodyLen = MatchLen + 40
+
+// FlowRemoved notifies the controller that a flow entry expired or was
+// deleted (OFPT_FLOW_REMOVED).
+type FlowRemoved struct {
+	BaseMsg
+	Match        Match
+	Cookie       uint64
+	Priority     uint16
+	Reason       FlowRemovedReason
+	DurationSec  uint32
+	DurationNsec uint32
+	IdleTimeout  uint16
+	PacketCount  uint64
+	ByteCount    uint64
+}
+
+// Type implements Message.
+func (*FlowRemoved) Type() Type     { return TypeFlowRemoved }
+func (m *FlowRemoved) bodyLen() int { return flowRemovedBodyLen }
+func (m *FlowRemoved) serializeBody(b []byte) {
+	m.Match.serializeTo(b[0:MatchLen])
+	off := MatchLen
+	binary.BigEndian.PutUint64(b[off:off+8], m.Cookie)
+	binary.BigEndian.PutUint16(b[off+8:off+10], m.Priority)
+	b[off+10] = byte(m.Reason)
+	// b[off+11] pad
+	binary.BigEndian.PutUint32(b[off+12:off+16], m.DurationSec)
+	binary.BigEndian.PutUint32(b[off+16:off+20], m.DurationNsec)
+	binary.BigEndian.PutUint16(b[off+20:off+22], m.IdleTimeout)
+	// b[off+22:off+24] pad
+	binary.BigEndian.PutUint64(b[off+24:off+32], m.PacketCount)
+	binary.BigEndian.PutUint64(b[off+32:off+40], m.ByteCount)
+}
+func (m *FlowRemoved) decodeBody(b []byte) error {
+	if len(b) < flowRemovedBodyLen {
+		return ErrTooShort
+	}
+	if err := m.Match.decodeFrom(b[0:MatchLen]); err != nil {
+		return err
+	}
+	off := MatchLen
+	m.Cookie = binary.BigEndian.Uint64(b[off : off+8])
+	m.Priority = binary.BigEndian.Uint16(b[off+8 : off+10])
+	m.Reason = FlowRemovedReason(b[off+10])
+	m.DurationSec = binary.BigEndian.Uint32(b[off+12 : off+16])
+	m.DurationNsec = binary.BigEndian.Uint32(b[off+16 : off+20])
+	m.IdleTimeout = binary.BigEndian.Uint16(b[off+20 : off+22])
+	m.PacketCount = binary.BigEndian.Uint64(b[off+24 : off+32])
+	m.ByteCount = binary.BigEndian.Uint64(b[off+32 : off+40])
+	return nil
+}

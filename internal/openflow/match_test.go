@@ -1,0 +1,181 @@
+package openflow
+
+import (
+	"net"
+	"strings"
+	"testing"
+)
+
+func TestMatchAllMatchesEverything(t *testing.T) {
+	m := MatchAll()
+	pkts := []PacketFields{
+		{},
+		{InPort: 5, DlType: 0x0800, NwSrc: 0x0a000001, NwDst: 0x0a000002},
+		{DlSrc: EthAddr{1, 2, 3, 4, 5, 6}, TpDst: 80},
+	}
+	for _, p := range pkts {
+		if !m.Matches(p) {
+			t.Errorf("MatchAll failed to match %+v", p)
+		}
+	}
+	if m.String() != "any" {
+		t.Errorf("MatchAll string = %q, want any", m.String())
+	}
+}
+
+func TestExactFieldMatch(t *testing.T) {
+	m := Match{Wildcards: WildcardAll &^ (WildcardInPort | WildcardDlType), InPort: 3, DlType: 0x0806}
+	if !m.Matches(PacketFields{InPort: 3, DlType: 0x0806}) {
+		t.Error("should match exact fields")
+	}
+	if m.Matches(PacketFields{InPort: 4, DlType: 0x0806}) {
+		t.Error("wrong in_port should not match")
+	}
+	if m.Matches(PacketFields{InPort: 3, DlType: 0x0800}) {
+		t.Error("wrong dl_type should not match")
+	}
+}
+
+func TestCIDRMatch(t *testing.T) {
+	m := MatchAll()
+	m.NwDst = 0x0a000000  // 10.0.0.0
+	m.SetNwDstMaskBits(8) // /24
+	if got := m.NwDstMaskBits(); got != 8 {
+		t.Fatalf("mask bits = %d, want 8", got)
+	}
+	if !m.Matches(PacketFields{NwDst: 0x0a0000ff}) {
+		t.Error("10.0.0.255 should match 10.0.0.0/24")
+	}
+	if m.Matches(PacketFields{NwDst: 0x0a000100}) {
+		t.Error("10.0.1.0 should not match 10.0.0.0/24")
+	}
+	// Fully wildcarded address.
+	m.SetNwDstMaskBits(32)
+	if !m.Matches(PacketFields{NwDst: 0xffffffff}) {
+		t.Error("/0 should match anything")
+	}
+}
+
+func TestSetMaskBitsClamps(t *testing.T) {
+	var m Match
+	m.SetNwSrcMaskBits(200)
+	if m.NwSrcMaskBits() != 32 {
+		t.Errorf("mask bits = %d, want clamp to 32", m.NwSrcMaskBits())
+	}
+}
+
+func TestNormalizeZeroesWildcardedFields(t *testing.T) {
+	m := Match{
+		Wildcards: WildcardAll,
+		InPort:    9, DlVlan: 5, DlType: 0x0800, NwSrc: 0x01020304, TpDst: 80,
+		DlSrc: EthAddr{1, 1, 1, 1, 1, 1},
+	}
+	n := m.Normalize()
+	if n.InPort != 0 || n.DlVlan != 0 || n.DlType != 0 || n.NwSrc != 0 || n.TpDst != 0 || (n.DlSrc != EthAddr{}) {
+		t.Errorf("normalize left wildcarded fields: %+v", n)
+	}
+	// Normalized matches with identical semantics must be comparable with ==.
+	m2 := Match{Wildcards: WildcardAll, InPort: 42}
+	if m.Normalize() != m2.Normalize() {
+		t.Error("semantically identical matches should normalize equal")
+	}
+}
+
+func TestSubsumesCIDR(t *testing.T) {
+	wide := MatchAll()
+	wide.NwDst = 0x0a000000
+	wide.SetNwDstMaskBits(16) // 10.0.0.0/16
+	narrow := MatchAll()
+	narrow.NwDst = 0x0a000100
+	narrow.SetNwDstMaskBits(8) // 10.0.1.0/24
+	if !wide.Subsumes(&narrow) {
+		t.Error("/16 should subsume /24 within it")
+	}
+	if narrow.Subsumes(&wide) {
+		t.Error("/24 should not subsume /16")
+	}
+	outside := MatchAll()
+	outside.NwDst = 0x0b000000
+	outside.SetNwDstMaskBits(8)
+	if wide.Subsumes(&outside) {
+		t.Error("different prefix should not be subsumed")
+	}
+}
+
+func TestSubsumesExactFields(t *testing.T) {
+	gen := MatchAll() // wildcard in_port
+	spec := MatchAll()
+	spec.Wildcards &^= WildcardInPort
+	spec.InPort = 1
+	if !gen.Subsumes(&spec) {
+		t.Error("wildcard should subsume exact")
+	}
+	if spec.Subsumes(&gen) {
+		t.Error("exact should not subsume wildcard")
+	}
+	other := spec
+	other.InPort = 2
+	if spec.Subsumes(&other) {
+		t.Error("different exact values should not subsume")
+	}
+}
+
+func TestEthAddrHelpers(t *testing.T) {
+	bc := EthAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	if !bc.IsBroadcast() || !bc.IsMulticast() {
+		t.Error("broadcast flags wrong")
+	}
+	mc := EthAddr{0x01, 0, 0x5e, 0, 0, 1}
+	if mc.IsBroadcast() || !mc.IsMulticast() {
+		t.Error("multicast flags wrong")
+	}
+	uni := EthAddr{0x00, 0x11, 0x22, 0x33, 0x44, 0x55}
+	if uni.IsBroadcast() || uni.IsMulticast() {
+		t.Error("unicast flags wrong")
+	}
+	if uni.String() != "00:11:22:33:44:55" {
+		t.Errorf("String = %q", uni.String())
+	}
+}
+
+func TestMatchString(t *testing.T) {
+	m := MatchAll()
+	m.Wildcards &^= WildcardInPort | WildcardDlDst
+	m.InPort = 1
+	m.DlDst = EthAddr{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}
+	s := m.String()
+	for _, want := range []string{"in_port=1", "dl_dst=aa:bb:cc:dd:ee:ff"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	m2 := MatchAll()
+	m2.NwDst = 0x0a000000
+	m2.SetNwDstMaskBits(8)
+	if !strings.Contains(m2.String(), "nw_dst=10.0.0.0/24") {
+		t.Errorf("String %q missing CIDR", m2.String())
+	}
+}
+
+func TestIPv4ToUint(t *testing.T) {
+	if got := IPv4ToUint(net.IPv4(10, 0, 0, 1)); got != 0x0a000001 {
+		t.Errorf("IPv4ToUint = %#x", got)
+	}
+	if got := IPv4ToUint(net.ParseIP("::1")); got != 0 {
+		t.Errorf("IPv6 should convert to 0, got %#x", got)
+	}
+}
+
+func TestMatchEncodePadZeroed(t *testing.T) {
+	var m Match
+	b := make([]byte, MatchLen)
+	for i := range b {
+		b[i] = 0xff
+	}
+	m.serializeTo(b)
+	for _, idx := range []int{21, 26, 27} {
+		if b[idx] != 0 {
+			t.Errorf("pad byte %d not zeroed", idx)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Hello opens the OpenFlow handshake (OFPT_HELLO).
+type Hello struct {
+	BaseMsg
+}
+
+// Type implements Message.
+func (*Hello) Type() Type                { return TypeHello }
+func (*Hello) bodyLen() int              { return 0 }
+func (*Hello) serializeBody(b []byte)    {}
+func (*Hello) decodeBody(b []byte) error { return nil }
+
+// EchoRequest is a liveness probe (OFPT_ECHO_REQUEST); the payload is
+// echoed back verbatim in the reply.
+type EchoRequest struct {
+	BaseMsg
+	Data []byte
+}
+
+// Type implements Message.
+func (*EchoRequest) Type() Type               { return TypeEchoRequest }
+func (m *EchoRequest) bodyLen() int           { return len(m.Data) }
+func (m *EchoRequest) serializeBody(b []byte) { copy(b, m.Data) }
+func (m *EchoRequest) decodeBody(b []byte) error {
+	m.Data = append([]byte(nil), b...)
+	return nil
+}
+
+// EchoReply answers an EchoRequest (OFPT_ECHO_REPLY).
+type EchoReply struct {
+	BaseMsg
+	Data []byte
+}
+
+// Type implements Message.
+func (*EchoReply) Type() Type               { return TypeEchoReply }
+func (m *EchoReply) bodyLen() int           { return len(m.Data) }
+func (m *EchoReply) serializeBody(b []byte) { copy(b, m.Data) }
+func (m *EchoReply) decodeBody(b []byte) error {
+	m.Data = append([]byte(nil), b...)
+	return nil
+}
+
+// Vendor is an opaque vendor-extension message (OFPT_VENDOR).
+type Vendor struct {
+	BaseMsg
+	VendorID uint32
+	Data     []byte
+}
+
+// Type implements Message.
+func (*Vendor) Type() Type     { return TypeVendor }
+func (m *Vendor) bodyLen() int { return 4 + len(m.Data) }
+func (m *Vendor) serializeBody(b []byte) {
+	binary.BigEndian.PutUint32(b[0:4], m.VendorID)
+	copy(b[4:], m.Data)
+}
+func (m *Vendor) decodeBody(b []byte) error {
+	if len(b) < 4 {
+		return ErrTooShort
+	}
+	m.VendorID = binary.BigEndian.Uint32(b[0:4])
+	m.Data = append([]byte(nil), b[4:]...)
+	return nil
+}
+
+// ErrorType classifies an ErrorMsg (ofp_error_type).
+type ErrorType uint16
+
+// OpenFlow 1.0 error types.
+const (
+	ErrTypeHelloFailed   ErrorType = 0
+	ErrTypeBadRequest    ErrorType = 1
+	ErrTypeBadAction     ErrorType = 2
+	ErrTypeFlowModFailed ErrorType = 3
+	ErrTypePortModFailed ErrorType = 4
+	ErrTypeQueueOpFailed ErrorType = 5
+)
+
+// Selected ofp_flow_mod_failed_code values used by the simulator.
+const (
+	FlowModFailedAllTablesFull uint16 = 0
+	FlowModFailedOverlap       uint16 = 1
+	FlowModFailedEperm         uint16 = 2
+	FlowModFailedBadCommand    uint16 = 4
+)
+
+// ErrorMsg reports a protocol-level failure (OFPT_ERROR). Data carries
+// at least the first 64 bytes of the offending message.
+type ErrorMsg struct {
+	BaseMsg
+	ErrType ErrorType
+	Code    uint16
+	Data    []byte
+}
+
+// Type implements Message.
+func (*ErrorMsg) Type() Type     { return TypeError }
+func (m *ErrorMsg) bodyLen() int { return 4 + len(m.Data) }
+func (m *ErrorMsg) serializeBody(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], uint16(m.ErrType))
+	binary.BigEndian.PutUint16(b[2:4], m.Code)
+	copy(b[4:], m.Data)
+}
+func (m *ErrorMsg) decodeBody(b []byte) error {
+	if len(b) < 4 {
+		return ErrTooShort
+	}
+	m.ErrType = ErrorType(binary.BigEndian.Uint16(b[0:2]))
+	m.Code = binary.BigEndian.Uint16(b[2:4])
+	m.Data = append([]byte(nil), b[4:]...)
+	return nil
+}
+
+func (m *ErrorMsg) String() string {
+	return fmt.Sprintf("error type=%d code=%d", m.ErrType, m.Code)
+}
+
+// FeaturesRequest asks the switch for its datapath description
+// (OFPT_FEATURES_REQUEST).
+type FeaturesRequest struct {
+	BaseMsg
+}
+
+// Type implements Message.
+func (*FeaturesRequest) Type() Type                { return TypeFeaturesRequest }
+func (*FeaturesRequest) bodyLen() int              { return 0 }
+func (*FeaturesRequest) serializeBody(b []byte)    {}
+func (*FeaturesRequest) decodeBody(b []byte) error { return nil }
+
+// Capability bits advertised in FeaturesReply (ofp_capabilities).
+const (
+	CapFlowStats  uint32 = 1 << 0
+	CapTableStats uint32 = 1 << 1
+	CapPortStats  uint32 = 1 << 2
+)
+
+// FeaturesReply describes the switch datapath (OFPT_FEATURES_REPLY).
+type FeaturesReply struct {
+	BaseMsg
+	DatapathID   uint64
+	NBuffers     uint32
+	NTables      uint8
+	Capabilities uint32
+	Actions      uint32 // bitmap of supported ofp_action_type values
+	Ports        []PhyPort
+}
+
+// Type implements Message.
+func (*FeaturesReply) Type() Type     { return TypeFeaturesReply }
+func (m *FeaturesReply) bodyLen() int { return 24 + PhyPortLen*len(m.Ports) }
+func (m *FeaturesReply) serializeBody(b []byte) {
+	binary.BigEndian.PutUint64(b[0:8], m.DatapathID)
+	binary.BigEndian.PutUint32(b[8:12], m.NBuffers)
+	b[12] = m.NTables
+	// b[13:16] pad
+	binary.BigEndian.PutUint32(b[16:20], m.Capabilities)
+	binary.BigEndian.PutUint32(b[20:24], m.Actions)
+	off := 24
+	for i := range m.Ports {
+		m.Ports[i].serializeTo(b[off : off+PhyPortLen])
+		off += PhyPortLen
+	}
+}
+func (m *FeaturesReply) decodeBody(b []byte) error {
+	if len(b) < 24 {
+		return ErrTooShort
+	}
+	m.DatapathID = binary.BigEndian.Uint64(b[0:8])
+	m.NBuffers = binary.BigEndian.Uint32(b[8:12])
+	m.NTables = b[12]
+	m.Capabilities = binary.BigEndian.Uint32(b[16:20])
+	m.Actions = binary.BigEndian.Uint32(b[20:24])
+	rest := b[24:]
+	if len(rest)%PhyPortLen != 0 {
+		return fmt.Errorf("%w: trailing port bytes %d", ErrBadLength, len(rest))
+	}
+	m.Ports = make([]PhyPort, 0, len(rest)/PhyPortLen)
+	for len(rest) > 0 {
+		var p PhyPort
+		if err := p.decodeFrom(rest[:PhyPortLen]); err != nil {
+			return err
+		}
+		m.Ports = append(m.Ports, p)
+		rest = rest[PhyPortLen:]
+	}
+	return nil
+}
+
+// GetConfigRequest asks for the switch configuration
+// (OFPT_GET_CONFIG_REQUEST).
+type GetConfigRequest struct {
+	BaseMsg
+}
+
+// Type implements Message.
+func (*GetConfigRequest) Type() Type                { return TypeGetConfigReq }
+func (*GetConfigRequest) bodyLen() int              { return 0 }
+func (*GetConfigRequest) serializeBody(b []byte)    {}
+func (*GetConfigRequest) decodeBody(b []byte) error { return nil }
+
+// GetConfigReply carries the switch configuration (OFPT_GET_CONFIG_REPLY).
+type GetConfigReply struct {
+	BaseMsg
+	Flags       uint16
+	MissSendLen uint16
+}
+
+// Type implements Message.
+func (*GetConfigReply) Type() Type     { return TypeGetConfigReply }
+func (m *GetConfigReply) bodyLen() int { return 4 }
+func (m *GetConfigReply) serializeBody(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], m.Flags)
+	binary.BigEndian.PutUint16(b[2:4], m.MissSendLen)
+}
+func (m *GetConfigReply) decodeBody(b []byte) error {
+	if len(b) < 4 {
+		return ErrTooShort
+	}
+	m.Flags = binary.BigEndian.Uint16(b[0:2])
+	m.MissSendLen = binary.BigEndian.Uint16(b[2:4])
+	return nil
+}
+
+// SetConfig updates the switch configuration (OFPT_SET_CONFIG).
+type SetConfig struct {
+	BaseMsg
+	Flags       uint16
+	MissSendLen uint16
+}
+
+// Type implements Message.
+func (*SetConfig) Type() Type     { return TypeSetConfig }
+func (m *SetConfig) bodyLen() int { return 4 }
+func (m *SetConfig) serializeBody(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], m.Flags)
+	binary.BigEndian.PutUint16(b[2:4], m.MissSendLen)
+}
+func (m *SetConfig) decodeBody(b []byte) error {
+	if len(b) < 4 {
+		return ErrTooShort
+	}
+	m.Flags = binary.BigEndian.Uint16(b[0:2])
+	m.MissSendLen = binary.BigEndian.Uint16(b[2:4])
+	return nil
+}
+
+// BarrierRequest forces the switch to finish processing all preceding
+// messages before replying (OFPT_BARRIER_REQUEST). NetLog uses barriers
+// to delimit transaction commit points.
+type BarrierRequest struct {
+	BaseMsg
+}
+
+// Type implements Message.
+func (*BarrierRequest) Type() Type                { return TypeBarrierRequest }
+func (*BarrierRequest) bodyLen() int              { return 0 }
+func (*BarrierRequest) serializeBody(b []byte)    {}
+func (*BarrierRequest) decodeBody(b []byte) error { return nil }
+
+// BarrierReply acknowledges a BarrierRequest (OFPT_BARRIER_REPLY).
+type BarrierReply struct {
+	BaseMsg
+}
+
+// Type implements Message.
+func (*BarrierReply) Type() Type                { return TypeBarrierReply }
+func (*BarrierReply) bodyLen() int              { return 0 }
+func (*BarrierReply) serializeBody(b []byte)    {}
+func (*BarrierReply) decodeBody(b []byte) error { return nil }

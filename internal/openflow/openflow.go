@@ -1,0 +1,275 @@
+// Package openflow implements the subset of the OpenFlow 1.0 wire
+// protocol that LegoSDN's controller, AppVisor and NetLog layers depend
+// on: the symmetric messages (Hello, Echo, Error, Barrier), the
+// handshake messages (FeaturesRequest/Reply), the asynchronous switch
+// events (PacketIn, FlowRemoved, PortStatus), the controller commands
+// (PacketOut, FlowMod, PortMod) and the statistics family
+// (StatsRequest/StatsReply with flow, aggregate, port and table bodies).
+//
+// The codec follows the gopacket school of packet handling: messages
+// decode into caller-visible structs with exported fields, encoding is
+// append-style into reusable buffers, and malformed input is reported as
+// an error value, never a panic. Wire format is big-endian, exactly as
+// in the OpenFlow 1.0.0 specification, so the byte streams produced here
+// are valid OpenFlow 1.0 frames.
+package openflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Version is the only protocol version this package speaks (OpenFlow 1.0).
+const Version uint8 = 0x01
+
+// HeaderLen is the length of the fixed ofp_header that prefixes every message.
+const HeaderLen = 8
+
+// MaxMessageLen bounds the accepted message size; the OpenFlow length
+// field is 16 bits, so this is the protocol maximum.
+const MaxMessageLen = 1<<16 - 1
+
+// Type identifies an OpenFlow message type (ofp_type).
+type Type uint8
+
+// OpenFlow 1.0 message types.
+const (
+	TypeHello           Type = 0
+	TypeError           Type = 1
+	TypeEchoRequest     Type = 2
+	TypeEchoReply       Type = 3
+	TypeVendor          Type = 4
+	TypeFeaturesRequest Type = 5
+	TypeFeaturesReply   Type = 6
+	TypeGetConfigReq    Type = 7
+	TypeGetConfigReply  Type = 8
+	TypeSetConfig       Type = 9
+	TypePacketIn        Type = 10
+	TypeFlowRemoved     Type = 11
+	TypePortStatus      Type = 12
+	TypePacketOut       Type = 13
+	TypeFlowMod         Type = 14
+	TypePortMod         Type = 15
+	TypeStatsRequest    Type = 16
+	TypeStatsReply      Type = 17
+	TypeBarrierRequest  Type = 18
+	TypeBarrierReply    Type = 19
+)
+
+var typeNames = map[Type]string{
+	TypeHello:           "HELLO",
+	TypeError:           "ERROR",
+	TypeEchoRequest:     "ECHO_REQUEST",
+	TypeEchoReply:       "ECHO_REPLY",
+	TypeVendor:          "VENDOR",
+	TypeFeaturesRequest: "FEATURES_REQUEST",
+	TypeFeaturesReply:   "FEATURES_REPLY",
+	TypeGetConfigReq:    "GET_CONFIG_REQUEST",
+	TypeGetConfigReply:  "GET_CONFIG_REPLY",
+	TypeSetConfig:       "SET_CONFIG",
+	TypePacketIn:        "PACKET_IN",
+	TypeFlowRemoved:     "FLOW_REMOVED",
+	TypePortStatus:      "PORT_STATUS",
+	TypePacketOut:       "PACKET_OUT",
+	TypeFlowMod:         "FLOW_MOD",
+	TypePortMod:         "PORT_MOD",
+	TypeStatsRequest:    "STATS_REQUEST",
+	TypeStatsReply:      "STATS_REPLY",
+	TypeBarrierRequest:  "BARRIER_REQUEST",
+	TypeBarrierReply:    "BARRIER_REPLY",
+}
+
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("OFPT(%d)", uint8(t))
+}
+
+// Port number constants (ofp_port). Ports numbered above PortMax are
+// reserved for special forwarding semantics.
+const (
+	PortMax        uint16 = 0xff00
+	PortInPort     uint16 = 0xfff8 // send back out the input port
+	PortTable      uint16 = 0xfff9 // submit to flow table (PacketOut only)
+	PortNormal     uint16 = 0xfffa // legacy L2/L3 processing
+	PortFlood      uint16 = 0xfffb // all ports except input and flood-disabled
+	PortAll        uint16 = 0xfffc // all ports except input
+	PortController uint16 = 0xfffd // encapsulate and send to controller
+	PortLocal      uint16 = 0xfffe // local networking stack
+	PortNone       uint16 = 0xffff // not associated with any port
+)
+
+// BufferIDNone indicates a PacketIn/PacketOut that carries the full
+// packet rather than referencing a switch buffer.
+const BufferIDNone uint32 = 0xffffffff
+
+// Common decode errors.
+var (
+	ErrTooShort      = errors.New("openflow: message truncated")
+	ErrBadVersion    = errors.New("openflow: unsupported protocol version")
+	ErrBadLength     = errors.New("openflow: header length field inconsistent")
+	ErrUnknownType   = errors.New("openflow: unknown message type")
+	ErrUnknownAction = errors.New("openflow: unknown action type")
+	ErrBadAction     = errors.New("openflow: malformed action")
+)
+
+// Header is the fixed 8-byte prefix of every OpenFlow message
+// (ofp_header).
+type Header struct {
+	Version uint8
+	Type    Type
+	Length  uint16 // total message length, header included
+	Xid     uint32 // transaction id echoed in replies
+}
+
+// DecodeHeader parses the fixed header from the front of b.
+func DecodeHeader(b []byte) (Header, error) {
+	if len(b) < HeaderLen {
+		return Header{}, ErrTooShort
+	}
+	h := Header{
+		Version: b[0],
+		Type:    Type(b[1]),
+		Length:  binary.BigEndian.Uint16(b[2:4]),
+		Xid:     binary.BigEndian.Uint32(b[4:8]),
+	}
+	if h.Version != Version {
+		return h, fmt.Errorf("%w: %d", ErrBadVersion, h.Version)
+	}
+	if int(h.Length) < HeaderLen {
+		return h, ErrBadLength
+	}
+	return h, nil
+}
+
+func putHeader(b []byte, t Type, length int, xid uint32) {
+	b[0] = Version
+	b[1] = byte(t)
+	binary.BigEndian.PutUint16(b[2:4], uint16(length))
+	binary.BigEndian.PutUint32(b[4:8], xid)
+}
+
+// Message is implemented by every OpenFlow message in this package.
+// Messages are plain structs with exported fields; the interface exists
+// so that the codec, the controller dispatch loop and NetLog's
+// transaction journal can treat them uniformly.
+type Message interface {
+	// Type returns the wire type of the message.
+	Type() Type
+	// GetXid returns the message transaction id.
+	GetXid() uint32
+	// SetXid stamps the message transaction id.
+	SetXid(uint32)
+
+	// bodyLen reports the encoded length of the message body,
+	// excluding the fixed header.
+	bodyLen() int
+	// serializeBody writes exactly bodyLen() bytes into b.
+	serializeBody(b []byte)
+	// decodeBody parses the body (the bytes after the header).
+	decodeBody(b []byte) error
+}
+
+// BaseMsg carries the transaction id shared by all messages. It is
+// embedded by every concrete message type.
+type BaseMsg struct {
+	Xid uint32
+}
+
+// GetXid returns the message transaction id.
+func (m *BaseMsg) GetXid() uint32 { return m.Xid }
+
+// SetXid stamps the message transaction id.
+func (m *BaseMsg) SetXid(x uint32) { m.Xid = x }
+
+// Encode serializes msg into a freshly allocated byte slice containing a
+// complete OpenFlow frame.
+func Encode(msg Message) ([]byte, error) {
+	return AppendMessage(nil, msg)
+}
+
+// AppendMessage appends the encoded form of msg to dst and returns the
+// extended slice, following the append-style serialization idiom so
+// callers can reuse buffers across messages.
+func AppendMessage(dst []byte, msg Message) ([]byte, error) {
+	n := HeaderLen + msg.bodyLen()
+	if n > MaxMessageLen {
+		return dst, fmt.Errorf("openflow: message too large (%d bytes)", n)
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, n)...)
+	putHeader(dst[off:], msg.Type(), n, msg.GetXid())
+	msg.serializeBody(dst[off+HeaderLen : off+n])
+	return dst, nil
+}
+
+// newMessage returns a zero value of the concrete type for t.
+func newMessage(t Type) (Message, error) {
+	switch t {
+	case TypeHello:
+		return &Hello{}, nil
+	case TypeError:
+		return &ErrorMsg{}, nil
+	case TypeEchoRequest:
+		return &EchoRequest{}, nil
+	case TypeEchoReply:
+		return &EchoReply{}, nil
+	case TypeVendor:
+		return &Vendor{}, nil
+	case TypeFeaturesRequest:
+		return &FeaturesRequest{}, nil
+	case TypeFeaturesReply:
+		return &FeaturesReply{}, nil
+	case TypeGetConfigReq:
+		return &GetConfigRequest{}, nil
+	case TypeGetConfigReply:
+		return &GetConfigReply{}, nil
+	case TypeSetConfig:
+		return &SetConfig{}, nil
+	case TypePacketIn:
+		return &PacketIn{}, nil
+	case TypeFlowRemoved:
+		return &FlowRemoved{}, nil
+	case TypePortStatus:
+		return &PortStatus{}, nil
+	case TypePacketOut:
+		return &PacketOut{}, nil
+	case TypeFlowMod:
+		return &FlowMod{}, nil
+	case TypePortMod:
+		return &PortMod{}, nil
+	case TypeStatsRequest:
+		return &StatsRequest{}, nil
+	case TypeStatsReply:
+		return &StatsReply{}, nil
+	case TypeBarrierRequest:
+		return &BarrierRequest{}, nil
+	case TypeBarrierReply:
+		return &BarrierReply{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(t))
+	}
+}
+
+// Decode parses a single complete OpenFlow frame from b. Extra trailing
+// bytes are an error; use a Decoder for stream framing.
+func Decode(b []byte) (Message, error) {
+	h, err := DecodeHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if int(h.Length) != len(b) {
+		return nil, fmt.Errorf("%w: header says %d, buffer has %d", ErrBadLength, h.Length, len(b))
+	}
+	msg, err := newMessage(h.Type)
+	if err != nil {
+		return nil, err
+	}
+	msg.SetXid(h.Xid)
+	if err := msg.decodeBody(b[HeaderLen:]); err != nil {
+		return nil, fmt.Errorf("openflow: decoding %v: %w", h.Type, err)
+	}
+	return msg, nil
+}

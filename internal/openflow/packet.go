@@ -1,0 +1,266 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PhyPortLen is the encoded size of an ofp_phy_port structure.
+const PhyPortLen = 48
+
+// Port config bits (ofp_port_config).
+const (
+	PortConfigDown    uint32 = 1 << 0 // port administratively down
+	PortConfigNoFlood uint32 = 1 << 4 // excluded from OFPP_FLOOD
+	PortConfigNoFwd   uint32 = 1 << 5
+	PortConfigNoPktIn uint32 = 1 << 6
+)
+
+// Port state bits (ofp_port_state).
+const (
+	PortStateLinkDown uint32 = 1 << 0 // no physical link present
+)
+
+// PhyPort describes one switch port (ofp_phy_port).
+type PhyPort struct {
+	PortNo     uint16
+	HWAddr     EthAddr
+	Name       string // at most 15 bytes on the wire
+	Config     uint32
+	State      uint32
+	Curr       uint32
+	Advertised uint32
+	Supported  uint32
+	Peer       uint32
+}
+
+// LinkDown reports whether the port's physical link is down.
+func (p *PhyPort) LinkDown() bool { return p.State&PortStateLinkDown != 0 }
+
+func (p *PhyPort) serializeTo(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], p.PortNo)
+	copy(b[2:8], p.HWAddr[:])
+	name := p.Name
+	if len(name) > 15 {
+		name = name[:15]
+	}
+	for i := 8; i < 24; i++ {
+		b[i] = 0
+	}
+	copy(b[8:23], name)
+	binary.BigEndian.PutUint32(b[24:28], p.Config)
+	binary.BigEndian.PutUint32(b[28:32], p.State)
+	binary.BigEndian.PutUint32(b[32:36], p.Curr)
+	binary.BigEndian.PutUint32(b[36:40], p.Advertised)
+	binary.BigEndian.PutUint32(b[40:44], p.Supported)
+	binary.BigEndian.PutUint32(b[44:48], p.Peer)
+}
+
+func (p *PhyPort) decodeFrom(b []byte) error {
+	if len(b) < PhyPortLen {
+		return ErrTooShort
+	}
+	p.PortNo = binary.BigEndian.Uint16(b[0:2])
+	copy(p.HWAddr[:], b[2:8])
+	name := b[8:24]
+	end := 0
+	for end < len(name) && name[end] != 0 {
+		end++
+	}
+	p.Name = string(name[:end])
+	p.Config = binary.BigEndian.Uint32(b[24:28])
+	p.State = binary.BigEndian.Uint32(b[28:32])
+	p.Curr = binary.BigEndian.Uint32(b[32:36])
+	p.Advertised = binary.BigEndian.Uint32(b[36:40])
+	p.Supported = binary.BigEndian.Uint32(b[40:44])
+	p.Peer = binary.BigEndian.Uint32(b[44:48])
+	return nil
+}
+
+// PacketInReason explains why the switch sent a PacketIn
+// (ofp_packet_in_reason).
+type PacketInReason uint8
+
+// PacketIn reasons.
+const (
+	PacketInReasonNoMatch PacketInReason = 0 // no matching flow entry
+	PacketInReasonAction  PacketInReason = 1 // explicit output-to-controller action
+)
+
+const packetInFixedLen = 10
+
+// PacketIn delivers a packet (or its prefix) to the controller
+// (OFPT_PACKET_IN). It is the dominant event type in the control loop.
+type PacketIn struct {
+	BaseMsg
+	BufferID uint32 // switch buffer holding the packet, or BufferIDNone
+	TotalLen uint16 // full length of the original frame
+	InPort   uint16
+	Reason   PacketInReason
+	Data     []byte // the (possibly truncated) frame
+}
+
+// Type implements Message.
+func (*PacketIn) Type() Type     { return TypePacketIn }
+func (m *PacketIn) bodyLen() int { return packetInFixedLen + len(m.Data) }
+func (m *PacketIn) serializeBody(b []byte) {
+	binary.BigEndian.PutUint32(b[0:4], m.BufferID)
+	binary.BigEndian.PutUint16(b[4:6], m.TotalLen)
+	binary.BigEndian.PutUint16(b[6:8], m.InPort)
+	b[8] = byte(m.Reason)
+	// b[9] pad
+	copy(b[packetInFixedLen:], m.Data)
+}
+func (m *PacketIn) decodeBody(b []byte) error {
+	if len(b) < packetInFixedLen {
+		return ErrTooShort
+	}
+	m.BufferID = binary.BigEndian.Uint32(b[0:4])
+	m.TotalLen = binary.BigEndian.Uint16(b[4:6])
+	m.InPort = binary.BigEndian.Uint16(b[6:8])
+	m.Reason = PacketInReason(b[8])
+	m.Data = append([]byte(nil), b[packetInFixedLen:]...)
+	return nil
+}
+
+func (m *PacketIn) String() string {
+	return fmt.Sprintf("packet_in port=%d len=%d reason=%d", m.InPort, m.TotalLen, m.Reason)
+}
+
+const packetOutFixedLen = 8
+
+// PacketOut instructs the switch to emit a packet (OFPT_PACKET_OUT),
+// either a buffered one (BufferID) or the raw frame in Data.
+type PacketOut struct {
+	BaseMsg
+	BufferID uint32
+	InPort   uint16 // packet's original input port, or PortNone
+	Actions  []Action
+	Data     []byte // ignored when BufferID != BufferIDNone
+}
+
+// Type implements Message.
+func (*PacketOut) Type() Type { return TypePacketOut }
+func (m *PacketOut) bodyLen() int {
+	return packetOutFixedLen + actionsLen(m.Actions) + len(m.Data)
+}
+func (m *PacketOut) serializeBody(b []byte) {
+	al := actionsLen(m.Actions)
+	binary.BigEndian.PutUint32(b[0:4], m.BufferID)
+	binary.BigEndian.PutUint16(b[4:6], m.InPort)
+	binary.BigEndian.PutUint16(b[6:8], uint16(al))
+	serializeActions(b[packetOutFixedLen:packetOutFixedLen+al], m.Actions)
+	copy(b[packetOutFixedLen+al:], m.Data)
+}
+func (m *PacketOut) decodeBody(b []byte) error {
+	if len(b) < packetOutFixedLen {
+		return ErrTooShort
+	}
+	m.BufferID = binary.BigEndian.Uint32(b[0:4])
+	m.InPort = binary.BigEndian.Uint16(b[4:6])
+	al := int(binary.BigEndian.Uint16(b[6:8]))
+	if packetOutFixedLen+al > len(b) {
+		return fmt.Errorf("%w: actions_len %d exceeds body", ErrBadLength, al)
+	}
+	actions, err := decodeActions(b[packetOutFixedLen : packetOutFixedLen+al])
+	if err != nil {
+		return err
+	}
+	m.Actions = actions
+	m.Data = append([]byte(nil), b[packetOutFixedLen+al:]...)
+	return nil
+}
+
+// Clone returns a deep copy of the PacketOut.
+func (m *PacketOut) Clone() *PacketOut {
+	c := *m
+	c.Actions = CopyActions(m.Actions)
+	c.Data = append([]byte(nil), m.Data...)
+	return &c
+}
+
+// PortReason explains a PortStatus change (ofp_port_reason).
+type PortReason uint8
+
+// PortStatus reasons.
+const (
+	PortReasonAdd    PortReason = 0
+	PortReasonDelete PortReason = 1
+	PortReasonModify PortReason = 2
+)
+
+func (r PortReason) String() string {
+	switch r {
+	case PortReasonAdd:
+		return "ADD"
+	case PortReasonDelete:
+		return "DELETE"
+	case PortReasonModify:
+		return "MODIFY"
+	default:
+		return fmt.Sprintf("PORT_REASON(%d)", uint8(r))
+	}
+}
+
+const portStatusBodyLen = 8 + PhyPortLen
+
+// PortStatus notifies the controller of a port change (OFPT_PORT_STATUS).
+// Crash-Pad's equivalence transforms operate on these events.
+type PortStatus struct {
+	BaseMsg
+	Reason PortReason
+	Desc   PhyPort
+}
+
+// Type implements Message.
+func (*PortStatus) Type() Type     { return TypePortStatus }
+func (m *PortStatus) bodyLen() int { return portStatusBodyLen }
+func (m *PortStatus) serializeBody(b []byte) {
+	b[0] = byte(m.Reason)
+	// b[1:8] pad
+	m.Desc.serializeTo(b[8 : 8+PhyPortLen])
+}
+func (m *PortStatus) decodeBody(b []byte) error {
+	if len(b) < portStatusBodyLen {
+		return ErrTooShort
+	}
+	m.Reason = PortReason(b[0])
+	return m.Desc.decodeFrom(b[8 : 8+PhyPortLen])
+}
+
+func (m *PortStatus) String() string {
+	return fmt.Sprintf("port_status %v port=%d state=0x%x", m.Reason, m.Desc.PortNo, m.Desc.State)
+}
+
+// PortMod changes a port's administrative configuration (OFPT_PORT_MOD).
+type PortMod struct {
+	BaseMsg
+	PortNo    uint16
+	HWAddr    EthAddr
+	Config    uint32
+	Mask      uint32 // which Config bits to change
+	Advertise uint32
+}
+
+// Type implements Message.
+func (*PortMod) Type() Type     { return TypePortMod }
+func (m *PortMod) bodyLen() int { return 24 }
+func (m *PortMod) serializeBody(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], m.PortNo)
+	copy(b[2:8], m.HWAddr[:])
+	binary.BigEndian.PutUint32(b[8:12], m.Config)
+	binary.BigEndian.PutUint32(b[12:16], m.Mask)
+	binary.BigEndian.PutUint32(b[16:20], m.Advertise)
+	// b[20:24] pad
+}
+func (m *PortMod) decodeBody(b []byte) error {
+	if len(b) < 24 {
+		return ErrTooShort
+	}
+	m.PortNo = binary.BigEndian.Uint16(b[0:2])
+	copy(m.HWAddr[:], b[2:8])
+	m.Config = binary.BigEndian.Uint32(b[8:12])
+	m.Mask = binary.BigEndian.Uint32(b[12:16])
+	m.Advertise = binary.BigEndian.Uint32(b[16:20])
+	return nil
+}

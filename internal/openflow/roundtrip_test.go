@@ -1,0 +1,497 @@
+package openflow
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// sampleActions returns one of each action type, for exhaustive
+// round-trip coverage.
+func sampleActions() []Action {
+	return []Action{
+		&ActionOutput{Port: 7, MaxLen: 128},
+		&ActionSetVlanVID{VlanVID: 100},
+		&ActionSetVlanPCP{VlanPCP: 5},
+		&ActionStripVlan{},
+		&ActionSetDlSrc{Addr: EthAddr{1, 2, 3, 4, 5, 6}},
+		&ActionSetDlDst{Addr: EthAddr{6, 5, 4, 3, 2, 1}},
+		&ActionSetNwSrc{Addr: 0x0a000001},
+		&ActionSetNwDst{Addr: 0x0a000002},
+		&ActionSetNwTos{Tos: 0x20},
+		&ActionSetTpSrc{Port: 8080},
+		&ActionSetTpDst{Port: 443},
+		&ActionEnqueue{Port: 3, QueueID: 9},
+	}
+}
+
+func roundTrip(t *testing.T, msg Message) Message {
+	t.Helper()
+	b, err := Encode(msg)
+	if err != nil {
+		t.Fatalf("encode %v: %v", msg.Type(), err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode %v: %v", msg.Type(), err)
+	}
+	if got.Type() != msg.Type() {
+		t.Fatalf("type changed: sent %v got %v", msg.Type(), got.Type())
+	}
+	if got.GetXid() != msg.GetXid() {
+		t.Fatalf("xid changed: sent %d got %d", msg.GetXid(), got.GetXid())
+	}
+	return got
+}
+
+func TestRoundTripSymmetric(t *testing.T) {
+	msgs := []Message{
+		&Hello{BaseMsg{Xid: 1}},
+		&EchoRequest{BaseMsg: BaseMsg{Xid: 2}, Data: []byte("ping")},
+		&EchoReply{BaseMsg: BaseMsg{Xid: 3}, Data: []byte("pong")},
+		&BarrierRequest{BaseMsg{Xid: 4}},
+		&BarrierReply{BaseMsg{Xid: 5}},
+		&FeaturesRequest{BaseMsg{Xid: 6}},
+		&GetConfigRequest{BaseMsg{Xid: 7}},
+		&GetConfigReply{BaseMsg: BaseMsg{Xid: 8}, Flags: 1, MissSendLen: 128},
+		&SetConfig{BaseMsg: BaseMsg{Xid: 9}, MissSendLen: 1500},
+		&Vendor{BaseMsg: BaseMsg{Xid: 10}, VendorID: 0x2320, Data: []byte{1, 2, 3}},
+		&ErrorMsg{BaseMsg: BaseMsg{Xid: 11}, ErrType: ErrTypeFlowModFailed, Code: FlowModFailedAllTablesFull, Data: []byte{0xde, 0xad}},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%v: round trip mismatch\n got %#v\nwant %#v", m.Type(), got, m)
+		}
+	}
+}
+
+func TestRoundTripFeaturesReply(t *testing.T) {
+	m := &FeaturesReply{
+		BaseMsg:      BaseMsg{Xid: 20},
+		DatapathID:   0x00001122334455aa,
+		NBuffers:     256,
+		NTables:      2,
+		Capabilities: CapFlowStats | CapPortStats,
+		Actions:      0xfff,
+		Ports: []PhyPort{
+			{PortNo: 1, HWAddr: EthAddr{0xaa, 0, 0, 0, 0, 1}, Name: "eth1", Curr: 1},
+			{PortNo: 2, HWAddr: EthAddr{0xaa, 0, 0, 0, 0, 2}, Name: "eth2", State: PortStateLinkDown},
+		},
+	}
+	got := roundTrip(t, m).(*FeaturesReply)
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("features reply mismatch\n got %#v\nwant %#v", got, m)
+	}
+}
+
+func TestRoundTripFlowMod(t *testing.T) {
+	match := Match{Wildcards: WildcardAll &^ (WildcardInPort | WildcardDlDst), InPort: 4, DlDst: EthAddr{1, 2, 3, 4, 5, 6}}
+	m := &FlowMod{
+		BaseMsg:     BaseMsg{Xid: 30},
+		Match:       match,
+		Cookie:      0xfeedface,
+		Command:     FlowModAdd,
+		IdleTimeout: 30,
+		HardTimeout: 600,
+		Priority:    100,
+		BufferID:    BufferIDNone,
+		OutPort:     PortNone,
+		Flags:       FlowModFlagSendFlowRem,
+		Actions:     sampleActions(),
+	}
+	got := roundTrip(t, m).(*FlowMod)
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("flow mod mismatch\n got %#v\nwant %#v", got, m)
+	}
+}
+
+func TestRoundTripFlowModNoActions(t *testing.T) {
+	m := &FlowMod{
+		BaseMsg:  BaseMsg{Xid: 31},
+		Match:    MatchAll(),
+		Command:  FlowModDelete,
+		BufferID: BufferIDNone,
+		OutPort:  PortNone,
+	}
+	got := roundTrip(t, m).(*FlowMod)
+	if len(got.Actions) != 0 {
+		t.Fatalf("expected no actions, got %d", len(got.Actions))
+	}
+}
+
+func TestRoundTripPacketInOut(t *testing.T) {
+	pin := &PacketIn{
+		BaseMsg:  BaseMsg{Xid: 40},
+		BufferID: BufferIDNone,
+		TotalLen: 64,
+		InPort:   2,
+		Reason:   PacketInReasonNoMatch,
+		Data:     bytes.Repeat([]byte{0xab}, 64),
+	}
+	got := roundTrip(t, pin).(*PacketIn)
+	if !reflect.DeepEqual(got, pin) {
+		t.Fatalf("packet in mismatch")
+	}
+
+	pout := &PacketOut{
+		BaseMsg:  BaseMsg{Xid: 41},
+		BufferID: BufferIDNone,
+		InPort:   PortNone,
+		Actions:  []Action{&ActionOutput{Port: PortFlood, MaxLen: 0}},
+		Data:     []byte{1, 2, 3, 4},
+	}
+	gotOut := roundTrip(t, pout).(*PacketOut)
+	if !reflect.DeepEqual(gotOut, pout) {
+		t.Fatalf("packet out mismatch\n got %#v\nwant %#v", gotOut, pout)
+	}
+}
+
+func TestRoundTripFlowRemoved(t *testing.T) {
+	m := &FlowRemoved{
+		BaseMsg:      BaseMsg{Xid: 50},
+		Match:        Match{Wildcards: WildcardAll &^ WildcardDlType, DlType: 0x0800},
+		Cookie:       99,
+		Priority:     10,
+		Reason:       FlowRemovedIdleTimeout,
+		DurationSec:  120,
+		DurationNsec: 500,
+		IdleTimeout:  30,
+		PacketCount:  1000,
+		ByteCount:    64000,
+	}
+	got := roundTrip(t, m).(*FlowRemoved)
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("flow removed mismatch\n got %#v\nwant %#v", got, m)
+	}
+}
+
+func TestRoundTripPortStatusAndMod(t *testing.T) {
+	ps := &PortStatus{
+		BaseMsg: BaseMsg{Xid: 60},
+		Reason:  PortReasonModify,
+		Desc: PhyPort{
+			PortNo: 3,
+			HWAddr: EthAddr{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff},
+			Name:   "s1-eth3",
+			State:  PortStateLinkDown,
+		},
+	}
+	got := roundTrip(t, ps).(*PortStatus)
+	if !reflect.DeepEqual(got, ps) {
+		t.Fatalf("port status mismatch\n got %#v\nwant %#v", got, ps)
+	}
+
+	pm := &PortMod{
+		BaseMsg: BaseMsg{Xid: 61},
+		PortNo:  3,
+		HWAddr:  EthAddr{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff},
+		Config:  PortConfigDown,
+		Mask:    PortConfigDown,
+	}
+	gotPM := roundTrip(t, pm).(*PortMod)
+	if !reflect.DeepEqual(gotPM, pm) {
+		t.Fatalf("port mod mismatch")
+	}
+}
+
+func TestRoundTripStats(t *testing.T) {
+	req := &StatsRequest{
+		BaseMsg:   BaseMsg{Xid: 70},
+		StatsType: StatsTypeFlow,
+		Flow:      &FlowStatsRequest{Match: MatchAll(), TableID: 0xff, OutPort: PortNone},
+	}
+	gotReq := roundTrip(t, req).(*StatsRequest)
+	if !reflect.DeepEqual(gotReq, req) {
+		t.Fatalf("stats request mismatch\n got %#v\nwant %#v", gotReq, req)
+	}
+
+	rep := &StatsReply{
+		BaseMsg:   BaseMsg{Xid: 71},
+		StatsType: StatsTypeFlow,
+		Flows: []FlowStatsEntry{
+			{
+				TableID:     0,
+				Match:       Match{Wildcards: WildcardAll &^ WildcardInPort, InPort: 1},
+				DurationSec: 5,
+				Priority:    100,
+				IdleTimeout: 30,
+				Cookie:      7,
+				PacketCount: 42,
+				ByteCount:   4200,
+				Actions:     []Action{&ActionOutput{Port: 2, MaxLen: 0}},
+			},
+			{
+				TableID:  0,
+				Match:    MatchAll(),
+				Priority: 1,
+			},
+		},
+	}
+	gotRep := roundTrip(t, rep).(*StatsReply)
+	if !reflect.DeepEqual(gotRep, rep) {
+		t.Fatalf("flow stats reply mismatch\n got %#v\nwant %#v", gotRep, rep)
+	}
+
+	agg := &StatsReply{
+		BaseMsg:   BaseMsg{Xid: 72},
+		StatsType: StatsTypeAggregate,
+		Aggregate: &AggregateStats{PacketCount: 9, ByteCount: 900, FlowCount: 3},
+	}
+	gotAgg := roundTrip(t, agg).(*StatsReply)
+	if !reflect.DeepEqual(gotAgg, agg) {
+		t.Fatalf("aggregate stats mismatch")
+	}
+
+	ports := &StatsReply{
+		BaseMsg:   BaseMsg{Xid: 73},
+		StatsType: StatsTypePort,
+		Ports: []PortStatsEntry{
+			{PortNo: 1, RxPackets: 10, TxPackets: 20, RxBytes: 1000, TxBytes: 2000},
+			{PortNo: 2, Collisions: 3},
+		},
+	}
+	gotPorts := roundTrip(t, ports).(*StatsReply)
+	if !reflect.DeepEqual(gotPorts, ports) {
+		t.Fatalf("port stats mismatch")
+	}
+}
+
+// randomMatch builds an arbitrary but wire-valid Match from quick's
+// random source.
+func randomMatch(r *rand.Rand) Match {
+	m := Match{
+		Wildcards: r.Uint32() & WildcardAll,
+		InPort:    uint16(r.Uint32()),
+		DlVlan:    uint16(r.Uint32()),
+		DlVlanPcp: uint8(r.Uint32() & 7),
+		DlType:    uint16(r.Uint32()),
+		NwTos:     uint8(r.Uint32()),
+		NwProto:   uint8(r.Uint32()),
+		NwSrc:     r.Uint32(),
+		NwDst:     r.Uint32(),
+		TpSrc:     uint16(r.Uint32()),
+		TpDst:     uint16(r.Uint32()),
+	}
+	r.Read(m.DlSrc[:])
+	r.Read(m.DlDst[:])
+	return m
+}
+
+func randomPacketFields(r *rand.Rand) PacketFields {
+	p := PacketFields{
+		InPort:    uint16(r.Uint32() % 48),
+		DlVlan:    uint16(r.Uint32()),
+		DlVlanPcp: uint8(r.Uint32() & 7),
+		DlType:    uint16(r.Uint32()),
+		NwTos:     uint8(r.Uint32()),
+		NwProto:   uint8(r.Uint32()),
+		NwSrc:     r.Uint32(),
+		NwDst:     r.Uint32(),
+		TpSrc:     uint16(r.Uint32()),
+		TpDst:     uint16(r.Uint32()),
+	}
+	r.Read(p.DlSrc[:])
+	r.Read(p.DlDst[:])
+	return p
+}
+
+// Property: FlowMod encode→decode is the identity on wire-visible state.
+func TestQuickFlowModRoundTrip(t *testing.T) {
+	f := func(xid uint32, cookie uint64, prio, idle, hard uint16, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := &FlowMod{
+			BaseMsg:     BaseMsg{Xid: xid},
+			Match:       randomMatch(r),
+			Cookie:      cookie,
+			Command:     FlowModCommand(r.Uint32() % 5),
+			IdleTimeout: idle,
+			HardTimeout: hard,
+			Priority:    prio,
+			BufferID:    BufferIDNone,
+			OutPort:     PortNone,
+		}
+		n := int(r.Uint32() % 4)
+		all := sampleActions()
+		for i := 0; i < n; i++ {
+			m.Actions = append(m.Actions, all[int(r.Uint32())%len(all)])
+		}
+		b, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		b2, err := Encode(got)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(b, b2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encoding is length-consistent — the header length field
+// always equals the buffer length.
+func TestQuickEncodeLengthConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		msgs := []Message{
+			&PacketIn{BufferID: BufferIDNone, Data: make([]byte, r.Uint32()%512)},
+			&EchoRequest{Data: make([]byte, r.Uint32()%512)},
+			&FlowMod{Match: randomMatch(r), BufferID: BufferIDNone, OutPort: PortNone},
+		}
+		m := msgs[int(r.Uint32())%len(msgs)]
+		b, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		h, err := DecodeHeader(b)
+		return err == nil && int(h.Length) == len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Normalize is idempotent and preserves match semantics.
+func TestQuickNormalizeIdempotentAndSemantic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomMatch(r)
+		n1 := m.Normalize()
+		n2 := n1.Normalize()
+		if n1 != n2 {
+			return false
+		}
+		for i := 0; i < 16; i++ {
+			p := randomPacketFields(r)
+			if m.Matches(p) != n1.Matches(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a match subsumes itself, and MatchAll subsumes everything.
+func TestQuickSubsumesReflexive(t *testing.T) {
+	all := MatchAll()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomMatch(r).Normalize()
+		return m.Subsumes(&m) && all.Subsumes(&m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: if a subsumes b, every packet matching b matches a.
+func TestQuickSubsumesSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomMatch(r)
+		b := a
+		// Specialize b a little: clear some wildcard bits so b is narrower.
+		b.Wildcards &^= r.Uint32() & WildcardAll & ^uint32(wildcardNwSrcMask|wildcardNwDstMask)
+		if !a.Subsumes(&b) {
+			return true // vacuous; only soundness is asserted
+		}
+		for i := 0; i < 16; i++ {
+			p := randomPacketFields(r)
+			if b.Matches(p) && !a.Matches(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil buffer should fail")
+	}
+	if _, err := Decode([]byte{2, 0, 0, 8, 0, 0, 0, 0}); err == nil {
+		t.Error("wrong version should fail")
+	}
+	// Header length larger than buffer.
+	b, _ := Encode(&Hello{})
+	b[3] = 200
+	if _, err := Decode(b); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	// Unknown type.
+	b2, _ := Encode(&Hello{})
+	b2[1] = 99
+	if _, err := Decode(b2); err == nil {
+		t.Error("unknown type should fail")
+	}
+	// Truncated flow mod body.
+	fm, _ := Encode(&FlowMod{Match: MatchAll(), BufferID: BufferIDNone, OutPort: PortNone})
+	short := fm[:HeaderLen+10]
+	binaryPutLen(short)
+	if _, err := Decode(short); err == nil {
+		t.Error("truncated flow mod should fail")
+	}
+}
+
+func binaryPutLen(b []byte) {
+	b[2] = byte(len(b) >> 8)
+	b[3] = byte(len(b))
+}
+
+func TestDecodeBadAction(t *testing.T) {
+	m := &FlowMod{Match: MatchAll(), BufferID: BufferIDNone, OutPort: PortNone,
+		Actions: []Action{&ActionOutput{Port: 1}}}
+	b, _ := Encode(m)
+	// Corrupt the action length to a non-multiple of 8.
+	b[HeaderLen+flowModFixedLen+3] = 5
+	if _, err := Decode(b); err == nil {
+		t.Error("corrupt action length should fail")
+	}
+	// Unknown action type.
+	b2, _ := Encode(m)
+	b2[HeaderLen+flowModFixedLen+1] = 200
+	if _, err := Decode(b2); err == nil {
+		t.Error("unknown action type should fail")
+	}
+}
+
+func TestActionsEqualAndCopy(t *testing.T) {
+	a := sampleActions()
+	b := sampleActions()
+	if !ActionsEqual(a, b) {
+		t.Fatal("identical lists should compare equal")
+	}
+	c := CopyActions(a)
+	if !ActionsEqual(a, c) {
+		t.Fatal("copy should compare equal")
+	}
+	// Mutating the copy must not affect the original.
+	c[0].(*ActionOutput).Port = 99
+	if ActionsEqual(a, c) {
+		t.Fatal("mutated copy should differ")
+	}
+	if a[0].(*ActionOutput).Port == 99 {
+		t.Fatal("copy aliased the original")
+	}
+	if ActionsEqual(a, a[:len(a)-1]) {
+		t.Fatal("different lengths should differ")
+	}
+	if CopyActions(nil) != nil {
+		t.Fatal("copy of nil should be nil")
+	}
+}

@@ -1,0 +1,370 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// StatsType selects a statistics body (ofp_stats_types).
+type StatsType uint16
+
+// Statistics types.
+const (
+	StatsTypeDesc      StatsType = 0
+	StatsTypeFlow      StatsType = 1
+	StatsTypeAggregate StatsType = 2
+	StatsTypeTable     StatsType = 3
+	StatsTypePort      StatsType = 4
+)
+
+// StatsReplyFlagMore marks a multipart StatsReply with more parts pending.
+const StatsReplyFlagMore uint16 = 1 << 0
+
+// FlowStatsRequest asks for per-flow statistics matching a filter.
+type FlowStatsRequest struct {
+	Match   Match
+	TableID uint8  // 0xff = all tables
+	OutPort uint16 // restrict to flows outputting here, or PortNone
+}
+
+const flowStatsRequestLen = MatchLen + 4
+
+func (r *FlowStatsRequest) serializeTo(b []byte) {
+	r.Match.serializeTo(b[0:MatchLen])
+	b[MatchLen] = r.TableID
+	// pad
+	binary.BigEndian.PutUint16(b[MatchLen+2:MatchLen+4], r.OutPort)
+}
+
+func (r *FlowStatsRequest) decodeFrom(b []byte) error {
+	if len(b) < flowStatsRequestLen {
+		return ErrTooShort
+	}
+	if err := r.Match.decodeFrom(b[0:MatchLen]); err != nil {
+		return err
+	}
+	r.TableID = b[MatchLen]
+	r.OutPort = binary.BigEndian.Uint16(b[MatchLen+2 : MatchLen+4])
+	return nil
+}
+
+// PortStatsRequest asks for statistics of one port or all ports.
+type PortStatsRequest struct {
+	PortNo uint16 // PortNone = all ports
+}
+
+const portStatsRequestLen = 8
+
+func (r *PortStatsRequest) serializeTo(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], r.PortNo)
+}
+
+func (r *PortStatsRequest) decodeFrom(b []byte) error {
+	if len(b) < portStatsRequestLen {
+		return ErrTooShort
+	}
+	r.PortNo = binary.BigEndian.Uint16(b[0:2])
+	return nil
+}
+
+// StatsRequest queries switch statistics (OFPT_STATS_REQUEST). Exactly
+// one of Flow/Port is consulted, selected by StatsType; Desc, Aggregate
+// (which reuses Flow) and Table carry no extra request body beyond what
+// Flow provides.
+type StatsRequest struct {
+	BaseMsg
+	StatsType StatsType
+	Flags     uint16
+	Flow      *FlowStatsRequest // for StatsTypeFlow and StatsTypeAggregate
+	Port      *PortStatsRequest // for StatsTypePort
+}
+
+// Type implements Message.
+func (*StatsRequest) Type() Type { return TypeStatsRequest }
+func (m *StatsRequest) bodyLen() int {
+	n := 4
+	switch m.StatsType {
+	case StatsTypeFlow, StatsTypeAggregate:
+		n += flowStatsRequestLen
+	case StatsTypePort:
+		n += portStatsRequestLen
+	}
+	return n
+}
+func (m *StatsRequest) serializeBody(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], uint16(m.StatsType))
+	binary.BigEndian.PutUint16(b[2:4], m.Flags)
+	switch m.StatsType {
+	case StatsTypeFlow, StatsTypeAggregate:
+		req := m.Flow
+		if req == nil {
+			req = &FlowStatsRequest{Match: MatchAll(), TableID: 0xff, OutPort: PortNone}
+		}
+		req.serializeTo(b[4:])
+	case StatsTypePort:
+		req := m.Port
+		if req == nil {
+			req = &PortStatsRequest{PortNo: PortNone}
+		}
+		req.serializeTo(b[4:])
+	}
+}
+func (m *StatsRequest) decodeBody(b []byte) error {
+	if len(b) < 4 {
+		return ErrTooShort
+	}
+	m.StatsType = StatsType(binary.BigEndian.Uint16(b[0:2]))
+	m.Flags = binary.BigEndian.Uint16(b[2:4])
+	switch m.StatsType {
+	case StatsTypeFlow, StatsTypeAggregate:
+		m.Flow = &FlowStatsRequest{}
+		return m.Flow.decodeFrom(b[4:])
+	case StatsTypePort:
+		m.Port = &PortStatsRequest{}
+		return m.Port.decodeFrom(b[4:])
+	}
+	return nil
+}
+
+// FlowStatsEntry is one flow's statistics in a StatsReply.
+type FlowStatsEntry struct {
+	TableID      uint8
+	Match        Match
+	DurationSec  uint32
+	DurationNsec uint32
+	Priority     uint16
+	IdleTimeout  uint16
+	HardTimeout  uint16
+	Cookie       uint64
+	PacketCount  uint64
+	ByteCount    uint64
+	Actions      []Action
+}
+
+const flowStatsEntryFixedLen = 88
+
+// EncodedLen reports the entry's wire size, which multipart splitters
+// use to budget reply parts.
+func (e *FlowStatsEntry) EncodedLen() int { return flowStatsEntryFixedLen + actionsLen(e.Actions) }
+
+func (e *FlowStatsEntry) serializeTo(b []byte) {
+	n := e.EncodedLen()
+	binary.BigEndian.PutUint16(b[0:2], uint16(n))
+	b[2] = e.TableID
+	// b[3] pad
+	e.Match.serializeTo(b[4 : 4+MatchLen])
+	off := 4 + MatchLen
+	binary.BigEndian.PutUint32(b[off:off+4], e.DurationSec)
+	binary.BigEndian.PutUint32(b[off+4:off+8], e.DurationNsec)
+	binary.BigEndian.PutUint16(b[off+8:off+10], e.Priority)
+	binary.BigEndian.PutUint16(b[off+10:off+12], e.IdleTimeout)
+	binary.BigEndian.PutUint16(b[off+12:off+14], e.HardTimeout)
+	// 6 bytes pad
+	binary.BigEndian.PutUint64(b[off+20:off+28], e.Cookie)
+	binary.BigEndian.PutUint64(b[off+28:off+36], e.PacketCount)
+	binary.BigEndian.PutUint64(b[off+36:off+44], e.ByteCount)
+	serializeActions(b[flowStatsEntryFixedLen:n], e.Actions)
+}
+
+func (e *FlowStatsEntry) decodeFrom(b []byte) (int, error) {
+	if len(b) < flowStatsEntryFixedLen {
+		return 0, ErrTooShort
+	}
+	n := int(binary.BigEndian.Uint16(b[0:2]))
+	if n < flowStatsEntryFixedLen || n > len(b) {
+		return 0, fmt.Errorf("%w: flow stats entry length %d", ErrBadLength, n)
+	}
+	e.TableID = b[2]
+	if err := e.Match.decodeFrom(b[4 : 4+MatchLen]); err != nil {
+		return 0, err
+	}
+	off := 4 + MatchLen
+	e.DurationSec = binary.BigEndian.Uint32(b[off : off+4])
+	e.DurationNsec = binary.BigEndian.Uint32(b[off+4 : off+8])
+	e.Priority = binary.BigEndian.Uint16(b[off+8 : off+10])
+	e.IdleTimeout = binary.BigEndian.Uint16(b[off+10 : off+12])
+	e.HardTimeout = binary.BigEndian.Uint16(b[off+12 : off+14])
+	e.Cookie = binary.BigEndian.Uint64(b[off+20 : off+28])
+	e.PacketCount = binary.BigEndian.Uint64(b[off+28 : off+36])
+	e.ByteCount = binary.BigEndian.Uint64(b[off+36 : off+44])
+	actions, err := decodeActions(b[flowStatsEntryFixedLen:n])
+	if err != nil {
+		return 0, err
+	}
+	e.Actions = actions
+	return n, nil
+}
+
+// AggregateStats summarizes all flows matching an aggregate request.
+type AggregateStats struct {
+	PacketCount uint64
+	ByteCount   uint64
+	FlowCount   uint32
+}
+
+const aggregateStatsLen = 24
+
+func (s *AggregateStats) serializeTo(b []byte) {
+	binary.BigEndian.PutUint64(b[0:8], s.PacketCount)
+	binary.BigEndian.PutUint64(b[8:16], s.ByteCount)
+	binary.BigEndian.PutUint32(b[16:20], s.FlowCount)
+}
+
+func (s *AggregateStats) decodeFrom(b []byte) error {
+	if len(b) < aggregateStatsLen {
+		return ErrTooShort
+	}
+	s.PacketCount = binary.BigEndian.Uint64(b[0:8])
+	s.ByteCount = binary.BigEndian.Uint64(b[8:16])
+	s.FlowCount = binary.BigEndian.Uint32(b[16:20])
+	return nil
+}
+
+// PortStatsEntry is one port's counters in a StatsReply.
+type PortStatsEntry struct {
+	PortNo     uint16
+	RxPackets  uint64
+	TxPackets  uint64
+	RxBytes    uint64
+	TxBytes    uint64
+	RxDropped  uint64
+	TxDropped  uint64
+	RxErrors   uint64
+	TxErrors   uint64
+	RxFrameErr uint64
+	RxOverErr  uint64
+	RxCrcErr   uint64
+	Collisions uint64
+}
+
+const portStatsEntryLen = 104
+
+func (e *PortStatsEntry) serializeTo(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], e.PortNo)
+	vals := []uint64{
+		e.RxPackets, e.TxPackets, e.RxBytes, e.TxBytes,
+		e.RxDropped, e.TxDropped, e.RxErrors, e.TxErrors,
+		e.RxFrameErr, e.RxOverErr, e.RxCrcErr, e.Collisions,
+	}
+	off := 8
+	for _, v := range vals {
+		binary.BigEndian.PutUint64(b[off:off+8], v)
+		off += 8
+	}
+}
+
+func (e *PortStatsEntry) decodeFrom(b []byte) error {
+	if len(b) < portStatsEntryLen {
+		return ErrTooShort
+	}
+	e.PortNo = binary.BigEndian.Uint16(b[0:2])
+	vals := []*uint64{
+		&e.RxPackets, &e.TxPackets, &e.RxBytes, &e.TxBytes,
+		&e.RxDropped, &e.TxDropped, &e.RxErrors, &e.TxErrors,
+		&e.RxFrameErr, &e.RxOverErr, &e.RxCrcErr, &e.Collisions,
+	}
+	off := 8
+	for _, v := range vals {
+		*v = binary.BigEndian.Uint64(b[off : off+8])
+		off += 8
+	}
+	return nil
+}
+
+// StatsReply answers a StatsRequest (OFPT_STATS_REPLY). The populated
+// body slice/pointer corresponds to StatsType. NetLog's counter-cache
+// rewrites Flows[].PacketCount/ByteCount in flight after a rollback.
+type StatsReply struct {
+	BaseMsg
+	StatsType StatsType
+	Flags     uint16
+	Flows     []FlowStatsEntry // StatsTypeFlow
+	Aggregate *AggregateStats  // StatsTypeAggregate
+	Ports     []PortStatsEntry // StatsTypePort
+	Raw       []byte           // StatsTypeDesc/Table: opaque body
+}
+
+// Type implements Message.
+func (*StatsReply) Type() Type { return TypeStatsReply }
+func (m *StatsReply) bodyLen() int {
+	n := 4
+	switch m.StatsType {
+	case StatsTypeFlow:
+		for i := range m.Flows {
+			n += m.Flows[i].EncodedLen()
+		}
+	case StatsTypeAggregate:
+		n += aggregateStatsLen
+	case StatsTypePort:
+		n += portStatsEntryLen * len(m.Ports)
+	default:
+		n += len(m.Raw)
+	}
+	return n
+}
+func (m *StatsReply) serializeBody(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], uint16(m.StatsType))
+	binary.BigEndian.PutUint16(b[2:4], m.Flags)
+	off := 4
+	switch m.StatsType {
+	case StatsTypeFlow:
+		for i := range m.Flows {
+			n := m.Flows[i].EncodedLen()
+			m.Flows[i].serializeTo(b[off : off+n])
+			off += n
+		}
+	case StatsTypeAggregate:
+		agg := m.Aggregate
+		if agg == nil {
+			agg = &AggregateStats{}
+		}
+		agg.serializeTo(b[off : off+aggregateStatsLen])
+	case StatsTypePort:
+		for i := range m.Ports {
+			m.Ports[i].serializeTo(b[off : off+portStatsEntryLen])
+			off += portStatsEntryLen
+		}
+	default:
+		copy(b[off:], m.Raw)
+	}
+}
+func (m *StatsReply) decodeBody(b []byte) error {
+	if len(b) < 4 {
+		return ErrTooShort
+	}
+	m.StatsType = StatsType(binary.BigEndian.Uint16(b[0:2]))
+	m.Flags = binary.BigEndian.Uint16(b[2:4])
+	body := b[4:]
+	switch m.StatsType {
+	case StatsTypeFlow:
+		m.Flows = nil
+		for len(body) > 0 {
+			var e FlowStatsEntry
+			n, err := e.decodeFrom(body)
+			if err != nil {
+				return err
+			}
+			m.Flows = append(m.Flows, e)
+			body = body[n:]
+		}
+	case StatsTypeAggregate:
+		m.Aggregate = &AggregateStats{}
+		return m.Aggregate.decodeFrom(body)
+	case StatsTypePort:
+		if len(body)%portStatsEntryLen != 0 {
+			return fmt.Errorf("%w: port stats body %d", ErrBadLength, len(body))
+		}
+		m.Ports = make([]PortStatsEntry, 0, len(body)/portStatsEntryLen)
+		for len(body) > 0 {
+			var e PortStatsEntry
+			if err := e.decodeFrom(body[:portStatsEntryLen]); err != nil {
+				return err
+			}
+			m.Ports = append(m.Ports, e)
+			body = body[portStatsEntryLen:]
+		}
+	default:
+		m.Raw = append([]byte(nil), body...)
+	}
+	return nil
+}

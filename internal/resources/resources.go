@@ -1,0 +1,178 @@
+// Package resources implements per-application resource limits, the
+// §3.4 use case LegoSDN's isolation enables: "an operator can define
+// resource limits for each SDN-App, thus limiting the impact of
+// misbehaving applications". Limits cover inbound event rate (token
+// bucket) and an outbound message budget per event; a rogue app that
+// floods the controller or the network is throttled without affecting
+// its neighbors.
+package resources
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/flowtable"
+	"legosdn/internal/openflow"
+)
+
+// Limits bounds one app's consumption. Zero fields mean unlimited.
+type Limits struct {
+	// EventsPerSecond caps the sustained inbound event rate.
+	EventsPerSecond float64
+	// Burst is the token bucket depth (defaults to max(1, rate)).
+	Burst float64
+	// MsgsPerEvent caps outbound messages a single event may produce.
+	MsgsPerEvent int
+}
+
+// bucket is a standard token bucket against an abstract clock.
+type bucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func (b *bucket) allow(now time.Time) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// Limiter enforces per-app limits by wrapping another AppRunner. Apps
+// without configured limits pass through untouched.
+type Limiter struct {
+	inner controller.AppRunner
+	clock flowtable.Clock
+
+	mu      sync.Mutex
+	limits  map[string]Limits
+	buckets map[string]*bucket
+
+	// DroppedEvents counts events shed per app.
+	droppedEvents map[string]uint64
+	// RejectedMsgs counts outbound messages refused per app.
+	rejectedMsgs map[string]uint64
+}
+
+// NewLimiter wraps inner with resource enforcement. clock may be nil
+// (real time).
+func NewLimiter(inner controller.AppRunner, clock flowtable.Clock) *Limiter {
+	if clock == nil {
+		clock = flowtable.RealClock{}
+	}
+	return &Limiter{
+		inner:         inner,
+		clock:         clock,
+		limits:        make(map[string]Limits),
+		buckets:       make(map[string]*bucket),
+		droppedEvents: make(map[string]uint64),
+		rejectedMsgs:  make(map[string]uint64),
+	}
+}
+
+// SetLimits configures an app's limits.
+func (l *Limiter) SetLimits(app string, lim Limits) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.limits[app] = lim
+	if lim.EventsPerSecond > 0 {
+		burst := lim.Burst
+		if burst <= 0 {
+			burst = lim.EventsPerSecond
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		l.buckets[app] = &bucket{rate: lim.EventsPerSecond, burst: burst, tokens: burst, last: l.clock.Now()}
+	} else {
+		delete(l.buckets, app)
+	}
+}
+
+// DroppedEvents reports how many events were shed for app.
+func (l *Limiter) DroppedEvents(app string) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.droppedEvents[app]
+}
+
+// RejectedMsgs reports how many outbound messages were refused for app.
+func (l *Limiter) RejectedMsgs(app string) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rejectedMsgs[app]
+}
+
+// RunEvent implements controller.AppRunner.
+func (l *Limiter) RunEvent(app controller.App, ctx controller.Context, ev controller.Event) *controller.AppFailure {
+	name := app.Name()
+	l.mu.Lock()
+	lim, limited := l.limits[name]
+	b := l.buckets[name]
+	l.mu.Unlock()
+	if !limited {
+		return l.inner.RunEvent(app, ctx, ev)
+	}
+	if b != nil {
+		l.mu.Lock()
+		ok := b.allow(l.clock.Now())
+		if !ok {
+			l.droppedEvents[name]++
+		}
+		l.mu.Unlock()
+		if !ok {
+			return nil // event shed: the rogue app pays, not the controller
+		}
+	}
+	if lim.MsgsPerEvent > 0 {
+		ctx = &budgetContext{Context: ctx, limiter: l, app: name, budget: lim.MsgsPerEvent}
+	}
+	return l.inner.RunEvent(app, ctx, ev)
+}
+
+// ErrBudgetExhausted is returned to apps that exceed their per-event
+// outbound message budget.
+var ErrBudgetExhausted = fmt.Errorf("resources: outbound message budget exhausted")
+
+// budgetContext decrements a per-event message budget on every send.
+type budgetContext struct {
+	controller.Context
+	limiter *Limiter
+	app     string
+	budget  int
+}
+
+func (c *budgetContext) SendMessage(dpid uint64, msg openflow.Message) error {
+	if c.budget <= 0 {
+		c.limiter.mu.Lock()
+		c.limiter.rejectedMsgs[c.app]++
+		c.limiter.mu.Unlock()
+		return ErrBudgetExhausted
+	}
+	c.budget--
+	return c.Context.SendMessage(dpid, msg)
+}
+
+func (c *budgetContext) SendFlowMod(dpid uint64, fm *openflow.FlowMod) error {
+	return c.SendMessage(dpid, fm)
+}
+
+func (c *budgetContext) SendPacketOut(dpid uint64, po *openflow.PacketOut) error {
+	return c.SendMessage(dpid, po)
+}

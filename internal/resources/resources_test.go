@@ -1,0 +1,161 @@
+package resources
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/flowtable"
+	"legosdn/internal/openflow"
+)
+
+// passRunner invokes handlers directly.
+type passRunner struct{}
+
+func (passRunner) RunEvent(app controller.App, ctx controller.Context, ev controller.Event) *controller.AppFailure {
+	_ = app.HandleEvent(ctx, ev)
+	return nil
+}
+
+// chattyApp sends msgsPerEvent flow mods per event and records errors.
+type chattyApp struct {
+	name    string
+	msgs    int
+	handled int
+	sendErr error
+}
+
+func (a *chattyApp) Name() string                          { return a.name }
+func (a *chattyApp) Subscriptions() []controller.EventKind { return controller.AllEventKinds() }
+func (a *chattyApp) HandleEvent(ctx controller.Context, ev controller.Event) error {
+	a.handled++
+	for i := 0; i < a.msgs; i++ {
+		if err := ctx.SendFlowMod(1, &openflow.FlowMod{Match: openflow.MatchAll(),
+			Command: openflow.FlowModAdd, BufferID: openflow.BufferIDNone, OutPort: openflow.PortNone}); err != nil {
+			a.sendErr = err
+			return err
+		}
+	}
+	return nil
+}
+
+// countingCtx counts sends.
+type countingCtx struct{ sent int }
+
+func (c *countingCtx) SendMessage(uint64, openflow.Message) error { c.sent++; return nil }
+func (c *countingCtx) SendFlowMod(d uint64, m *openflow.FlowMod) error {
+	return c.SendMessage(d, m)
+}
+func (c *countingCtx) SendPacketOut(d uint64, m *openflow.PacketOut) error {
+	return c.SendMessage(d, m)
+}
+func (c *countingCtx) RequestStats(uint64, *openflow.StatsRequest) (*openflow.StatsReply, error) {
+	return nil, nil
+}
+func (c *countingCtx) Barrier(uint64) error            { return nil }
+func (c *countingCtx) Switches() []uint64              { return nil }
+func (c *countingCtx) Ports(uint64) []openflow.PhyPort { return nil }
+func (c *countingCtx) Topology() []controller.LinkInfo { return nil }
+
+func ev(seq uint64) controller.Event {
+	return controller.Event{Seq: seq, Kind: controller.EventPacketIn}
+}
+
+func TestRateLimitShedsEvents(t *testing.T) {
+	clk := flowtable.NewFakeClock(time.Unix(0, 0))
+	l := NewLimiter(passRunner{}, clk)
+	app := &chattyApp{name: "rogue"}
+	l.SetLimits("rogue", Limits{EventsPerSecond: 10, Burst: 5})
+
+	// Burst of 20 at t=0: only the bucket depth (5) passes.
+	for i := 0; i < 20; i++ {
+		l.RunEvent(app, &countingCtx{}, ev(uint64(i)))
+	}
+	if app.handled != 5 {
+		t.Fatalf("handled = %d, want 5", app.handled)
+	}
+	if l.DroppedEvents("rogue") != 15 {
+		t.Fatalf("dropped = %d", l.DroppedEvents("rogue"))
+	}
+
+	// After a second, ~10 more tokens accrue.
+	clk.Advance(time.Second)
+	for i := 0; i < 20; i++ {
+		l.RunEvent(app, &countingCtx{}, ev(uint64(100+i)))
+	}
+	if app.handled != 10 { // 5 earlier + 5 refilled (bucket caps at 5)
+		t.Fatalf("handled after refill = %d", app.handled)
+	}
+}
+
+func TestUnlimitedAppPassesThrough(t *testing.T) {
+	l := NewLimiter(passRunner{}, nil)
+	app := &chattyApp{name: "polite"}
+	for i := 0; i < 100; i++ {
+		l.RunEvent(app, &countingCtx{}, ev(uint64(i)))
+	}
+	if app.handled != 100 || l.DroppedEvents("polite") != 0 {
+		t.Fatalf("handled=%d dropped=%d", app.handled, l.DroppedEvents("polite"))
+	}
+}
+
+func TestMessageBudget(t *testing.T) {
+	l := NewLimiter(passRunner{}, nil)
+	app := &chattyApp{name: "spammer", msgs: 10}
+	l.SetLimits("spammer", Limits{MsgsPerEvent: 3})
+	ctx := &countingCtx{}
+	l.RunEvent(app, ctx, ev(1))
+	if ctx.sent != 3 {
+		t.Fatalf("sent = %d, want 3", ctx.sent)
+	}
+	if !errors.Is(app.sendErr, ErrBudgetExhausted) {
+		t.Fatalf("app error = %v", app.sendErr)
+	}
+	if l.RejectedMsgs("spammer") != 1 {
+		t.Fatalf("rejected = %d", l.RejectedMsgs("spammer"))
+	}
+	// The budget resets per event.
+	app.sendErr = nil
+	app.msgs = 2
+	ctx2 := &countingCtx{}
+	l.RunEvent(app, ctx2, ev(2))
+	if ctx2.sent != 2 || app.sendErr != nil {
+		t.Fatalf("second event: sent=%d err=%v", ctx2.sent, app.sendErr)
+	}
+}
+
+func TestLimiterIsolation(t *testing.T) {
+	// The rogue's limits never affect the polite app.
+	clk := flowtable.NewFakeClock(time.Unix(0, 0))
+	l := NewLimiter(passRunner{}, clk)
+	rogue := &chattyApp{name: "rogue"}
+	polite := &chattyApp{name: "polite"}
+	l.SetLimits("rogue", Limits{EventsPerSecond: 1, Burst: 1})
+	for i := 0; i < 50; i++ {
+		l.RunEvent(rogue, &countingCtx{}, ev(uint64(i)))
+		l.RunEvent(polite, &countingCtx{}, ev(uint64(i)))
+	}
+	if polite.handled != 50 {
+		t.Fatalf("polite handled %d", polite.handled)
+	}
+	if rogue.handled != 1 {
+		t.Fatalf("rogue handled %d", rogue.handled)
+	}
+}
+
+func TestRemovingLimits(t *testing.T) {
+	clk := flowtable.NewFakeClock(time.Unix(0, 0))
+	l := NewLimiter(passRunner{}, clk)
+	app := &chattyApp{name: "a"}
+	l.SetLimits("a", Limits{EventsPerSecond: 1, Burst: 1})
+	l.RunEvent(app, &countingCtx{}, ev(1))
+	l.RunEvent(app, &countingCtx{}, ev(2)) // shed
+	l.SetLimits("a", Limits{})             // unlimited again
+	for i := 0; i < 10; i++ {
+		l.RunEvent(app, &countingCtx{}, ev(uint64(10+i)))
+	}
+	if app.handled != 11 {
+		t.Fatalf("handled = %d", app.handled)
+	}
+}

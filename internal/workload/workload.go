@@ -1,0 +1,181 @@
+// Package workload generates the traffic and event mixes the
+// experiment harness drives LegoSDN with: synthetic controller events
+// for dispatch-path measurements, dataplane flows over simulated
+// topologies for end-to-end scenarios, and topology-churn scripts for
+// failure experiments. All generators are seeded and deterministic.
+package workload
+
+import (
+	"math/rand"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/netsim"
+	"legosdn/internal/openflow"
+)
+
+// PacketInEvents synthesizes n PacketIn events spread over the given
+// switch count and host address space — the event stream a dispatch
+// benchmark feeds straight into a controller or runner.
+func PacketInEvents(n int, switches int, hosts int, seed int64) []controller.Event {
+	if switches < 1 {
+		switches = 1
+	}
+	if hosts < 2 {
+		hosts = 2
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]controller.Event, n)
+	for i := range out {
+		src := r.Intn(hosts) + 1
+		dst := r.Intn(hosts) + 1
+		for dst == src {
+			dst = r.Intn(hosts) + 1
+		}
+		f := &netsim.Frame{
+			DlSrc:   netsim.HostMAC(src),
+			DlDst:   netsim.HostMAC(dst),
+			DlType:  netsim.EtherTypeIPv4,
+			NwProto: netsim.IPProtoTCP,
+			NwSrc:   netsim.HostIP(src),
+			NwDst:   netsim.HostIP(dst),
+			TpSrc:   uint16(10000 + r.Intn(50000)),
+			TpDst:   uint16([]int{80, 443, 22, 53}[r.Intn(4)]),
+		}
+		out[i] = controller.Event{
+			Seq:  uint64(i + 1),
+			Kind: controller.EventPacketIn,
+			DPID: uint64(r.Intn(switches) + 1),
+			Message: &openflow.PacketIn{
+				BufferID: openflow.BufferIDNone,
+				InPort:   uint16(1 + r.Intn(4)),
+				Reason:   openflow.PacketInReasonNoMatch,
+				Data:     f.Marshal(),
+			},
+		}
+	}
+	return out
+}
+
+// MixedEvents synthesizes a realistic event mix: mostly PacketIns with
+// interleaved PortStatus and FlowRemoved events.
+func MixedEvents(n int, switches int, hosts int, seed int64) []controller.Event {
+	r := rand.New(rand.NewSource(seed))
+	pktIns := PacketInEvents(n, switches, hosts, seed+1)
+	out := make([]controller.Event, 0, n)
+	for i := 0; i < n; i++ {
+		switch x := r.Float64(); {
+		case x < 0.85:
+			out = append(out, pktIns[i])
+		case x < 0.95:
+			out = append(out, controller.Event{
+				Kind: controller.EventPortStatus,
+				DPID: uint64(r.Intn(switches) + 1),
+				Message: &openflow.PortStatus{
+					Reason: openflow.PortReasonModify,
+					Desc: openflow.PhyPort{
+						PortNo: uint16(1 + r.Intn(4)),
+						State:  openflow.PortStateLinkDown * uint32(r.Intn(2)),
+					},
+				},
+			})
+		default:
+			out = append(out, controller.Event{
+				Kind: controller.EventFlowRemoved,
+				DPID: uint64(r.Intn(switches) + 1),
+				Message: &openflow.FlowRemoved{
+					Match:       openflow.MatchAll(),
+					Reason:      openflow.FlowRemovedIdleTimeout,
+					PacketCount: uint64(r.Intn(10000)),
+					ByteCount:   uint64(r.Intn(1000000)),
+				},
+			})
+		}
+	}
+	for i := range out {
+		out[i].Seq = uint64(i + 1)
+	}
+	return out
+}
+
+// TrafficGen drives dataplane flows through a simulated network.
+type TrafficGen struct {
+	net *netsim.Network
+	r   *rand.Rand
+}
+
+// NewTrafficGen creates a seeded generator over n.
+func NewTrafficGen(n *netsim.Network, seed int64) *TrafficGen {
+	return &TrafficGen{net: n, r: rand.New(rand.NewSource(seed))}
+}
+
+// SendRandomFlow injects one TCP packet between a random host pair and
+// returns the pair.
+func (g *TrafficGen) SendRandomFlow() (src, dst *netsim.Host) {
+	hosts := g.net.Hosts()
+	if len(hosts) < 2 {
+		return nil, nil
+	}
+	si := g.r.Intn(len(hosts))
+	di := g.r.Intn(len(hosts))
+	for di == si {
+		di = g.r.Intn(len(hosts))
+	}
+	src, dst = hosts[si], hosts[di]
+	f := netsim.TCPFrame(src, dst, uint16(10000+g.r.Intn(50000)), 80, nil)
+	_ = g.net.SendFromHost(src.Name, f)
+	return src, dst
+}
+
+// SendFlows injects n random flows.
+func (g *TrafficGen) SendFlows(n int) {
+	for i := 0; i < n; i++ {
+		g.SendRandomFlow()
+	}
+}
+
+// ChurnAction is one scripted topology change.
+type ChurnAction struct {
+	// SwitchDown fails (or restores, when Up) a switch.
+	DPID uint64
+	Up   bool
+}
+
+// SwitchChurn generates a seeded fail/restore script over the topology,
+// never failing more than maxDown switches at once.
+func SwitchChurn(n *netsim.Network, actions, maxDown int, seed int64) []ChurnAction {
+	r := rand.New(rand.NewSource(seed))
+	switches := n.Switches()
+	down := map[uint64]bool{}
+	var out []ChurnAction
+	for len(out) < actions {
+		s := switches[r.Intn(len(switches))]
+		if down[s.DPID] {
+			down[s.DPID] = false
+			out = append(out, ChurnAction{DPID: s.DPID, Up: true})
+			continue
+		}
+		if len(downSet(down)) >= maxDown {
+			continue
+		}
+		down[s.DPID] = true
+		out = append(out, ChurnAction{DPID: s.DPID})
+	}
+	return out
+}
+
+func downSet(m map[uint64]bool) []uint64 {
+	var out []uint64
+	for k, v := range m {
+		if v {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Apply executes a churn script against the network.
+func Apply(n *netsim.Network, script []ChurnAction) {
+	for _, a := range script {
+		_ = n.SetSwitchDown(a.DPID, !a.Up)
+	}
+}

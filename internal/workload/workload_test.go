@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"testing"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/netsim"
+	"legosdn/internal/openflow"
+)
+
+func TestPacketInEventsShape(t *testing.T) {
+	evs := PacketInEvents(100, 4, 8, 42)
+	if len(evs) != 100 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Kind != controller.EventPacketIn {
+			t.Fatalf("event %d kind %v", i, e.Kind)
+		}
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d seq %d", i, e.Seq)
+		}
+		if e.DPID < 1 || e.DPID > 4 {
+			t.Fatalf("event %d dpid %d", i, e.DPID)
+		}
+		pin := e.Message.(*openflow.PacketIn)
+		f, err := netsim.ParseFrame(pin.Data)
+		if err != nil {
+			t.Fatalf("event %d frame: %v", i, err)
+		}
+		if f.DlSrc == f.DlDst {
+			t.Fatalf("event %d src==dst", i)
+		}
+	}
+	// Determinism.
+	again := PacketInEvents(100, 4, 8, 42)
+	for i := range evs {
+		if evs[i].DPID != again[i].DPID {
+			t.Fatal("same seed diverged")
+		}
+	}
+	// Different seeds differ somewhere.
+	other := PacketInEvents(100, 4, 8, 43)
+	same := true
+	for i := range evs {
+		if evs[i].DPID != other[i].DPID {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical dpid streams")
+	}
+}
+
+func TestMixedEventsComposition(t *testing.T) {
+	evs := MixedEvents(1000, 3, 6, 7)
+	counts := map[controller.EventKind]int{}
+	for _, e := range evs {
+		counts[e.Kind]++
+	}
+	if counts[controller.EventPacketIn] < 700 {
+		t.Fatalf("packet-ins = %d, want dominant share", counts[controller.EventPacketIn])
+	}
+	if counts[controller.EventPortStatus] == 0 || counts[controller.EventFlowRemoved] == 0 {
+		t.Fatalf("missing event kinds: %v", counts)
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Fatal("seqs not consecutive")
+		}
+	}
+}
+
+func TestTrafficGen(t *testing.T) {
+	n := netsim.Single(4, nil)
+	// Wildcard flood rule so traffic is actually delivered.
+	n.Switch(1).Table().Apply(&openflow.FlowMod{
+		Match: openflow.MatchAll(), Command: openflow.FlowModAdd, Priority: 1,
+		BufferID: openflow.BufferIDNone, OutPort: openflow.PortNone,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: openflow.PortFlood}},
+	})
+	g := NewTrafficGen(n, 5)
+	src, dst := g.SendRandomFlow()
+	if src == nil || dst == nil || src == dst {
+		t.Fatalf("pair %v %v", src, dst)
+	}
+	g.SendFlows(20)
+	total := 0
+	for _, h := range n.Hosts() {
+		total += h.ReceivedCount()
+	}
+	if total < 21 {
+		t.Fatalf("delivered = %d", total)
+	}
+}
+
+func TestSwitchChurnScript(t *testing.T) {
+	n := netsim.Linear(5, nil)
+	script := SwitchChurn(n, 30, 2, 9)
+	if len(script) != 30 {
+		t.Fatalf("script len %d", len(script))
+	}
+	down := map[uint64]bool{}
+	maxDown := 0
+	for _, a := range script {
+		down[a.DPID] = !a.Up
+		cur := 0
+		for _, d := range down {
+			if d {
+				cur++
+			}
+		}
+		if cur > maxDown {
+			maxDown = cur
+		}
+	}
+	if maxDown > 2 {
+		t.Fatalf("maxDown = %d, bound was 2", maxDown)
+	}
+	// Apply runs without error and leaves switches in scripted state.
+	Apply(n, script)
+	for dpid, d := range down {
+		if n.Switch(dpid).Down() != d {
+			t.Fatalf("switch %d state mismatch", dpid)
+		}
+	}
+}
