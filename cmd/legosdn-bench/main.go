@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -76,6 +77,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced iteration counts")
 	only := flag.String("only", "", "run a single experiment by id (e.g. C3)")
 	list := flag.Bool("list", false, "print the experiment index and exit")
+	noMetrics := flag.Bool("no-metrics", false, "suppress the per-experiment metrics JSON blocks")
 	flag.Parse()
 
 	if *list {
@@ -93,6 +95,13 @@ func main() {
 		t0 := time.Now()
 		table := e.run(*quick)
 		fmt.Println(table.Render())
+		if table.Metrics != nil && !*noMetrics {
+			// Machine-readable companion block: the instrumented stack's
+			// frozen registry (counters, gauges, latency quantiles).
+			if b, err := json.MarshalIndent(table.Metrics, "", "  "); err == nil {
+				fmt.Printf("metrics %s %s\n", e.id, b)
+			}
+		}
 		fmt.Printf("(%s completed in %s)\n\n", e.id, time.Since(t0).Round(time.Millisecond))
 		ran++
 	}

@@ -42,6 +42,7 @@ func main() {
 	checkInv := flag.Bool("invariants", true, "run the invariant checkers after each event")
 	policyFile := flag.String("policy", "", "operator policy file (§3.3 policy language)")
 	statusAddr := flag.String("status", "", "serve the HTTP status API on this address (e.g. 127.0.0.1:8080)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. :9090)")
 	traceFile := flag.String("trace", "", "record all OpenFlow control traffic to this file")
 	flag.Parse()
 
@@ -102,6 +103,17 @@ func main() {
 			fmt.Printf("status API on http://%s/status\n", *statusAddr)
 			if err := srv.ListenAndServe(); err != http.ErrServerClosed {
 				log.Printf("legosdn: status server: %v", err)
+			}
+		}()
+	}
+	if *metricsAddr != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", stack.Metrics.Handler())
+			srv := &http.Server{Addr: *metricsAddr, Handler: mux}
+			fmt.Printf("metrics on http://%s/metrics\n", *metricsAddr)
+			if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+				log.Printf("legosdn: metrics server: %v", err)
 			}
 		}()
 	}

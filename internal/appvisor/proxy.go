@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"legosdn/internal/controller"
+	"legosdn/internal/metrics"
 	"legosdn/internal/openflow"
 )
 
@@ -91,19 +92,31 @@ type ProxyOptions struct {
 	// declared crashed (default 2s).
 	EventTimeout time.Duration
 	// HeartbeatTimeout is the silence window after which the stub is
-	// declared dead (default 500ms). Zero disables heartbeat monitoring.
+	// declared dead (default 500ms). Negative disables heartbeat
+	// monitoring (normalized to zero, the internal "disabled" value).
 	HeartbeatTimeout time.Duration
 	// RegisterTimeout bounds the initial stub registration (default 5s).
 	RegisterTimeout time.Duration
 	// OnCrash observes every detected crash (problem tickets hook here).
 	OnCrash func(*CrashReport)
+	// Metrics, when set, registers the proxy's instruments (RPC
+	// round-trip latency, timeouts, heartbeat gaps, crashes by reason)
+	// labeled with the app name.
+	Metrics *metrics.Registry
 }
 
 func (o *ProxyOptions) fill() {
 	if o.EventTimeout <= 0 {
 		o.EventTimeout = 2 * time.Second
 	}
-	if o.HeartbeatTimeout == 0 {
+	switch {
+	case o.HeartbeatTimeout < 0:
+		// Disabled. A raw negative must not survive normalization: any
+		// later "gap > HeartbeatTimeout" comparison would be true for
+		// every gap, declaring a perfectly live stub dead immediately
+		// (and a negative tick interval would panic the monitor).
+		o.HeartbeatTimeout = 0
+	case o.HeartbeatTimeout == 0:
 		o.HeartbeatTimeout = 500 * time.Millisecond
 	}
 	if o.RegisterTimeout <= 0 {
@@ -140,9 +153,15 @@ type Proxy struct {
 	done     chan struct{}
 
 	// EventsRelayed counts events round-tripped through the stub.
-	EventsRelayed atomic.Uint64
+	EventsRelayed metrics.Counter
 	// CrashesDetected counts crash detections by any signal.
-	CrashesDetected atomic.Uint64
+	CrashesDetected metrics.Counter
+
+	// Per-app instruments, nil without ProxyOptions.Metrics.
+	rpcLatency   *metrics.Histogram
+	rpcTimeouts  *metrics.Counter
+	heartbeatGap *metrics.Histogram
+	crashBy      [3]*metrics.Counter // indexed by CrashReason
 }
 
 // NewProxy creates the proxy, binds its UDP socket, launches a stub via
@@ -167,6 +186,24 @@ func NewProxy(name string, ctx controller.Context, factory StubFactory, opts Pro
 		waiters:    make(map[uint64]chan *datagram),
 		registered: make(chan struct{}),
 		done:       make(chan struct{}),
+	}
+	if reg := opts.Metrics; reg != nil {
+		label := fmt.Sprintf("{app=%q}", name)
+		reg.RegisterCounter("legosdn_appvisor_events_relayed_total"+label,
+			"events round-tripped through the stub", &p.EventsRelayed)
+		reg.RegisterCounter("legosdn_appvisor_crashes_detected_total"+label,
+			"crash detections by any signal", &p.CrashesDetected)
+		p.rpcLatency = reg.Histogram("legosdn_appvisor_rpc_seconds"+label,
+			"proxy-to-stub RPC round-trip latency", nil)
+		p.rpcTimeouts = reg.Counter("legosdn_appvisor_rpc_timeouts_total"+label,
+			"proxy-to-stub RPCs that hit their deadline")
+		p.heartbeatGap = reg.Histogram("legosdn_appvisor_heartbeat_gap_seconds"+label,
+			"silence between consecutive stub heartbeats", nil)
+		for _, r := range []CrashReason{CrashReported, CrashHeartbeat, CrashTimeout} {
+			p.crashBy[r] = reg.Counter(
+				fmt.Sprintf("legosdn_appvisor_crashes_total{app=%q,reason=%q}", name, r.String()),
+				"crash detections by signal")
+		}
 	}
 	go p.readLoop()
 	if p.opts.HeartbeatTimeout > 0 {
@@ -356,6 +393,9 @@ func (p *Proxy) noteCrash(reason CrashReason, panicValue, stack string, ev *cont
 	}
 	p.stubUp.Store(false)
 	p.CrashesDetected.Add(1)
+	if int(reason) < len(p.crashBy) {
+		p.crashBy[reason].Inc()
+	}
 	p.mu.Lock()
 	p.lastCrash = report
 	stub := p.stub
@@ -437,6 +477,7 @@ func (p *Proxy) rpcToStub(d *datagram, timeout time.Duration) (*datagram, error)
 		delete(p.waiters, d.ID)
 		p.mu.Unlock()
 	}
+	start := time.Now()
 	if err := p.sendTo(addr, d); err != nil {
 		cleanup()
 		return nil, err
@@ -446,9 +487,11 @@ func (p *Proxy) rpcToStub(d *datagram, timeout time.Duration) (*datagram, error)
 		if !ok {
 			return nil, fmt.Errorf("appvisor: stub died mid-call")
 		}
+		p.rpcLatency.ObserveSince(start)
 		return reply, nil
 	case <-time.After(timeout):
 		cleanup()
+		p.rpcTimeouts.Inc()
 		return nil, fmt.Errorf("appvisor: stub call timed out after %v", timeout)
 	case <-p.done:
 		cleanup()
@@ -499,7 +542,11 @@ func (p *Proxy) readLoop() {
 				close(reg)
 			}
 		case dgHeartbeat:
-			p.lastBeat.Store(time.Now().UnixNano())
+			now := time.Now()
+			if last := p.lastBeat.Load(); last != 0 && p.heartbeatGap != nil {
+				p.heartbeatGap.ObserveDuration(now.Sub(time.Unix(0, last)))
+			}
+			p.lastBeat.Store(now.UnixNano())
 		case dgEventDone, dgSnapshotReply, dgRestoreDone:
 			p.completeWaiter(d)
 		case dgCrash:

@@ -351,3 +351,30 @@ func TestProxyHandlerErrorIsNotACrash(t *testing.T) {
 		t.Fatal("stub must stay up after a handler error")
 	}
 }
+
+// Regression test: fill() must normalize any negative HeartbeatTimeout
+// to zero (the internal "disabled" value). A raw negative surviving
+// normalization would make every "gap > HeartbeatTimeout" comparison
+// true, declaring a live stub dead, and would panic the monitor's
+// ticker with a non-positive interval.
+func TestProxyOptionsFillHeartbeat(t *testing.T) {
+	cases := []struct {
+		name string
+		in   time.Duration
+		want time.Duration
+	}{
+		{"negative disables", -1, 0},
+		{"large negative disables", -time.Hour, 0},
+		{"zero takes default", 0, 500 * time.Millisecond},
+		{"positive kept", 250 * time.Millisecond, 250 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := ProxyOptions{HeartbeatTimeout: tc.in}
+			o.fill()
+			if o.HeartbeatTimeout != tc.want {
+				t.Fatalf("fill(HeartbeatTimeout=%v) = %v, want %v", tc.in, o.HeartbeatTimeout, tc.want)
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"legosdn/internal/metrics"
 	"legosdn/internal/openflow"
 )
 
@@ -34,6 +35,10 @@ type Config struct {
 	// surfaces a SwitchDown. Zero disables probing (the default: tests
 	// and pipes have no silent-failure mode).
 	EchoInterval time.Duration
+	// Metrics, when set, registers the controller's instruments
+	// (dispatch latency, per-switch send latency, event counters) into
+	// the given registry. Nil leaves the latency histograms off.
+	Metrics *metrics.Registry
 	// Logf receives diagnostic output; nil silences it.
 	Logf func(format string, args ...any)
 }
@@ -79,10 +84,16 @@ type Controller struct {
 	wg      sync.WaitGroup
 
 	// Dispatched counts events delivered to at least one app.
-	Dispatched atomic.Uint64
+	Dispatched metrics.Counter
 	// Processed counts every event the dispatch loop consumed, whether
 	// or not any app subscribed to it.
-	Processed atomic.Uint64
+	Processed metrics.Counter
+
+	// dispatchLatency times dispatchOne end to end (the paper's
+	// event-processing latency); sendLatency times each wire write.
+	// Nil (no Config.Metrics) means unobserved.
+	dispatchLatency *metrics.Histogram
+	sendLatency     *metrics.Histogram
 }
 
 // recoveringRunner is the default isolated runner: panics become
@@ -122,6 +133,16 @@ func New(cfg Config) *Controller {
 		c.runner = directRunner{}
 	default:
 		c.runner = recoveringRunner{}
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.RegisterCounter("legosdn_controller_events_dispatched_total",
+			"events delivered to at least one app", &c.Dispatched)
+		reg.RegisterCounter("legosdn_controller_events_processed_total",
+			"events consumed by the dispatch loop", &c.Processed)
+		c.dispatchLatency = reg.Histogram("legosdn_controller_event_dispatch_seconds",
+			"end-to-end dispatch latency of one event across all subscribed apps", nil)
+		c.sendLatency = reg.Histogram("legosdn_controller_send_seconds",
+			"per-switch send latency of one outbound message (wire write)", nil)
 	}
 	c.wg.Add(1)
 	go c.dispatchLoop()
@@ -267,6 +288,9 @@ func (c *Controller) dispatchLoop() {
 }
 
 func (c *Controller) dispatchOne(ev Event) {
+	if c.dispatchLatency != nil {
+		defer c.dispatchLatency.ObserveSince(time.Now())
+	}
 	if c.cfg.Monolithic {
 		defer func() {
 			if r := recover(); r != nil {

@@ -515,3 +515,94 @@ func TestEchoLivenessHealthySwitchStaysUp(t *testing.T) {
 		t.Fatalf("control channel degraded: %v", err)
 	}
 }
+
+// Regression test: every echoLoop exit path must deregister its
+// in-flight waiter from the handle's pending map. The timeout branch
+// always did; the write-failure and closed-mid-probe branches used to
+// leave the entry behind, leaking one waiter per reconnect on handles
+// already superseded in c.switches (where onDisconnect's sweep no
+// longer reaches them).
+func TestEchoLoopCleansPendingOnAllExits(t *testing.T) {
+	pendingLen := func(c *Controller, h *swHandle) int {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return len(h.pending)
+	}
+	newHandle := func(c *Controller) (*swHandle, *openflow.Conn) {
+		ctrlSide, swSide := openflow.Pipe()
+		return &swHandle{
+			c:        c,
+			conn:     ctrlSide,
+			ports:    make(map[uint16]openflow.PhyPort),
+			pending:  make(map[uint32]chan openflow.Message),
+			closedCh: make(chan struct{}),
+		}, swSide
+	}
+	waitDone := func(t *testing.T, done chan struct{}) {
+		t.Helper()
+		select {
+		case <-done:
+		case <-time.After(3 * time.Second):
+			t.Fatal("echoLoop never exited")
+		}
+	}
+
+	t.Run("write failure", func(t *testing.T) {
+		c := New(Config{})
+		defer c.Stop()
+		h, swSide := newHandle(c)
+		swSide.Close() // the probe's WriteMessage fails immediately
+		done := make(chan struct{})
+		go func() { h.echoLoop(2 * time.Millisecond); close(done) }()
+		waitDone(t, done)
+		if n := pendingLen(c, h); n != 0 {
+			t.Fatalf("pending leaked %d waiter(s) after write failure", n)
+		}
+	})
+
+	t.Run("closed mid-probe", func(t *testing.T) {
+		c := New(Config{})
+		defer c.Stop()
+		h, swSide := newHandle(c)
+		go func() { // peer drains probes but never answers
+			for {
+				if _, err := swSide.ReadMessage(); err != nil {
+					return
+				}
+			}
+		}()
+		done := make(chan struct{})
+		go func() { h.echoLoop(50 * time.Millisecond); close(done) }()
+		// Close the handle while the probe is awaiting its reply.
+		eventually(t, "probe in flight", func() bool { return pendingLen(c, h) == 1 })
+		h.close()
+		waitDone(t, done)
+		if n := pendingLen(c, h); n != 0 {
+			t.Fatalf("pending leaked %d waiter(s) after close mid-probe", n)
+		}
+	})
+
+	t.Run("reply timeout", func(t *testing.T) {
+		c := New(Config{})
+		defer c.Stop()
+		h, swSide := newHandle(c)
+		go func() {
+			for {
+				if _, err := swSide.ReadMessage(); err != nil {
+					return
+				}
+			}
+		}()
+		done := make(chan struct{})
+		go func() { h.echoLoop(5 * time.Millisecond); close(done) }()
+		waitDone(t, done)
+		if n := pendingLen(c, h); n != 0 {
+			t.Fatalf("pending leaked %d waiter(s) after echo timeout", n)
+		}
+		select {
+		case <-h.closedCh:
+		default:
+			t.Fatal("missed echo must close the handle")
+		}
+	})
+}

@@ -77,10 +77,20 @@ func (c *Controller) AttachSwitchConn(conn *openflow.Conn) error {
 
 // echoLoop probes the switch with EchoRequests; a missed reply tears
 // the handle down, converting silent peer death into a SwitchDown
-// event. Runs until the handle closes.
+// event. Runs until the handle closes. Every exit path deregisters the
+// in-flight waiter itself — relying on the pump's onDisconnect sweep
+// would leave a dead entry behind whenever this handle has already been
+// superseded in c.switches, and a long-lived controller would
+// accumulate one per reconnect.
 func (h *swHandle) echoLoop(interval time.Duration) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
+	// One timer reused across probes instead of a time.After per
+	// iteration, which would allocate a garbage timer every interval for
+	// the lifetime of the connection.
+	wait := time.NewTimer(interval)
+	wait.Stop()
+	defer wait.Stop()
 	for {
 		select {
 		case <-h.closedCh:
@@ -91,28 +101,48 @@ func (h *swHandle) echoLoop(interval time.Duration) {
 			h.c.mu.Lock()
 			h.pending[xid] = waiter
 			h.c.mu.Unlock()
+			unregister := func() {
+				h.c.mu.Lock()
+				delete(h.pending, xid)
+				h.c.mu.Unlock()
+			}
 			err := h.conn.WriteMessage(&openflow.EchoRequest{
 				BaseMsg: openflow.BaseMsg{Xid: xid}, Data: []byte("lv"),
 			})
 			if err != nil {
+				unregister()
 				h.close()
 				return
 			}
+			wait.Reset(interval)
 			select {
 			case _, ok := <-waiter:
+				stopTimer(wait)
 				if !ok {
-					return // handle closed under us
+					return // handle closed under us; closer already swept pending
 				}
-			case <-time.After(interval):
-				h.c.mu.Lock()
-				delete(h.pending, xid)
-				h.c.mu.Unlock()
+			case <-wait.C:
+				unregister()
 				h.c.logf("controller: switch %d missed echo; declaring it dead", h.dpid.Load())
 				h.close()
 				return
 			case <-h.closedCh:
+				stopTimer(wait)
+				unregister()
 				return
 			}
+		}
+	}
+}
+
+// stopTimer halts a reusable timer between arms, discarding (without
+// blocking) a tick that fired before Stop won the race. Safe under both
+// pre- and post-1.23 timer channel semantics.
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
 		}
 	}
 }
@@ -282,6 +312,9 @@ func (c *Controller) SendMessage(dpid uint64, msg openflow.Message) error {
 	h, err := c.handle(dpid)
 	if err != nil {
 		return err
+	}
+	if c.sendLatency != nil {
+		defer c.sendLatency.ObserveSince(time.Now())
 	}
 	return h.conn.WriteMessage(msg)
 }

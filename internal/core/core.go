@@ -22,6 +22,7 @@ import (
 	"legosdn/internal/controller"
 	"legosdn/internal/crashpad"
 	"legosdn/internal/flowtable"
+	"legosdn/internal/metrics"
 	"legosdn/internal/netlog"
 	"legosdn/internal/netsim"
 	"legosdn/internal/openflow"
@@ -86,6 +87,9 @@ type Config struct {
 	OnTicket func(*crashpad.Ticket)
 	// Logf receives controller diagnostics.
 	Logf func(format string, args ...any)
+	// Metrics is the registry every layer reports into; nil allocates a
+	// private one (exposed as Stack.Metrics).
+	Metrics *metrics.Registry
 }
 
 // Stack is a fully wired LegoSDN deployment.
@@ -96,6 +100,7 @@ type Stack struct {
 	DelayBuf   *netlog.DelayBuffer
 	CrashPad   *crashpad.CrashPad
 	Store      *checkpoint.Store
+	Metrics    *metrics.Registry
 
 	cfg Config
 
@@ -113,15 +118,19 @@ func NewStack(cfg Config) *Stack {
 	if cfg.Store == nil {
 		cfg.Store = checkpoint.NewStore(0)
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
 	s := &Stack{
 		Mode:     cfg.Mode,
 		Store:    cfg.Store,
+		Metrics:  cfg.Metrics,
 		cfg:      cfg,
 		proxies:  make(map[string]*appvisor.Proxy),
 		replicas: make(map[string]func() controller.App),
 	}
 
-	ctrlCfg := controller.Config{Logf: cfg.Logf}
+	ctrlCfg := controller.Config{Logf: cfg.Logf, Metrics: cfg.Metrics}
 	switch cfg.Mode {
 	case ModeMonolithic:
 		ctrlCfg.Monolithic = true
@@ -133,9 +142,11 @@ func NewStack(cfg Config) *Stack {
 		s.Controller = controller.New(ctrlCfg)
 		if cfg.UseDelayBuffer {
 			s.DelayBuf = netlog.NewDelayBuffer(s.Controller)
+			s.DelayBuf.Instrument(cfg.Metrics)
 			s.Controller.AddOutboundHook(s.DelayBuf.Hook())
 		} else {
 			s.NetLog = netlog.NewManager(s.Controller, cfg.Clock)
+			s.NetLog.Instrument(cfg.Metrics)
 			s.NetLog.Install(s.Controller)
 		}
 		s.CrashPad = crashpad.New(crashpad.Options{
@@ -147,6 +158,7 @@ func NewStack(cfg Config) *Stack {
 			Checker:           cfg.Checker,
 			OnTicket:          cfg.OnTicket,
 			OnNetworkShutdown: cfg.OnNetworkShutdown,
+			Metrics:           cfg.Metrics,
 			// Deep recovery (§5) replays against throwaway replicas
 			// built from the same factories AddApp registered.
 			ReplicaFactory: func(name string) controller.App {
@@ -189,6 +201,7 @@ func (s *Stack) AddApp(newApp func() controller.App) error {
 			appvisor.ProxyOptions{
 				EventTimeout:     s.cfg.EventTimeout,
 				HeartbeatTimeout: s.cfg.HeartbeatTimeout,
+				Metrics:          s.Metrics,
 			})
 		if err != nil {
 			return fmt.Errorf("core: launching stub for %q: %w", name, err)

@@ -4,12 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"legosdn/internal/appvisor"
 	"legosdn/internal/checkpoint"
 	"legosdn/internal/controller"
+	"legosdn/internal/metrics"
 	"legosdn/internal/netlog"
 )
 
@@ -73,6 +73,10 @@ type Options struct {
 	// DeepRecoveryThreshold is the consecutive-crash count that
 	// escalates to deep recovery (default 3).
 	DeepRecoveryThreshold int
+	// Metrics, when set, receives the pad's counters plus
+	// checkpoint/restore/recovery duration histograms and per-outcome
+	// recovery counts.
+	Metrics *metrics.Registry
 }
 
 // CrashPad is the recovery engine. It implements controller.AppRunner;
@@ -89,15 +93,22 @@ type CrashPad struct {
 
 	// Metrics (atomic: read live by benchmarks and tests while the
 	// dispatch goroutine recovers).
-	CrashesSeen       atomic.Uint64
-	ByzantineSeen     atomic.Uint64
-	Recoveries        atomic.Uint64
-	IgnoredEvents     atomic.Uint64
-	TransformedEvents atomic.Uint64
-	ReplayedEvents    atomic.Uint64
-	Fallbacks         atomic.Uint64
-	Unrecoverable     atomic.Uint64
-	DeepRecoveries    atomic.Uint64
+	CrashesSeen       metrics.Counter
+	ByzantineSeen     metrics.Counter
+	Recoveries        metrics.Counter
+	IgnoredEvents     metrics.Counter
+	TransformedEvents metrics.Counter
+	ReplayedEvents    metrics.Counter
+	Fallbacks         metrics.Counter
+	Unrecoverable     metrics.Counter
+	DeepRecoveries    metrics.Counter
+
+	// Duration histograms and per-outcome counters; nil without a
+	// registry (observing a nil instrument is a no-op).
+	checkpointDur *metrics.Histogram
+	restoreDur    *metrics.Histogram
+	recoveryDur   *metrics.Histogram
+	outcomeBy     [5]*metrics.Counter // indexed by Outcome
 }
 
 // New creates a CrashPad.
@@ -122,6 +133,25 @@ func New(opts Options) *CrashPad {
 		streaks:   make(map[string]int),
 	}
 	cp.tickets.onOpen = opts.OnTicket
+	if reg := opts.Metrics; reg != nil {
+		reg.RegisterCounter("legosdn_crashpad_crashes_seen_total", "fail-stop crashes detected", &cp.CrashesSeen)
+		reg.RegisterCounter("legosdn_crashpad_byzantine_seen_total", "invariant violations detected", &cp.ByzantineSeen)
+		reg.RegisterCounter("legosdn_crashpad_recoveries_total", "successful recoveries", &cp.Recoveries)
+		reg.RegisterCounter("legosdn_crashpad_ignored_events_total", "offending events dropped", &cp.IgnoredEvents)
+		reg.RegisterCounter("legosdn_crashpad_transformed_events_total", "events replaced by equivalents", &cp.TransformedEvents)
+		reg.RegisterCounter("legosdn_crashpad_replayed_events_total", "events replayed from checkpoint suffix", &cp.ReplayedEvents)
+		reg.RegisterCounter("legosdn_crashpad_fallbacks_total", "equivalence compromises that fell back to ignoring", &cp.Fallbacks)
+		reg.RegisterCounter("legosdn_crashpad_unrecoverable_total", "recoveries whose restore machinery failed", &cp.Unrecoverable)
+		reg.RegisterCounter("legosdn_crashpad_deep_recoveries_total", "multi-event deep recoveries", &cp.DeepRecoveries)
+		cp.checkpointDur = reg.Histogram("legosdn_crashpad_checkpoint_seconds", "time to snapshot and store app state", nil)
+		cp.restoreDur = reg.Histogram("legosdn_crashpad_restore_seconds", "time to respawn, load checkpoint and replay suffix", nil)
+		cp.recoveryDur = reg.Histogram("legosdn_crashpad_recovery_seconds", "end-to-end recovery time per failure", nil)
+		for o := OutcomeRecovered; o <= OutcomeNetworkShutdown; o++ {
+			cp.outcomeBy[o] = reg.Counter(
+				fmt.Sprintf("legosdn_crashpad_outcomes_total{outcome=%q}", o.String()),
+				"recovery endings by policy outcome")
+		}
+	}
 	return cp
 }
 
@@ -227,6 +257,10 @@ func (cp *CrashPad) recover(app controller.App, ctx controller.Context, ev contr
 	finish := func(outcome Outcome) {
 		ticket.Outcome = outcome
 		ticket.RecoveryTime = time.Since(start)
+		cp.recoveryDur.Observe(ticket.RecoveryTime.Seconds())
+		if int(outcome) < len(cp.outcomeBy) {
+			cp.outcomeBy[outcome].Inc()
+		}
 		cp.tickets.open(ticket)
 	}
 	quarantine := func() *controller.AppFailure {
@@ -341,6 +375,9 @@ func (cp *CrashPad) deliverTransformed(app controller.App, ctx controller.Contex
 // restoreApp brings the app back to its last checkpointed state and
 // replays the events processed since.
 func (cp *CrashPad) restoreApp(app controller.App, ctx controller.Context, name string) error {
+	if cp.restoreDur != nil {
+		defer cp.restoreDur.ObserveSince(time.Now())
+	}
 	// Relaunch the failure domain if it is down.
 	if lr, ok := app.(livenessReporter); ok && !lr.StubUp() {
 		r, ok := app.(Restartable)
@@ -387,6 +424,9 @@ func (cp *CrashPad) maybeCheckpoint(app controller.App, name string, seq uint64)
 	if !cp.everyN.ShouldCheckpoint(name) {
 		return
 	}
+	if cp.checkpointDur != nil {
+		defer cp.checkpointDur.ObserveSince(time.Now())
+	}
 	state, err := snap.Snapshot()
 	if err != nil {
 		return // snapshotting is best-effort; recovery degrades gracefully
@@ -403,6 +443,9 @@ func (cp *CrashPad) rebaseline(app controller.App, name string, seq uint64) {
 	snap, ok := app.(controller.Snapshotter)
 	if !ok {
 		return
+	}
+	if cp.checkpointDur != nil {
+		defer cp.checkpointDur.ObserveSince(time.Now())
 	}
 	state, err := snap.Snapshot()
 	if err != nil {

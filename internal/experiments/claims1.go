@@ -10,6 +10,7 @@ import (
 	"legosdn/internal/crashpad"
 	"legosdn/internal/faultinject"
 	"legosdn/internal/invariant"
+	"legosdn/internal/metrics"
 	"legosdn/internal/netlog"
 	"legosdn/internal/netsim"
 	"legosdn/internal/openflow"
@@ -124,6 +125,11 @@ func ClaimControlLoop(flows int) Table {
 	measure := func(mode core.Mode) time.Duration {
 		stack := core.NewStack(core.Config{Mode: mode})
 		defer stack.Close()
+		if mode == core.ModeLegoSDN {
+			// The machine-readable block carries the full stack's view of
+			// this run (dispatch/send latency, RPC round trips, txns).
+			defer t.CaptureMetrics(stack.Metrics)
+		}
 		n := netsim.Single(2, nil)
 		n.SetAllLinkProfiles(linkLatency, 0)
 		stack.AddApp(func() controller.App { return newRegistryApp("learning-switch") })
@@ -209,11 +215,15 @@ func ClaimNetLogRollback(sizes []int) Table {
 		},
 	}
 	for _, k := range sizes {
+		// Fresh registry per size; the table keeps the last one, a
+		// consistent single-run metrics block for the largest txn.
+		reg := metrics.NewRegistry()
 		// NetLog path.
 		clk := netsim.NewFakeClock(time.Unix(0, 0))
 		c := controller.New(controller.Config{})
 		n := netsim.Single(2, clk)
 		mgr := netlog.NewManager(c, clk)
+		mgr.Instrument(reg)
 		mgr.Install(c)
 		attachAll(c, n)
 		// Committed baseline so the abort has interleaved state to respect.
@@ -239,6 +249,7 @@ func ClaimNetLogRollback(sizes []int) Table {
 		c2 := controller.New(controller.Config{})
 		n2 := netsim.Single(2, clk)
 		db := netlog.NewDelayBuffer(c2)
+		db.Instrument(reg)
 		c2.AddOutboundHook(db.Hook())
 		attachAll(c2, n2)
 		db.BeginHold()
@@ -253,6 +264,7 @@ func ClaimNetLogRollback(sizes []int) Table {
 
 		t.AddRow(fmt.Sprint(k), us(abortDur), yesNo(identical),
 			us(discardDur), fmt.Sprintf("%d msgs", held))
+		t.CaptureMetrics(reg)
 	}
 	return t
 }
@@ -327,6 +339,11 @@ func ClaimCrashPadRecovery(crashes int) Table {
 			lost += int(stack.CrashPad.IgnoredEvents.Load())
 			for _, tk := range tickets {
 				totalRecovery += tk.RecoveryTime
+			}
+			// Keep one consistent single-stack metrics block: the final
+			// trial of the paper's default (absolute) policy.
+			if pol.c == crashpad.AbsoluteCompromise && trial == crashes-1 {
+				t.CaptureMetrics(stack.Metrics)
 			}
 			stack.Close()
 		}

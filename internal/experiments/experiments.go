@@ -13,6 +13,7 @@ import (
 
 	"legosdn/internal/controller"
 	"legosdn/internal/core"
+	"legosdn/internal/metrics"
 	"legosdn/internal/netsim"
 	"legosdn/internal/openflow"
 )
@@ -24,11 +25,24 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// Metrics, when set, is the frozen instrument state of the stack the
+	// experiment ran (machine-readable companion to the rendered rows).
+	Metrics *metrics.Snapshot
 }
 
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
+}
+
+// CaptureMetrics freezes a registry's instruments into the table's
+// machine-readable metrics block. No-op on a nil registry.
+func (t *Table) CaptureMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s := reg.Snapshot()
+	t.Metrics = &s
 }
 
 // Render formats the table as aligned text.

@@ -1,0 +1,479 @@
+// Package metrics is LegoSDN's low-overhead, dependency-free
+// instrumentation layer. The paper's argument is quantitative — apps
+// tolerate a factor-of-4 control-loop slow-down and recover within
+// seconds — so every layer of the control loop (controller dispatch,
+// AppVisor RPC, NetLog transactions, Crash-Pad recovery) reports into
+// one of three instrument kinds:
+//
+//   - Counter: a monotonic atomic counter, API-compatible with the
+//     atomic.Uint64 fields it replaced (Add/Load), so call sites and
+//     tests read identically.
+//   - Gauge / GaugeFunc: a point-in-time level (queue depth, held
+//     messages).
+//   - Histogram: a fixed-bucket latency distribution with estimated
+//     p50/p95/p99 and an exact max, safe for concurrent Observe.
+//
+// A Registry names instruments, serves them in Prometheus text
+// exposition format, and snapshots them as plain data for the
+// machine-readable blocks the benchmarks emit. Instruments are
+// nil-safe: a nil *Histogram or nil *Gauge ignores observations, so
+// un-instrumented components pay a single predictable branch.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use, so it can live as a struct field exactly where an
+// atomic.Uint64 used to.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a level that can move both ways. Values are int64 (depths,
+// sizes); exposition renders them as floats.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefLatencyBuckets is the default latency bucket ladder, in seconds:
+// 10us to ~10s in roughly-logarithmic steps. It spans everything the
+// control loop produces, from sub-millisecond dispatch to multi-second
+// recovery timelines.
+var DefLatencyBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket distribution. Buckets are cumulative at
+// exposition time but stored as per-bucket counts internally; Observe
+// is lock-free.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; implicit +Inf last
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // nanoseconds-scale fixed point: sum of value*1e9
+	max    atomic.Uint64 // math.Float64bits of the max observation
+}
+
+// NewHistogram creates a histogram over the given ascending bucket
+// upper bounds (seconds). Nil or empty bounds select DefLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value (seconds).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v * 1e9))
+	for {
+		cur := h.max.Load()
+		if v <= math.Float64frombits(cur) {
+			return
+		}
+		if h.max.CompareAndSwap(cur, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records one duration.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// ObserveSince records the time elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.ObserveDuration(time.Since(t0))
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation inside the owning bucket, the same estimate Prometheus'
+// histogram_quantile computes. Returns 0 with no observations;
+// observations beyond the last bound clamp to it.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.Snapshot().Quantile(q)
+}
+
+// HistogramSnapshot is a histogram frozen as plain data.
+type HistogramSnapshot struct {
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+	Max     float64   `json:"max"`
+	P50     float64   `json:"p50"`
+	P95     float64   `json:"p95"`
+	P99     float64   `json:"p99"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []uint64  `json:"buckets,omitempty"` // per-bucket counts, len(Bounds)+1
+}
+
+// Snapshot freezes the histogram. The per-bucket reads are individually
+// atomic but not mutually consistent; quantiles computed from a
+// snapshot taken during heavy writing are approximations, which is all
+// a bucketed histogram ever promises.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     float64(h.sum.Load()) / 1e9,
+		Max:     math.Float64frombits(h.max.Load()),
+		Bounds:  h.bounds,
+		Buckets: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// Quantile estimates the q-quantile from the snapshot's buckets.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: the best point estimate is the largest
+			// finite bound (or the max if tracked).
+			if s.Max > 0 {
+				return s.Max
+			}
+			if len(s.Bounds) > 0 {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			return 0
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		inBucket := rank - float64(cum-c)
+		return lo + (hi-lo)*(inBucket/float64(c))
+	}
+	return s.Max
+}
+
+// kind tags what a registered name points at.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+type instrument struct {
+	name string // full name, possibly with {label="v"} suffix
+	help string
+	kind kind
+
+	counter   *Counter
+	gauge     *Gauge
+	gaugeFn   func() float64
+	histogram *Histogram
+}
+
+// Registry names instruments and serves them. The zero value is not
+// usable; call NewRegistry. A nil *Registry is safe: every method
+// no-ops (returning nil instruments, which are themselves no-ops), so
+// components can be wired unconditionally.
+type Registry struct {
+	mu    sync.Mutex
+	by    map[string]*instrument
+	order []*instrument
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{by: make(map[string]*instrument)}
+}
+
+// register implements get-or-create semantics: re-registering a name
+// with the same kind returns the existing instrument (a respawned
+// component re-wires cleanly); a kind clash panics, as that is a
+// programming error no caller can handle.
+func (r *Registry) register(name, help string, k kind, build func() *instrument) *instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.by[name]; ok {
+		if in.kind != k {
+			panic(fmt.Sprintf("metrics: %q re-registered as a different kind", name))
+		}
+		return in
+	}
+	in := build()
+	in.name, in.help, in.kind = name, help, k
+	r.by[name] = in
+	r.order = append(r.order, in)
+	return in
+}
+
+// Counter returns (creating if needed) the named counter. The name may
+// carry a Prometheus label suffix, e.g. `crashes_total{reason="x"}`.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	in := r.register(name, help, kindCounter, func() *instrument {
+		return &instrument{counter: &Counter{}}
+	})
+	return in.counter
+}
+
+// RegisterCounter attaches an existing counter (typically a struct
+// field) to the registry under name. Returns c for chaining.
+func (r *Registry) RegisterCounter(name, help string, c *Counter) *Counter {
+	if r == nil || c == nil {
+		return c
+	}
+	r.register(name, help, kindCounter, func() *instrument {
+		return &instrument{counter: c}
+	})
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	in := r.register(name, help, kindGauge, func() *instrument {
+		return &instrument{gauge: &Gauge{}}
+	})
+	return in.gauge
+}
+
+// RegisterGaugeFunc exposes a live read-out (e.g. a queue depth method)
+// as a gauge. fn is called at snapshot/exposition time.
+func (r *Registry) RegisterGaugeFunc(name, help string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.register(name, help, kindGaugeFunc, func() *instrument {
+		return &instrument{gaugeFn: fn}
+	})
+}
+
+// Histogram returns (creating if needed) the named histogram over the
+// given bucket bounds (nil = DefLatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	in := r.register(name, help, kindHistogram, func() *instrument {
+		return &instrument{histogram: NewHistogram(bounds)}
+	})
+	return in.histogram
+}
+
+// Snapshot is the whole registry frozen as plain data, JSON-encodable
+// for the benchmark trajectory.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes every registered instrument.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	order := append([]*instrument(nil), r.order...)
+	r.mu.Unlock()
+	for _, in := range order {
+		switch in.kind {
+		case kindCounter:
+			s.Counters[in.name] = in.counter.Load()
+		case kindGauge:
+			s.Gauges[in.name] = float64(in.gauge.Load())
+		case kindGaugeFunc:
+			s.Gauges[in.name] = in.gaugeFn()
+		case kindHistogram:
+			hs := in.histogram.Snapshot()
+			hs.Bounds, hs.Buckets = nil, nil // summary form: quantiles only
+			s.Histograms[in.name] = hs
+		}
+	}
+	return s
+}
+
+// baseName strips a {label="v"} suffix, for TYPE/HELP grouping.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labeledName splices extra labels into a (possibly already labeled)
+// series name: labeledName(`x{a="1"}`, `le="2"`) = `x{a="1",le="2"}`.
+func labeledName(name, extra string) string {
+	base := baseName(name)
+	if base == name {
+		return fmt.Sprintf("%s{%s}", base, extra)
+	}
+	inner := name[len(base)+1 : len(name)-1]
+	return fmt.Sprintf("%s{%s,%s}", base, inner, extra)
+}
+
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b), "0"), ".")
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4). HELP/TYPE headers are emitted once per base
+// metric name, so labeled series of one family group correctly.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	order := append([]*instrument(nil), r.order...)
+	r.mu.Unlock()
+	seen := make(map[string]bool)
+	header := func(name, help, typ string) {
+		base := baseName(name)
+		if seen[base] {
+			return
+		}
+		seen[base] = true
+		if help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", base, help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", base, typ)
+	}
+	for _, in := range order {
+		switch in.kind {
+		case kindCounter:
+			header(in.name, in.help, "counter")
+			fmt.Fprintf(w, "%s %d\n", in.name, in.counter.Load())
+		case kindGauge:
+			header(in.name, in.help, "gauge")
+			fmt.Fprintf(w, "%s %v\n", in.name, float64(in.gauge.Load()))
+		case kindGaugeFunc:
+			header(in.name, in.help, "gauge")
+			fmt.Fprintf(w, "%s %v\n", in.name, in.gaugeFn())
+		case kindHistogram:
+			header(in.name, in.help, "histogram")
+			hs := in.histogram.Snapshot()
+			var cum uint64
+			for i, b := range hs.Bounds {
+				cum += hs.Buckets[i]
+				fmt.Fprintf(w, "%s %d\n", labeledName(in.name+"_bucket", fmt.Sprintf("le=%q", formatBound(b))), cum)
+			}
+			fmt.Fprintf(w, "%s %d\n", labeledName(in.name+"_bucket", `le="+Inf"`), hs.Count)
+			fmt.Fprintf(w, "%s %v\n", baseSeries(in.name, "_sum"), hs.Sum)
+			fmt.Fprintf(w, "%s %d\n", baseSeries(in.name, "_count"), hs.Count)
+		}
+	}
+}
+
+// baseSeries appends a suffix to the metric name, before any label set:
+// baseSeries(`x{a="1"}`, "_sum") = `x_sum{a="1"}`.
+func baseSeries(name, suffix string) string {
+	base := baseName(name)
+	if base == name {
+		return name + suffix
+	}
+	return base + suffix + name[len(base):]
+}
+
+// Handler serves the registry at any path, for a -metrics-addr flag.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,311 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Load())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Load() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Load())
+	}
+	// Nil instruments are inert, not crashes.
+	var nc *Counter
+	nc.Inc()
+	var ng *Gauge
+	ng.Set(1)
+	var nh *Histogram
+	nh.Observe(1)
+	if nc.Load() != 0 || ng.Load() != 0 || nh.Quantile(0.5) != 0 {
+		t.Fatal("nil instruments should read zero")
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Observations land in the first bucket whose bound is >= value
+	// (Prometheus `le` semantics).
+	h := NewHistogram([]float64{1, 2, 4})
+	cases := []struct {
+		value  float64
+		bucket int
+	}{
+		{0.5, 0},
+		{1, 0}, // exactly on a bound: le-inclusive
+		{1.5, 1},
+		{2, 1},
+		{3, 2},
+		{4, 2},
+		{5, 3},  // overflow bucket
+		{-1, 0}, // negative observations clamp to zero
+	}
+	for _, tc := range cases {
+		h := NewHistogram([]float64{1, 2, 4})
+		h.Observe(tc.value)
+		s := h.Snapshot()
+		for i, c := range s.Buckets {
+			want := uint64(0)
+			if i == tc.bucket {
+				want = 1
+			}
+			if c != want {
+				t.Errorf("Observe(%v): bucket[%d] = %d, want %d", tc.value, i, c, want)
+			}
+		}
+	}
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if got := s.Buckets; got[0] != 2 || got[1] != 2 || got[2] != 2 || got[3] != 1 {
+		t.Fatalf("buckets = %v, want [2 2 2 1]", got)
+	}
+	if s.Max != 5 {
+		t.Fatalf("max = %v, want 5", s.Max)
+	}
+	if math.Abs(s.Sum-17) > 1e-6 {
+		t.Fatalf("sum = %v, want 17", s.Sum)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	cases := []struct {
+		name   string
+		bounds []float64
+		obs    []float64
+		q      float64
+		want   float64
+		tol    float64
+	}{
+		{
+			name:   "uniform single bucket interpolates",
+			bounds: []float64{10},
+			obs:    []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+			q:      0.5,
+			want:   5, // rank 5 of 10 in (0,10] -> 10*5/10
+			tol:    1e-9,
+		},
+		{
+			name:   "median on bucket edge",
+			bounds: []float64{1, 2, 3},
+			obs:    []float64{0.5, 1.5, 2.5, 2.6},
+			q:      0.5,
+			want:   2, // rank 2 of 4: second bucket fully consumed
+			tol:    1e-9,
+		},
+		{
+			name:   "p99 lands in top finite bucket",
+			bounds: []float64{1, 10},
+			obs:    repeat(0.5, 90, 9.0, 10),
+			q:      0.99,
+			want:   9.1, // rank 99: 9 of the top bucket's 10 obs -> 1 + 9*(9/10)
+			tol:    1e-9,
+		},
+		{
+			name:   "overflow bucket reports max",
+			bounds: []float64{1},
+			obs:    []float64{0.5, 50},
+			q:      1.0,
+			want:   50,
+			tol:    1e-9,
+		},
+		{
+			name: "empty histogram",
+			obs:  nil,
+			q:    0.5,
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(tc.bounds)
+			for _, v := range tc.obs {
+				h.Observe(v)
+			}
+			got := h.Quantile(tc.q)
+			if math.Abs(got-tc.want) > tc.tol {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func repeat(a float64, na int, b float64, nb int) []float64 {
+	var out []float64
+	for i := 0; i < na; i++ {
+		out = append(out, a)
+	}
+	for i := 0; i < nb; i++ {
+		out = append(out, b)
+	}
+	return out
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(DefLatencyBuckets)
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w*per+i) * 1e-6)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var cum uint64
+	for _, c := range s.Buckets {
+		cum += c
+	}
+	if cum != s.Count {
+		t.Fatalf("bucket total %d != count %d", cum, s.Count)
+	}
+	wantMax := float64(workers*per-1) * 1e-6
+	if math.Abs(s.Max-wantMax) > 1e-12 {
+		t.Fatalf("max = %v, want %v", s.Max, wantMax)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "")
+	b := r.Counter("x_total", "")
+	if a != b {
+		t.Fatal("re-registering a counter should return the same instrument")
+	}
+	var field Counter
+	if got := r.RegisterCounter("y_total", "", &field); got != &field {
+		t.Fatal("RegisterCounter should hand back the field")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash should panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "").Inc()
+	r.Gauge("b", "").Set(1)
+	r.Histogram("c", "", nil).Observe(1)
+	r.RegisterGaugeFunc("d", "", func() float64 { return 1 })
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot should be empty")
+	}
+	r.WritePrometheus(&strings.Builder{})
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("legosdn_events_total", "events processed").Add(3)
+	r.Counter(`legosdn_crashes_total{reason="reported"}`, "crashes by reason").Add(2)
+	r.Counter(`legosdn_crashes_total{reason="rpc-timeout"}`, "crashes by reason").Add(1)
+	r.Gauge("legosdn_depth", "queue depth").Set(4)
+	r.RegisterGaugeFunc("legosdn_live", "live readout", func() float64 { return 2.5 })
+	h := r.Histogram("legosdn_latency_seconds", "event latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE legosdn_events_total counter\n",
+		"legosdn_events_total 3\n",
+		`legosdn_crashes_total{reason="reported"} 2` + "\n",
+		`legosdn_crashes_total{reason="rpc-timeout"} 1` + "\n",
+		"# TYPE legosdn_depth gauge\n",
+		"legosdn_depth 4\n",
+		"legosdn_live 2.5\n",
+		"# TYPE legosdn_latency_seconds histogram\n",
+		`legosdn_latency_seconds_bucket{le="0.1"} 1` + "\n",
+		`legosdn_latency_seconds_bucket{le="1"} 2` + "\n",
+		`legosdn_latency_seconds_bucket{le="+Inf"} 3` + "\n",
+		"legosdn_latency_seconds_sum 5.55\n",
+		"legosdn_latency_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\ngot:\n%s", want, out)
+		}
+	}
+	// One TYPE header per family, even with two labeled series.
+	if n := strings.Count(out, "# TYPE legosdn_crashes_total"); n != 1 {
+		t.Errorf("crashes_total TYPE headers = %d, want 1", n)
+	}
+
+	// The HTTP handler serves the same body.
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Body.String() != out {
+		t.Error("handler body differs from WritePrometheus output")
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content-type = %q", ct)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(7)
+	h := r.Histogram("lat_seconds", "", []float64{0.001, 0.01, 0.1})
+	for i := 0; i < 100; i++ {
+		h.ObserveDuration(time.Duration(i) * 100 * time.Microsecond)
+	}
+	s := r.Snapshot()
+	if s.Counters["a_total"] != 7 {
+		t.Fatalf("snapshot counter = %d", s.Counters["a_total"])
+	}
+	hs := s.Histograms["lat_seconds"]
+	if hs.Count != 100 || hs.P50 <= 0 || hs.P95 < hs.P50 || hs.P99 < hs.P95 {
+		t.Fatalf("snapshot histogram malformed: %+v", hs)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"a_total":7`) || !strings.Contains(string(b), `"p95":`) {
+		t.Fatalf("snapshot JSON missing fields: %s", b)
+	}
+}
+
+func TestLabeledNameSplicing(t *testing.T) {
+	cases := []struct{ name, extra, want string }{
+		{"x", `le="1"`, `x{le="1"}`},
+		{`x{a="1"}`, `le="2"`, `x{a="1",le="2"}`},
+	}
+	for _, tc := range cases {
+		if got := labeledName(tc.name, tc.extra); got != tc.want {
+			t.Errorf("labeledName(%q, %q) = %q, want %q", tc.name, tc.extra, got, tc.want)
+		}
+	}
+	if got := baseSeries(`x{a="1"}`, "_sum"); got != `x_sum{a="1"}` {
+		t.Errorf("baseSeries = %q", got)
+	}
+}

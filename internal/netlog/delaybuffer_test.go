@@ -1,0 +1,73 @@
+package netlog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"legosdn/internal/metrics"
+	"legosdn/internal/openflow"
+)
+
+// flakySender accepts okBefore messages, then fails every send.
+type flakySender struct {
+	okBefore int
+	sent     int
+}
+
+func (s *flakySender) SendMessage(dpid uint64, msg openflow.Message) error {
+	if s.sent >= s.okBefore {
+		return errors.New("link down")
+	}
+	s.sent++
+	return nil
+}
+
+func (s *flakySender) Barrier(dpid uint64) error { return nil }
+
+// Regression test: a mid-flush send failure must not count the dropped
+// tail as flushed. FlushedMods counts only delivered messages, the rest
+// are discarded, and the error reports how many were lost.
+func TestDelayBufferFlushErrorCountsDropped(t *testing.T) {
+	sender := &flakySender{okBefore: 2}
+	db := NewDelayBuffer(sender)
+	reg := metrics.NewRegistry()
+	db.Instrument(reg)
+
+	hook := db.Hook()
+	db.BeginHold()
+	for i := 0; i < 5; i++ {
+		if _, err := hook(1, addPort(uint16(i+1), 10, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Held() != 5 {
+		t.Fatalf("held = %d, want 5", db.Held())
+	}
+
+	err := db.Flush()
+	if err == nil {
+		t.Fatal("flush should fail when the sender errors mid-flush")
+	}
+	if !strings.Contains(err.Error(), "dropped 3 of 5") {
+		t.Fatalf("error should surface the dropped count, got: %v", err)
+	}
+	if got := db.FlushedMods.Load(); got != 2 {
+		t.Fatalf("FlushedMods = %d, want 2 (only delivered messages)", got)
+	}
+	if got := db.DiscardedMods.Load(); got != 3 {
+		t.Fatalf("DiscardedMods = %d, want 3 (dropped tail)", got)
+	}
+	if db.Held() != 0 {
+		t.Fatalf("held = %d after flush, want 0", db.Held())
+	}
+	// The registry-backed instruments read the same values.
+	s := reg.Snapshot()
+	if s.Counters["legosdn_delaybuf_flushed_mods_total"] != 2 ||
+		s.Counters["legosdn_delaybuf_discarded_mods_total"] != 3 {
+		t.Fatalf("registry counters out of sync: %+v", s.Counters)
+	}
+	if s.Gauges["legosdn_delaybuf_held_depth"] != 0 {
+		t.Fatalf("held depth gauge = %v, want 0", s.Gauges["legosdn_delaybuf_held_depth"])
+	}
+}

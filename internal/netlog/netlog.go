@@ -22,11 +22,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"legosdn/internal/controller"
 	"legosdn/internal/flowtable"
+	"legosdn/internal/metrics"
 	"legosdn/internal/openflow"
 )
 
@@ -123,9 +123,15 @@ type Manager struct {
 
 	// Rollbacks counts completed aborts; RolledBackMods counts inverse
 	// messages sent. Atomic: read live by benchmarks.
-	Rollbacks      atomic.Uint64
-	RolledBackMods atomic.Uint64
-	CommittedTxns  atomic.Uint64
+	Rollbacks      metrics.Counter
+	RolledBackMods metrics.Counter
+	CommittedTxns  metrics.Counter
+	// BegunTxns counts transactions opened via Begin.
+	BegunTxns metrics.Counter
+
+	// inversionLatency times Abort end to end (inverse computation,
+	// inverse sends and the closing barriers). Nil when uninstrumented.
+	inversionLatency *metrics.Histogram
 }
 
 // NewManager creates a NetLog engine writing rollbacks through sender.
@@ -148,6 +154,22 @@ func (m *Manager) Install(c *controller.Controller) {
 	c.AddOutboundHook(m.Hook())
 	c.AddStatsRewriter(m.RewriteStats)
 	c.Register(m)
+}
+
+// Instrument registers the manager's transaction counters and the
+// inversion-latency histogram into reg.
+func (m *Manager) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter("legosdn_netlog_txn_begun_total", "transactions opened", &m.BegunTxns)
+	reg.RegisterCounter("legosdn_netlog_txn_committed_total", "transactions committed", &m.CommittedTxns)
+	reg.RegisterCounter("legosdn_netlog_txn_rollbacks_total", "transactions aborted and rolled back", &m.Rollbacks)
+	reg.RegisterCounter("legosdn_netlog_rolled_back_mods_total", "inverse messages sent during rollbacks", &m.RolledBackMods)
+	m.inversionLatency = reg.Histogram("legosdn_netlog_inversion_seconds",
+		"latency of one transaction abort: inverse sends plus closing barriers", nil)
+	reg.RegisterGaugeFunc("legosdn_netlog_counter_cache_entries",
+		"live counter-cache adjustments", func() float64 { return float64(m.CounterCacheSize()) })
 }
 
 func (m *Manager) shadow(dpid uint64) *flowtable.Table {
@@ -179,6 +201,7 @@ func (m *Manager) Begin() *Txn {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.nextTxn++
+	m.BegunTxns.Add(1)
 	return &Txn{ID: m.nextTxn, m: m, dpids: make(map[uint64]bool)}
 }
 
@@ -396,6 +419,9 @@ func (t *Txn) Commit() error {
 // destroyed entries with their remaining timeout budget and feeding their
 // counter values into the counter-cache.
 func (t *Txn) Abort() error {
+	if t.m.inversionLatency != nil {
+		defer t.m.inversionLatency.ObserveSince(time.Now())
+	}
 	t.m.mu.Lock()
 	if t.state != TxnOpen {
 		t.m.mu.Unlock()

@@ -87,7 +87,12 @@ type Network struct {
 	hosts    map[string]*Host
 	links    []*Link
 	attached map[endpoint]*Link
-	lossRng  *rand.Rand
+
+	// lossRng has its own lock: *rand.Rand is not safe for concurrent
+	// use, and the loss roll must stay race-free even if a delivery path
+	// ever reads it outside n.mu.
+	rngMu   sync.Mutex
+	lossRng *rand.Rand
 
 	// LossDrops counts frames shed by lossy links.
 	LossDrops atomic.Uint64
@@ -106,6 +111,13 @@ func NewNetwork(clock Clock) *Network {
 		attached: make(map[endpoint]*Link),
 		lossRng:  rand.New(rand.NewSource(1)),
 	}
+}
+
+// lossRoll draws a uniform sample for a lossy-link drop decision.
+func (n *Network) lossRoll() float64 {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.lossRng.Float64()
 }
 
 // AddSwitch creates a switch with the given datapath id.
@@ -256,7 +268,7 @@ func (n *Network) deliver(dpid uint64, port uint16, f *Frame, hops int) {
 		return
 	}
 	latency := l.latency
-	if l.loss > 0 && n.lossRng.Float64() < l.loss {
+	if l.loss > 0 && n.lossRoll() < l.loss {
 		n.LossDrops.Add(1)
 		n.mu.Unlock()
 		return

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -340,5 +341,41 @@ func TestSetAllLinkProfiles(t *testing.T) {
 	}
 	if h3.ReceivedCount() != 1 {
 		t.Fatal("frame lost")
+	}
+}
+
+// Regression test (run under -race): the loss RNG is shared by every
+// delivery and *rand.Rand is not concurrency-safe, so parallel senders
+// over a lossy link must not race on it.
+func TestLinkLossParallelSenders(t *testing.T) {
+	n := Linear(2, nil)
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	installPath(t, n, h2.MAC, []struct {
+		dpid uint64
+		out  uint16
+	}{{1, 2}, {2, hostPortBase}})
+	if err := n.SetLinkProfile(1, 2, 2, 1, 0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				n.SendFromHost("h1", TCPFrame(h1, h2, uint16(w*perWorker+i), 2, nil))
+			}
+		}()
+	}
+	wg.Wait()
+	const sent = workers * perWorker
+	got := h2.ReceivedCount()
+	if got+int(n.LossDrops.Load()) != sent {
+		t.Fatalf("delivered %d + dropped %d != sent %d", got, n.LossDrops.Load(), sent)
+	}
+	if got < sent/4 || got > 3*sent/4 {
+		t.Fatalf("delivered %d of %d at 50%% loss", got, sent)
 	}
 }
