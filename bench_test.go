@@ -125,6 +125,12 @@ func BenchmarkClaimInvariantEscalation(b *testing.B) {
 	}
 }
 
+func BenchmarkClaimThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.ClaimThroughput(true))
+	}
+}
+
 // --- Micro-benchmarks: the hot paths the tables are built from. ---
 
 func BenchmarkOpenFlowEncodeFlowMod(b *testing.B) {
@@ -209,6 +215,25 @@ func BenchmarkAppVisorEventRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+func BenchmarkAppVisorEventBatchRoundTrip(b *testing.B) {
+	proxy, err := appvisor.NewProxy("bench", benchCtx{},
+		appvisor.InProcessFactory(func() controller.App { return nopApp{} }, appvisor.StubOptions{}),
+		appvisor.ProxyOptions{EventTimeout: 5 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer proxy.Close()
+	evs := workload.PacketInEvents(16, 4, 4, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := proxy.HandleEventBatch(nil, evs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(evs)), "events/op")
 }
 
 func BenchmarkCheckpointSnapshotStore(b *testing.B) {

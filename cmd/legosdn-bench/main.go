@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	legosdn-bench            # full run
-//	legosdn-bench -quick     # reduced iteration counts
-//	legosdn-bench -only C3   # a single experiment by id
-//	legosdn-bench -list      # experiment index
+//	legosdn-bench                          # full run
+//	legosdn-bench -quick                   # reduced iteration counts
+//	legosdn-bench -only C3                 # a single experiment by id
+//	legosdn-bench -list                    # experiment index
+//	legosdn-bench -bench-out BENCH.json    # also write headline numbers as JSON
 package main
 
 import (
@@ -64,6 +65,9 @@ var index = []struct {
 	{"C13", "No-Compromise escalation (§5)", func(bool) experiments.Table {
 		return experiments.ClaimInvariantEscalation()
 	}},
+	{"P1", "event pipeline throughput (serial vs parallel, direct vs AppVisor)", func(q bool) experiments.Table {
+		return experiments.ClaimThroughput(q)
+	}},
 }
 
 func pick(quick bool, q, full int) int {
@@ -78,6 +82,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment by id (e.g. C3)")
 	list := flag.Bool("list", false, "print the experiment index and exit")
 	noMetrics := flag.Bool("no-metrics", false, "suppress the per-experiment metrics JSON blocks")
+	benchOut := flag.String("bench-out", "", "write each experiment's headline numbers (Table.Values) to this JSON file")
 	flag.Parse()
 
 	if *list {
@@ -88,6 +93,7 @@ func main() {
 	}
 	ran := 0
 	start := time.Now()
+	results := benchResults{Generated: start.UTC().Format(time.RFC3339), Experiments: map[string]benchResult{}}
 	for _, e := range index {
 		if *only != "" && !strings.EqualFold(*only, e.id) {
 			continue
@@ -102,6 +108,9 @@ func main() {
 				fmt.Printf("metrics %s %s\n", e.id, b)
 			}
 		}
+		if table.Values != nil {
+			results.Experiments[table.ID] = benchResult{Title: table.Title, Values: table.Values}
+		}
 		fmt.Printf("(%s completed in %s)\n\n", e.id, time.Since(t0).Round(time.Millisecond))
 		ran++
 	}
@@ -109,5 +118,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "legosdn-bench: no experiment %q (try -list)\n", *only)
 		os.Exit(2)
 	}
+	if *benchOut != "" {
+		b, err := json.MarshalIndent(results, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchOut, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "legosdn-bench: writing %s: %v\n", *benchOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
+	}
 	fmt.Printf("ran %d experiment(s) in %s\n", ran, time.Since(start).Round(time.Millisecond))
+}
+
+// benchResults is the -bench-out file layout: a timestamp plus each
+// experiment's headline numbers, so perf can be diffed across commits.
+type benchResults struct {
+	Generated   string                 `json:"generated"`
+	Experiments map[string]benchResult `json:"experiments"`
+}
+
+type benchResult struct {
+	Title  string             `json:"title"`
+	Values map[string]float64 `json:"values"`
 }

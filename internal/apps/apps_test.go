@@ -245,6 +245,10 @@ func TestFirewallBlocksDeniedTraffic(t *testing.T) {
 		}
 		return false
 	})
+	// The learning switch floods the first packet (it was punted before
+	// the drop rule existed); wait for that delivery so it cannot land
+	// after the clear and masquerade as a leak of the second packet.
+	waitFor(t, "first-packet flood", func() bool { return h2.ReceivedCount() >= 1 })
 	// Subsequent blocked traffic dies in the dataplane.
 	h2.ClearReceived()
 	n.SendFromHost("h1", netsim.TCPFrame(h1, h2, 1001, 22, nil))

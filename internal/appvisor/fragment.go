@@ -107,7 +107,10 @@ func (r *reassembler) accept(d *datagram) (*datagram, error) {
 		r.pending[d.ID] = p
 	}
 	if p.parts[idx] == nil {
-		p.parts[idx] = data
+		// Copy: the receive loops hand in zero-copy views of the socket
+		// buffer, which is reused for the next read while this part
+		// waits for its siblings.
+		p.parts[idx] = append([]byte(nil), data...)
 		p.received++
 		p.size += len(data)
 		r.total += len(data)

@@ -231,7 +231,8 @@ func TestForeignRegistrationCannotHijackLiveStub(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	d := &datagram{Type: dgRegister, Payload: encodeRegister("evil-app", nil)}
+	evil, _ := encodeRegister("evil-app", nil)
+	d := &datagram{Type: dgRegister, Payload: evil}
 	b, _ := d.marshal()
 	conn.Write(b)
 	time.Sleep(20 * time.Millisecond)

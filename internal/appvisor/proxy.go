@@ -336,6 +336,52 @@ func (p *Proxy) HandleEvent(_ controller.Context, ev controller.Event) error {
 	return status
 }
 
+// HandleEventBatch implements controller.BatchApp: N events ride one
+// dgEventBatch datagram and one dgEventDone ack, so a queued backlog
+// costs one UDP round trip instead of N. The stub processes the batch
+// in order; an indexed crash report pins the blame on the exact event.
+func (p *Proxy) HandleEventBatch(_ controller.Context, evs []controller.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	if len(evs) == 1 {
+		return p.HandleEvent(nil, evs[0])
+	}
+	if !p.stubUp.Load() {
+		return ErrStubDown
+	}
+	p.inFlight.Store(&evs[0])
+	defer p.inFlight.Store(nil)
+
+	payload, err := encodeEventBatch(evs)
+	if err != nil {
+		return err
+	}
+	// The per-event budget scales with the batch: a full batch is N
+	// sequential handler runs on the stub side.
+	timeout := time.Duration(len(evs)) * p.opts.EventTimeout
+	d, err := p.rpcToStub(&datagram{Type: dgEventBatch, ID: p.nextID.Add(1), Payload: payload}, timeout)
+	if err != nil {
+		report := p.noteCrash(CrashTimeout, err.Error(), "", &evs[0])
+		return &CrashError{Report: report}
+	}
+	if d.Type == dgCrash {
+		reason, stack, _ := decodeCrash(d.Payload)
+		culprit := &evs[0]
+		if idx, ok := decodeCrashIndex(d.Payload); ok && idx < len(evs) {
+			culprit = &evs[idx]
+		}
+		report := p.noteCrash(CrashReported, reason, stack, culprit)
+		return &CrashError{Report: report}
+	}
+	status, _, ok := decodeStatus(d.Payload)
+	if !ok {
+		return ErrBadDatagram
+	}
+	p.EventsRelayed.Add(uint64(len(evs)))
+	return status
+}
+
 // Snapshot implements controller.Snapshotter by RPC to the stub.
 func (p *Proxy) Snapshot() ([]byte, error) {
 	if !p.stubUp.Load() {
@@ -447,6 +493,19 @@ func (p *Proxy) failWaiters() {
 }
 
 func (p *Proxy) sendTo(addr *net.UDPAddr, d *datagram) error {
+	// Fast path: single-frame datagrams (all of steady-state event
+	// traffic) are framed into a pooled buffer, so sending allocates
+	// nothing. Oversized payloads fall back to fragmentation.
+	if len(d.Payload) <= maxDatagram-headerLen {
+		bp := wireBufPool.Get().(*[]byte)
+		b, err := appendDatagram((*bp)[:0], d)
+		if err == nil {
+			*bp = b[:0] // keep any growth for the next send
+			_, err = p.conn.WriteToUDP(b, addr)
+		}
+		wireBufPool.Put(bp)
+		return err
+	}
 	frames, err := marshalFrames(d)
 	if err != nil {
 		return err
@@ -507,11 +566,14 @@ func (p *Proxy) readLoop() {
 		if err != nil {
 			return
 		}
-		d, err := parseDatagram(buf[:n])
+		// Zero-copy: dv.Payload aliases buf. Branches that retain the
+		// datagram past this iteration (waiter hand-offs, goroutines)
+		// detach() first; the reassembler copies fragment data itself.
+		dv, err := parseDatagramView(buf[:n])
 		if err != nil {
 			continue
 		}
-		d, err = reasm.accept(d)
+		d, err := reasm.accept(&dv)
 		if err != nil || d == nil {
 			continue
 		}
@@ -548,16 +610,19 @@ func (p *Proxy) readLoop() {
 			}
 			p.lastBeat.Store(now.UnixNano())
 		case dgEventDone, dgSnapshotReply, dgRestoreDone:
+			d.detach() // handed to a waiter, outlives buf
 			p.completeWaiter(d)
 		case dgCrash:
 			// A crash aborts whatever RPC is in flight; if none is, the
 			// report stands alone (e.g. crash in a background goroutine
 			// of the app).
+			d.detach()
 			if !p.completeAnyWaiter(d) {
 				reason, stack, _ := decodeCrash(d.Payload)
 				p.noteCrash(CrashReported, reason, stack, p.inFlight.Load())
 			}
 		case dgRequest:
+			d.detach()
 			go p.serveRequest(raddr, d)
 		}
 	}
@@ -590,40 +655,46 @@ func (p *Proxy) completeAnyWaiter(d *datagram) bool {
 func (p *Proxy) serveRequest(raddr *net.UDPAddr, d *datagram) {
 	op, dpid, msg, err := decodeRequest(d.Payload)
 	if err != nil {
-		_ = p.sendTo(raddr, &datagram{Type: dgResponse, ID: d.ID, Payload: encodeStatus(err)})
+		_ = p.sendTo(raddr, &datagram{Type: dgResponse, ID: d.ID, Payload: statusPayload(err)})
 		return
 	}
 	var payload []byte
 	switch op {
 	case opSendMessage:
-		payload = encodeStatus(p.ctx.SendMessage(dpid, msg))
+		payload = statusPayload(p.ctx.SendMessage(dpid, msg))
 	case opStats:
 		req, ok := msg.(*openflow.StatsRequest)
 		if !ok {
-			payload = encodeStatus(fmt.Errorf("appvisor: stats op without request"))
+			payload = statusPayload(fmt.Errorf("appvisor: stats op without request"))
 			break
 		}
 		reply, err := p.ctx.RequestStats(dpid, req)
 		if err != nil {
-			payload = encodeStatus(err)
+			payload = statusPayload(err)
 			break
 		}
 		raw, err := openflow.Encode(reply)
 		if err != nil {
-			payload = encodeStatus(err)
+			payload = statusPayload(err)
 			break
 		}
-		payload = append(encodeStatus(nil), raw...)
+		payload = append(statusPayload(nil), raw...)
 	case opBarrier:
-		payload = encodeStatus(p.ctx.Barrier(dpid))
+		payload = statusPayload(p.ctx.Barrier(dpid))
 	case opSwitches:
-		payload = encodeSwitches(p.ctx.Switches())
+		payload, err = encodeSwitches(p.ctx.Switches())
+		if err != nil {
+			payload = statusPayload(err)
+		}
 	case opPorts:
 		payload = encodePorts(p.ctx.Ports(dpid))
 	case opTopology:
-		payload = encodeTopology(p.ctx.Topology())
+		payload, err = encodeTopology(p.ctx.Topology())
+		if err != nil {
+			payload = statusPayload(err)
+		}
 	default:
-		payload = encodeStatus(fmt.Errorf("appvisor: unknown op %d", op))
+		payload = statusPayload(fmt.Errorf("appvisor: unknown op %d", op))
 	}
 	_ = p.sendTo(raddr, &datagram{Type: dgResponse, ID: d.ID, Payload: payload})
 }

@@ -50,7 +50,7 @@ type Stub struct {
 	waiters map[uint64]chan *datagram
 
 	nextID atomic.Uint64
-	events chan eventWithID
+	events chan stubWork
 	dead   atomic.Bool
 	done   chan struct{}
 	wg     sync.WaitGroup
@@ -81,10 +81,15 @@ func StartStub(app controller.App, proxyAddr string, opts StubOptions) (*Stub, e
 		opts:    opts,
 		conn:    conn,
 		waiters: make(map[uint64]chan *datagram),
-		events:  make(chan eventWithID, opts.QueueSize),
+		events:  make(chan stubWork, opts.QueueSize),
 		done:    make(chan struct{}),
 	}
-	if err := s.send(&datagram{Type: dgRegister, Payload: encodeRegister(app.Name(), app.Subscriptions())}); err != nil {
+	reg, err := encodeRegister(app.Name(), app.Subscriptions())
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := s.send(&datagram{Type: dgRegister, Payload: reg}); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -122,11 +127,28 @@ func (s *Stub) terminate() {
 // die is the wrapper's crash path: report the panic to the proxy, then
 // terminate. A real stub process would exit here.
 func (s *Stub) die(reason string, stack []byte) {
-	_ = s.send(&datagram{Type: dgCrash, Payload: encodeCrash(reason, string(stack))})
+	s.dieWith(encodeCrash(reason, string(stack)))
+}
+
+// dieWith sends a pre-built crash payload (possibly carrying a batch
+// index) and terminates.
+func (s *Stub) dieWith(payload []byte) {
+	_ = s.send(&datagram{Type: dgCrash, Payload: payload})
 	s.terminate()
 }
 
 func (s *Stub) send(d *datagram) error {
+	// Single-frame fast path through a pooled buffer; see Proxy.sendTo.
+	if len(d.Payload) <= maxDatagram-headerLen {
+		bp := wireBufPool.Get().(*[]byte)
+		b, err := appendDatagram((*bp)[:0], d)
+		if err == nil {
+			*bp = b[:0]
+			_, err = s.conn.Write(b)
+		}
+		wireBufPool.Put(bp)
+		return err
+	}
 	frames, err := marshalFrames(d)
 	if err != nil {
 		return err
@@ -148,11 +170,14 @@ func (s *Stub) readLoop() {
 		if err != nil {
 			return
 		}
-		d, err := parseDatagram(buf[:n])
+		// Zero-copy: dv.Payload aliases buf. Events are decoded inline
+		// (openflow.Decode copies any bytes it retains); branches that
+		// keep the raw payload longer detach() first.
+		dv, err := parseDatagramView(buf[:n])
 		if err != nil {
 			continue
 		}
-		d, err = reasm.accept(d)
+		d, err := reasm.accept(&dv)
 		if err != nil || d == nil {
 			continue
 		}
@@ -162,16 +187,19 @@ func (s *Stub) readLoop() {
 		case dgEvent:
 			ev, err := decodeEvent(d.Payload)
 			if err != nil {
-				_ = s.send(&datagram{Type: dgEventDone, ID: d.ID, Payload: encodeStatus(err)})
+				_ = s.send(&datagram{Type: dgEventDone, ID: d.ID, Payload: statusPayload(err)})
 				continue
 			}
-			select {
-			case s.events <- eventWithID{Event: ev, rpcID: d.ID}:
-			default:
-				_ = s.send(&datagram{Type: dgEventDone, ID: d.ID,
-					Payload: encodeStatus(fmt.Errorf("appvisor: stub queue full"))})
+			s.enqueue(stubWork{evs: []controller.Event{ev}, rpcID: d.ID})
+		case dgEventBatch:
+			evs, err := decodeEventBatch(d.Payload)
+			if err != nil {
+				_ = s.send(&datagram{Type: dgEventDone, ID: d.ID, Payload: statusPayload(err)})
+				continue
 			}
+			s.enqueue(stubWork{evs: evs, rpcID: d.ID})
 		case dgResponse:
+			d.detach() // handed to a waiter, outlives buf
 			s.mu.Lock()
 			w := s.waiters[d.ID]
 			delete(s.waiters, d.ID)
@@ -182,6 +210,7 @@ func (s *Stub) readLoop() {
 		case dgSnapshotReq:
 			s.handleSnapshot(d.ID)
 		case dgRestoreReq:
+			d.detach() // the app's Restore may retain the state bytes
 			s.handleRestore(d.ID, d.Payload)
 		case dgShutdown:
 			s.terminate()
@@ -190,11 +219,21 @@ func (s *Stub) readLoop() {
 	}
 }
 
-// eventWithID pairs a delivered event with its per-delivery RPC id, so
-// the same event can be redelivered during replay under a fresh id.
-type eventWithID struct {
-	controller.Event
+// stubWork is one delivery: a single event or a proxy-coalesced batch,
+// acknowledged by one dgEventDone under the delivery's RPC id (so the
+// same events can be redelivered during replay under a fresh id).
+type stubWork struct {
+	evs   []controller.Event
 	rpcID uint64
+}
+
+func (s *Stub) enqueue(w stubWork) {
+	select {
+	case s.events <- w:
+	default:
+		_ = s.send(&datagram{Type: dgEventDone, ID: w.rpcID,
+			Payload: statusPayload(fmt.Errorf("appvisor: stub queue full"))})
+	}
 }
 
 func (s *Stub) workLoop() {
@@ -203,45 +242,59 @@ func (s *Stub) workLoop() {
 		select {
 		case <-s.done:
 			return
-		case ev := <-s.events:
-			s.handleEvent(ev)
+		case w := <-s.events:
+			s.handleWork(w)
 		}
 	}
 }
 
-// handleEvent runs the app's handler inside the containment boundary.
-func (s *Stub) handleEvent(ev eventWithID) {
-	var handlerErr error
-	crashed := func() (crashed bool) {
-		defer func() {
-			if r := recover(); r != nil {
-				crashed = true
-				s.die(fmt.Sprint(r), debug.Stack())
-			}
+// handleWork runs the app's handler inside the containment boundary,
+// event by event in delivery order. A panic mid-batch reports a crash
+// carrying the offending event's batch index, then kills the stub; the
+// rest of the batch dies with it, exactly as if each event had been
+// delivered separately.
+func (s *Stub) handleWork(w stubWork) {
+	var firstErr error
+	for i, ev := range w.evs {
+		var handlerErr error
+		crashed := func() (crashed bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					crashed = true
+					payload := encodeCrash(fmt.Sprint(r), string(debug.Stack()))
+					if len(w.evs) > 1 {
+						payload = appendCrashIndex(payload, i)
+					}
+					s.dieWith(payload)
+				}
+			}()
+			handlerErr = s.app.HandleEvent(&stubContext{s: s}, ev)
+			return false
 		}()
-		handlerErr = s.app.HandleEvent(&stubContext{s: s}, ev.Event)
-		return false
-	}()
-	if crashed {
-		return
+		if crashed {
+			return
+		}
+		s.EventsHandled.Add(1)
+		if handlerErr != nil && firstErr == nil {
+			firstErr = handlerErr
+		}
 	}
-	s.EventsHandled.Add(1)
-	_ = s.send(&datagram{Type: dgEventDone, ID: ev.rpcID, Payload: encodeStatus(handlerErr)})
+	_ = s.send(&datagram{Type: dgEventDone, ID: w.rpcID, Payload: statusPayload(firstErr)})
 }
 
 func (s *Stub) handleSnapshot(id uint64) {
 	snap, ok := s.app.(controller.Snapshotter)
 	if !ok {
 		_ = s.send(&datagram{Type: dgSnapshotReply, ID: id,
-			Payload: encodeStatus(fmt.Errorf("app %q does not snapshot", s.app.Name()))})
+			Payload: statusPayload(fmt.Errorf("app %q does not snapshot", s.app.Name()))})
 		return
 	}
 	state, err := snap.Snapshot()
 	if err != nil {
-		_ = s.send(&datagram{Type: dgSnapshotReply, ID: id, Payload: encodeStatus(err)})
+		_ = s.send(&datagram{Type: dgSnapshotReply, ID: id, Payload: statusPayload(err)})
 		return
 	}
-	payload := append(encodeStatus(nil), state...)
+	payload := append(statusPayload(nil), state...)
 	_ = s.send(&datagram{Type: dgSnapshotReply, ID: id, Payload: payload})
 }
 
@@ -249,11 +302,11 @@ func (s *Stub) handleRestore(id uint64, state []byte) {
 	snap, ok := s.app.(controller.Snapshotter)
 	if !ok {
 		_ = s.send(&datagram{Type: dgRestoreDone, ID: id,
-			Payload: encodeStatus(fmt.Errorf("app %q does not snapshot", s.app.Name()))})
+			Payload: statusPayload(fmt.Errorf("app %q does not snapshot", s.app.Name()))})
 		return
 	}
 	err := snap.Restore(state)
-	_ = s.send(&datagram{Type: dgRestoreDone, ID: id, Payload: encodeStatus(err)})
+	_ = s.send(&datagram{Type: dgRestoreDone, ID: id, Payload: statusPayload(err)})
 }
 
 func (s *Stub) heartbeatLoop() {

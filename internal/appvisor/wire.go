@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"legosdn/internal/controller"
 	"legosdn/internal/openflow"
@@ -37,6 +38,7 @@ const (
 	dgRestoreDone   uint8 = 11 // stub -> proxy
 	dgShutdown      uint8 = 12 // proxy -> stub: exit cleanly
 	dgCrash         uint8 = 13 // stub -> proxy: app crashed (wrapper's last gasp)
+	dgEventBatch    uint8 = 14 // proxy -> stub: deliver N events, one dgEventDone ack
 )
 
 // Context call opcodes carried by dgRequest.
@@ -50,9 +52,12 @@ const (
 )
 
 const (
-	wireMagic   uint16 = 0x4c53 // "LS"
-	wireVersion uint8  = 1
-	headerLen          = 12
+	wireMagic uint16 = 0x4c53 // "LS"
+	// wireVersion 2 added dgEventBatch (batched event delivery with a
+	// single ack) and codec bounds checks; the header layout and all
+	// v1 datagram types are unchanged.
+	wireVersion uint8 = 2
+	headerLen         = 12
 	// maxDatagram bounds a single UDP payload; events larger than this
 	// (possible only with pathological PacketIn payloads) are rejected.
 	maxDatagram = 60 * 1024
@@ -72,33 +77,84 @@ func (d *datagram) marshal() ([]byte, error) {
 	if len(d.Payload) > maxDatagram-headerLen {
 		return nil, fmt.Errorf("appvisor: datagram payload %d too large", len(d.Payload))
 	}
-	b := make([]byte, headerLen+len(d.Payload))
-	binary.BigEndian.PutUint16(b[0:2], wireMagic)
-	b[2] = wireVersion
-	b[3] = d.Type
-	binary.BigEndian.PutUint64(b[4:12], d.ID)
-	copy(b[headerLen:], d.Payload)
+	b, err := appendDatagram(make([]byte, 0, headerLen+len(d.Payload)), d)
+	if err != nil {
+		return nil, err
+	}
 	return b, nil
 }
 
+// appendDatagram frames d onto dst and returns the extended slice. The
+// allocation-free complement to marshal for pooled send buffers.
+func appendDatagram(dst []byte, d *datagram) ([]byte, error) {
+	if len(d.Payload) > maxDatagram-headerLen {
+		return nil, fmt.Errorf("appvisor: datagram payload %d too large", len(d.Payload))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, wireMagic)
+	dst = append(dst, wireVersion, d.Type)
+	dst = binary.BigEndian.AppendUint64(dst, d.ID)
+	return append(dst, d.Payload...), nil
+}
+
+// wireBufPool recycles send buffers for the single-frame fast path, so
+// steady-state event traffic allocates nothing for framing.
+var wireBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 2048)
+		return &b
+	},
+}
+
+// parseDatagram decodes one frame, copying the payload so the result
+// outlives b. Prefer parseDatagramView in receive loops.
 func parseDatagram(b []byte) (*datagram, error) {
+	d, err := parseDatagramView(b)
+	if err != nil {
+		return nil, err
+	}
+	d.detach()
+	return &d, nil
+}
+
+// parseDatagramView decodes one frame without copying: the returned
+// datagram's Payload aliases b and is only valid until b is reused.
+// Receive loops use this to decode events straight out of the socket
+// buffer; any branch that retains the payload past the current
+// iteration (waiter hand-offs, goroutines, reassembly) must detach()
+// first.
+func parseDatagramView(b []byte) (datagram, error) {
 	if len(b) < headerLen {
-		return nil, ErrBadDatagram
+		return datagram{}, ErrBadDatagram
 	}
 	if binary.BigEndian.Uint16(b[0:2]) != wireMagic || b[2] != wireVersion {
-		return nil, ErrBadDatagram
+		return datagram{}, ErrBadDatagram
 	}
-	return &datagram{
+	return datagram{
 		Type:    b[3],
 		ID:      binary.BigEndian.Uint64(b[4:12]),
-		Payload: append([]byte(nil), b[headerLen:]...),
+		Payload: b[headerLen:],
 	}, nil
+}
+
+// detach copies the payload out of whatever buffer it aliases, making
+// the datagram safe to retain.
+func (d *datagram) detach() {
+	d.Payload = append([]byte(nil), d.Payload...)
 }
 
 // --- payload codecs ---
 
-// encodeRegister carries the app name and its event subscriptions.
-func encodeRegister(name string, subs []controller.EventKind) []byte {
+// encodeRegister carries the app name and its event subscriptions. The
+// name length rides a uint16 and the subscription count a single byte;
+// oversized inputs would silently truncate and corrupt the frame, so
+// they are rejected instead.
+func encodeRegister(name string, subs []controller.EventKind) ([]byte, error) {
+	if len(name) > 0xffff {
+		return nil, fmt.Errorf("%w: app name %d bytes exceeds uint16", ErrBadDatagram, len(name))
+	}
+	if len(subs) > 0xff {
+		return nil, fmt.Errorf("%w: %d subscriptions exceed uint8", ErrBadDatagram, len(subs))
+	}
 	b := make([]byte, 0, 3+len(name)+len(subs))
 	b = binary.BigEndian.AppendUint16(b, uint16(len(name)))
 	b = append(b, name...)
@@ -106,7 +162,7 @@ func encodeRegister(name string, subs []controller.EventKind) []byte {
 	for _, k := range subs {
 		b = append(b, byte(k))
 	}
-	return b
+	return b, nil
 }
 
 func decodeRegister(b []byte) (name string, subs []controller.EventKind, err error) {
@@ -163,16 +219,36 @@ func decodeEvent(b []byte) (controller.Event, error) {
 }
 
 // encodeStatus carries an optional error string (dgEventDone,
-// dgRestoreDone, dgResponse error halves).
-func encodeStatus(err error) []byte {
+// dgRestoreDone, dgResponse error halves). Error text longer than a
+// uint16 can carry would silently truncate the length field and shear
+// the frame, so it is rejected; send paths that must always produce a
+// frame use statusPayload instead.
+func encodeStatus(err error) ([]byte, error) {
 	if err == nil {
-		return []byte{0}
+		return []byte{0}, nil
 	}
 	s := err.Error()
+	if len(s) > 0xffff {
+		return nil, fmt.Errorf("%w: status text %d bytes exceeds uint16", ErrBadDatagram, len(s))
+	}
 	b := make([]byte, 0, 3+len(s))
 	b = append(b, 1)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
-	return append(b, s...)
+	return append(b, s...), nil
+}
+
+// statusPayload is the infallible form of encodeStatus for send paths:
+// a pathological error message is clipped (with a marker) rather than
+// dropped, so the peer still gets a well-formed status frame.
+func statusPayload(err error) []byte {
+	b, encErr := encodeStatus(err)
+	if encErr == nil {
+		return b
+	}
+	const marker = "... [truncated]"
+	s := err.Error()[:0xffff-len(marker)] + marker
+	b, _ = encodeStatus(errors.New(s))
+	return b
 }
 
 func decodeStatus(b []byte) (error, []byte, bool) {
@@ -190,6 +266,52 @@ func decodeStatus(b []byte) (error, []byte, bool) {
 		return nil, nil, false
 	}
 	return errors.New(string(b[3 : 3+n])), b[3+n:], true
+}
+
+// encodeEventBatch packs N events into one dgEventBatch payload:
+// uint16 count, then each event as a uint32 length prefix followed by
+// its encodeEvent form. One datagram (fragmented if huge) replaces N
+// UDP round trips.
+func encodeEventBatch(evs []controller.Event) ([]byte, error) {
+	if len(evs) > 0xffff {
+		return nil, fmt.Errorf("%w: batch of %d events exceeds uint16", ErrBadDatagram, len(evs))
+	}
+	b := make([]byte, 0, 2+len(evs)*40)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(evs)))
+	for _, ev := range evs {
+		p, err := encodeEvent(ev)
+		if err != nil {
+			return nil, err
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(len(p)))
+		b = append(b, p...)
+	}
+	return b, nil
+}
+
+func decodeEventBatch(b []byte) ([]controller.Event, error) {
+	if len(b) < 2 {
+		return nil, ErrBadDatagram
+	}
+	n := int(binary.BigEndian.Uint16(b[0:2]))
+	b = b[2:]
+	evs := make([]controller.Event, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 4 {
+			return nil, ErrBadDatagram
+		}
+		sz := int(binary.BigEndian.Uint32(b[0:4]))
+		if sz < 0 || len(b) < 4+sz {
+			return nil, ErrBadDatagram
+		}
+		ev, err := decodeEvent(b[4 : 4+sz])
+		if err != nil {
+			return nil, err
+		}
+		evs = append(evs, ev)
+		b = b[4+sz:]
+	}
+	return evs, nil
 }
 
 // encodeCrash carries the wrapper's crash report: the panic value and
@@ -219,6 +341,31 @@ func decodeCrash(b []byte) (reason, stack string, err error) {
 	return reason, string(rest[4 : 4+m]), nil
 }
 
+// appendCrashIndex extends a crash payload with the batch position of
+// the event that killed the app. decodeCrash ignores trailing bytes, so
+// the suffix is backward compatible with v1-style consumers.
+func appendCrashIndex(payload []byte, idx int) []byte {
+	return binary.BigEndian.AppendUint32(payload, uint32(idx))
+}
+
+// decodeCrashIndex recovers the batch index from an indexed crash
+// payload; ok is false for plain (single-event) crash reports.
+func decodeCrashIndex(b []byte) (idx int, ok bool) {
+	if len(b) < 4 {
+		return 0, false
+	}
+	n := int(binary.BigEndian.Uint32(b[0:4]))
+	if len(b) < 4+n+4 {
+		return 0, false
+	}
+	rest := b[4+n:]
+	m := int(binary.BigEndian.Uint32(rest[0:4]))
+	if len(rest) < 4+m+4 {
+		return 0, false
+	}
+	return int(binary.BigEndian.Uint32(rest[4+m : 4+m+4])), true
+}
+
 // encodeRequest frames a Context call: opcode, dpid, optional message.
 func encodeRequest(op uint8, dpid uint64, msg openflow.Message) ([]byte, error) {
 	b := make([]byte, 0, 16)
@@ -245,14 +392,17 @@ func decodeRequest(b []byte) (op uint8, dpid uint64, msg openflow.Message, err e
 	return op, dpid, msg, nil
 }
 
-// encodeSwitches packs a dpid list.
-func encodeSwitches(dpids []uint64) []byte {
+// encodeSwitches packs a dpid list; the uint16 count field bounds it.
+func encodeSwitches(dpids []uint64) ([]byte, error) {
+	if len(dpids) > 0xffff {
+		return nil, fmt.Errorf("%w: %d switches exceed uint16", ErrBadDatagram, len(dpids))
+	}
 	b := make([]byte, 0, 2+8*len(dpids))
 	b = binary.BigEndian.AppendUint16(b, uint16(len(dpids)))
 	for _, d := range dpids {
 		b = binary.BigEndian.AppendUint64(b, d)
 	}
-	return b
+	return b, nil
 }
 
 func decodeSwitches(b []byte) ([]uint64, error) {
@@ -290,8 +440,11 @@ func decodePorts(b []byte) ([]openflow.PhyPort, error) {
 	return fr.Ports, nil
 }
 
-// encodeTopology packs discovered links.
-func encodeTopology(links []controller.LinkInfo) []byte {
+// encodeTopology packs discovered links; the uint16 count bounds it.
+func encodeTopology(links []controller.LinkInfo) ([]byte, error) {
+	if len(links) > 0xffff {
+		return nil, fmt.Errorf("%w: %d links exceed uint16", ErrBadDatagram, len(links))
+	}
 	b := make([]byte, 0, 2+20*len(links))
 	b = binary.BigEndian.AppendUint16(b, uint16(len(links)))
 	for _, l := range links {
@@ -300,7 +453,7 @@ func encodeTopology(links []controller.LinkInfo) []byte {
 		b = binary.BigEndian.AppendUint64(b, l.DstDPID)
 		b = binary.BigEndian.AppendUint16(b, l.DstPort)
 	}
-	return b
+	return b, nil
 }
 
 func decodeTopology(b []byte) ([]controller.LinkInfo, error) {

@@ -43,7 +43,11 @@ func TestDatagramErrors(t *testing.T) {
 
 func TestRegisterRoundTrip(t *testing.T) {
 	subs := []controller.EventKind{controller.EventPacketIn, controller.EventSwitchDown}
-	name, got, err := decodeRegister(encodeRegister("learning-switch", subs))
+	enc, err := encodeRegister("learning-switch", subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, got, err := decodeRegister(enc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,15 +96,15 @@ func TestEventRoundTripNilMessage(t *testing.T) {
 }
 
 func TestStatusRoundTrip(t *testing.T) {
-	if err, rest, ok := decodeStatus(encodeStatus(nil)); err != nil || len(rest) != 0 || !ok {
+	if err, rest, ok := decodeStatus(statusPayload(nil)); err != nil || len(rest) != 0 || !ok {
 		t.Fatal("nil status mangled")
 	}
 	src := errors.New("boom: something broke")
-	err, _, ok := decodeStatus(encodeStatus(src))
+	err, _, ok := decodeStatus(statusPayload(src))
 	if !ok || err == nil || err.Error() != src.Error() {
 		t.Fatalf("got %v", err)
 	}
-	payload := append(encodeStatus(nil), 0xca, 0xfe)
+	payload := append(statusPayload(nil), 0xca, 0xfe)
 	_, rest, ok := decodeStatus(payload)
 	if !ok || len(rest) != 2 {
 		t.Fatal("trailing payload lost")
@@ -147,13 +151,21 @@ func TestRequestRoundTrip(t *testing.T) {
 
 func TestSwitchesTopologyPortsRoundTrip(t *testing.T) {
 	dpids := []uint64{1, 5, 900}
-	got, err := decodeSwitches(encodeSwitches(dpids))
+	encSw, err := encodeSwitches(dpids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeSwitches(encSw)
 	if err != nil || !reflect.DeepEqual(got, dpids) {
 		t.Fatalf("switches: %v %v", got, err)
 	}
 
 	links := []controller.LinkInfo{{SrcDPID: 1, SrcPort: 2, DstDPID: 3, DstPort: 4}}
-	gotLinks, err := decodeTopology(encodeTopology(links))
+	encTopo, err := encodeTopology(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLinks, err := decodeTopology(encTopo)
 	if err != nil || !reflect.DeepEqual(gotLinks, links) {
 		t.Fatalf("topology: %v %v", gotLinks, err)
 	}

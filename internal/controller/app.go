@@ -81,6 +81,35 @@ type App interface {
 	HandleEvent(ctx Context, ev Event) error
 }
 
+// InlineObserver marks an app that must run on the dispatch goroutine
+// itself, before events fan out to parallel app queues. NetLog is the
+// canonical case: it maintains shadow flow tables from FlowRemoved and
+// switch lifecycle events and corrects counters in place, so it has to
+// observe every event before any reacting app does. Inline observers
+// trade parallelism for that ordering guarantee; keep their handlers
+// cheap. In serial mode the marker changes nothing.
+type InlineObserver interface {
+	InlineObserve()
+}
+
+// BatchApp is implemented by apps that can absorb several events in one
+// call. The parallel pipeline's workers coalesce queued runs of events
+// into one HandleEventBatch delivery, which AppVisor's proxy turns into
+// a single batched datagram (one UDP round trip for N events). Events
+// must be processed in slice order; the error return follows
+// HandleEvent semantics (an error marks events failed, a panic is a
+// crash).
+type BatchApp interface {
+	HandleEventBatch(ctx Context, evs []Event) error
+}
+
+// BatchRunner is optionally implemented by AppRunners that can deliver
+// a batch in one step. Runners without it simply get per-event
+// RunEvent calls, so batching degrades gracefully.
+type BatchRunner interface {
+	RunEventBatch(app App, ctx Context, evs []Event) *AppFailure
+}
+
 // Snapshotter is implemented by stateful apps that support Crash-Pad
 // checkpointing: Snapshot serializes all state needed to resume, and
 // Restore replaces current state with a prior snapshot. This plays the

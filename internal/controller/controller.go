@@ -20,6 +20,22 @@ type Config struct {
 	// into the dispatch loop and crash the controller. When false the
 	// Runner (or a recovering default) isolates failures.
 	Monolithic bool
+	// Parallel enables the per-app worker pipeline: every registered app
+	// gets its own ordered queue and goroutine, so independent apps
+	// process events concurrently while each app still observes events
+	// in controller order (the per-app FIFO that Crash-Pad's
+	// checkpoint/replay semantics depend on). Apps implementing
+	// InlineObserver still run on the dispatch goroutine itself, before
+	// fan-out. Incompatible with Monolithic (fate sharing needs the
+	// app's panic on the dispatch goroutine); Monolithic wins.
+	Parallel bool
+	// AppQueueSize bounds each app's worker queue in Parallel mode
+	// (default 256). A full queue applies backpressure to the dispatch
+	// loop rather than dropping events, preserving per-app FIFO.
+	AppQueueSize int
+	// BatchMax caps how many queued events a parallel worker drains into
+	// one BatchApp delivery (default 32; 1 disables batching).
+	BatchMax int
 	// Runner executes app handlers. nil selects the direct call in
 	// monolithic mode, or a recover-only runner otherwise.
 	Runner AppRunner
@@ -55,13 +71,42 @@ var ErrNoSwitch = errors.New("controller: no such switch")
 // returning an error aborts the send. NetLog installs itself here.
 type OutboundHook func(dpid uint64, msg openflow.Message) (openflow.Message, error)
 
-// appEntry tracks one registered app and its dispatch state.
+// appEntry tracks one registered app and its dispatch state. The
+// dispatch-path fields (disabled, events, failures) are atomic so the
+// dispatch goroutine and workers never race with quarantine flips done
+// under c.mu; subs is immutable after Register.
 type appEntry struct {
 	app      App
 	subs     map[EventKind]bool
-	disabled bool
-	events   uint64 // events delivered
-	failures uint64
+	inline   bool // InlineObserver: runs on the dispatch goroutine
+	disabled atomic.Bool
+	events   atomic.Uint64 // events delivered
+	failures atomic.Uint64
+
+	// queue and its worker exist only in Parallel mode.
+	queue chan queuedEvent
+}
+
+// queuedEvent pairs an event with its (optional) fan-out tracker.
+type queuedEvent struct {
+	ev Event
+	tr *evTracker
+}
+
+// evTracker observes the completion of one event's fan-out across all
+// subscribed apps, so the dispatch-latency histogram keeps its
+// "end-to-end across all apps" meaning under parallel dispatch. The
+// last worker to finish records the latency.
+type evTracker struct {
+	c         *Controller
+	start     time.Time
+	remaining atomic.Int32
+}
+
+func (t *evTracker) done() {
+	if t != nil && t.remaining.Add(-1) == 0 {
+		t.c.dispatchLatency.ObserveSince(t.start)
+	}
 }
 
 // Controller is the FloodLight-like control plane core.
@@ -110,6 +155,29 @@ func (recoveringRunner) RunEvent(app App, ctx Context, ev Event) (failure *AppFa
 	return nil
 }
 
+// RunEventBatch implements BatchRunner: a BatchApp gets one call for
+// the whole run; otherwise events are delivered one at a time, stopping
+// at the first failure (the app is about to be quarantined, so the rest
+// of the batch would be skipped anyway).
+func (r recoveringRunner) RunEventBatch(app App, ctx Context, evs []Event) (failure *AppFailure) {
+	if ba, ok := app.(BatchApp); ok {
+		cur := evs[0]
+		defer func() {
+			if rec := recover(); rec != nil {
+				failure = &AppFailure{App: app.Name(), Event: cur, PanicValue: rec, Stack: debug.Stack()}
+			}
+		}()
+		_ = ba.HandleEventBatch(ctx, evs)
+		return nil
+	}
+	for _, ev := range evs {
+		if f := r.RunEvent(app, ctx, ev); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
 // New creates a controller and starts its dispatch loop.
 func New(cfg Config) *Controller {
 	if cfg.QueueSize <= 0 {
@@ -117,6 +185,16 @@ func New(cfg Config) *Controller {
 	}
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.AppQueueSize <= 0 {
+		cfg.AppQueueSize = 256
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 32
+	}
+	if cfg.Monolithic {
+		// Fate sharing requires the panic to unwind the dispatch loop.
+		cfg.Parallel = false
 	}
 	c := &Controller{
 		cfg:       cfg,
@@ -163,15 +241,33 @@ func (c *Controller) SetRunner(r AppRunner) {
 	c.runner = r
 }
 
-// Register adds an app to the end of the dispatch chain.
+// Register adds an app to the end of the dispatch chain. In Parallel
+// mode the app's worker starts immediately unless the controller has
+// already stopped.
 func (c *Controller) Register(app App) {
 	subs := make(map[EventKind]bool)
 	for _, k := range app.Subscriptions() {
 		subs[k] = true
 	}
+	e := &appEntry{app: app, subs: subs}
+	if _, ok := app.(InlineObserver); ok {
+		e.inline = true
+	}
+	if c.cfg.Parallel && !e.inline {
+		e.queue = make(chan queuedEvent, c.cfg.AppQueueSize)
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.apps = append(c.apps, &appEntry{app: app, subs: subs})
+	c.apps = append(c.apps, e)
+	c.mu.Unlock()
+	if e.queue != nil {
+		select {
+		case <-c.stopped:
+			return
+		default:
+		}
+		c.wg.Add(1)
+		go c.appWorker(e)
+	}
 }
 
 // Apps lists registered app names in dispatch order.
@@ -191,19 +287,20 @@ func (c *Controller) AppDisabled(name string) bool {
 	defer c.mu.Unlock()
 	for _, e := range c.apps {
 		if e.app.Name() == name {
-			return e.disabled
+			return e.disabled.Load()
 		}
 	}
 	return false
 }
 
-// SetAppDisabled quarantines or revives an app.
+// SetAppDisabled quarantines or revives an app. The flag is atomic, so
+// the dispatch path observes it without taking c.mu.
 func (c *Controller) SetAppDisabled(name string, disabled bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, e := range c.apps {
 		if e.app.Name() == name {
-			e.disabled = disabled
+			e.disabled.Store(disabled)
 		}
 	}
 }
@@ -269,9 +366,12 @@ func (c *Controller) crash(reason any) {
 	}
 }
 
-// dispatchLoop is the single goroutine that delivers events to apps in
-// registration order, preserving the per-controller total order of
-// message processing that replay depends on.
+// dispatchLoop is the single goroutine that consumes the event queue.
+// In serial mode it delivers to apps in registration order, preserving
+// the per-controller total order of message processing that replay
+// depends on; in Parallel mode it fans events out to per-app worker
+// queues, which weakens the guarantee to per-app FIFO (still enough
+// for Crash-Pad checkpoint/replay, which is per-app).
 func (c *Controller) dispatchLoop() {
 	defer c.wg.Done()
 	for {
@@ -288,6 +388,10 @@ func (c *Controller) dispatchLoop() {
 }
 
 func (c *Controller) dispatchOne(ev Event) {
+	if c.cfg.Parallel {
+		c.fanOut(ev)
+		return
+	}
 	if c.dispatchLatency != nil {
 		defer c.dispatchLatency.ObserveSince(time.Now())
 	}
@@ -299,35 +403,175 @@ func (c *Controller) dispatchOne(ev Event) {
 			}
 		}()
 	}
+	entries, runner := c.snapshotApps()
+
+	delivered := false
+	for _, e := range entries {
+		if e.disabled.Load() || !e.subs[ev.Kind] {
+			continue
+		}
+		delivered = true
+		c.deliver(e, runner, ev)
+	}
+	if delivered {
+		c.Dispatched.Add(1)
+	}
+	c.Processed.Add(1)
+}
+
+// snapshotApps copies the dispatch chain and runner under c.mu, so the
+// loop below runs lock-free against concurrent Register/SetRunner.
+func (c *Controller) snapshotApps() ([]*appEntry, AppRunner) {
 	c.mu.Lock()
 	entries := make([]*appEntry, len(c.apps))
 	copy(entries, c.apps)
 	runner := c.runner
 	c.mu.Unlock()
+	return entries, runner
+}
+
+// deliver runs one event through one app and quarantines it on failure.
+// Called from the dispatch goroutine (serial mode, inline observers)
+// and from app workers (parallel mode); everything it touches is atomic
+// or taken under c.mu.
+func (c *Controller) deliver(e *appEntry, runner AppRunner, ev Event) {
+	e.events.Add(1)
+	if failure := runner.RunEvent(e.app, c, ev); failure != nil {
+		c.quarantine(e, failure, ev)
+	}
+}
+
+// quarantine marks an app disabled after an unrecovered failure and
+// fires the OnAppFailure hook. Safe from any goroutine; the atomic flag
+// makes the disable visible to all dispatch paths immediately, so a
+// parallel worker draining its queue skips the app's remaining events.
+func (c *Controller) quarantine(e *appEntry, failure *AppFailure, ev Event) {
+	e.failures.Add(1)
+	e.disabled.Store(true)
+	c.logf("controller: app %q quarantined after crash on %v", failure.App, ev)
+	if cb := c.cfg.OnAppFailure; cb != nil {
+		cb(failure)
+	}
+}
+
+// fanOut distributes one event to every subscribed app's worker queue,
+// running inline observers first on this goroutine (NetLog depends on
+// observing events before any reacting app). Enqueueing blocks when a
+// queue is full — backpressure instead of event loss, because dropping
+// would break the per-app FIFO that replay depends on.
+func (c *Controller) fanOut(ev Event) {
+	entries, runner := c.snapshotApps()
+
+	var tr *evTracker
+	if c.dispatchLatency != nil {
+		n := int32(0)
+		for _, e := range entries {
+			if !e.disabled.Load() && e.subs[ev.Kind] {
+				n++
+			}
+		}
+		if n > 0 {
+			tr = &evTracker{c: c, start: time.Now()}
+			tr.remaining.Store(n)
+		}
+	}
 
 	delivered := false
 	for _, e := range entries {
-		if e.disabled || !e.subs[ev.Kind] {
+		if e.disabled.Load() || !e.subs[ev.Kind] {
+			tr.skip(e, ev)
 			continue
 		}
 		delivered = true
-		atomic.AddUint64(&e.events, 1)
-		if failure := runner.RunEvent(e.app, c, ev); failure != nil {
-			atomic.AddUint64(&e.failures, 1)
-			c.mu.Lock()
-			e.disabled = true
-			cb := c.cfg.OnAppFailure
-			c.mu.Unlock()
-			c.logf("controller: app %q quarantined after crash on %v", failure.App, ev)
-			if cb != nil {
-				cb(failure)
-			}
+		if e.queue == nil {
+			// Inline observer (or an app registered before Parallel was
+			// resolved): runs on the dispatch goroutine, in order.
+			c.deliver(e, runner, ev)
+			tr.done()
+			continue
+		}
+		select {
+		case e.queue <- queuedEvent{ev: ev, tr: tr}:
+		case <-c.stopped:
+			tr.done()
+			return
 		}
 	}
 	if delivered {
 		c.Dispatched.Add(1)
 	}
 	c.Processed.Add(1)
+}
+
+// skip balances the tracker when an app counted during the sizing pass
+// was disabled before its turn (quarantined mid-fan-out).
+func (t *evTracker) skip(e *appEntry, ev Event) {
+	// Only relevant when a tracker exists and the app flipped to
+	// disabled between the two passes; the subs check is deterministic.
+	if t != nil && e.disabled.Load() && e.subs[ev.Kind] {
+		t.done()
+	}
+}
+
+// appWorker drains one app's queue in FIFO order. Consecutive queued
+// events are coalesced into one BatchApp delivery when both the runner
+// and the app support it, amortizing per-event overhead (AppVisor's
+// per-event UDP round trip, Crash-Pad's per-event bookkeeping).
+func (c *Controller) appWorker(e *appEntry) {
+	defer c.wg.Done()
+	var batch []queuedEvent
+	for {
+		select {
+		case <-c.stopped:
+			return
+		case qe := <-e.queue:
+			batch = batch[:0]
+			batch = append(batch, qe)
+			// Opportunistic drain: whatever is already queued, up to
+			// BatchMax, goes out in one delivery.
+			for len(batch) < c.cfg.BatchMax {
+				select {
+				case next := <-e.queue:
+					batch = append(batch, next)
+				default:
+					goto drained
+				}
+			}
+		drained:
+			c.deliverBatch(e, batch)
+		}
+	}
+}
+
+// deliverBatch hands a drained run of events to the app, preferring one
+// batched call when supported, falling back to per-event delivery.
+func (c *Controller) deliverBatch(e *appEntry, batch []queuedEvent) {
+	c.mu.Lock()
+	runner := c.runner
+	c.mu.Unlock()
+
+	br, runnerOK := runner.(BatchRunner)
+	_, appOK := e.app.(BatchApp)
+	if len(batch) > 1 && runnerOK && appOK && !e.disabled.Load() {
+		evs := make([]Event, len(batch))
+		for i, qe := range batch {
+			evs[i] = qe.ev
+		}
+		e.events.Add(uint64(len(evs)))
+		if failure := br.RunEventBatch(e.app, c, evs); failure != nil {
+			c.quarantine(e, failure, failure.Event)
+		}
+		for _, qe := range batch {
+			qe.tr.done()
+		}
+		return
+	}
+	for _, qe := range batch {
+		if !e.disabled.Load() {
+			c.deliver(e, runner, qe.ev)
+		}
+		qe.tr.done()
+	}
 }
 
 // Inject queues an event as if it arrived from the network. The
@@ -367,7 +611,7 @@ func (c *Controller) AppStats(name string) (events, failures uint64) {
 	defer c.mu.Unlock()
 	for _, e := range c.apps {
 		if e.app.Name() == name {
-			return atomic.LoadUint64(&e.events), atomic.LoadUint64(&e.failures)
+			return e.events.Load(), e.failures.Load()
 		}
 	}
 	return 0, 0

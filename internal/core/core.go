@@ -85,6 +85,14 @@ type Config struct {
 	StubBinary string
 	// OnTicket observes Crash-Pad problem tickets.
 	OnTicket func(*crashpad.Ticket)
+	// Parallel enables the controller's per-app worker queues:
+	// independent apps process events concurrently while each app still
+	// sees its events in controller order. Ignored in ModeMonolithic
+	// (fate sharing needs panics on the dispatch goroutine).
+	Parallel bool
+	// BatchMax caps how many queued events a parallel worker coalesces
+	// into one delivery (and AppVisor into one datagram). Default 32.
+	BatchMax int
 	// Logf receives controller diagnostics.
 	Logf func(format string, args ...any)
 	// Metrics is the registry every layer reports into; nil allocates a
@@ -130,7 +138,8 @@ func NewStack(cfg Config) *Stack {
 		replicas: make(map[string]func() controller.App),
 	}
 
-	ctrlCfg := controller.Config{Logf: cfg.Logf, Metrics: cfg.Metrics}
+	ctrlCfg := controller.Config{Logf: cfg.Logf, Metrics: cfg.Metrics,
+		Parallel: cfg.Parallel, BatchMax: cfg.BatchMax}
 	switch cfg.Mode {
 	case ModeMonolithic:
 		ctrlCfg.Monolithic = true
@@ -319,6 +328,42 @@ func (isolatedRunner) RunEvent(app controller.App, ctx controller.Context, ev co
 			PanicValue: ce.Report.PanicValue,
 			Stack:      []byte(ce.Report.Stack),
 		}
+	}
+	return nil
+}
+
+// RunEventBatch lets the parallel pipeline hand an AppVisor proxy a
+// whole coalesced batch, which it relays as one datagram. The crash
+// report's Event (batch-indexed by the stub) pins the failure on the
+// exact event.
+func (r isolatedRunner) RunEventBatch(app controller.App, ctx controller.Context, evs []controller.Event) (failure *controller.AppFailure) {
+	ba, ok := app.(controller.BatchApp)
+	if !ok {
+		for _, ev := range evs {
+			if f := r.RunEvent(app, ctx, ev); f != nil {
+				return f
+			}
+		}
+		return nil
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			failure = &controller.AppFailure{App: app.Name(), Event: evs[0], PanicValue: rec}
+		}
+	}()
+	err := ba.HandleEventBatch(ctx, evs)
+	var ce *appvisor.CrashError
+	if errors.As(err, &ce) {
+		f := &controller.AppFailure{
+			App:        app.Name(),
+			Event:      evs[0],
+			PanicValue: ce.Report.PanicValue,
+			Stack:      []byte(ce.Report.Stack),
+		}
+		if ce.Report.HasEvent {
+			f.Event = ce.Report.Event
+		}
+		return f
 	}
 	return nil
 }

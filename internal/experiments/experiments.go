@@ -28,6 +28,10 @@ type Table struct {
 	// Metrics, when set, is the frozen instrument state of the stack the
 	// experiment ran (machine-readable companion to the rendered rows).
 	Metrics *metrics.Snapshot
+	// Values holds the experiment's headline numbers keyed by metric
+	// name — the machine-readable form cmd/legosdn-bench serializes
+	// into benchmark result files (e.g. BENCH_pr2.json).
+	Values map[string]float64
 }
 
 // AddRow appends a formatted row.

@@ -106,20 +106,41 @@ type counterAdjust struct {
 	bytes   uint64
 }
 
+// shardCount fixes the number of DPID shards. Power of two so the
+// index is a mask; 16 is plenty ahead of per-shard contention for any
+// realistic switch fan-out.
+const shardCount = 16
+
+// netShard holds the per-switch mutable state for one slice of the
+// DPID space: shadow flow tables and the counter-cache. Transactions
+// touching disjoint switches lock disjoint shards and never contend.
+type netShard struct {
+	mu       sync.Mutex
+	shadows  map[uint64]*flowtable.Table
+	counters map[counterKey]counterAdjust
+}
+
 // Manager is the NetLog engine: shadow state, transaction journal and
 // counter-cache. It is also a controller.App — register it FIRST in the
 // dispatch chain so it observes FlowRemoved and switch lifecycle events
-// before any app reacts to them.
+// before any app reacts to them (under the parallel pipeline it is an
+// InlineObserver, which enforces exactly that).
+//
+// Locking: shadow tables and the counter-cache are sharded by DPID
+// with a per-shard mutex; the global mu covers only transaction
+// lifecycle (begin/commit/abort ordering, the active journal and the
+// rollback window). Lock order is shard.mu before mu — never acquire a
+// shard lock while holding mu.
 type Manager struct {
 	sender Sender
 	clock  flowtable.Clock
 
+	shards [shardCount]netShard
+
 	mu       sync.Mutex
-	shadows  map[uint64]*flowtable.Table
 	active   *Txn
 	nextTxn  uint64
 	rollback int // >0 while rollback messages are in flight: hook passes them through
-	counters map[counterKey]counterAdjust
 
 	// Rollbacks counts completed aborts; RolledBackMods counts inverse
 	// messages sent. Atomic: read live by benchmarks.
@@ -140,12 +161,17 @@ func NewManager(sender Sender, clock flowtable.Clock) *Manager {
 	if clock == nil {
 		clock = flowtable.RealClock{}
 	}
-	return &Manager{
-		sender:   sender,
-		clock:    clock,
-		shadows:  make(map[uint64]*flowtable.Table),
-		counters: make(map[counterKey]counterAdjust),
+	m := &Manager{sender: sender, clock: clock}
+	for i := range m.shards {
+		m.shards[i].shadows = make(map[uint64]*flowtable.Table)
+		m.shards[i].counters = make(map[counterKey]counterAdjust)
 	}
+	return m
+}
+
+// shardOf maps a datapath id to its shard.
+func (m *Manager) shardOf(dpid uint64) *netShard {
+	return &m.shards[dpid&(shardCount-1)]
 }
 
 // Install wires the manager into a controller: outbound hook, stats
@@ -172,11 +198,13 @@ func (m *Manager) Instrument(reg *metrics.Registry) {
 		"live counter-cache adjustments", func() float64 { return float64(m.CounterCacheSize()) })
 }
 
-func (m *Manager) shadow(dpid uint64) *flowtable.Table {
-	t := m.shadows[dpid]
+// shadow returns dpid's shadow table, creating it on first touch.
+// Caller holds the dpid's shard lock.
+func (m *Manager) shadow(sh *netShard, dpid uint64) *flowtable.Table {
+	t := sh.shadows[dpid]
 	if t == nil {
 		t = flowtable.New(m.clock)
-		m.shadows[dpid] = t
+		sh.shadows[dpid] = t
 	}
 	return t
 }
@@ -184,16 +212,18 @@ func (m *Manager) shadow(dpid uint64) *flowtable.Table {
 // ShadowFingerprint exposes the shadow's rule state for tests and the
 // invariant checker.
 func (m *Manager) ShadowFingerprint(dpid uint64) string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.shadow(dpid).Fingerprint()
+	sh := m.shardOf(dpid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return m.shadow(sh, dpid).Fingerprint()
 }
 
 // ShadowEntries returns deep copies of the shadow's entries.
 func (m *Manager) ShadowEntries(dpid uint64) []*flowtable.Entry {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.shadow(dpid).Entries()
+	sh := m.shardOf(dpid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return m.shadow(sh, dpid).Entries()
 }
 
 // Begin opens a transaction.
@@ -239,28 +269,42 @@ func (m *Manager) Hook() controller.OutboundHook {
 			live = m.liveCounters(dpid, fm)
 		}
 
+		sh := m.shardOf(dpid)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
 		m.mu.Lock()
-		defer m.mu.Unlock()
 		if m.rollback > 0 {
 			// Inverse messages: shadow updates are applied directly by
 			// the abort path; pass through untouched.
+			m.mu.Unlock()
 			return msg, nil
 		}
-		undo := m.computeUndo(dpid, fm)
+		active := m.active
+		m.mu.Unlock()
+
+		undo := m.computeUndo(sh, dpid, fm)
 		for i, e := range undo.restore {
 			if ls, ok := live[strictKey{e.Match, e.Priority}]; ok {
 				undo.restore[i].PacketCount = ls.PacketCount
 				undo.restore[i].ByteCount = ls.ByteCount
 			}
 		}
-		if _, err := m.shadow(dpid).Apply(fm); err != nil {
+		if _, err := m.shadow(sh, dpid).Apply(fm); err != nil {
 			// The switch will reject it too; nothing to journal.
 			return msg, nil
 		}
-		m.noteCounterEviction(dpid, fm)
-		if m.active != nil && m.active.state == TxnOpen {
-			m.active.ops = append(m.active.ops, undo)
-			m.active.dpids[dpid] = true
+		m.noteCounterEviction(sh, dpid, fm)
+		if active != nil {
+			m.mu.Lock()
+			// Re-check under mu: the transaction may have closed while
+			// the shadow applied; a closed journal must not grow. The
+			// shard lock is still held, so journal order matches shadow
+			// apply order for this switch.
+			if m.active == active && active.state == TxnOpen {
+				active.ops = append(active.ops, undo)
+				active.dpids[dpid] = true
+			}
+			m.mu.Unlock()
 		}
 		return msg, nil
 	}
@@ -301,9 +345,9 @@ func (m *Manager) liveCounters(dpid uint64, fm *openflow.FlowMod) map[strictKey]
 }
 
 // computeUndo derives the inverse of fm against the current shadow.
-// Caller holds m.mu.
-func (m *Manager) computeUndo(dpid uint64, fm *openflow.FlowMod) undoOp {
-	sh := m.shadow(dpid)
+// Caller holds the dpid's shard lock.
+func (m *Manager) computeUndo(shd *netShard, dpid uint64, fm *openflow.FlowMod) undoOp {
+	sh := m.shadow(shd, dpid)
 	norm := fm.Match.Normalize()
 	op := undoOp{dpid: dpid}
 	switch fm.Command {
@@ -338,23 +382,23 @@ func (m *Manager) computeUndo(dpid uint64, fm *openflow.FlowMod) undoOp {
 
 // noteCounterEviction clears counter-cache entries whose flow is being
 // genuinely deleted or replaced (the adjustment must not outlive the
-// rule identity it corrects). Caller holds m.mu.
-func (m *Manager) noteCounterEviction(dpid uint64, fm *openflow.FlowMod) {
+// rule identity it corrects). Caller holds the dpid's shard lock.
+func (m *Manager) noteCounterEviction(sh *netShard, dpid uint64, fm *openflow.FlowMod) {
 	norm := fm.Match.Normalize()
 	switch fm.Command {
 	case openflow.FlowModAdd:
-		delete(m.counters, counterKey{dpid, norm, fm.Priority})
+		delete(sh.counters, counterKey{dpid, norm, fm.Priority})
 	case openflow.FlowModDelete, openflow.FlowModDeleteStrict:
-		for k := range m.counters {
+		for k := range sh.counters {
 			if k.dpid != dpid {
 				continue
 			}
 			if fm.Command == openflow.FlowModDeleteStrict {
 				if k.match == norm && k.priority == fm.Priority {
-					delete(m.counters, k)
+					delete(sh.counters, k)
 				}
 			} else if norm.Subsumes(&k.match) {
-				delete(m.counters, k)
+				delete(sh.counters, k)
 			}
 		}
 	}
@@ -439,6 +483,7 @@ func (t *Txn) Abort() error {
 	now := t.m.clock.Now()
 	for i := len(ops) - 1; i >= 0; i-- {
 		op := ops[i]
+		sh := t.m.shardOf(op.dpid)
 		for _, k := range op.remove {
 			fm := &openflow.FlowMod{
 				Match:    k.match,
@@ -450,28 +495,28 @@ func (t *Txn) Abort() error {
 			if err := t.m.send(op.dpid, fm); err != nil && firstErr == nil {
 				firstErr = err
 			}
-			t.m.mu.Lock()
-			t.m.shadow(op.dpid).Apply(fm)
+			sh.mu.Lock()
+			t.m.shadow(sh, op.dpid).Apply(fm)
+			sh.mu.Unlock()
 			t.m.RolledBackMods.Add(1)
-			t.m.mu.Unlock()
 		}
 		for _, e := range op.restore {
 			fm := restoreFlowMod(e, now)
 			if err := t.m.send(op.dpid, fm); err != nil && firstErr == nil {
 				firstErr = err
 			}
-			t.m.mu.Lock()
+			sh.mu.Lock()
 			// Shadow restore preserves the original metadata exactly.
-			t.m.shadow(op.dpid).InsertEntry(e)
+			t.m.shadow(sh, op.dpid).InsertEntry(e)
 			if e.PacketCount > 0 || e.ByteCount > 0 {
 				key := counterKey{op.dpid, e.Match, e.Priority}
-				adj := t.m.counters[key]
+				adj := sh.counters[key]
 				adj.packets += e.PacketCount
 				adj.bytes += e.ByteCount
-				t.m.counters[key] = adj
+				sh.counters[key] = adj
 			}
+			sh.mu.Unlock()
 			t.m.RolledBackMods.Add(1)
-			t.m.mu.Unlock()
 		}
 	}
 
@@ -543,12 +588,13 @@ func (m *Manager) RewriteStats(dpid uint64, reply *openflow.StatsReply) {
 	if reply.StatsType != openflow.StatsTypeFlow {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	sh := m.shardOf(dpid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	for i := range reply.Flows {
 		f := &reply.Flows[i]
 		key := counterKey{dpid, f.Match.Normalize(), f.Priority}
-		if adj, ok := m.counters[key]; ok {
+		if adj, ok := sh.counters[key]; ok {
 			f.PacketCount += adj.packets
 			f.ByteCount += adj.bytes
 		}
@@ -558,27 +604,40 @@ func (m *Manager) RewriteStats(dpid uint64, reply *openflow.StatsReply) {
 // AdjustFlowRemoved folds cached counters into a FlowRemoved message, so
 // final accounting survives rollbacks too.
 func (m *Manager) AdjustFlowRemoved(dpid uint64, fr *openflow.FlowRemoved) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	sh := m.shardOf(dpid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	key := counterKey{dpid, fr.Match.Normalize(), fr.Priority}
-	if adj, ok := m.counters[key]; ok {
+	if adj, ok := sh.counters[key]; ok {
 		fr.PacketCount += adj.packets
 		fr.ByteCount += adj.bytes
-		delete(m.counters, key)
+		delete(sh.counters, key)
 	}
 }
 
-// CounterCacheSize reports how many counter adjustments are live.
+// CounterCacheSize reports how many counter adjustments are live,
+// summed across shards.
 func (m *Manager) CounterCacheSize() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.counters)
+	total := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		total += len(sh.counters)
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // --- controller.App: shadow maintenance from switch events ---
 
 // Name implements controller.App.
 func (m *Manager) Name() string { return "netlog" }
+
+// InlineObserve marks the manager as a controller.InlineObserver: under
+// the parallel pipeline it still runs on the dispatch goroutine, before
+// any reacting app, preserving the observe-first guarantee its shadow
+// maintenance and in-place FlowRemoved correction depend on.
+func (m *Manager) InlineObserve() {}
 
 // Subscriptions implements controller.App.
 func (m *Manager) Subscriptions() []controller.EventKind {
@@ -600,9 +659,10 @@ func (m *Manager) HandleEvent(ctx controller.Context, ev controller.Event) error
 			return nil
 		}
 		m.AdjustFlowRemoved(ev.DPID, fr)
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		m.shadow(ev.DPID).Apply(&openflow.FlowMod{
+		sh := m.shardOf(ev.DPID)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		m.shadow(sh, ev.DPID).Apply(&openflow.FlowMod{
 			Match:    fr.Match,
 			Command:  openflow.FlowModDeleteStrict,
 			Priority: fr.Priority,
@@ -621,12 +681,13 @@ func (m *Manager) HandleEvent(ctx controller.Context, ev controller.Event) error
 }
 
 func (m *Manager) resetShadow(dpid uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	delete(m.shadows, dpid)
-	for k := range m.counters {
+	sh := m.shardOf(dpid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.shadows, dpid)
+	for k := range sh.counters {
 		if k.dpid == dpid {
-			delete(m.counters, k)
+			delete(sh.counters, k)
 		}
 	}
 }
@@ -643,9 +704,10 @@ func (m *Manager) resyncShadow(ctx controller.Context, dpid uint64) {
 		return
 	}
 	now := m.clock.Now()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	sh := m.shadow(dpid)
+	shd := m.shardOf(dpid)
+	shd.mu.Lock()
+	defer shd.mu.Unlock()
+	sh := m.shadow(shd, dpid)
 	for _, f := range reply.Flows {
 		sh.InsertEntry(&flowtable.Entry{
 			Match:       f.Match,

@@ -298,9 +298,10 @@ func TestCounterEvictionOnRealDelete(t *testing.T) {
 	r.m.SetActive(nil)
 	tx.Abort()
 	// Cache may hold an adjustment (zero counters skip it); force one.
-	r.m.mu.Lock()
-	r.m.counters[counterKey{1, del.Match.Normalize(), 10}] = counterAdjust{packets: 5}
-	r.m.mu.Unlock()
+	sh := r.m.shardOf(1)
+	sh.mu.Lock()
+	sh.counters[counterKey{1, del.Match.Normalize(), 10}] = counterAdjust{packets: 5}
+	sh.mu.Unlock()
 
 	// A committed (non-transactional) delete must evict the cache entry.
 	del2 := addPort(1, 10, 0)
@@ -381,7 +382,7 @@ func TestDelayBufferHoldFlushDiscard(t *testing.T) {
 func TestRewriteStatsUnit(t *testing.T) {
 	m := NewManager(nil, nil)
 	match := openflow.MatchAll()
-	m.counters[counterKey{1, match.Normalize(), 5}] = counterAdjust{packets: 100, bytes: 1000}
+	m.shardOf(1).counters[counterKey{1, match.Normalize(), 5}] = counterAdjust{packets: 100, bytes: 1000}
 	reply := &openflow.StatsReply{
 		StatsType: openflow.StatsTypeFlow,
 		Flows: []openflow.FlowStatsEntry{
