@@ -10,17 +10,21 @@
 //	legosdn-bench -only C3                 # a single experiment by id
 //	legosdn-bench -list                    # experiment index
 //	legosdn-bench -bench-out BENCH.json    # also write headline numbers as JSON
+//	legosdn-bench -only P1 -trace-sample 1 -trace-out spans.json
+//	                                       # trace the pipeline, view in chrome://tracing
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"legosdn/internal/experiments"
+	"legosdn/internal/trace"
 )
 
 // index maps experiment ids to constructors, using full-run parameters.
@@ -83,7 +87,25 @@ func main() {
 	list := flag.Bool("list", false, "print the experiment index and exit")
 	noMetrics := flag.Bool("no-metrics", false, "suppress the per-experiment metrics JSON blocks")
 	benchOut := flag.String("bench-out", "", "write each experiment's headline numbers (Table.Values) to this JSON file")
+	traceSample := flag.Float64("trace-sample", 0, "trace this fraction of injected events in the perf experiments (0 disables)")
+	traceAddr := flag.String("trace-addr", "", "serve /debug/traces and pprof on this address while experiments run")
+	traceOut := flag.String("trace-out", "", "write collected spans as Chrome trace_event JSON (load in chrome://tracing)")
 	flag.Parse()
+
+	var tracer *trace.Tracer
+	if *traceSample > 0 || *traceAddr != "" || *traceOut != "" {
+		tracer = trace.New(trace.Options{SampleRate: *traceSample})
+		experiments.SetTracer(tracer)
+	}
+	if *traceAddr != "" {
+		go func() {
+			srv := &http.Server{Addr: *traceAddr, Handler: trace.NewDebugMux(tracer, nil)}
+			fmt.Printf("traces on http://%s/debug/traces\n", *traceAddr)
+			if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "legosdn-bench: trace server: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range index {
@@ -128,6 +150,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *benchOut)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = tracer.WriteChrome(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "legosdn-bench: writing %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (open in chrome://tracing)\n", *traceOut)
 	}
 	fmt.Printf("ran %d experiment(s) in %s\n", ran, time.Since(start).Round(time.Millisecond))
 }

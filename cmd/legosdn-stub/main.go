@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -21,6 +22,7 @@ import (
 
 	"legosdn/internal/apps"
 	"legosdn/internal/appvisor"
+	"legosdn/internal/trace"
 )
 
 func main() {
@@ -28,6 +30,7 @@ func main() {
 	appName := flag.String("app", "learning-switch",
 		fmt.Sprintf("app to host, one of: %s", strings.Join(apps.Names(), ", ")))
 	heartbeat := flag.Duration("heartbeat", 50*time.Millisecond, "heartbeat interval")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/traces and pprof on this address")
 	flag.Parse()
 
 	if *proxyAddr == "" {
@@ -38,8 +41,21 @@ func main() {
 	if err != nil {
 		log.Fatalf("legosdn-stub: %v", err)
 	}
+	// The stub always samples at 100%: the root decision was already
+	// made controller-side, and StartSpan only records events whose
+	// wire header carries a trace context.
+	tracer := trace.New(trace.Options{SampleRate: 1})
+	if *debugAddr != "" {
+		go func() {
+			srv := &http.Server{Addr: *debugAddr, Handler: trace.NewDebugMux(tracer, nil)}
+			if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+				log.Printf("legosdn-stub: debug server: %v", err)
+			}
+		}()
+	}
 	stub, err := appvisor.StartStub(app, *proxyAddr, appvisor.StubOptions{
 		HeartbeatInterval: *heartbeat,
+		Tracer:            tracer,
 	})
 	if err != nil {
 		log.Fatalf("legosdn-stub: %v", err)

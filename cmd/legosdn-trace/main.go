@@ -6,6 +6,7 @@
 //
 //	legosdn-trace file.trace
 //	legosdn-trace -dir out -type FLOW_MOD file.trace
+//	legosdn-trace -trace 0xabcd1234ef567890 file.trace
 package main
 
 import (
@@ -22,8 +23,20 @@ import (
 func main() {
 	dir := flag.String("dir", "", "filter by direction: in | out")
 	msgType := flag.String("type", "", "filter by message type, e.g. FLOW_MOD, PACKET_IN")
-	dpid := flag.Uint64("dpid", 0, "filter by datapath id (0 = all)")
+	dpid := flag.Uint64("dpid", 0, "filter by datapath id")
+	traceID := flag.Uint64("trace", 0, "filter by event trace id (as printed, hex with 0x prefix or decimal)")
 	flag.Parse()
+	// A zero value is a legal dpid (and trace id), so "was the flag
+	// given" — not "is it nonzero" — decides whether to filter.
+	dpidSet, traceSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "dpid":
+			dpidSet = true
+		case "trace":
+			traceSet = true
+		}
+	})
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: legosdn-trace [flags] <file.trace>")
 		os.Exit(2)
@@ -50,7 +63,10 @@ func main() {
 		if *dir != "" && !strings.EqualFold(rec.Dir.String(), *dir) {
 			continue
 		}
-		if *dpid != 0 && rec.DPID != *dpid {
+		if dpidSet && rec.DPID != *dpid {
+			continue
+		}
+		if traceSet && rec.TraceID != *traceID {
 			continue
 		}
 		if *msgType != "" {

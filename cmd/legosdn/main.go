@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"strconv"
@@ -29,6 +30,7 @@ import (
 	"legosdn/internal/oftrace"
 	"legosdn/internal/openflow"
 	"legosdn/internal/status"
+	"legosdn/internal/trace"
 	"legosdn/internal/workload"
 )
 
@@ -44,6 +46,9 @@ func main() {
 	statusAddr := flag.String("status", "", "serve the HTTP status API on this address (e.g. 127.0.0.1:8080)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. :9090)")
 	traceFile := flag.String("trace", "", "record all OpenFlow control traffic to this file")
+	traceSample := flag.Float64("trace-sample", 0.01,
+		"fraction of injected events to trace end-to-end (0 disables, 1 traces all)")
+	traceBuf := flag.Int("trace-buf", 0, "span ring-buffer capacity (0 = default)")
 	flag.Parse()
 
 	m, err := parseMode(*mode)
@@ -68,6 +73,9 @@ func main() {
 		fmt.Printf("loaded operator policy from %s\n", *policyFile)
 	}
 
+	tracer := trace.New(trace.Options{SampleRate: *traceSample, BufferSize: *traceBuf})
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+
 	cfg := core.Config{
 		Mode:     m,
 		Policies: policies,
@@ -75,13 +83,17 @@ func main() {
 			fmt.Println()
 			fmt.Println(tk.Render())
 		},
-		Logf: log.Printf,
+		Logf:   log.Printf,
+		Tracer: tracer,
+		Logger: logger,
 	}
 	if *checkInv {
 		cfg.Checker = invariant.NewSuite(n).CrashPadChecker(nil)
 	}
 	stack := core.NewStack(cfg)
 	defer stack.Close()
+	logger.Info("legosdn starting", append(core.BuildInfoAttrs(),
+		"mode", m.String(), "trace_sample", *traceSample)...)
 
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -108,10 +120,10 @@ func main() {
 	}
 	if *metricsAddr != "" {
 		go func() {
-			mux := http.NewServeMux()
-			mux.Handle("/metrics", stack.Metrics.Handler())
+			mux := trace.NewDebugMux(tracer, stack.Metrics)
 			srv := &http.Server{Addr: *metricsAddr, Handler: mux}
-			fmt.Printf("metrics on http://%s/metrics\n", *metricsAddr)
+			fmt.Printf("metrics on http://%s/metrics, traces on http://%s/debug/traces, pprof on http://%s/debug/pprof\n",
+				*metricsAddr, *metricsAddr, *metricsAddr)
 			if err := srv.ListenAndServe(); err != http.ErrServerClosed {
 				log.Printf("legosdn: metrics server: %v", err)
 			}

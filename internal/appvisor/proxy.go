@@ -11,6 +11,7 @@ import (
 	"legosdn/internal/controller"
 	"legosdn/internal/metrics"
 	"legosdn/internal/openflow"
+	"legosdn/internal/trace"
 )
 
 // CrashReason classifies how the proxy learned of an app crash.
@@ -103,6 +104,9 @@ type ProxyOptions struct {
 	// round-trip latency, timeouts, heartbeat gaps, crashes by reason)
 	// labeled with the app name.
 	Metrics *metrics.Registry
+	// Tracer records the proxy-side relay span of each traced event's
+	// stub round trip. Nil disables.
+	Tracer *trace.Tracer
 }
 
 func (o *ProxyOptions) fill() {
@@ -312,6 +316,13 @@ func (p *Proxy) HandleEvent(_ controller.Context, ev controller.Event) error {
 	p.inFlight.Store(&ev)
 	defer p.inFlight.Store(nil)
 
+	// The relay span covers encode → UDP → stub handler → ack; the stub
+	// opens its own child span from the wire-propagated context.
+	if sp := p.opts.Tracer.StartSpan(ev.Trace, "appvisor.relay"); sp != nil {
+		sp.Attr("app", p.Name())
+		ev.Trace.SpanID = sp.Context().SpanID
+		defer sp.End()
+	}
 	payload, err := encodeEvent(ev)
 	if err != nil {
 		return err
@@ -353,6 +364,18 @@ func (p *Proxy) HandleEventBatch(_ controller.Context, evs []controller.Event) e
 	p.inFlight.Store(&evs[0])
 	defer p.inFlight.Store(nil)
 
+	// One relay span for the whole batched round trip; each traced
+	// event is re-parented under it so stub-side handler spans nest
+	// correctly even when only some batch members are sampled.
+	if sp := p.opts.Tracer.StartSpan(evs[0].Trace, "appvisor.relay_batch"); sp != nil {
+		sp.Attr("app", p.Name()).AttrInt("batch", int64(len(evs)))
+		for i := range evs {
+			if evs[i].Trace.Valid() {
+				evs[i].Trace.SpanID = sp.Context().SpanID
+			}
+		}
+		defer sp.End()
+	}
 	payload, err := encodeEventBatch(evs)
 	if err != nil {
 		return err

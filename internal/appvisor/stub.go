@@ -10,6 +10,7 @@ import (
 
 	"legosdn/internal/controller"
 	"legosdn/internal/openflow"
+	"legosdn/internal/trace"
 )
 
 // StubOptions tunes a Stub.
@@ -21,6 +22,11 @@ type StubOptions struct {
 	RequestTimeout time.Duration
 	// QueueSize bounds queued events (default 256).
 	QueueSize int
+	// Tracer records the stub-side handler span of each traced event.
+	// The span's parent arrives over the wire (wireVersion 3), so the
+	// stub — even as a separate process with its own Tracer — joins the
+	// trace its proxy started. Nil disables stub-side spans.
+	Tracer *trace.Tracer
 }
 
 func (o *StubOptions) fill() {
@@ -257,10 +263,17 @@ func (s *Stub) handleWork(w stubWork) {
 	var firstErr error
 	for i, ev := range w.evs {
 		var handlerErr error
+		sp := s.opts.Tracer.StartSpan(ev.Trace, "stub.handle")
+		if sp != nil {
+			sp.Attr("app", s.app.Name())
+			ev.Trace.SpanID = sp.Context().SpanID
+		}
 		crashed := func() (crashed bool) {
 			defer func() {
 				if r := recover(); r != nil {
 					crashed = true
+					sp.Attr("panic", fmt.Sprint(r))
+					sp.End()
 					payload := encodeCrash(fmt.Sprint(r), string(debug.Stack()))
 					if len(w.evs) > 1 {
 						payload = appendCrashIndex(payload, i)
@@ -274,6 +287,7 @@ func (s *Stub) handleWork(w stubWork) {
 		if crashed {
 			return
 		}
+		sp.End()
 		s.EventsHandled.Add(1)
 		if handlerErr != nil && firstErr == nil {
 			firstErr = handlerErr

@@ -54,9 +54,11 @@ const (
 const (
 	wireMagic uint16 = 0x4c53 // "LS"
 	// wireVersion 2 added dgEventBatch (batched event delivery with a
-	// single ack) and codec bounds checks; the header layout and all
-	// v1 datagram types are unchanged.
-	wireVersion uint8 = 2
+	// single ack) and codec bounds checks. Version 3 widens the event
+	// payload with the trace and span ids (16 bytes between seq and the
+	// message flag), so a stub process joins the trace its proxy
+	// started. The header layout is unchanged.
+	wireVersion uint8 = 3
 	headerLen         = 12
 	// maxDatagram bounds a single UDP payload; events larger than this
 	// (possible only with pathological PacketIn payloads) are rejected.
@@ -65,6 +67,10 @@ const (
 
 // ErrBadDatagram reports a malformed or foreign datagram.
 var ErrBadDatagram = errors.New("appvisor: bad datagram")
+
+// WireVersion is the AppVisor RPC protocol version, exported for the
+// build-info gauge and startup logging.
+const WireVersion = wireVersion
 
 // datagram is one framed RPC message.
 type datagram struct {
@@ -186,13 +192,18 @@ func decodeRegister(b []byte) (name string, subs []controller.EventKind, err err
 	return name, subs, nil
 }
 
-// encodeEvent serializes a controller event: kind, dpid, seq, and the
-// embedded OpenFlow message (if any) in its native wire format.
+// encodeEvent serializes a controller event: kind, dpid, seq, trace
+// context (v3), and the embedded OpenFlow message (if any) in its
+// native wire format. The trace ids ride every event frame so the stub
+// process opens its handler span under the proxy's relay span; untraced
+// events carry zeros.
 func encodeEvent(ev controller.Event) ([]byte, error) {
-	b := make([]byte, 0, 32)
+	b := make([]byte, 0, 48)
 	b = binary.BigEndian.AppendUint32(b, uint32(ev.Kind))
 	b = binary.BigEndian.AppendUint64(b, ev.DPID)
 	b = binary.BigEndian.AppendUint64(b, ev.Seq)
+	b = binary.BigEndian.AppendUint64(b, ev.Trace.TraceID)
+	b = binary.BigEndian.AppendUint64(b, ev.Trace.SpanID)
 	if ev.Message == nil {
 		return append(b, 0), nil
 	}
@@ -202,14 +213,16 @@ func encodeEvent(ev controller.Event) ([]byte, error) {
 
 func decodeEvent(b []byte) (controller.Event, error) {
 	var ev controller.Event
-	if len(b) < 21 {
+	if len(b) < 37 {
 		return ev, ErrBadDatagram
 	}
 	ev.Kind = controller.EventKind(binary.BigEndian.Uint32(b[0:4]))
 	ev.DPID = binary.BigEndian.Uint64(b[4:12])
 	ev.Seq = binary.BigEndian.Uint64(b[12:20])
-	if b[20] == 1 {
-		msg, err := openflow.Decode(b[21:])
+	ev.Trace.TraceID = binary.BigEndian.Uint64(b[20:28])
+	ev.Trace.SpanID = binary.BigEndian.Uint64(b[28:36])
+	if b[36] == 1 {
+		msg, err := openflow.Decode(b[37:])
 		if err != nil {
 			return ev, err
 		}

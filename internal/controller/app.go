@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"legosdn/internal/openflow"
+	"legosdn/internal/trace"
 )
 
 // EventKind classifies the events delivered to SDN-Apps.
@@ -61,6 +62,12 @@ type Event struct {
 	Kind    EventKind
 	DPID    uint64
 	Message openflow.Message // nil for EventSwitchDown
+	// Trace carries the event's sampled trace context (zero when
+	// untraced). The controller sets the trace id at Inject; each stage
+	// that opens a span re-parents SpanID before passing the event on,
+	// and AppVisor propagates both ids over the wire so stub-side spans
+	// join the same trace.
+	Trace trace.SpanContext
 }
 
 func (e Event) String() string {

@@ -1,7 +1,9 @@
 package controller
 
 import (
+	"context"
 	"errors"
+	"log/slog"
 	"net"
 	"runtime/debug"
 	"sort"
@@ -11,6 +13,7 @@ import (
 
 	"legosdn/internal/metrics"
 	"legosdn/internal/openflow"
+	"legosdn/internal/trace"
 )
 
 // Config tunes a Controller. The zero value is a usable monolithic
@@ -55,6 +58,13 @@ type Config struct {
 	// (dispatch latency, per-switch send latency, event counters) into
 	// the given registry. Nil leaves the latency histograms off.
 	Metrics *metrics.Registry
+	// Tracer samples injected events into traces and records dispatch
+	// and per-app delivery spans. Nil disables tracing at zero cost.
+	Tracer *trace.Tracer
+	// Logger, when set, receives structured diagnostics; log lines for
+	// traced events carry the trace id (wrap with trace.WrapHandler).
+	// Logf remains the plain-text fallback.
+	Logger *slog.Logger
 	// Logf receives diagnostic output; nil silences it.
 	Logf func(format string, args ...any)
 }
@@ -96,16 +106,19 @@ type queuedEvent struct {
 // evTracker observes the completion of one event's fan-out across all
 // subscribed apps, so the dispatch-latency histogram keeps its
 // "end-to-end across all apps" meaning under parallel dispatch. The
-// last worker to finish records the latency.
+// last worker to finish records the latency and closes the event's
+// dispatch span, if it has one.
 type evTracker struct {
 	c         *Controller
 	start     time.Time
+	span      *trace.Span // "controller.dispatch"; nil when untraced
 	remaining atomic.Int32
 }
 
 func (t *evTracker) done() {
 	if t != nil && t.remaining.Add(-1) == 0 {
 		t.c.dispatchLatency.ObserveSince(t.start)
+		t.span.End()
 	}
 }
 
@@ -392,6 +405,10 @@ func (c *Controller) dispatchOne(ev Event) {
 		c.fanOut(ev)
 		return
 	}
+	if sp := c.startDispatchSpan(ev); sp != nil {
+		ev.Trace.SpanID = sp.Context().SpanID
+		defer sp.End()
+	}
 	if c.dispatchLatency != nil {
 		defer c.dispatchLatency.ObserveSince(time.Now())
 	}
@@ -430,12 +447,30 @@ func (c *Controller) snapshotApps() ([]*appEntry, AppRunner) {
 	return entries, runner
 }
 
+// startDispatchSpan opens the "controller.dispatch" span for a traced
+// event, annotated with what the event is. Nil for untraced events.
+func (c *Controller) startDispatchSpan(ev Event) *trace.Span {
+	sp := c.cfg.Tracer.StartSpan(ev.Trace, "controller.dispatch")
+	if sp != nil {
+		sp.Attr("kind", ev.Kind.String()).
+			AttrInt("dpid", int64(ev.DPID)).
+			AttrInt("seq", int64(ev.Seq))
+	}
+	return sp
+}
+
 // deliver runs one event through one app and quarantines it on failure.
 // Called from the dispatch goroutine (serial mode, inline observers)
 // and from app workers (parallel mode); everything it touches is atomic
-// or taken under c.mu.
+// or taken under c.mu. ev is a copy, so re-parenting its trace context
+// under the per-app delivery span is private to this delivery.
 func (c *Controller) deliver(e *appEntry, runner AppRunner, ev Event) {
 	e.events.Add(1)
+	if sp := c.cfg.Tracer.StartSpan(ev.Trace, "controller.deliver"); sp != nil {
+		sp.Attr("app", e.app.Name())
+		ev.Trace.SpanID = sp.Context().SpanID
+		defer sp.End()
+	}
 	if failure := runner.RunEvent(e.app, c, ev); failure != nil {
 		c.quarantine(e, failure, ev)
 	}
@@ -448,6 +483,12 @@ func (c *Controller) deliver(e *appEntry, runner AppRunner, ev Event) {
 func (c *Controller) quarantine(e *appEntry, failure *AppFailure, ev Event) {
 	e.failures.Add(1)
 	e.disabled.Store(true)
+	if lg := c.cfg.Logger; lg != nil {
+		lg.LogAttrs(trace.ContextWith(context.Background(), ev.Trace), slog.LevelWarn,
+			"app quarantined after crash",
+			slog.String("app", failure.App),
+			slog.String("event", ev.String()))
+	}
 	c.logf("controller: app %q quarantined after crash on %v", failure.App, ev)
 	if cb := c.cfg.OnAppFailure; cb != nil {
 		cb(failure)
@@ -463,7 +504,8 @@ func (c *Controller) fanOut(ev Event) {
 	entries, runner := c.snapshotApps()
 
 	var tr *evTracker
-	if c.dispatchLatency != nil {
+	sp := c.startDispatchSpan(ev)
+	if c.dispatchLatency != nil || sp != nil {
 		n := int32(0)
 		for _, e := range entries {
 			if !e.disabled.Load() && e.subs[ev.Kind] {
@@ -471,9 +513,17 @@ func (c *Controller) fanOut(ev Event) {
 			}
 		}
 		if n > 0 {
-			tr = &evTracker{c: c, start: time.Now()}
+			tr = &evTracker{c: c, start: time.Now(), span: sp}
 			tr.remaining.Store(n)
+		} else {
+			sp.End()
+			sp = nil
 		}
+	}
+	if sp != nil {
+		// Deliveries hang under the dispatch span; the last worker to
+		// finish ends it via the tracker.
+		ev.Trace.SpanID = sp.Context().SpanID
 	}
 
 	delivered := false
@@ -554,12 +604,21 @@ func (c *Controller) deliverBatch(e *appEntry, batch []queuedEvent) {
 	_, appOK := e.app.(BatchApp)
 	if len(batch) > 1 && runnerOK && appOK && !e.disabled.Load() {
 		evs := make([]Event, len(batch))
+		var spans []*trace.Span
 		for i, qe := range batch {
 			evs[i] = qe.ev
+			if sp := c.cfg.Tracer.StartSpan(qe.ev.Trace, "controller.deliver"); sp != nil {
+				sp.Attr("app", e.app.Name()).AttrInt("batch", int64(len(batch)))
+				evs[i].Trace.SpanID = sp.Context().SpanID
+				spans = append(spans, sp)
+			}
 		}
 		e.events.Add(uint64(len(evs)))
 		if failure := br.RunEventBatch(e.app, c, evs); failure != nil {
 			c.quarantine(e, failure, failure.Event)
+		}
+		for _, sp := range spans {
+			sp.End()
 		}
 		for _, qe := range batch {
 			qe.tr.done()
@@ -583,6 +642,11 @@ func (c *Controller) Inject(ev Event) error {
 	if ev.Seq == 0 {
 		ev.Seq = c.seq.Add(1)
 	}
+	if !ev.Trace.Valid() {
+		// The sampling decision for the whole pipeline happens here,
+		// once per event. Replayed events keep their original trace.
+		ev.Trace = c.cfg.Tracer.Root()
+	}
 	select {
 	case c.events <- ev:
 		return nil
@@ -600,6 +664,9 @@ func (c *Controller) InjectSync(ev Event) error {
 	}
 	if ev.Seq == 0 {
 		ev.Seq = c.seq.Add(1)
+	}
+	if !ev.Trace.Valid() {
+		ev.Trace = c.cfg.Tracer.Root()
 	}
 	c.dispatchOne(ev)
 	return nil

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+
+	"legosdn/internal/appvisor"
+	"legosdn/internal/metrics"
+)
+
+// Version returns the module version baked into the binary by the Go
+// toolchain, or "dev" for uninstalled builds (go run, test binaries).
+func Version() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "dev"
+}
+
+// RegisterBuildInfo exports the constant-1 legosdn_build_info gauge
+// whose labels identify the running build: module version, Go runtime
+// version and the AppVisor wire protocol version. The standard
+// Prometheus idiom for joining metrics to the code that produced them.
+func RegisterBuildInfo(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	name := fmt.Sprintf("legosdn_build_info{version=%q,go_version=%q,wire_version=\"%d\"}",
+		Version(), runtime.Version(), appvisor.WireVersion)
+	reg.RegisterGaugeFunc(name, "build information (constant 1)", func() float64 { return 1 })
+}
+
+// BuildInfoAttrs returns the same identity as key/value pairs for
+// startup logging via slog.
+func BuildInfoAttrs() []any {
+	return []any{
+		"version", Version(),
+		"go_version", runtime.Version(),
+		"wire_version", int(appvisor.WireVersion),
+	}
+}

@@ -14,6 +14,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"legosdn/internal/netlog"
 	"legosdn/internal/netsim"
 	"legosdn/internal/openflow"
+	"legosdn/internal/trace"
 )
 
 // Mode selects the controller architecture.
@@ -98,6 +100,15 @@ type Config struct {
 	// Metrics is the registry every layer reports into; nil allocates a
 	// private one (exposed as Stack.Metrics).
 	Metrics *metrics.Registry
+	// Tracer samples injected events into end-to-end traces spanning
+	// controller dispatch, AppVisor round trips, NetLog transactions and
+	// Crash-Pad recovery. Nil disables tracing; disabled tracing costs
+	// one nil check per stage.
+	Tracer *trace.Tracer
+	// Logger receives structured diagnostics from every layer; it is
+	// wrapped with trace.WrapHandler so log lines carried by traced
+	// events include the trace id. Nil disables structured logging.
+	Logger *slog.Logger
 }
 
 // Stack is a fully wired LegoSDN deployment.
@@ -129,6 +140,9 @@ func NewStack(cfg Config) *Stack {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
+	if cfg.Logger != nil {
+		cfg.Logger = slog.New(trace.WrapHandler(cfg.Logger.Handler()))
+	}
 	s := &Stack{
 		Mode:     cfg.Mode,
 		Store:    cfg.Store,
@@ -137,9 +151,12 @@ func NewStack(cfg Config) *Stack {
 		proxies:  make(map[string]*appvisor.Proxy),
 		replicas: make(map[string]func() controller.App),
 	}
+	cfg.Tracer.Instrument(cfg.Metrics)
+	RegisterBuildInfo(cfg.Metrics)
 
 	ctrlCfg := controller.Config{Logf: cfg.Logf, Metrics: cfg.Metrics,
-		Parallel: cfg.Parallel, BatchMax: cfg.BatchMax}
+		Parallel: cfg.Parallel, BatchMax: cfg.BatchMax,
+		Tracer: cfg.Tracer, Logger: cfg.Logger}
 	switch cfg.Mode {
 	case ModeMonolithic:
 		ctrlCfg.Monolithic = true
@@ -156,6 +173,7 @@ func NewStack(cfg Config) *Stack {
 		} else {
 			s.NetLog = netlog.NewManager(s.Controller, cfg.Clock)
 			s.NetLog.Instrument(cfg.Metrics)
+			s.NetLog.SetTracer(cfg.Tracer)
 			s.NetLog.Install(s.Controller)
 		}
 		s.CrashPad = crashpad.New(crashpad.Options{
@@ -168,6 +186,8 @@ func NewStack(cfg Config) *Stack {
 			OnTicket:          cfg.OnTicket,
 			OnNetworkShutdown: cfg.OnNetworkShutdown,
 			Metrics:           cfg.Metrics,
+			Tracer:            cfg.Tracer,
+			Logger:            cfg.Logger,
 			// Deep recovery (§5) replays against throwaway replicas
 			// built from the same factories AddApp registered.
 			ReplicaFactory: func(name string) controller.App {
@@ -202,7 +222,10 @@ func (s *Stack) AddApp(newApp func() controller.App) error {
 		s.Controller.Register(probe)
 		return nil
 	default:
-		factory := appvisor.InProcessFactory(newApp, appvisor.StubOptions{})
+		// In-process stubs share the stack's tracer, so their handler
+		// spans land in the same ring; subprocess stubs get their own
+		// tracer (cmd/legosdn-stub) joined by the wire-propagated ids.
+		factory := appvisor.InProcessFactory(newApp, appvisor.StubOptions{Tracer: s.cfg.Tracer})
 		if s.cfg.StubBinary != "" {
 			factory = appvisor.SubprocessFactory(s.cfg.StubBinary, name)
 		}
@@ -211,6 +234,7 @@ func (s *Stack) AddApp(newApp func() controller.App) error {
 				EventTimeout:     s.cfg.EventTimeout,
 				HeartbeatTimeout: s.cfg.HeartbeatTimeout,
 				Metrics:          s.Metrics,
+				Tracer:           s.cfg.Tracer,
 			})
 		if err != nil {
 			return fmt.Errorf("core: launching stub for %q: %w", name, err)

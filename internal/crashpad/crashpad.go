@@ -1,8 +1,10 @@
 package crashpad
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"legosdn/internal/controller"
 	"legosdn/internal/metrics"
 	"legosdn/internal/netlog"
+	"legosdn/internal/trace"
 )
 
 // Restartable is implemented by apps whose failure domain can be
@@ -77,6 +80,12 @@ type Options struct {
 	// checkpoint/restore/recovery duration histograms and per-outcome
 	// recovery counts.
 	Metrics *metrics.Registry
+	// Tracer records checkpoint/recover/restore/replay spans for traced
+	// events, with the recovery decision as span attributes. Nil disables.
+	Tracer *trace.Tracer
+	// Logger, when set, receives structured recovery diagnostics; lines
+	// for traced events carry the trace id (wrap with trace.WrapHandler).
+	Logger *slog.Logger
 }
 
 // CrashPad is the recovery engine. It implements controller.AppRunner;
@@ -190,10 +199,10 @@ func invoke(app controller.App, ctx controller.Context, ev controller.Event) (ha
 // deliver, detect, recover.
 func (cp *CrashPad) RunEvent(app controller.App, ctx controller.Context, ev controller.Event) *controller.AppFailure {
 	name := app.Name()
-	cp.maybeCheckpoint(app, name, ev.Seq)
+	cp.maybeCheckpoint(app, name, ev.Seq, ev.Trace)
 	cp.noteHistory(name, ev)
 
-	tx := cp.beginAtomic()
+	tx := cp.beginAtomic(ev.Trace)
 	handlerErr, crash := invoke(app, ctx, ev)
 	_ = handlerErr // handler errors are the app's business, not a failure
 
@@ -232,6 +241,18 @@ func (cp *CrashPad) recover(app controller.App, ctx controller.Context, ev contr
 	name := app.Name()
 	start := time.Now()
 	policy := cp.opts.Policies.For(name, ev.Kind)
+	// The recovery span brackets the whole decision loop; finish() closes
+	// it with the chosen policy, decision and outcome as attributes. Its
+	// context parents the restore/replay spans below.
+	recSpan := cp.opts.Tracer.StartSpan(ev.Trace, "crashpad.recover")
+	recCtx := ev.Trace
+	decision := "ignored"
+	if recSpan != nil {
+		recSpan.Attr("app", name).
+			Attr("class", class.String()).
+			Attr("policy", policy.String())
+		recCtx.SpanID = recSpan.Context().SpanID
+	}
 	ticket := &Ticket{
 		App:        name,
 		Class:      class,
@@ -262,6 +283,20 @@ func (cp *CrashPad) recover(app controller.App, ctx controller.Context, ev contr
 			cp.outcomeBy[outcome].Inc()
 		}
 		cp.tickets.open(ticket)
+		if recSpan != nil {
+			recSpan.Attr("decision", decision).Attr("outcome", outcome.String()).End()
+		}
+		if lg := cp.opts.Logger; lg != nil {
+			lg.LogAttrs(trace.ContextWith(context.Background(), ev.Trace), slog.LevelWarn,
+				"app failure recovered",
+				slog.String("app", name),
+				slog.String("class", class.String()),
+				slog.String("policy", policy.String()),
+				slog.String("decision", decision),
+				slog.String("outcome", outcome.String()),
+				slog.String("event", ev.String()),
+				slog.Duration("recovery_time", ticket.RecoveryTime))
+		}
 	}
 	quarantine := func() *controller.AppFailure {
 		return &controller.AppFailure{App: name, Event: ev, PanicValue: info.panicValue, Stack: []byte(info.stack)}
@@ -291,6 +326,7 @@ func (cp *CrashPad) recover(app controller.App, ctx controller.Context, ev contr
 		if err := cp.deepRecover(app, ctx, name, ticket); err == nil {
 			cp.Recoveries.Add(1)
 			cp.IgnoredEvents.Add(1) // the inducing events were excised
+			decision = "deep"
 			finish(OutcomeRecovered)
 			return nil
 		} else {
@@ -300,7 +336,7 @@ func (cp *CrashPad) recover(app controller.App, ctx controller.Context, ev contr
 
 	// Restore the app to its pre-event state: respawn, load checkpoint,
 	// replay the suffix.
-	if err := cp.restoreApp(app, ctx, name); err != nil {
+	if err := cp.restoreApp(app, ctx, name, recCtx); err != nil {
 		cp.Unrecoverable.Add(1)
 		ticket.Notes = append(ticket.Notes, fmt.Sprintf("restore failed: %v", err))
 		finish(OutcomeUnrecoverable)
@@ -321,14 +357,14 @@ func (cp *CrashPad) recover(app controller.App, ctx controller.Context, ev contr
 			ticket.Notes = append(ticket.Notes, "no equivalent events; fell back to ignoring")
 			break
 		}
-		if err := cp.deliverTransformed(app, ctx, evs); err != nil {
+		if err := cp.deliverTransformed(app, ctx, evs, recCtx); err != nil {
 			// The transformed events crashed the app too: restore once
 			// more and fall back to ignoring.
 			cp.Fallbacks.Add(1)
 			cp.IgnoredEvents.Add(1)
 			outcome = OutcomeFallback
 			ticket.Notes = append(ticket.Notes, fmt.Sprintf("equivalent events also failed (%v); fell back to ignoring", err))
-			if err := cp.restoreApp(app, ctx, name); err != nil {
+			if err := cp.restoreApp(app, ctx, name, recCtx); err != nil {
 				cp.Unrecoverable.Add(1)
 				ticket.Notes = append(ticket.Notes, fmt.Sprintf("second restore failed: %v", err))
 				finish(OutcomeUnrecoverable)
@@ -336,6 +372,7 @@ func (cp *CrashPad) recover(app controller.App, ctx controller.Context, ev contr
 			}
 		} else {
 			cp.TransformedEvents.Add(1)
+			decision = "transformed"
 			ticket.Notes = append(ticket.Notes,
 				fmt.Sprintf("event transformed into %d equivalent event(s)", len(evs)))
 		}
@@ -349,10 +386,12 @@ func (cp *CrashPad) recover(app controller.App, ctx controller.Context, ev contr
 }
 
 // deliverTransformed runs the equivalence-compromise replacement events
-// through the same transactional machinery.
-func (cp *CrashPad) deliverTransformed(app controller.App, ctx controller.Context, evs []controller.Event) error {
+// through the same transactional machinery. sc parents the transformed
+// deliveries under the recovery span of the event they replace.
+func (cp *CrashPad) deliverTransformed(app controller.App, ctx controller.Context, evs []controller.Event, sc trace.SpanContext) error {
 	for _, tev := range evs {
-		tx := cp.beginAtomic()
+		tev.Trace = sc
+		tx := cp.beginAtomic(sc)
 		_, crash := invoke(app, ctx, tev)
 		if crash != nil {
 			cp.rollbackAtomic(tx)
@@ -373,10 +412,16 @@ func (cp *CrashPad) deliverTransformed(app controller.App, ctx controller.Contex
 }
 
 // restoreApp brings the app back to its last checkpointed state and
-// replays the events processed since.
-func (cp *CrashPad) restoreApp(app controller.App, ctx controller.Context, name string) error {
+// replays the events processed since. sc parents the restore and replay
+// spans (normally the recovery span's context).
+func (cp *CrashPad) restoreApp(app controller.App, ctx controller.Context, name string, sc trace.SpanContext) error {
 	if cp.restoreDur != nil {
 		defer cp.restoreDur.ObserveSince(time.Now())
+	}
+	if sp := cp.opts.Tracer.StartSpan(sc, "crashpad.restore"); sp != nil {
+		sp.Attr("app", name)
+		sc = sp.Context()
+		defer sp.End()
 	}
 	// Relaunch the failure domain if it is down.
 	if lr, ok := app.(livenessReporter); ok && !lr.StubUp() {
@@ -403,26 +448,40 @@ func (cp *CrashPad) restoreApp(app controller.App, ctx controller.Context, name 
 	suffix := append([]controller.Event(nil), cp.replays[name]...)
 	cp.mu.Unlock()
 	for _, rev := range suffix {
-		tx := cp.beginAtomic()
+		// Replayed events run under the restore span, not their original
+		// trace: the replay belongs to this recovery's timeline.
+		rsp := cp.opts.Tracer.StartSpan(sc, "crashpad.replay")
+		if rsp != nil {
+			rsp.AttrInt("seq", int64(rev.Seq)).Attr("kind", rev.Kind.String())
+			rev.Trace = rsp.Context()
+		}
+		tx := cp.beginAtomic(rev.Trace)
 		_, crash := invoke(app, ctx, rev)
 		if crash != nil {
 			cp.rollbackAtomic(tx)
+			rsp.End()
 			return fmt.Errorf("replay of %v crashed: %s", rev, crash.panicValue)
 		}
 		cp.commitAtomic(tx)
+		rsp.End()
 		cp.ReplayedEvents.Add(1)
 	}
 	return nil
 }
 
-// maybeCheckpoint snapshots the app per the every-N cadence.
-func (cp *CrashPad) maybeCheckpoint(app controller.App, name string, seq uint64) {
+// maybeCheckpoint snapshots the app per the every-N cadence. sc is the
+// trace context of the event that triggered the cadence check.
+func (cp *CrashPad) maybeCheckpoint(app controller.App, name string, seq uint64, sc trace.SpanContext) {
 	snap, ok := app.(controller.Snapshotter)
 	if !ok {
 		return
 	}
 	if !cp.everyN.ShouldCheckpoint(name) {
 		return
+	}
+	if sp := cp.opts.Tracer.StartSpan(sc, "crashpad.checkpoint"); sp != nil {
+		sp.Attr("app", name).AttrInt("seq", int64(seq))
+		defer sp.End()
 	}
 	if cp.checkpointDur != nil {
 		defer cp.checkpointDur.ObserveSince(time.Now())
@@ -460,9 +519,9 @@ func (cp *CrashPad) rebaseline(app controller.App, name string, seq uint64) {
 
 // --- atomic-update plumbing: NetLog or the delay-buffer prototype ---
 
-func (cp *CrashPad) beginAtomic() *netlog.Txn {
+func (cp *CrashPad) beginAtomic(sc trace.SpanContext) *netlog.Txn {
 	if cp.opts.NetLog != nil {
-		tx := cp.opts.NetLog.Begin()
+		tx := cp.opts.NetLog.BeginTraced(sc)
 		cp.opts.NetLog.SetActive(tx)
 		return tx
 	}

@@ -125,7 +125,7 @@ func (cp *CrashPad) deepRecover(app controller.App, ctx controller.Context, name
 			excised++
 			continue
 		}
-		tx := cp.beginAtomic()
+		tx := cp.beginAtomic(ev.Trace)
 		_, crash := invoke(app, ctx, ev)
 		if crash != nil {
 			cp.rollbackAtomic(tx)

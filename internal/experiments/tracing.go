@@ -1,0 +1,15 @@
+package experiments
+
+import "legosdn/internal/trace"
+
+// benchTracer, when set, is threaded into the stacks and controllers
+// built by the perf experiments so their event pipelines emit spans.
+// Package-level because the experiment constructors (the Table
+// functions) are called through a uniform signature from
+// cmd/legosdn-bench and bench_test.go.
+var benchTracer *trace.Tracer
+
+// SetTracer installs (or, with nil, removes) the tracer used by the
+// perf experiments. Call before running experiments; not safe to swap
+// while one is in flight.
+func SetTracer(t *trace.Tracer) { benchTracer = t }

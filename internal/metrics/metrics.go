@@ -412,6 +412,14 @@ func formatBound(b float64) string {
 	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b), "0"), ".")
 }
 
+// escapeHelp applies the exposition-format HELP escaping: a literal
+// backslash becomes \\ and a line feed becomes \n, so a multi-line
+// help string cannot break the line-oriented format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
 // WritePrometheus renders the registry in Prometheus text exposition
 // format (version 0.0.4). HELP/TYPE headers are emitted once per base
 // metric name, so labeled series of one family group correctly.
@@ -430,7 +438,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		}
 		seen[base] = true
 		if help != "" {
-			fmt.Fprintf(w, "# HELP %s %s\n", base, help)
+			fmt.Fprintf(w, "# HELP %s %s\n", base, escapeHelp(help))
 		}
 		fmt.Fprintf(w, "# TYPE %s %s\n", base, typ)
 	}

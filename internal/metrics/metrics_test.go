@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"net/http/httptest"
 	"strings"
@@ -307,5 +308,76 @@ func TestLabeledNameSplicing(t *testing.T) {
 	}
 	if got := baseSeries(`x{a="1"}`, "_sum"); got != `x_sum{a="1"}` {
 		t.Errorf("baseSeries = %q", got)
+	}
+}
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := NewHistogram(nil)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	// The snapshot of an empty histogram is likewise all-zero.
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	// Out-of-range q on a populated histogram stays in range.
+	h.Observe(1)
+	if h.Quantile(-1) != 0 {
+		t.Fatal("negative quantile should be 0")
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Fatalf("Quantile(2) = %v, want clamped to Quantile(1) = %v", got, h.Quantile(1))
+	}
+}
+
+func TestPrometheusHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird_total", "line one\nline two with back\\slash")
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	want := `# HELP weird_total line one\nline two with back\\slash`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition help not escaped:\n%s", out)
+	}
+	// The raw newline must not survive inside the HELP line: every
+	// line of the output still starts with # or the metric name.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "weird_total") {
+			t.Fatalf("exposition line broken by unescaped help: %q", line)
+		}
+	}
+}
+
+func TestConcurrentRegisterGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Half the goroutines race on the SAME name (idempotent
+			// register), half add distinct series.
+			r.RegisterGaugeFunc("shared_gauge", "shared", func() float64 { return 1 })
+			r.RegisterGaugeFunc(fmt.Sprintf("own_gauge_%d", i), "own", func() float64 { return float64(i) })
+			var b strings.Builder
+			r.WritePrometheus(&b) // concurrent reads must not race either
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if snap.Gauges["shared_gauge"] != 1 {
+		t.Fatalf("shared gauge = %v", snap.Gauges["shared_gauge"])
+	}
+	for i := 0; i < goroutines; i++ {
+		name := fmt.Sprintf("own_gauge_%d", i)
+		if snap.Gauges[name] != float64(i) {
+			t.Fatalf("%s = %v, want %d", name, snap.Gauges[name], i)
+		}
 	}
 }

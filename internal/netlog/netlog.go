@@ -28,6 +28,7 @@ import (
 	"legosdn/internal/flowtable"
 	"legosdn/internal/metrics"
 	"legosdn/internal/openflow"
+	"legosdn/internal/trace"
 )
 
 // Sender abstracts the controller surface NetLog writes rollback
@@ -92,6 +93,12 @@ type Txn struct {
 	state TxnState
 	ops   []undoOp
 	dpids map[uint64]bool // switches touched
+
+	// span is the "netlog.txn" lifecycle span for a traced transaction
+	// (nil otherwise); sc is its context, the parent of journal and
+	// abort child spans.
+	span *trace.Span
+	sc   trace.SpanContext
 }
 
 // counterKey identifies a flow entry across delete/restore cycles.
@@ -134,6 +141,7 @@ type netShard struct {
 type Manager struct {
 	sender Sender
 	clock  flowtable.Clock
+	tracer *trace.Tracer
 
 	shards [shardCount]netShard
 
@@ -168,6 +176,9 @@ func NewManager(sender Sender, clock flowtable.Clock) *Manager {
 	}
 	return m
 }
+
+// SetTracer wires the tracing layer in; nil disables transaction spans.
+func (m *Manager) SetTracer(t *trace.Tracer) { m.tracer = t }
 
 // shardOf maps a datapath id to its shard.
 func (m *Manager) shardOf(dpid uint64) *netShard {
@@ -228,11 +239,25 @@ func (m *Manager) ShadowEntries(dpid uint64) []*flowtable.Entry {
 
 // Begin opens a transaction.
 func (m *Manager) Begin() *Txn {
+	return m.BeginTraced(trace.SpanContext{})
+}
+
+// BeginTraced opens a transaction under the given trace context (the
+// event whose processing this transaction brackets). The transaction's
+// "netlog.txn" span stays open until Commit or Abort closes it with the
+// final state; journaled mods and the abort appear as child spans.
+func (m *Manager) BeginTraced(sc trace.SpanContext) *Txn {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.nextTxn++
 	m.BegunTxns.Add(1)
-	return &Txn{ID: m.nextTxn, m: m, dpids: make(map[uint64]bool)}
+	tx := &Txn{ID: m.nextTxn, m: m, dpids: make(map[uint64]bool)}
+	if sp := m.tracer.StartSpan(sc, "netlog.txn"); sp != nil {
+		sp.AttrInt("txn", int64(tx.ID))
+		tx.span = sp
+		tx.sc = sp.Context()
+	}
+	return tx
 }
 
 // SetActive routes subsequent hooked FlowMods into tx's journal; nil
@@ -281,6 +306,16 @@ func (m *Manager) Hook() controller.OutboundHook {
 		}
 		active := m.active
 		m.mu.Unlock()
+
+		// Journal span: covers inverse computation and the journal
+		// append for one FlowMod of a traced transaction.
+		var jsp *trace.Span
+		if active != nil {
+			if jsp = m.tracer.StartSpan(active.sc, "netlog.journal"); jsp != nil {
+				jsp.AttrInt("dpid", int64(dpid)).AttrInt("cmd", int64(fm.Command))
+				defer jsp.End()
+			}
+		}
 
 		undo := m.computeUndo(sh, dpid, fm)
 		for i, e := range undo.restore {
@@ -450,7 +485,12 @@ func (t *Txn) Commit() error {
 	}
 	t.m.CommittedTxns.Add(1)
 	dpids := keys(t.dpids)
+	span, ops := t.span, len(t.ops)
+	t.span = nil
 	t.m.mu.Unlock()
+	if span != nil {
+		span.Attr("state", "committed").AttrInt("ops", int64(ops)).End()
+	}
 	for _, d := range dpids {
 		if err := t.m.sender.Barrier(d); err != nil {
 			return fmt.Errorf("netlog: commit barrier to %d: %w", d, err)
@@ -477,7 +517,13 @@ func (t *Txn) Abort() error {
 	}
 	t.m.rollback++
 	ops := t.ops
+	span := t.span
+	t.span = nil
 	t.m.mu.Unlock()
+
+	// The abort child span times the rollback itself (inverse sends plus
+	// barriers); the parent txn span closes after it with the final state.
+	abortSpan := t.m.tracer.StartSpan(t.sc, "netlog.abort")
 
 	var firstErr error
 	now := t.m.clock.Now()
@@ -529,6 +575,12 @@ func (t *Txn) Abort() error {
 		if err := t.m.sender.Barrier(d); err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	if abortSpan != nil {
+		abortSpan.AttrInt("mods", int64(len(ops))).AttrInt("dpids", int64(len(dpids))).End()
+	}
+	if span != nil {
+		span.Attr("state", "aborted").AttrInt("ops", int64(len(ops))).End()
 	}
 	return firstErr
 }

@@ -5,11 +5,15 @@
 // offline debugging, for STS-style minimization of long traces, and for
 // audit of what a recovered app actually did.
 //
-// File layout: an 8-byte magic ("OFTRACE1"), then records of
+// File layout: an 8-byte magic ("OFTRACE2"), then records of
 //
-//	ts(int64, unix nanos) dir(1) dpid(8) len(4) frame(len)
+//	ts(int64, unix nanos) dir(1) dpid(8) trace(8) len(4) frame(len)
 //
-// where frame is a complete OpenFlow wire message.
+// where frame is a complete OpenFlow wire message and trace is the
+// event-scoped trace id from internal/trace (0 = untraced), letting
+// operators join a control-channel record to the spans at /debug/traces.
+// Readers also accept the legacy "OFTRACE1" format, whose records lack
+// the trace field.
 package oftrace
 
 import (
@@ -47,7 +51,17 @@ func (d Direction) String() string {
 	}
 }
 
-var magic = [8]byte{'O', 'F', 'T', 'R', 'A', 'C', 'E', '1'}
+var (
+	magicV1 = [8]byte{'O', 'F', 'T', 'R', 'A', 'C', 'E', '1'}
+	magicV2 = [8]byte{'O', 'F', 'T', 'R', 'A', 'C', 'E', '2'}
+)
+
+// Record header sizes: v1 is ts(8) dir(1) dpid(8) len(4); v2 inserts
+// trace(8) before the length.
+const (
+	hdrLenV1 = 21
+	hdrLenV2 = 29
+)
 
 // ErrBadTrace reports a malformed trace stream.
 var ErrBadTrace = errors.New("oftrace: malformed trace")
@@ -60,21 +74,29 @@ type Writer struct {
 }
 
 // NewWriter starts a trace on w, writing the file header immediately.
+// Writers always emit the current (v2) format.
 func NewWriter(w io.Writer) (*Writer, error) {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic[:]); err != nil {
+	if _, err := bw.Write(magicV2[:]); err != nil {
 		return nil, err
 	}
 	return &Writer{w: bw}, nil
 }
 
-// Record appends one raw frame.
+// Record appends one untraced raw frame.
 func (w *Writer) Record(dir Direction, dpid uint64, ts time.Time, frame []byte) error {
-	var hdr [21]byte
+	return w.RecordTraced(dir, dpid, ts, 0, frame)
+}
+
+// RecordTraced appends one raw frame tagged with an event trace id
+// (0 = untraced).
+func (w *Writer) RecordTraced(dir Direction, dpid uint64, ts time.Time, traceID uint64, frame []byte) error {
+	var hdr [hdrLenV2]byte
 	binary.BigEndian.PutUint64(hdr[0:8], uint64(ts.UnixNano()))
 	hdr[8] = byte(dir)
 	binary.BigEndian.PutUint64(hdr[9:17], dpid)
-	binary.BigEndian.PutUint32(hdr[17:21], uint32(len(frame)))
+	binary.BigEndian.PutUint64(hdr[17:25], traceID)
+	binary.BigEndian.PutUint32(hdr[25:29], uint32(len(frame)))
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if _, err := w.w.Write(hdr[:]); err != nil {
@@ -87,13 +109,19 @@ func (w *Writer) Record(dir Direction, dpid uint64, ts time.Time, frame []byte) 
 	return nil
 }
 
-// RecordMessage encodes and appends one message.
+// RecordMessage encodes and appends one untraced message.
 func (w *Writer) RecordMessage(dir Direction, dpid uint64, ts time.Time, msg openflow.Message) error {
+	return w.RecordMessageTraced(dir, dpid, ts, 0, msg)
+}
+
+// RecordMessageTraced encodes and appends one message tagged with an
+// event trace id.
+func (w *Writer) RecordMessageTraced(dir Direction, dpid uint64, ts time.Time, traceID uint64, msg openflow.Message) error {
 	frame, err := openflow.Encode(msg)
 	if err != nil {
 		return err
 	}
-	return w.Record(dir, dpid, ts, frame)
+	return w.RecordTraced(dir, dpid, ts, traceID, frame)
 }
 
 // Count reports how many records have been written.
@@ -115,7 +143,10 @@ type Record struct {
 	Time  time.Time
 	Dir   Direction
 	DPID  uint64
-	Frame []byte
+	// TraceID links the record to its event's spans (0 = untraced, and
+	// always 0 when reading a legacy v1 file).
+	TraceID uint64
+	Frame   []byte
 }
 
 // Decode parses the record's frame.
@@ -128,13 +159,19 @@ func (r *Record) String() string {
 	if msg, err := r.Decode(); err == nil {
 		kind = msg.Type().String()
 	}
-	return fmt.Sprintf("%s %-3s dpid=%d %s (%dB)",
+	s := fmt.Sprintf("%s %-3s dpid=%d %s (%dB)",
 		r.Time.UTC().Format("15:04:05.000000"), r.Dir, r.DPID, kind, len(r.Frame))
+	if r.TraceID != 0 {
+		s += fmt.Sprintf(" trace=%016x", r.TraceID)
+	}
+	return s
 }
 
-// Reader iterates a trace stream.
+// Reader iterates a trace stream, accepting both the v1 and v2 file
+// formats.
 type Reader struct {
-	r *bufio.Reader
+	r      *bufio.Reader
+	hdrLen int
 }
 
 // NewReader opens a trace, validating the header.
@@ -144,35 +181,43 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if _, err := io.ReadFull(br, got[:]); err != nil {
 		return nil, fmt.Errorf("%w: missing header", ErrBadTrace)
 	}
-	if got != magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
+	switch got {
+	case magicV1:
+		return &Reader{r: br, hdrLen: hdrLenV1}, nil
+	case magicV2:
+		return &Reader{r: br, hdrLen: hdrLenV2}, nil
 	}
-	return &Reader{r: br}, nil
+	return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
 }
 
 // Next returns the next record, or io.EOF at a clean end of trace.
 func (r *Reader) Next() (*Record, error) {
-	var hdr [21]byte
-	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+	hdr := make([]byte, r.hdrLen)
+	if _, err := io.ReadFull(r.r, hdr); err != nil {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
 		return nil, fmt.Errorf("%w: truncated record header", ErrBadTrace)
 	}
-	n := binary.BigEndian.Uint32(hdr[17:21])
+	rec := &Record{
+		Time: time.Unix(0, int64(binary.BigEndian.Uint64(hdr[0:8]))),
+		Dir:  Direction(hdr[8]),
+		DPID: binary.BigEndian.Uint64(hdr[9:17]),
+	}
+	rest := hdr[17:]
+	if r.hdrLen == hdrLenV2 {
+		rec.TraceID = binary.BigEndian.Uint64(hdr[17:25])
+		rest = hdr[25:]
+	}
+	n := binary.BigEndian.Uint32(rest)
 	if n > openflow.MaxMessageLen {
 		return nil, fmt.Errorf("%w: frame length %d", ErrBadTrace, n)
 	}
-	frame := make([]byte, n)
-	if _, err := io.ReadFull(r.r, frame); err != nil {
+	rec.Frame = make([]byte, n)
+	if _, err := io.ReadFull(r.r, rec.Frame); err != nil {
 		return nil, fmt.Errorf("%w: truncated frame", ErrBadTrace)
 	}
-	return &Record{
-		Time:  time.Unix(0, int64(binary.BigEndian.Uint64(hdr[0:8]))),
-		Dir:   Direction(hdr[8]),
-		DPID:  binary.BigEndian.Uint64(hdr[9:17]),
-		Frame: frame,
-	}, nil
+	return rec, nil
 }
 
 // ReadAll drains a trace into memory.
@@ -223,6 +268,6 @@ func (t *Tap) HandleEvent(_ controller.Context, ev controller.Event) error {
 	if ev.Message == nil {
 		return nil // pseudo-events (switch-down) carry no frame
 	}
-	_ = t.w.RecordMessage(In, ev.DPID, time.Now(), ev.Message)
+	_ = t.w.RecordMessageTraced(In, ev.DPID, time.Now(), ev.Trace.TraceID, ev.Message)
 	return nil
 }

@@ -2,6 +2,7 @@ package oftrace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"strings"
@@ -64,6 +65,72 @@ func TestWriterReaderRoundTrip(t *testing.T) {
 	// String form names the message kind.
 	if !strings.Contains(recs[1].String(), "PACKET_IN") {
 		t.Fatalf("String() = %q", recs[1].String())
+	}
+}
+
+func TestTraceIDRoundTripAndString(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RecordMessageTraced(In, 7, time.Unix(42, 0), 0xabcd,
+		&openflow.PacketIn{BufferID: openflow.BufferIDNone, InPort: 1, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RecordMessage(Out, 7, time.Unix(43, 0), &openflow.Hello{}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	recs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].TraceID != 0xabcd || recs[1].TraceID != 0 {
+		t.Fatalf("trace ids %x / %x, want abcd / 0", recs[0].TraceID, recs[1].TraceID)
+	}
+	if !strings.Contains(recs[0].String(), "trace=000000000000abcd") {
+		t.Fatalf("String() = %q, want trace suffix", recs[0].String())
+	}
+	if strings.Contains(recs[1].String(), "trace=") {
+		t.Fatalf("untraced String() = %q carries a trace suffix", recs[1].String())
+	}
+}
+
+// TestReaderAcceptsLegacyV1 hand-builds a v1 file (OFTRACE1 magic,
+// 21-byte record headers) and checks the reader still parses it, with
+// TraceID zero.
+func TestReaderAcceptsLegacyV1(t *testing.T) {
+	frame, err := openflow.Encode(&openflow.Hello{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString("OFTRACE1")
+	hdr := make([]byte, hdrLenV1)
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(time.Unix(5, 0).UnixNano()))
+	hdr[8] = byte(Out)
+	binary.BigEndian.PutUint64(hdr[9:17], 3)
+	binary.BigEndian.PutUint32(hdr[17:21], uint32(len(frame)))
+	buf.Write(hdr)
+	buf.Write(frame)
+
+	recs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	rec := recs[0]
+	if rec.Dir != Out || rec.DPID != 3 || rec.TraceID != 0 || !rec.Time.Equal(time.Unix(5, 0)) {
+		t.Fatalf("legacy record = %+v", rec)
+	}
+	if msg, err := rec.Decode(); err != nil || msg.Type() != openflow.TypeHello {
+		t.Fatalf("legacy frame decode: %v %v", msg, err)
 	}
 }
 

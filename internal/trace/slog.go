@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+)
+
+// ctxKey carries a SpanContext through a context.Context.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sc, for handing to slog so log
+// lines emitted while processing a traced event can be joined with the
+// event's spans (and, via the trace id, its oftrace records).
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the SpanContext carried by ctx (zero if none).
+func FromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}
+
+// IDString renders a trace or span id the way every export does.
+func IDString(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// slogHandler decorates an inner slog.Handler: records logged under a
+// context carrying a SpanContext gain trace_id/span_id attributes.
+type slogHandler struct {
+	inner slog.Handler
+}
+
+// WrapHandler returns a slog.Handler that stamps trace correlation ids
+// onto every record whose context carries a SpanContext. Build loggers
+// as slog.New(trace.WrapHandler(h)) and log with the *Context variants
+// (InfoContext, LogAttrs) passing trace.ContextWith(ctx, ev.Trace).
+func WrapHandler(h slog.Handler) slog.Handler {
+	return &slogHandler{inner: h}
+}
+
+func (h *slogHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *slogHandler) Handle(ctx context.Context, r slog.Record) error {
+	if sc := FromContext(ctx); sc.Valid() {
+		r.AddAttrs(slog.String("trace_id", IDString(sc.TraceID)))
+		if sc.SpanID != 0 {
+			r.AddAttrs(slog.String("span_id", IDString(sc.SpanID)))
+		}
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h *slogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &slogHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *slogHandler) WithGroup(name string) slog.Handler {
+	return &slogHandler{inner: h.inner.WithGroup(name)}
+}
