@@ -12,6 +12,8 @@
 //	legosdn-bench -bench-out BENCH.json    # also write headline numbers as JSON
 //	legosdn-bench -only P1 -trace-sample 1 -trace-out spans.json
 //	                                       # trace the pipeline, view in chrome://tracing
+//	legosdn-bench -chaos -chaos-seed 7     # chaos scenario suite under seed 7
+//	legosdn-bench -chaos -chaos-only av-drop
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"legosdn/internal/chaos"
 	"legosdn/internal/experiments"
 	"legosdn/internal/trace"
 )
@@ -90,7 +93,15 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0, "trace this fraction of injected events in the perf experiments (0 disables)")
 	traceAddr := flag.String("trace-addr", "", "serve /debug/traces and pprof on this address while experiments run")
 	traceOut := flag.String("trace-out", "", "write collected spans as Chrome trace_event JSON (load in chrome://tracing)")
+	chaosRun := flag.Bool("chaos", false, "run the chaos scenario suite instead of the experiments")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "fault schedule seed for -chaos (same seed, same faults)")
+	chaosOnly := flag.String("chaos-only", "", "run a single chaos scenario by name")
+	chaosVerbose := flag.Bool("chaos-v", false, "print each scenario's full report and fault schedule")
 	flag.Parse()
+
+	if *chaosRun {
+		os.Exit(runChaos(*chaosSeed, *chaosOnly, *chaosVerbose))
+	}
 
 	var tracer *trace.Tracer
 	if *traceSample > 0 || *traceAddr != "" || *traceOut != "" {
@@ -166,6 +177,65 @@ func main() {
 		fmt.Printf("wrote %s (open in chrome://tracing)\n", *traceOut)
 	}
 	fmt.Printf("ran %d experiment(s) in %s\n", ran, time.Since(start).Round(time.Millisecond))
+}
+
+// runChaos drives the chaos scenario library under one seed and prints
+// a result table; the exit code is nonzero if any invariant fails, so a
+// CI smoke step can gate on it. A failing run reproduces from the
+// printed seed alone.
+func runChaos(seed uint64, only string, verbose bool) int {
+	scenarios := chaos.Library()
+	if only != "" {
+		sc, ok := chaos.Find(only)
+		if !ok {
+			names := make([]string, 0, len(scenarios))
+			for _, s := range scenarios {
+				names = append(names, s.Name)
+			}
+			fmt.Fprintf(os.Stderr, "legosdn-bench: no chaos scenario %q (have: %s)\n", only, strings.Join(names, ", "))
+			return 2
+		}
+		scenarios = []chaos.Scenario{sc}
+	}
+
+	fmt.Printf("chaos suite: %d scenario(s), seed %d\n\n", len(scenarios), seed)
+	fmt.Printf("%-22s %-8s %-8s %-8s %s\n", "SCENARIO", "EVENTS", "FAULTS", "RESULT", "DETAIL")
+	failed := 0
+	start := time.Now()
+	for _, sc := range scenarios {
+		t0 := time.Now()
+		rep := sc.Run(seed, nil)
+		faults := 0
+		for _, c := range rep.Fired {
+			faults += c
+		}
+		result, detail := "ok", fmt.Sprintf("%s", time.Since(t0).Round(time.Millisecond))
+		if rep.Failed() {
+			failed++
+			result = "FAIL"
+			for _, iv := range rep.Invariants {
+				if iv.Err != nil {
+					detail = fmt.Sprintf("%s: %v", iv.Name, iv.Err)
+					break
+				}
+			}
+		}
+		fmt.Printf("%-22s %-8d %-8d %-8s %s\n", sc.Name, rep.EventsInjected, faults, result, detail)
+		if verbose || rep.Failed() {
+			fmt.Println()
+			fmt.Print(rep.Render())
+			if verbose {
+				fmt.Print(rep.ScheduleFingerprint)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("\n%d/%d scenarios passed in %s (reproduce with -chaos-seed %d)\n",
+		len(scenarios)-failed, len(scenarios), time.Since(start).Round(time.Millisecond), seed)
+	if failed > 0 {
+		return 1
+	}
+	return 0
 }
 
 // benchResults is the -bench-out file layout: a timestamp plus each

@@ -155,6 +155,7 @@ type Proxy struct {
 	inFlight atomic.Pointer[controller.Event]
 	closed   atomic.Bool
 	done     chan struct{}
+	wfault   atomic.Pointer[WireFault]
 
 	// EventsRelayed counts events round-tripped through the stub.
 	EventsRelayed metrics.Counter
@@ -280,6 +281,31 @@ func (p *Proxy) Respawn() error {
 
 // StubUp reports whether a live stub is currently attached.
 func (p *Proxy) StubUp() bool { return p.stubUp.Load() }
+
+// KillStub hard-stops the attached stub without telling the proxy —
+// simulating a SIGKILL'd stub process mid-event. Detection must come
+// from the regular crash signals (heartbeat loss or RPC timeout), and
+// recovery from Crash-Pad's usual Respawn path. Chaos harnesses use
+// this; it is a no-op when no stub is attached.
+func (p *Proxy) KillStub() {
+	p.mu.Lock()
+	stub := p.stub
+	p.mu.Unlock()
+	if stub != nil {
+		stub.Kill()
+	}
+}
+
+// SetWireFault installs (or, with nil, removes) a datagram fault
+// injector on the proxy's event sends (dgEvent/dgEventBatch). Safe to
+// call while the proxy is live.
+func (p *Proxy) SetWireFault(f WireFault) {
+	if f == nil {
+		p.wfault.Store(nil)
+		return
+	}
+	p.wfault.Store(&f)
+}
 
 // LastCrash returns the most recent crash report, or nil.
 func (p *Proxy) LastCrash() *CrashReport {
@@ -516,6 +542,19 @@ func (p *Proxy) failWaiters() {
 }
 
 func (p *Proxy) sendTo(addr *net.UDPAddr, d *datagram) error {
+	if fp := p.wfault.Load(); fp != nil && (d.Type == dgEvent || d.Type == dgEventBatch) {
+		verdict := (*fp)("proxy", p.Name(), d.Type)
+		handled, err := applyWireFault(verdict, d,
+			func(dd *datagram) error { return p.writeDatagram(addr, dd) },
+			func(b []byte) error { _, err := p.conn.WriteToUDP(b, addr); return err })
+		if handled {
+			return err
+		}
+	}
+	return p.writeDatagram(addr, d)
+}
+
+func (p *Proxy) writeDatagram(addr *net.UDPAddr, d *datagram) error {
 	// Fast path: single-frame datagrams (all of steady-state event
 	// traffic) are framed into a pooled buffer, so sending allocates
 	// nothing. Oversized payloads fall back to fragmentation.

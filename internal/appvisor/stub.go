@@ -27,6 +27,10 @@ type StubOptions struct {
 	// stub — even as a separate process with its own Tracer — joins the
 	// trace its proxy started. Nil disables stub-side spans.
 	Tracer *trace.Tracer
+	// WireFault, when set, intercepts the stub's event acknowledgments
+	// (dgEventDone) for fault injection: a dropped ack makes the proxy
+	// see a crash for an event the app in fact processed.
+	WireFault WireFault
 }
 
 func (o *StubOptions) fill() {
@@ -144,6 +148,19 @@ func (s *Stub) dieWith(payload []byte) {
 }
 
 func (s *Stub) send(d *datagram) error {
+	if f := s.opts.WireFault; f != nil && d.Type == dgEventDone {
+		verdict := f("stub", s.app.Name(), d.Type)
+		handled, err := applyWireFault(verdict, d,
+			s.write,
+			func(b []byte) error { _, err := s.conn.Write(b); return err })
+		if handled {
+			return err
+		}
+	}
+	return s.write(d)
+}
+
+func (s *Stub) write(d *datagram) error {
 	// Single-frame fast path through a pooled buffer; see Proxy.sendTo.
 	if len(d.Payload) <= maxDatagram-headerLen {
 		bp := wireBufPool.Get().(*[]byte)

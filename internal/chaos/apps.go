@@ -1,0 +1,215 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/openflow"
+)
+
+// EventLog lives outside the app instances (the scenario owns it), so
+// it survives stub kills, respawns and checkpoint restores — exactly
+// the vantage point the FIFO invariant needs: what was *delivered*,
+// regardless of which incarnation of the app received it.
+type EventLog struct {
+	mu sync.Mutex
+	// seqs holds every delivered event Seq per app, in delivery order
+	// (duplicates included: wire dup faults and post-restore replay both
+	// legitimately deliver a Seq more than once), interleaved with
+	// restore markers: a checkpoint restore rewinds the app, opening a
+	// new FIFO epoch.
+	seqs map[string][]Delivery
+	// crashNth holds one-shot crash triggers per app: when the app's
+	// n-th delivery (1-based) arrives it panics, and the trigger is
+	// consumed so the post-recovery replay of the same event succeeds —
+	// a transient §2.1 bug.
+	crashNth map[string]map[int]bool
+	// crashesFired counts consumed triggers.
+	crashesFired int
+}
+
+// Delivery is one entry in an app's log: an event delivery, or a
+// restore marker (Restore true, Seq meaningless).
+type Delivery struct {
+	Seq     uint64
+	Restore bool
+}
+
+// NewEventLog creates an empty delivery log.
+func NewEventLog() *EventLog {
+	return &EventLog{
+		seqs:     make(map[string][]Delivery),
+		crashNth: make(map[string]map[int]bool),
+	}
+}
+
+// CrashOnNth arms a one-shot panic for app at its nth delivery
+// (1-based, counting duplicates and replays).
+func (l *EventLog) CrashOnNth(app string, nth int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := l.crashNth[app]
+	if m == nil {
+		m = make(map[int]bool)
+		l.crashNth[app] = m
+	}
+	m[nth] = true
+}
+
+func (l *EventLog) note(app string, seq uint64) (crash bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seqs[app] = append(l.seqs[app], Delivery{Seq: seq})
+	n := 0
+	for _, d := range l.seqs[app] {
+		if !d.Restore {
+			n++
+		}
+	}
+	if m := l.crashNth[app]; m[n] {
+		delete(m, n)
+		l.crashesFired++
+		return true
+	}
+	return false
+}
+
+func (l *EventLog) noteRestore(app string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seqs[app] = append(l.seqs[app], Delivery{Restore: true})
+}
+
+// CrashesFired reports how many armed panics actually triggered.
+func (l *EventLog) CrashesFired() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.crashesFired
+}
+
+// Delivered returns the delivery-ordered log for one app, restore
+// markers included.
+func (l *EventLog) Delivered(app string) []Delivery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Delivery(nil), l.seqs[app]...)
+}
+
+// Apps returns the names with at least one recorded delivery.
+func (l *EventLog) Apps() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	names := make([]string, 0, len(l.seqs))
+	for name := range l.seqs {
+		names = append(names, name)
+	}
+	return names
+}
+
+// CheckFIFO verifies per-app FIFO delivery for one app's log: within
+// each restore epoch, the first occurrence of each distinct Seq must be
+// strictly increasing. Duplicates (dup faults, replayed deliveries) are
+// allowed, and a checkpoint restore rewinds the app — opening a new
+// epoch in which older history legitimately arrives again. What is
+// never allowed is a new Seq arriving below one already seen in the
+// same epoch: that would mean the proxy reordered the app's live
+// event stream.
+func CheckFIFO(log []Delivery) error {
+	seen := make(map[uint64]bool, len(log))
+	var last uint64
+	var have bool
+	for i, d := range log {
+		if d.Restore {
+			have = false // rewound: new epoch, fresh watermark
+			continue
+		}
+		if seen[d.Seq] {
+			continue // replayed or duplicated delivery
+		}
+		seen[d.Seq] = true
+		if have && d.Seq < last {
+			return fmt.Errorf("FIFO violated at delivery %d: new seq %d after %d", i, d.Seq, last)
+		}
+		last, have = d.Seq, true
+	}
+	return nil
+}
+
+// recorder is the scenario workload app: it records every delivery in
+// the shared EventLog, counts events in checkpointable state, and
+// installs one deterministic, idempotent flow rule per PacketIn so the
+// shadow-vs-switch consistency invariant has real transactional state
+// to check. It subscribes to PacketIn only, so netsim lifecycle events
+// (PortStatus from link flaps) never perturb the wire-fault streams.
+type recorder struct {
+	name  string
+	log   *EventLog
+	count uint64
+}
+
+func newRecorder(name string, log *EventLog) *recorder {
+	return &recorder{name: name, log: log}
+}
+
+func (r *recorder) Name() string { return r.name }
+
+func (r *recorder) Subscriptions() []controller.EventKind {
+	return []controller.EventKind{controller.EventPacketIn}
+}
+
+func (r *recorder) HandleEvent(ctx controller.Context, ev controller.Event) error {
+	crash := r.log.note(r.name, ev.Seq)
+	err := ctx.SendFlowMod(ev.DPID, ruleForSeq(ev.Seq))
+	if crash {
+		// The panic lands *after* the flow mod, so the open transaction
+		// has state to roll back — the case NetLog's inverse ops exist for.
+		panic(fmt.Sprintf("chaos: armed crash in %s at seq %d", r.name, ev.Seq))
+	}
+	r.count++
+	return err
+}
+
+// ruleForSeq derives an idempotent flow rule from the event's Seq: the
+// same event always yields the same rule, so replay converges instead
+// of accreting. TpDst spreads Seqs over 64 distinct rules per switch.
+func ruleForSeq(seq uint64) *openflow.FlowMod {
+	m := openflow.MatchAll()
+	m.Wildcards &^= openflow.WildcardDlType | openflow.WildcardNwProto | openflow.WildcardTpDst
+	m.DlType = 0x0800
+	m.NwProto = 6
+	m.TpDst = uint16(8000 + seq%64)
+	return &openflow.FlowMod{
+		Match:    m,
+		Command:  openflow.FlowModAdd,
+		Priority: 100,
+		BufferID: openflow.BufferIDNone,
+		OutPort:  openflow.PortNone,
+		Actions:  []openflow.Action{&openflow.ActionOutput{Port: hostPort}},
+	}
+}
+
+// hostPort is where topology builders attach hosts; forwarding there is
+// loop-free on every stock topology.
+const hostPort uint16 = 100
+
+// Snapshot implements controller.Snapshotter: the recorder's whole
+// state is its event count.
+func (r *recorder) Snapshot() ([]byte, error) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], r.count)
+	return b[:], nil
+}
+
+// Restore implements controller.Snapshotter. Besides reloading state it
+// marks a new FIFO epoch in the shared log: the app has been rewound,
+// so older history may legitimately be delivered again.
+func (r *recorder) Restore(state []byte) error {
+	if len(state) != 8 {
+		return fmt.Errorf("chaos: recorder snapshot is %d bytes, want 8", len(state))
+	}
+	r.count = binary.BigEndian.Uint64(state)
+	r.log.noteRestore(r.name)
+	return nil
+}

@@ -1,0 +1,161 @@
+// Package chaos is LegoSDN's deterministic fault-injection harness.
+// Where internal/faultinject supplies *application* bugs (the paper's
+// §2.1 corpus), chaos attacks the *infrastructure* the recovery story
+// depends on: the AppVisor UDP proxy/stub path (dropped, delayed,
+// duplicated, corrupted datagrams; stubs killed mid-event), NetLog
+// (inverse operations failing during rollback, switches disconnecting
+// mid-transaction) and netsim (link flaps, partitions, loss bursts).
+//
+// Every fault decision is drawn from a seeded Schedule, so a failing
+// run is replayable from its seed alone: same seed, same fault
+// sequence, byte for byte. A Scenario drives the full stack
+// (controller + AppVisor + NetLog + Crash-Pad) through a workload under
+// a schedule and then asserts the system-level invariants the paper
+// promises — per-app FIFO delivery, no orphaned transactions, shadow
+// tables consistent with switch state, every crashed app restored.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// weyl is the SplitMix64 increment, the same constant
+// internal/trace's sampler steps its Weyl sequence by.
+const weyl = 0x9E3779B97F4A7C15
+
+// splitmix64 is the SplitMix64 finalizer (mirroring internal/trace):
+// a cheap, well-mixed 64-bit permutation.
+func splitmix64(x uint64) uint64 {
+	x += weyl
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// pointBase derives a fault point's private stream state from the
+// schedule seed and the point name (FNV-1a over the name, finalized
+// through splitmix64). Every point gets an independent deterministic
+// stream: the k-th draw at a point depends only on (seed, name, k),
+// never on how draws at different points interleave.
+func pointBase(seed uint64, name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return splitmix64(seed ^ h)
+}
+
+// Decision records one draw at a fault point.
+type Decision struct {
+	Point string
+	Index int    // per-point draw index, 0-based
+	Draw  uint64 // the raw 64-bit sample
+	Fired bool
+}
+
+func (d Decision) String() string {
+	fired := "pass"
+	if d.Fired {
+		fired = "FIRE"
+	}
+	return fmt.Sprintf("%s#%d draw=%016x %s", d.Point, d.Index, d.Draw, fired)
+}
+
+// Schedule is a seeded source of fault decisions. Each named fault
+// point draws from its own SplitMix64 stream, and every decision is
+// logged; Fingerprint renders the complete log canonically so two runs
+// can be compared byte for byte.
+type Schedule struct {
+	seed uint64
+
+	mu      sync.Mutex
+	streams map[string]*stream
+}
+
+type stream struct {
+	base uint64
+	n    uint64
+	log  []Decision
+}
+
+// NewSchedule creates a schedule. The same seed always reproduces the
+// same per-point decision sequences.
+func NewSchedule(seed uint64) *Schedule {
+	return &Schedule{seed: seed, streams: make(map[string]*stream)}
+}
+
+// Seed returns the schedule's seed.
+func (s *Schedule) Seed() uint64 { return s.seed }
+
+func (s *Schedule) draw(point string) (uint64, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.streams[point]
+	if st == nil {
+		st = &stream{base: pointBase(s.seed, point)}
+		s.streams[point] = st
+	}
+	x := splitmix64(st.base + st.n*weyl)
+	idx := int(st.n)
+	st.n++
+	return x, idx
+}
+
+func (s *Schedule) record(point string, idx int, x uint64, fired bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.streams[point]
+	st.log = append(st.log, Decision{Point: point, Index: idx, Draw: x, Fired: fired})
+}
+
+// Decide draws the named point's next sample and reports whether the
+// fault fires (probability prob in [0,1]).
+func (s *Schedule) Decide(point string, prob float64) bool {
+	x, idx := s.draw(point)
+	fired := prob >= 1 || (prob > 0 && float64(x)/float64(1<<63)/2 < prob)
+	s.record(point, idx, x, fired)
+	return fired
+}
+
+// Pick draws the named point's next sample as a uniform integer in
+// [0, n). n must be positive.
+func (s *Schedule) Pick(point string, n int) int {
+	x, idx := s.draw(point)
+	s.record(point, idx, x, true)
+	return int(x % uint64(n))
+}
+
+// Decisions returns the full decision log, grouped by point name
+// (sorted) and ordered by draw index within each point. Grouping makes
+// the log canonical: per-point streams are deterministic even when
+// draws at different points interleave on different goroutines.
+func (s *Schedule) Decisions() []Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.streams))
+	for name := range s.streams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []Decision
+	for _, name := range names {
+		out = append(out, s.streams[name].log...)
+	}
+	return out
+}
+
+// Fingerprint renders the canonical decision log as text — one line per
+// decision — for byte-for-byte replay comparison.
+func (s *Schedule) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d\n", s.seed)
+	for _, d := range s.Decisions() {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,132 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+)
+
+// Same seed, same draw order: identical logs, byte for byte.
+func TestScheduleDeterministic(t *testing.T) {
+	run := func() string {
+		s := NewSchedule(42)
+		for i := 0; i < 100; i++ {
+			s.Decide("a", 0.3)
+			s.Decide("b", 0.7)
+			s.Pick("c", 5)
+		}
+		return s.Fingerprint()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different fingerprints:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestScheduleSeedsDiffer(t *testing.T) {
+	a, b := NewSchedule(1), NewSchedule(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Decide("p", 0.5) == b.Decide("p", 0.5) {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("seeds 1 and 2 produced identical decision streams")
+	}
+}
+
+// A point's stream depends only on (seed, name, draw index) — never on
+// how draws at other points interleave.
+func TestSchedulePointStreamsIndependent(t *testing.T) {
+	solo := NewSchedule(7)
+	var soloDraws []uint64
+	for i := 0; i < 20; i++ {
+		solo.Decide("target", 0.5)
+	}
+	for _, d := range solo.Decisions() {
+		soloDraws = append(soloDraws, d.Draw)
+	}
+
+	mixed := NewSchedule(7)
+	for i := 0; i < 20; i++ {
+		mixed.Decide("noise-a", 0.5)
+		mixed.Decide("target", 0.5)
+		mixed.Pick("noise-b", 3)
+	}
+	var mixedDraws []uint64
+	for _, d := range mixed.Decisions() {
+		if d.Point == "target" {
+			mixedDraws = append(mixedDraws, d.Draw)
+		}
+	}
+	if len(soloDraws) != len(mixedDraws) {
+		t.Fatalf("draw counts differ: %d vs %d", len(soloDraws), len(mixedDraws))
+	}
+	for i := range soloDraws {
+		if soloDraws[i] != mixedDraws[i] {
+			t.Fatalf("draw %d differs: %016x vs %016x", i, soloDraws[i], mixedDraws[i])
+		}
+	}
+}
+
+func TestScheduleProbabilityBounds(t *testing.T) {
+	s := NewSchedule(3)
+	for i := 0; i < 50; i++ {
+		if s.Decide("never", 0) {
+			t.Fatal("probability 0 fired")
+		}
+		if !s.Decide("always", 1) {
+			t.Fatal("probability 1 passed")
+		}
+	}
+	fired := 0
+	for i := 0; i < 2000; i++ {
+		if s.Decide("half", 0.5) {
+			fired++
+		}
+	}
+	if fired < 800 || fired > 1200 {
+		t.Fatalf("p=0.5 fired %d/2000 times", fired)
+	}
+}
+
+func TestSchedulePickRange(t *testing.T) {
+	s := NewSchedule(9)
+	seen := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		v := s.Pick("idx", 4)
+		if v < 0 || v >= 4 {
+			t.Fatalf("Pick returned %d, want [0,4)", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("Pick over 200 draws hit only %d of 4 values", len(seen))
+	}
+}
+
+// The canonical (grouped) log is identical no matter which goroutines
+// performed the draws; run under -race this also proves thread safety.
+func TestScheduleConcurrentDrawsCanonical(t *testing.T) {
+	serial := NewSchedule(11)
+	for i := 0; i < 50; i++ {
+		serial.Decide("x", 0.5)
+		serial.Decide("y", 0.5)
+	}
+
+	conc := NewSchedule(11)
+	var wg sync.WaitGroup
+	for _, point := range []string{"x", "y"} {
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				conc.Decide(p, 0.5)
+			}
+		}(point)
+	}
+	wg.Wait()
+
+	if serial.Fingerprint() != conc.Fingerprint() {
+		t.Fatal("concurrent draws changed the canonical log")
+	}
+}

@@ -1,0 +1,268 @@
+package crashpad
+
+import (
+	"sync"
+	"testing"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/openflow"
+)
+
+// oneShotChecker reports a synthetic invariant violation exactly once,
+// so recovery's own redelivery (which re-runs the checker) sees a clean
+// network and the matrix cells isolate a single byzantine failure.
+type oneShotChecker struct {
+	mu           sync.Mutex
+	armed        bool
+	noCompromise bool
+}
+
+func (c *oneShotChecker) Check() []Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.armed {
+		return nil
+	}
+	c.armed = false
+	return []Violation{{Desc: "synthetic violation", NoCompromise: c.noCompromise}}
+}
+
+func switchDown(seq uint64) controller.Event {
+	return controller.Event{Seq: seq, Kind: controller.EventSwitchDown, DPID: 1}
+}
+
+// TestPolicyDecisionMatrix exercises every (failure class x compromise
+// policy) cell of the §3.3 decision space and asserts both the chosen
+// recovery action (ticket outcome, quarantine or not) and the app's
+// final state (the count checkpointing rolls back, the PortStatus
+// deliveries equivalence transforms add).
+func TestPolicyDecisionMatrix(t *testing.T) {
+	const healthy = 3 // healthy PacketIns delivered before the failure
+
+	cells := []struct {
+		name   string
+		class  FailureClass
+		policy Compromise
+		// failEvent produces the failure-inducing event (seq 4).
+		failEvent func() controller.Event
+		// equivalent marks cells whose offending event has an
+		// equivalence transform (SwitchDown -> per-port link-downs).
+		equivalent bool
+
+		wantQuarantined bool
+		wantOutcome     Outcome
+		// wantCount is the app's event count after the failure is
+		// handled (pre-failure checkpoint = 3).
+		wantCount uint64
+		// wantPortDowns counts PortStatus deliveries from transforms.
+		wantPortDowns int
+	}{
+		{
+			name:   "failstop/no-compromise",
+			class:  FailStop,
+			policy: NoCompromise,
+			failEvent: func() controller.Event {
+				return pktIn(4, 13)
+			},
+			wantQuarantined: true,
+			wantOutcome:     OutcomeAppDown,
+			// No restore is attempted: availability is sacrificed and
+			// the app keeps its pre-panic state.
+			wantCount: healthy,
+		},
+		{
+			name:   "failstop/absolute",
+			class:  FailStop,
+			policy: AbsoluteCompromise,
+			failEvent: func() controller.Event {
+				return pktIn(4, 13)
+			},
+			wantOutcome: OutcomeRecovered,
+			wantCount:   healthy, // restored, offending event ignored
+		},
+		{
+			name:   "failstop/equivalence-untransformable",
+			class:  FailStop,
+			policy: EquivalenceCompromise,
+			failEvent: func() controller.Event {
+				return pktIn(4, 13) // PacketIn has no equivalent events
+			},
+			wantOutcome: OutcomeFallback,
+			wantCount:   healthy, // fell back to ignoring
+		},
+		{
+			name:   "failstop/equivalence-transformable",
+			class:  FailStop,
+			policy: EquivalenceCompromise,
+			failEvent: func() controller.Event {
+				return switchDown(4)
+			},
+			equivalent:  true,
+			wantOutcome: OutcomeRecovered,
+			// Restored to 3, then two transformed link-down PortStatus
+			// events delivered (one per known port).
+			wantCount:     healthy + 2,
+			wantPortDowns: 2,
+		},
+		{
+			name:   "byzantine/no-compromise",
+			class:  Byzantine,
+			policy: NoCompromise,
+			failEvent: func() controller.Event {
+				return pktIn(4, 1) // handler succeeds; checker objects
+			},
+			wantQuarantined: true,
+			wantOutcome:     OutcomeAppDown,
+			// The handler ran to completion before detection and no
+			// restore is attempted under NoCompromise.
+			wantCount: healthy + 1,
+		},
+		{
+			name:   "byzantine/absolute",
+			class:  Byzantine,
+			policy: AbsoluteCompromise,
+			failEvent: func() controller.Event {
+				return pktIn(4, 1)
+			},
+			wantOutcome: OutcomeRecovered,
+			wantCount:   healthy, // rolled back to the pre-event checkpoint
+		},
+		{
+			name:   "byzantine/equivalence-untransformable",
+			class:  Byzantine,
+			policy: EquivalenceCompromise,
+			failEvent: func() controller.Event {
+				return pktIn(4, 1)
+			},
+			wantOutcome: OutcomeFallback,
+			wantCount:   healthy,
+		},
+		{
+			name:   "byzantine/equivalence-transformable",
+			class:  Byzantine,
+			policy: EquivalenceCompromise,
+			failEvent: func() controller.Event {
+				return switchDown(4)
+			},
+			equivalent:    true,
+			wantOutcome:   OutcomeRecovered,
+			wantCount:     healthy + 2,
+			wantPortDowns: 2,
+		},
+	}
+
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.name, func(t *testing.T) {
+			app := &ctApp{name: "m"}
+			var checker *oneShotChecker
+			if cell.class == FailStop {
+				if cell.equivalent {
+					app.crashSwitchDown = true
+				} else {
+					app.crashOnPort = 13
+				}
+			} else {
+				checker = &oneShotChecker{}
+			}
+
+			var tickets []*Ticket
+			opts := Options{
+				Policies: NewPolicySet(cell.policy),
+				OnTicket: func(tk *Ticket) { tickets = append(tickets, tk) },
+			}
+			if checker != nil {
+				opts.Checker = checker
+			}
+			cp := New(opts)
+			ctx := &recCtx{ports: map[uint64][]openflow.PhyPort{
+				1: {{PortNo: 1}, {PortNo: 2}},
+			}}
+
+			for seq := uint64(1); seq <= healthy; seq++ {
+				if f := cp.RunEvent(app, ctx, pktIn(seq, 1)); f != nil {
+					t.Fatalf("healthy event %d failed: %v", seq, f)
+				}
+			}
+			if app.count != healthy {
+				t.Fatalf("warmup count = %d, want %d", app.count, healthy)
+			}
+
+			if checker != nil {
+				checker.mu.Lock()
+				checker.armed = true
+				checker.mu.Unlock()
+			}
+			failure := cp.RunEvent(app, ctx, cell.failEvent())
+
+			if got := failure != nil; got != cell.wantQuarantined {
+				t.Errorf("quarantined = %v, want %v (failure: %v)", got, cell.wantQuarantined, failure)
+			}
+			if len(tickets) != 1 {
+				t.Fatalf("got %d tickets, want 1", len(tickets))
+			}
+			tk := tickets[0]
+			if tk.Class != cell.class {
+				t.Errorf("ticket class = %v, want %v", tk.Class, cell.class)
+			}
+			if tk.Policy != cell.policy {
+				t.Errorf("ticket policy = %v, want %v", tk.Policy, cell.policy)
+			}
+			if tk.Outcome != cell.wantOutcome {
+				t.Errorf("outcome = %v, want %v", tk.Outcome, cell.wantOutcome)
+			}
+			if app.count != cell.wantCount {
+				t.Errorf("final count = %d, want %d", app.count, cell.wantCount)
+			}
+			if app.portDowns != cell.wantPortDowns {
+				t.Errorf("portDowns = %d, want %d", app.portDowns, cell.wantPortDowns)
+			}
+
+			// A recovered app must keep processing; a quarantined one is
+			// the controller's problem (Crash-Pad handed the failure up).
+			if !cell.wantQuarantined {
+				before := app.count
+				if f := cp.RunEvent(app, ctx, pktIn(10, 1)); f != nil {
+					t.Fatalf("post-recovery event failed: %v", f)
+				}
+				if app.count != before+1 {
+					t.Errorf("post-recovery count = %d, want %d", app.count, before+1)
+				}
+			}
+		})
+	}
+}
+
+// TestNoCompromiseInvariantShutdown covers the §5 escalation: a
+// violated invariant the operator marked non-negotiable forces a
+// network shutdown regardless of the app's policy.
+func TestNoCompromiseInvariantShutdown(t *testing.T) {
+	checker := &oneShotChecker{noCompromise: true}
+	var shutdownWith []Violation
+	var tickets []*Ticket
+	cp := New(Options{
+		Policies:          NewPolicySet(AbsoluteCompromise),
+		Checker:           checker,
+		OnTicket:          func(tk *Ticket) { tickets = append(tickets, tk) },
+		OnNetworkShutdown: func(vs []Violation) { shutdownWith = vs },
+	})
+	app := &ctApp{name: "m"}
+	ctx := &recCtx{}
+
+	if f := cp.RunEvent(app, ctx, pktIn(1, 1)); f != nil {
+		t.Fatalf("warmup failed: %v", f)
+	}
+	checker.mu.Lock()
+	checker.armed = true
+	checker.mu.Unlock()
+	failure := cp.RunEvent(app, ctx, pktIn(2, 1))
+	if failure == nil {
+		t.Fatal("network-shutdown escalation should quarantine the app")
+	}
+	if len(shutdownWith) != 1 {
+		t.Fatalf("OnNetworkShutdown got %d violations, want 1", len(shutdownWith))
+	}
+	if len(tickets) != 1 || tickets[0].Outcome != OutcomeNetworkShutdown {
+		t.Fatalf("ticket outcome = %v, want %v", tickets[0].Outcome, OutcomeNetworkShutdown)
+	}
+}

@@ -11,6 +11,7 @@ package faultinject
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"legosdn/internal/controller"
 	"legosdn/internal/openflow"
@@ -67,14 +68,21 @@ func (b Bug) Deterministic() bool { return b.Probability >= 1 }
 // Wrapper hosts an inner app and fires a bug on its trigger condition.
 // It passes through Snapshotter so Crash-Pad treats the wrapped app as
 // the original.
+//
+// HandleEvent is safe for concurrent use: the parallel pipeline
+// (controller.Config.Parallel) delivers batches to different wrappers
+// on different worker goroutines, and a single wrapper's trigger state
+// must not race with readers of Fired.
 type Wrapper struct {
 	inner controller.App
 	bug   Bug
 
+	mu   sync.Mutex
 	seen int
 	rng  *rand.Rand
 
-	// Fired counts bug activations.
+	// Fired counts bug activations. Guarded by mu: read it via
+	// FiredCount, or directly only after dispatch has quiesced.
 	Fired int
 }
 
@@ -101,10 +109,17 @@ func (w *Wrapper) Name() string { return w.inner.Name() }
 // Subscriptions implements controller.App.
 func (w *Wrapper) Subscriptions() []controller.EventKind { return w.inner.Subscriptions() }
 
+// FiredCount reports how many times the bug has activated, safely
+// against concurrent dispatch.
+func (w *Wrapper) FiredCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.Fired
+}
+
 // HandleEvent implements controller.App, firing the bug when triggered.
 func (w *Wrapper) HandleEvent(ctx controller.Context, ev controller.Event) error {
 	if w.triggered(ev) {
-		w.Fired++
 		switch w.bug.Severity {
 		case Catastrophic:
 			panic(fmt.Sprintf("injected bug #%d: %s", w.bug.ID, w.bug.Description))
@@ -119,10 +134,16 @@ func (w *Wrapper) HandleEvent(ctx controller.Context, ev controller.Event) error
 	return w.inner.HandleEvent(ctx, ev)
 }
 
+// triggered advances the trigger state for one event and reports
+// whether the bug fires on it; a firing is counted immediately, under
+// the same critical section, so Fired can never miss a panic's
+// activation.
 func (w *Wrapper) triggered(ev controller.Event) bool {
 	if ev.Kind != w.bug.TriggerKind {
 		return false
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	w.seen++
 	if w.seen%w.bug.TriggerEvery != 0 {
 		return false
@@ -130,6 +151,7 @@ func (w *Wrapper) triggered(ev controller.Event) bool {
 	if w.bug.Probability < 1 && w.rng.Float64() >= w.bug.Probability {
 		return false
 	}
+	w.Fired++
 	return true
 }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"legosdn/internal/controller"
@@ -149,6 +150,10 @@ type Manager struct {
 	active   *Txn
 	nextTxn  uint64
 	rollback int // >0 while rollback messages are in flight: hook passes them through
+
+	// sendFault, when set, intercepts rollback-path sends (fault
+	// injection); see SetSendFault.
+	sendFault atomic.Pointer[SendFault]
 
 	// Rollbacks counts completed aborts; RolledBackMods counts inverse
 	// messages sent. Atomic: read live by benchmarks.
@@ -585,9 +590,33 @@ func (t *Txn) Abort() error {
 	return firstErr
 }
 
+// SendFault intercepts rollback-path sends (the inverse messages an
+// Abort emits). Returning a non-nil error makes that inverse op fail as
+// a lost or rejected control message would: the shadow still records
+// the undo, the switch never sees it, and the divergence becomes the
+// §3.2 residue the counter-cache and resync paths must absorb. The hook
+// may also inject side effects first (e.g. disconnecting the target
+// switch mid-transaction) before letting the send proceed.
+type SendFault func(dpid uint64, msg openflow.Message) error
+
+// SetSendFault installs (or, with nil, removes) a rollback send fault.
+// Safe to call while transactions are in flight.
+func (m *Manager) SetSendFault(f SendFault) {
+	if f == nil {
+		m.sendFault.Store(nil)
+		return
+	}
+	m.sendFault.Store(&f)
+}
+
 // send forwards one rollback message. The outbound hook sees it while
 // m.rollback > 0 and passes it through without journaling.
 func (m *Manager) send(dpid uint64, msg openflow.Message) error {
+	if fp := m.sendFault.Load(); fp != nil {
+		if err := (*fp)(dpid, msg); err != nil {
+			return err
+		}
+	}
 	return m.sender.SendMessage(dpid, msg)
 }
 

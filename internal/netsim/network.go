@@ -120,6 +120,15 @@ func (n *Network) lossRoll() float64 {
 	return n.lossRng.Float64()
 }
 
+// SetLossSeed reseeds the lossy-link drop stream, so two networks with
+// the same topology, seed and traffic shed the same frames. The default
+// seed is 1.
+func (n *Network) SetLossSeed(seed int64) {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	n.lossRng = rand.New(rand.NewSource(seed))
+}
+
 // AddSwitch creates a switch with the given datapath id.
 func (n *Network) AddSwitch(dpid uint64) *Switch {
 	n.mu.Lock()
@@ -354,6 +363,43 @@ func (n *Network) SetLinkDown(dpidA uint64, portA uint16, dpidB uint64, portB ui
 		swB.setPortLinkState(portB, down)
 	}
 	return nil
+}
+
+// SetPartition fails (or heals) every switch-to-switch link with
+// exactly one endpoint inside group, splitting the fabric into two
+// islands. Host attachments are untouched — hosts stay reachable within
+// their island. Affected switches emit PortStatus notifications, the
+// same signal a real bisection would produce.
+func (n *Network) SetPartition(group []uint64, down bool) {
+	in := make(map[uint64]bool, len(group))
+	for _, d := range group {
+		in[d] = true
+	}
+	type affected struct {
+		sw   *Switch
+		port uint16
+	}
+	var notify []affected
+	n.mu.Lock()
+	for _, l := range n.links {
+		if l.a.host != "" || l.b.host != "" {
+			continue
+		}
+		if in[l.a.dpid] == in[l.b.dpid] {
+			continue
+		}
+		l.down = down
+		if sw := n.switches[l.a.dpid]; sw != nil {
+			notify = append(notify, affected{sw, l.a.port})
+		}
+		if sw := n.switches[l.b.dpid]; sw != nil {
+			notify = append(notify, affected{sw, l.b.port})
+		}
+	}
+	n.mu.Unlock()
+	for _, a := range notify {
+		a.sw.setPortLinkState(a.port, down)
+	}
 }
 
 // SetSwitchDown fails (or restores) a switch. Failing a switch severs
