@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"syscall"
+	"time"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/core"
+	"legosdn/internal/durable"
+	"legosdn/internal/metrics"
+	"legosdn/internal/netsim"
+	"legosdn/internal/openflow"
+)
+
+// runDurableSmoke is the crash-recovery smoke workload behind
+// `legosdn-bench -state-dir DIR -durable-smoke N`. Each iteration opens
+// a journaled NetLog transaction, installs a rule under it, runs one
+// checkpointed workload event, holds the transaction open for the hold
+// window, then aborts it — so an external `kill -9` at any point lands
+// inside an unresolved transaction with high probability, and
+// `-durable-smoke-kill K` SIGKILLs the process itself at iteration K
+// while the transaction is provably unresolved (its begin/op records
+// are fsync'd before SendFlowMod returns). A restart with the same
+// -state-dir prints greppable `recovered_txns=` / `restored_checkpoints=`
+// counters before iterating again, which is what the CI smoke step gates
+// on.
+func runDurableSmoke(stateDir string, iters int, hold time.Duration, killAt int) int {
+	if stateDir == "" {
+		fmt.Fprintln(os.Stderr, "legosdn-bench: -durable-smoke requires -state-dir")
+		return 2
+	}
+	st, err := durable.OpenState(stateDir, 0, durable.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "legosdn-bench: opening state dir: %v\n", err)
+		return 1
+	}
+	defer st.Close()
+	fmt.Printf("durable-smoke: state-dir=%s restored_checkpoints=%d orphan_txns=%d\n",
+		stateDir, st.Checkpoints.Restored(), len(st.Journal.Orphans()))
+
+	stack := core.NewStack(core.Config{
+		Mode:             core.ModeLegoSDN,
+		CheckpointEvery:  1,
+		HeartbeatTimeout: -1,
+		Metrics:          metrics.NewRegistry(),
+		Durable:          st,
+	})
+	defer stack.Close()
+	if err := stack.AddApp(func() controller.App { return &smokeApp{} }); err != nil {
+		fmt.Fprintf(os.Stderr, "legosdn-bench: adding smoke app: %v\n", err)
+		return 1
+	}
+	// ConnectNetwork resyncs shadows and replays any orphaned
+	// transaction's inverses before new events flow.
+	n := netsim.Single(2, nil)
+	if err := stack.ConnectNetwork(n); err != nil {
+		fmt.Fprintf(os.Stderr, "legosdn-bench: connecting network: %v\n", err)
+		return 1
+	}
+	fmt.Printf("durable-smoke: recovered_txns=%d recovered_mods=%d\n",
+		st.RecoveredTxns(), st.RecoveredMods())
+
+	for i := 1; i <= iters; i++ {
+		// The kill window: from the first journaled op until Abort
+		// writes its record, this transaction is unresolved on disk.
+		tx := stack.NetLog.Begin()
+		stack.NetLog.SetActive(tx)
+		if err := stack.Controller.SendFlowMod(1, smokeTxnRule(i)); err != nil {
+			fmt.Fprintf(os.Stderr, "legosdn-bench: smoke txn flow mod: %v\n", err)
+			return 1
+		}
+		stack.NetLog.SetActive(nil)
+
+		if err := stack.Controller.InjectSync(controller.Event{
+			Kind: controller.EventPacketIn,
+			DPID: 1,
+			Message: &openflow.PacketIn{
+				BufferID: openflow.BufferIDNone,
+				InPort:   1,
+				Reason:   openflow.PacketInReasonNoMatch,
+			},
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "legosdn-bench: smoke event %d: %v\n", i, err)
+			return 1
+		}
+		if i == killAt {
+			// Die with the transaction neither committed nor aborted:
+			// the deterministic crash the CI recovery gate depends on.
+			fmt.Printf("durable-smoke: self-SIGKILL mid-transaction at iteration %d\n", i)
+			_ = syscall.Kill(syscall.Getpid(), syscall.SIGKILL)
+		}
+		time.Sleep(hold)
+		if err := tx.Abort(); err != nil {
+			fmt.Fprintf(os.Stderr, "legosdn-bench: smoke txn abort: %v\n", err)
+			return 1
+		}
+		fmt.Printf("durable-smoke: iteration %d/%d fingerprint=%08x\n",
+			i, iters, crc32.ChecksumIEEE([]byte(n.Switch(1).Table().Fingerprint())))
+	}
+	fmt.Printf("durable-smoke: done iterations=%d\n", iters)
+	return 0
+}
+
+// smokeApp installs one rule per packet-in from a 64-slot rule space and
+// checkpoints its sequence counter, so restarts restore mid-stream.
+type smokeApp struct {
+	seq int
+}
+
+// Name implements controller.App.
+func (*smokeApp) Name() string { return "smoke" }
+
+// Subscriptions implements controller.App.
+func (*smokeApp) Subscriptions() []controller.EventKind {
+	return []controller.EventKind{controller.EventPacketIn}
+}
+
+// HandleEvent implements controller.App.
+func (a *smokeApp) HandleEvent(ctx controller.Context, ev controller.Event) error {
+	a.seq++
+	m := openflow.MatchAll()
+	m.Wildcards &^= openflow.WildcardDlType | openflow.WildcardNwProto | openflow.WildcardTpDst
+	m.DlType = 0x0800
+	m.NwProto = 6
+	m.TpDst = uint16(8000 + a.seq%64)
+	return ctx.SendFlowMod(ev.DPID, &openflow.FlowMod{
+		Match:    m,
+		Command:  openflow.FlowModAdd,
+		Priority: 100,
+		BufferID: openflow.BufferIDNone,
+		OutPort:  openflow.PortNone,
+		Actions:  []openflow.Action{&openflow.ActionOutput{Port: 2}},
+	})
+}
+
+// Snapshot implements controller.Snapshotter.
+func (a *smokeApp) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(a.seq); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements controller.Snapshotter.
+func (a *smokeApp) Restore(state []byte) error {
+	return gob.NewDecoder(bytes.NewReader(state)).Decode(&a.seq)
+}
+
+// smokeTxnRule is the i-th iteration's deliberately-doomed rule,
+// disjoint from smokeApp's space so rollback residue would be visible.
+func smokeTxnRule(i int) *openflow.FlowMod {
+	m := openflow.MatchAll()
+	m.Wildcards &^= openflow.WildcardDlType | openflow.WildcardNwProto | openflow.WildcardTpDst
+	m.DlType = 0x0800
+	m.NwProto = 17
+	m.TpDst = uint16(9000 + i%64)
+	return &openflow.FlowMod{
+		Match:    m,
+		Command:  openflow.FlowModAdd,
+		Priority: 200,
+		BufferID: openflow.BufferIDNone,
+		OutPort:  openflow.PortNone,
+		Actions:  []openflow.Action{&openflow.ActionOutput{Port: 2}},
+	}
+}

@@ -14,6 +14,9 @@
 //	                                       # trace the pipeline, view in chrome://tracing
 //	legosdn-bench -chaos -chaos-seed 7     # chaos scenario suite under seed 7
 //	legosdn-bench -chaos -chaos-only av-drop
+//	legosdn-bench -state-dir ./state -durable-smoke 50
+//	                                       # crash-recovery smoke: kill -9 mid-run,
+//	                                       # rerun, grep recovered_txns=
 package main
 
 import (
@@ -97,8 +100,15 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 1, "fault schedule seed for -chaos (same seed, same faults)")
 	chaosOnly := flag.String("chaos-only", "", "run a single chaos scenario by name")
 	chaosVerbose := flag.Bool("chaos-v", false, "print each scenario's full report and fault schedule")
+	stateDir := flag.String("state-dir", "", "durable state directory for -durable-smoke (WAL-backed checkpoints + NetLog journal)")
+	smokeIters := flag.Int("durable-smoke", 0, "run N crash-recovery smoke iterations against -state-dir, then exit")
+	smokeHold := flag.Duration("durable-smoke-hold", 80*time.Millisecond, "how long each smoke iteration holds its transaction open")
+	smokeKill := flag.Int("durable-smoke-kill", 0, "SIGKILL this process mid-transaction at iteration N (0 disables); deterministic crash for recovery testing")
 	flag.Parse()
 
+	if *smokeIters > 0 {
+		os.Exit(runDurableSmoke(*stateDir, *smokeIters, *smokeHold, *smokeKill))
+	}
 	if *chaosRun {
 		os.Exit(runChaos(*chaosSeed, *chaosOnly, *chaosVerbose))
 	}

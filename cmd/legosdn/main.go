@@ -25,6 +25,7 @@ import (
 	"legosdn/internal/controller"
 	"legosdn/internal/core"
 	"legosdn/internal/crashpad"
+	"legosdn/internal/durable"
 	"legosdn/internal/invariant"
 	"legosdn/internal/netsim"
 	"legosdn/internal/oftrace"
@@ -49,6 +50,8 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0.01,
 		"fraction of injected events to trace end-to-end (0 disables, 1 traces all)")
 	traceBuf := flag.Int("trace-buf", 0, "span ring-buffer capacity (0 = default)")
+	stateDir := flag.String("state-dir", "",
+		"durable state directory: checkpoints and the NetLog transaction journal persist here, and a restart rolls back any transaction a crash interrupted (empty = in-memory only)")
 	flag.Parse()
 
 	m, err := parseMode(*mode)
@@ -89,6 +92,16 @@ func main() {
 	}
 	if *checkInv {
 		cfg.Checker = invariant.NewSuite(n).CrashPadChecker(nil)
+	}
+	if *stateDir != "" {
+		st, err := durable.OpenState(*stateDir, 0, durable.Options{})
+		if err != nil {
+			log.Fatalf("legosdn: %v", err)
+		}
+		defer st.Close()
+		cfg.Durable = st
+		fmt.Printf("durable state in %s: restored %d checkpoints, %d interrupted transaction(s) pending rollback\n",
+			*stateDir, st.Checkpoints.Restored(), len(st.Journal.Orphans()))
 	}
 	stack := core.NewStack(cfg)
 	defer stack.Close()

@@ -1,0 +1,71 @@
+package appvisor
+
+import "time"
+
+// Backoff is the bounded exponential retry schedule Respawn follows
+// when a replacement stub fails to come up (factory error or
+// registration timeout). Before this existed, one failed respawn left
+// the app permanently down and a hot retry loop could hammer a
+// struggling host; bounded growth plus jitter retries persistently
+// without synchronizing every recovering app onto the same instant.
+type Backoff struct {
+	// Base is the delay before the first retry (default 50ms).
+	Base time.Duration
+	// Max caps the exponential growth (default 5s).
+	Max time.Duration
+	// Attempts is the total number of spawn tries, first included
+	// (default 5).
+	Attempts int
+	// Seed fixes the jitter sequence when nonzero; tests use it for
+	// reproducible schedules. Zero seeds from the clock.
+	Seed uint64
+	// Sleep replaces time.Sleep between attempts; tests install a fake
+	// clock here. Nil selects time.Sleep.
+	Sleep func(time.Duration)
+
+	rng uint64
+}
+
+func (b *Backoff) fill() {
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Attempts <= 0 {
+		b.Attempts = 5
+	}
+	if b.Sleep == nil {
+		b.Sleep = time.Sleep
+	}
+	b.rng = b.Seed
+	if b.rng == 0 {
+		b.rng = uint64(time.Now().UnixNano()) | 1
+	}
+}
+
+// Delay returns the jittered pause before retry number attempt
+// (0-based): equal jitter — half the exponential step is fixed, half
+// drawn uniformly — so concurrent respawns spread out while every delay
+// keeps a meaningful floor.
+func (b *Backoff) Delay(attempt int) time.Duration {
+	d := b.Max
+	if attempt < 30 { // beyond 30 doublings the shift alone overflows
+		if step := b.Base << uint(attempt); step > 0 && step < b.Max {
+			d = step
+		}
+	}
+	half := d / 2
+	return half + time.Duration(b.next()%uint64(half+1))
+}
+
+// next is a splitmix64 step: a tiny, allocation-free uniform generator,
+// good enough for jitter and deterministic under a fixed Seed.
+func (b *Backoff) next() uint64 {
+	b.rng += 0x9E3779B97F4A7C15
+	z := b.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

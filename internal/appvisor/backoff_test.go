@@ -1,0 +1,136 @@
+package appvisor
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"legosdn/internal/controller"
+)
+
+func TestBackoffDelayEnvelope(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond, Max: 5 * time.Second, Seed: 7}
+	b.fill()
+	for attempt := 0; attempt < 12; attempt++ {
+		step := b.Base << uint(attempt)
+		if step <= 0 || step > b.Max {
+			step = b.Max
+		}
+		d := b.Delay(attempt)
+		if d < step/2 || d > step {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, step/2, step)
+		}
+	}
+}
+
+func TestBackoffDeterministicUnderSeed(t *testing.T) {
+	mk := func() []time.Duration {
+		b := Backoff{Seed: 42}
+		b.fill()
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = b.Delay(i)
+		}
+		return out
+	}
+	a, c := mk(), mk()
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("delay %d differs across same-seed runs: %v vs %v", i, a[i], c[i])
+		}
+	}
+}
+
+func TestBackoffJitterVariesAcrossSeeds(t *testing.T) {
+	b1 := Backoff{Seed: 1}
+	b2 := Backoff{Seed: 2}
+	b1.fill()
+	b2.fill()
+	same := true
+	for i := 0; i < 8; i++ {
+		if b1.Delay(i) != b2.Delay(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}
+
+// flakyFactory fails its first n spawn attempts, then delegates to a
+// real in-process stub.
+type flakyFactory struct {
+	failures atomic.Int64
+	inner    StubFactory
+}
+
+func (f *flakyFactory) spawn(proxyAddr string) (StubHandle, error) {
+	if f.failures.Add(-1) >= 0 {
+		return nil, errors.New("injected spawn failure")
+	}
+	return f.inner(proxyAddr)
+}
+
+func TestRespawnRetriesWithFakeClock(t *testing.T) {
+	p, _ := newTestProxy(t, func() controller.App { return &echoApp{crashOn: 13} }, ProxyOptions{})
+
+	var slept []time.Duration
+	p.opts.RespawnBackoff = Backoff{
+		Base:     time.Second, // a real sleep this long would time the test out
+		Max:      30 * time.Second,
+		Attempts: 5,
+		Seed:     99,
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
+	}
+	flaky := &flakyFactory{inner: p.factory}
+	flaky.failures.Store(3)
+	p.factory = flaky.spawn
+
+	p.HandleEvent(nil, pktInEvent(1, 13)) // reported crash, stub marked down
+	if err := p.Respawn(); err != nil {
+		t.Fatalf("respawn should have succeeded on attempt 4: %v", err)
+	}
+	if !p.StubUp() {
+		t.Fatal("stub not up after successful respawn")
+	}
+	if len(slept) != 3 {
+		t.Fatalf("expected 3 backoff sleeps (one per failed attempt), got %d: %v", len(slept), slept)
+	}
+	// The fake clock saw the jittered exponential schedule: each delay
+	// within its attempt's [step/2, step] envelope.
+	for i, d := range slept {
+		step := time.Second << uint(i)
+		if d < step/2 || d > step {
+			t.Fatalf("sleep %d: %v outside [%v, %v]", i, d, step/2, step)
+		}
+	}
+}
+
+func TestRespawnGivesUpAfterAttempts(t *testing.T) {
+	p, _ := newTestProxy(t, func() controller.App { return &echoApp{crashOn: 13} }, ProxyOptions{})
+
+	var sleeps int
+	p.opts.RespawnBackoff = Backoff{
+		Base:     time.Second,
+		Attempts: 3,
+		Seed:     1,
+		Sleep:    func(time.Duration) { sleeps++ },
+	}
+	flaky := &flakyFactory{inner: p.factory}
+	flaky.failures.Store(1 << 30) // never recovers
+	p.factory = flaky.spawn
+
+	p.HandleEvent(nil, pktInEvent(1, 13)) // reported crash, stub marked down
+	err := p.Respawn()
+	if err == nil {
+		t.Fatal("respawn against a dead factory should fail")
+	}
+	if sleeps != 2 {
+		t.Fatalf("3 attempts should sleep twice between them, slept %d times", sleeps)
+	}
+	if p.respawnRetries.Load() != 0 {
+		// No registry installed: the nil counter must stay inert.
+		t.Fatal("nil respawn-retries counter accumulated")
+	}
+}

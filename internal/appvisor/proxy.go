@@ -98,6 +98,10 @@ type ProxyOptions struct {
 	HeartbeatTimeout time.Duration
 	// RegisterTimeout bounds the initial stub registration (default 5s).
 	RegisterTimeout time.Duration
+	// RespawnBackoff schedules the retries when a replacement stub
+	// fails to come up; zero-value fields select the defaults (50ms
+	// base, 5s cap, 5 attempts, jittered).
+	RespawnBackoff Backoff
 	// OnCrash observes every detected crash (problem tickets hook here).
 	OnCrash func(*CrashReport)
 	// Metrics, when set, registers the proxy's instruments (RPC
@@ -163,10 +167,11 @@ type Proxy struct {
 	CrashesDetected metrics.Counter
 
 	// Per-app instruments, nil without ProxyOptions.Metrics.
-	rpcLatency   *metrics.Histogram
-	rpcTimeouts  *metrics.Counter
-	heartbeatGap *metrics.Histogram
-	crashBy      [3]*metrics.Counter // indexed by CrashReason
+	rpcLatency     *metrics.Histogram
+	rpcTimeouts    *metrics.Counter
+	heartbeatGap   *metrics.Histogram
+	respawnRetries *metrics.Counter
+	crashBy        [3]*metrics.Counter // indexed by CrashReason
 }
 
 // NewProxy creates the proxy, binds its UDP socket, launches a stub via
@@ -204,6 +209,8 @@ func NewProxy(name string, ctx controller.Context, factory StubFactory, opts Pro
 			"proxy-to-stub RPCs that hit their deadline")
 		p.heartbeatGap = reg.Histogram("legosdn_appvisor_heartbeat_gap_seconds"+label,
 			"silence between consecutive stub heartbeats", nil)
+		p.respawnRetries = reg.Counter("legosdn_appvisor_respawn_retries_total"+label,
+			"respawn attempts beyond the first, over all recoveries")
 		for _, r := range []CrashReason{CrashReported, CrashHeartbeat, CrashTimeout} {
 			p.crashBy[r] = reg.Counter(
 				fmt.Sprintf("legosdn_appvisor_crashes_total{app=%q,reason=%q}", name, r.String()),
@@ -268,7 +275,9 @@ func (p *Proxy) spawn() error {
 }
 
 // Respawn replaces a dead stub with a fresh one. Crash-Pad invokes this
-// before restoring a checkpoint.
+// before restoring a checkpoint. A replacement that itself fails to
+// come up is retried on the options' bounded, jittered exponential
+// backoff rather than abandoning the app after one try.
 func (p *Proxy) Respawn() error {
 	p.mu.Lock()
 	old := p.stub
@@ -276,7 +285,23 @@ func (p *Proxy) Respawn() error {
 	if old != nil {
 		old.Kill()
 	}
-	return p.spawn()
+	b := p.opts.RespawnBackoff
+	b.fill()
+	var err error
+	for attempt := 0; attempt < b.Attempts; attempt++ {
+		if attempt > 0 {
+			b.Sleep(b.Delay(attempt - 1))
+			p.respawnRetries.Inc()
+		}
+		if p.closed.Load() {
+			return fmt.Errorf("appvisor: proxy for %q closed during respawn", p.name)
+		}
+		if err = p.spawn(); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("appvisor: respawn for %q gave up after %d attempts: %w",
+		p.name, b.Attempts, err)
 }
 
 // StubUp reports whether a live stub is currently attached.

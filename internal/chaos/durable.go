@@ -1,0 +1,234 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/core"
+	"legosdn/internal/durable"
+	"legosdn/internal/metrics"
+	"legosdn/internal/netsim"
+	"legosdn/internal/openflow"
+)
+
+// runDurableRecovery is the durable-crash-recovery scenario: a full
+// stack runs a workload against an on-disk state directory, the
+// controller is "SIGKILLed" mid-transaction (the whole incarnation is
+// abandoned with a journaled transaction neither committed nor
+// aborted), and a second incarnation restarts from the same state dir.
+// The restart must detect the orphaned transaction, replay its inverses
+// against the switch before new events flow, and come back with the
+// checkpoint histories intact — the paper's crash-consistency story
+// carried across a real process-death boundary.
+//
+// Everything runs in lockstep with no scheduled draws, so the scenario
+// is byte-for-byte deterministic: two same-seed runs must render
+// identical reports (the "identical post-recovery fingerprints"
+// acceptance bar).
+func runDurableRecovery(sc Scenario, seed uint64, reg *metrics.Registry) *Report {
+	sched := NewSchedule(seed)
+	rep := &Report{Scenario: sc.Name, Seed: seed, Fired: map[string]int{}}
+	add := func(name string, err error) {
+		rep.Invariants = append(rep.Invariants, InvariantResult{Name: name, Err: err})
+	}
+	fail := func(err error) *Report {
+		add("setup", err)
+		rep.ScheduleFingerprint = sched.Fingerprint()
+		return rep
+	}
+
+	stateDir, err := os.MkdirTemp("", "legosdn-chaos-durable-")
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(stateDir)
+
+	n := netsim.Single(2, nil)
+	log := NewEventLog()
+	const appName = "rec0"
+
+	inject := func(stack *core.Stack, seq int) error {
+		target := stack.Controller.Processed.Load() + 1
+		err := stack.Controller.Inject(controller.Event{
+			Kind: controller.EventPacketIn,
+			DPID: 1,
+			Message: &openflow.PacketIn{
+				BufferID: openflow.BufferIDNone,
+				InPort:   hostPort,
+				Reason:   openflow.PacketInReasonNoMatch,
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("inject %d: %w", seq, err)
+		}
+		rep.EventsInjected++
+		waitProcessed(stack.Controller, target, 30*time.Second)
+		return nil
+	}
+
+	// ---- incarnation A: run the workload, then die mid-transaction ----
+	stA, err := durable.OpenState(stateDir, 0, durable.Options{})
+	if err != nil {
+		return fail(err)
+	}
+	stackA := core.NewStack(core.Config{
+		Mode:             core.ModeLegoSDN,
+		CheckpointEvery:  sc.CheckpointEvery,
+		EventTimeout:     sc.EventTimeout,
+		HeartbeatTimeout: -1,
+		Metrics:          reg,
+		Durable:          stA,
+	})
+	if err := stackA.AddApp(func() controller.App { return newRecorder(appName, log) }); err != nil {
+		stackA.Close()
+		return fail(err)
+	}
+	if err := stackA.ConnectNetwork(n); err != nil {
+		stackA.Close()
+		return fail(err)
+	}
+	for i := 1; i <= sc.Events; i++ {
+		if err := inject(stackA, i); err != nil {
+			stackA.Close()
+			return fail(err)
+		}
+	}
+	quiesce(stackA.Controller)
+
+	// Committed workload state: what the rollback must preserve.
+	preTxn := n.Switch(1).Table().Fingerprint()
+
+	// The crash victim: a journaled transaction that installs three
+	// rules and never reaches commit or abort.
+	tx := stackA.NetLog.Begin()
+	stackA.NetLog.SetActive(tx)
+	for i := 0; i < 3; i++ {
+		if err := stackA.Controller.SendFlowMod(1, pendingRule(i)); err != nil {
+			stackA.Close()
+			return fail(fmt.Errorf("mid-txn flow mod %d: %w", i, err))
+		}
+	}
+	stackA.NetLog.SetActive(nil)
+	if err := stackA.Controller.Barrier(1); err != nil {
+		stackA.Close()
+		return fail(err)
+	}
+	if fp := n.Switch(1).Table().Fingerprint(); fp == preTxn {
+		stackA.Close()
+		return fail(fmt.Errorf("interrupted transaction had no effect to roll back"))
+	}
+
+	// SIGKILL. The stack and its durable state are abandoned without
+	// resolving the transaction — closing the WAL writes no transaction
+	// records, it only releases file descriptors, so the journal looks
+	// exactly as a killed process would have left it.
+	stackA.Close()
+	_ = stA.Close()
+
+	// ---- incarnation B: restart from the state directory ----
+	stB, err := durable.OpenState(stateDir, 0, durable.Options{})
+	if err != nil {
+		return fail(fmt.Errorf("reopening state dir: %w", err))
+	}
+	defer stB.Close()
+	rep.Fired["durable/orphan-txns"] = len(stB.Journal.Orphans())
+
+	stackB := core.NewStack(core.Config{
+		Mode:             core.ModeLegoSDN,
+		CheckpointEvery:  sc.CheckpointEvery,
+		EventTimeout:     sc.EventTimeout,
+		HeartbeatTimeout: -1,
+		Metrics:          metrics.NewRegistry(),
+		Durable:          stB,
+	})
+	defer stackB.Close()
+	if err := stackB.AddApp(func() controller.App { return newRecorder(appName, log) }); err != nil {
+		return fail(err)
+	}
+	// ConnectNetwork re-attaches the switch, resyncs the shadow from
+	// switch stats, and runs the durable recovery before returning.
+	if err := stackB.ConnectNetwork(n); err != nil {
+		return fail(fmt.Errorf("reconnecting after restart: %w", err))
+	}
+	rep.Fired["durable/recovered-txns"] = int(stB.RecoveredTxns())
+	rep.Fired["durable/recovered-mods"] = int(stB.RecoveredMods())
+
+	// New events must flow after recovery.
+	for i := 1; i <= sc.Events/2; i++ {
+		if err := inject(stackB, sc.Events+i); err != nil {
+			return fail(err)
+		}
+	}
+	quiesce(stackB.Controller)
+
+	// Invariants.
+	var orphanErr error
+	if got := len(stB.Journal.Orphans()); got != 0 {
+		orphanErr = fmt.Errorf("%d transactions still orphaned after recovery", got)
+	} else if stB.RecoveredTxns() == 0 {
+		orphanErr = fmt.Errorf("no interrupted transaction was ever rolled back")
+	}
+	add("no-orphaned-txns", orphanErr)
+
+	var restoredErr error
+	if stB.Checkpoints.Restored() == 0 {
+		restoredErr = fmt.Errorf("no checkpoints restored from disk")
+	} else if stB.Store().Latest(appName) == nil {
+		restoredErr = fmt.Errorf("app checkpoint history lost across restart")
+	}
+	add("checkpoints-restored", restoredErr)
+
+	// The rolled-back rules are gone but post-recovery workload rules
+	// have accreted, so compare shadow against the live switch — the
+	// shadow-table consistency the acceptance criteria name.
+	var shadowErr error
+	if got, want := stackB.NetLog.ShadowFingerprint(1), n.Switch(1).Table().Fingerprint(); got != want {
+		shadowErr = fmt.Errorf("shadow %q != switch %q", got, want)
+	}
+	add("shadow-consistency", shadowErr)
+
+	// None of the interrupted transaction's rules survived.
+	var residueErr error
+	for _, e := range n.Switch(1).Table().Entries() {
+		if e.Priority == pendingPriority {
+			residueErr = fmt.Errorf("rolled-back rule still installed: tp_dst=%d", e.Match.TpDst)
+			break
+		}
+	}
+	add("rollback-complete", residueErr)
+
+	add("fifo/"+appName, CheckFIFO(log.Delivered(appName)))
+
+	var aliveErr error
+	if stackB.Controller.Crashed() {
+		aliveErr = fmt.Errorf("controller crashed")
+	}
+	add("controller-alive", aliveErr)
+
+	rep.ScheduleFingerprint = sched.Fingerprint()
+	return rep
+}
+
+// pendingPriority marks the interrupted transaction's rules so residue
+// is detectable regardless of fingerprint collisions.
+const pendingPriority uint16 = 200
+
+// pendingRule builds the i-th rule of the doomed transaction, disjoint
+// from the recorder's rule space (priority 100, tp_dst 8000-8063).
+func pendingRule(i int) *openflow.FlowMod {
+	m := openflow.MatchAll()
+	m.Wildcards &^= openflow.WildcardDlType | openflow.WildcardNwProto | openflow.WildcardTpDst
+	m.DlType = 0x0800
+	m.NwProto = 6
+	m.TpDst = uint16(9100 + i)
+	return &openflow.FlowMod{
+		Match:    m,
+		Command:  openflow.FlowModAdd,
+		Priority: pendingPriority,
+		BufferID: openflow.BufferIDNone,
+		OutPort:  openflow.PortNone,
+		Actions:  []openflow.Action{&openflow.ActionOutput{Port: hostPort}},
+	}
+}

@@ -72,6 +72,14 @@ type Scenario struct {
 	// the controller and every other invariant hold IS the correct
 	// containment outcome there.
 	AllowQuarantine bool
+
+	// Custom, when set, replaces the stock single-stack run entirely:
+	// scenarios whose shape the standard loop cannot express (e.g. the
+	// durable-recovery scenario, which kills and restarts the whole
+	// controller) implement Run themselves. The function receives the
+	// scenario with defaults applied and must honor the Deterministic
+	// contract if the scenario declares it.
+	Custom func(sc Scenario, seed uint64, reg *metrics.Registry) *Report
 }
 
 // InvariantResult is one post-run check.
@@ -151,6 +159,9 @@ func (sc Scenario) Run(seed uint64, reg *metrics.Registry) *Report {
 	sc = sc.withDefaults()
 	if reg == nil {
 		reg = metrics.NewRegistry()
+	}
+	if sc.Custom != nil {
+		return sc.Custom(sc, seed, reg)
 	}
 	sched := NewSchedule(seed)
 	inj := NewInjector(sched, reg, nil)

@@ -61,6 +61,13 @@ func Library() []Scenario {
 			Deterministic:   true,
 		},
 		{
+			Name:          "durable-crash-recovery",
+			Description:   "controller killed mid-transaction; restart from the state dir rolls it back",
+			Events:        20,
+			Deterministic: true,
+			Custom:        runDurableRecovery,
+		},
+		{
 			Name:        "netsim-flap",
 			Description: "inter-switch links flap under load",
 			Switches:    3,

@@ -13,6 +13,7 @@ package checkpoint
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -25,12 +26,31 @@ type Checkpoint struct {
 	Taken time.Time
 }
 
+// clone deep-copies the checkpoint so accessors never hand out State
+// slices aliased with stored history: a caller that mutates the
+// returned bytes (e.g. patching a snapshot before replay) must not
+// corrupt the store's copy.
+func (c *Checkpoint) clone() *Checkpoint {
+	cp := *c
+	cp.State = append([]byte(nil), c.State...)
+	return &cp
+}
+
+// Sink observes every checkpoint the moment it is stored; the durable
+// backend implements it to journal Puts to disk. The checkpoint is
+// passed by value and must be treated as read-only — its State slice
+// is the store's own copy.
+type Sink interface {
+	AppendCheckpoint(cp Checkpoint) error
+}
+
 // Store keeps bounded per-app checkpoint histories. It is safe for
 // concurrent use.
 type Store struct {
 	mu        sync.Mutex
 	histories map[string][]*Checkpoint
 	maxPerApp int
+	sink      Sink
 
 	// Saves and Bytes count stored checkpoints and their cumulative
 	// size, for the overhead benchmarks.
@@ -48,23 +68,55 @@ func NewStore(maxPerApp int) *Store {
 	return &Store{histories: make(map[string][]*Checkpoint), maxPerApp: maxPerApp}
 }
 
+// SetSink installs (or, with nil, removes) the persistence sink. The
+// sink is invoked synchronously under the store's lock, so the on-disk
+// journal order always matches history order; install it before
+// traffic flows.
+func (s *Store) SetSink(sink Sink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sink = sink
+}
+
 // Put stores a checkpoint of app state taken just before the event with
 // sequence number seq.
 func (s *Store) Put(app string, seq uint64, state []byte) *Checkpoint {
 	cp := &Checkpoint{App: app, Seq: seq, State: append([]byte(nil), state...), Taken: time.Now()}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	h := append(s.histories[app], cp)
-	if len(h) > s.maxPerApp {
-		h = h[len(h)-s.maxPerApp:]
-	}
-	s.histories[app] = h
+	s.insertLocked(cp)
 	s.Saves++
 	s.Bytes += uint64(len(state))
+	if s.sink != nil {
+		// Persistence is best-effort by design: a failed journal append
+		// degrades durability, never availability.
+		_ = s.sink.AppendCheckpoint(*cp)
+	}
 	return cp
 }
 
-// Latest returns the most recent checkpoint for app, or nil.
+// RestorePut inserts a checkpoint recovered from a persistent backend,
+// bypassing the sink (the record is already on disk) and the save
+// counters (it is not a new checkpoint). Callers must supply records in
+// chronological order.
+func (s *Store) RestorePut(app string, seq uint64, state []byte, taken time.Time) {
+	cp := &Checkpoint{App: app, Seq: seq, State: append([]byte(nil), state...), Taken: taken}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insertLocked(cp)
+}
+
+func (s *Store) insertLocked(cp *Checkpoint) {
+	h := append(s.histories[cp.App], cp)
+	if len(h) > s.maxPerApp {
+		h = h[len(h)-s.maxPerApp:]
+	}
+	s.histories[cp.App] = h
+}
+
+// Latest returns the most recent checkpoint for app, or nil. The
+// returned checkpoint is a defensive copy: mutating it (or its State
+// bytes) cannot corrupt the stored history.
 func (s *Store) Latest(app string) *Checkpoint {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -72,29 +124,48 @@ func (s *Store) Latest(app string) *Checkpoint {
 	if len(h) == 0 {
 		return nil
 	}
-	return h[len(h)-1]
+	return h[len(h)-1].clone()
 }
 
 // Before returns the most recent checkpoint whose Seq is <= seq, i.e.
 // the image to restore when every event from Seq onward must be
-// reconsidered. Returns nil when no checkpoint is old enough.
+// reconsidered. Returns nil when no checkpoint is old enough. Like
+// Latest, the result is a defensive copy.
 func (s *Store) Before(app string, seq uint64) *Checkpoint {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	h := s.histories[app]
 	for i := len(h) - 1; i >= 0; i-- {
 		if h[i].Seq <= seq {
-			return h[i]
+			return h[i].clone()
 		}
 	}
 	return nil
 }
 
-// History returns the app's checkpoints, oldest first.
+// History returns the app's checkpoints, oldest first, as defensive
+// copies.
 func (s *Store) History(app string) []*Checkpoint {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]*Checkpoint(nil), s.histories[app]...)
+	out := make([]*Checkpoint, len(s.histories[app]))
+	for i, cp := range s.histories[app] {
+		out[i] = cp.clone()
+	}
+	return out
+}
+
+// Apps returns every app with stored history, sorted, so a persistent
+// backend can serialize the store deterministically.
+func (s *Store) Apps() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.histories))
+	for app := range s.histories {
+		out = append(out, app)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Drop discards all checkpoints for app.

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestStorePutLatestBefore(t *testing.T) {
@@ -117,5 +118,64 @@ func TestStoreString(t *testing.T) {
 	s.Put("a", 1, []byte("zz"))
 	if !strings.Contains(s.String(), "saves=1") {
 		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+// Regression: Latest and Before used to return pointers into the stored
+// history, so a recovery path that patched the returned State bytes (or
+// the struct) corrupted the checkpoint every later rollback restored.
+func TestAccessorsReturnDefensiveCopies(t *testing.T) {
+	s := NewStore(0)
+	s.Put("a", 1, []byte("pristine"))
+	s.Put("a", 5, []byte("newest"))
+
+	cp := s.Latest("a")
+	cp.State[0] = 'X'
+	cp.Seq = 999
+	if got := s.Latest("a"); string(got.State) != "newest" || got.Seq != 5 {
+		t.Fatalf("mutating Latest's result corrupted the store: %+v", got)
+	}
+
+	cp = s.Before("a", 1)
+	cp.State[0] = 'X'
+	if got := s.Before("a", 1); string(got.State) != "pristine" {
+		t.Fatalf("mutating Before's result corrupted the store: %q", got.State)
+	}
+
+	for _, h := range s.History("a") {
+		if len(h.State) > 0 {
+			h.State[0] = '!'
+		}
+	}
+	if got := s.Latest("a"); string(got.State) != "newest" {
+		t.Fatalf("mutating History's results corrupted the store: %q", got.State)
+	}
+}
+
+// The sink sees every Put, in order, under the store's serialization.
+type recordingSink struct {
+	got []Checkpoint
+}
+
+func (r *recordingSink) AppendCheckpoint(cp Checkpoint) error {
+	r.got = append(r.got, cp)
+	return nil
+}
+
+func TestSinkObservesPutsInOrder(t *testing.T) {
+	s := NewStore(0)
+	sink := &recordingSink{}
+	s.SetSink(sink)
+	s.Put("a", 1, []byte("one"))
+	s.Put("b", 2, []byte("two"))
+	s.RestorePut("c", 3, []byte("restored"), time.Unix(1, 0)) // bypasses the sink
+	if len(sink.got) != 2 || sink.got[0].Seq != 1 || sink.got[1].Seq != 2 {
+		t.Fatalf("sink saw %+v", sink.got)
+	}
+	if s.Saves != 2 {
+		t.Fatalf("RestorePut must not count as a save: saves=%d", s.Saves)
+	}
+	if cp := s.Latest("c"); cp == nil || string(cp.State) != "restored" {
+		t.Fatalf("RestorePut lost: %+v", cp)
 	}
 }

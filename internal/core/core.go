@@ -22,6 +22,7 @@ import (
 	"legosdn/internal/checkpoint"
 	"legosdn/internal/controller"
 	"legosdn/internal/crashpad"
+	"legosdn/internal/durable"
 	"legosdn/internal/flowtable"
 	"legosdn/internal/metrics"
 	"legosdn/internal/netlog"
@@ -72,6 +73,15 @@ type Config struct {
 	// Store persists checkpoints across Stack instances (controller
 	// upgrades); nil allocates a private store.
 	Store *checkpoint.Store
+	// Durable wires the stack to an on-disk state directory (opened by
+	// the caller via durable.OpenState): checkpoints persist through its
+	// WAL-backed store (superseding Store), NetLog journals transaction
+	// lifecycles, and ConnectNetwork rolls back any transaction a crash
+	// interrupted before new events flow. The caller keeps ownership —
+	// Stack.Close does not close it, so a simulated SIGKILL (abandoning
+	// the stack without closing the state) leaves the journal exactly as
+	// a real crash would.
+	Durable *durable.State
 	// Clock drives NetLog timeout bookkeeping (nil = real time).
 	Clock flowtable.Clock
 	// EventTimeout bounds one proxied event round trip (default 2s).
@@ -123,16 +133,20 @@ type Stack struct {
 
 	cfg Config
 
-	mu       sync.Mutex
-	proxies  map[string]*appvisor.Proxy
-	replicas map[string]func() controller.App
-	closed   bool
+	mu        sync.Mutex
+	proxies   map[string]*appvisor.Proxy
+	replicas  map[string]func() controller.App
+	closed    bool
+	recovered bool
 }
 
 // NewStack builds and starts a stack in the configured mode.
 func NewStack(cfg Config) *Stack {
 	if cfg.CheckpointEvery < 1 {
 		cfg.CheckpointEvery = 1
+	}
+	if cfg.Durable != nil {
+		cfg.Store = cfg.Durable.Store()
 	}
 	if cfg.Store == nil {
 		cfg.Store = checkpoint.NewStore(0)
@@ -153,6 +167,9 @@ func NewStack(cfg Config) *Stack {
 	}
 	cfg.Tracer.Instrument(cfg.Metrics)
 	RegisterBuildInfo(cfg.Metrics)
+	if cfg.Durable != nil {
+		cfg.Durable.Instrument(cfg.Metrics)
+	}
 
 	ctrlCfg := controller.Config{Logf: cfg.Logf, Metrics: cfg.Metrics,
 		Parallel: cfg.Parallel, BatchMax: cfg.BatchMax,
@@ -174,6 +191,9 @@ func NewStack(cfg Config) *Stack {
 			s.NetLog = netlog.NewManager(s.Controller, cfg.Clock)
 			s.NetLog.Instrument(cfg.Metrics)
 			s.NetLog.SetTracer(cfg.Tracer)
+			if cfg.Durable != nil {
+				s.NetLog.SetJournal(cfg.Durable.Journal)
+			}
 			s.NetLog.Install(s.Controller)
 		}
 		s.CrashPad = crashpad.New(crashpad.Options{
@@ -291,6 +311,42 @@ func (s *Stack) ConnectNetwork(n *netsim.Network) error {
 			return fmt.Errorf("core: switch-up events never dispatched")
 		}
 		time.Sleep(time.Millisecond)
+	}
+	return s.recoverDurable()
+}
+
+// recoverDurable rolls back any transaction the previous controller
+// incarnation left open in the durable journal. It runs once, after the
+// switches have attached (the inverses need live connections) and
+// before the caller starts injecting traffic — the "before new events
+// flow" half of the crash-consistency contract. The inverse sends pass
+// through NetLog's outbound hook with no active transaction, so the
+// shadow tables absorb them and end consistent with the switches.
+func (s *Stack) recoverDurable() error {
+	d := s.cfg.Durable
+	if d == nil {
+		return nil
+	}
+	s.mu.Lock()
+	ran := s.recovered
+	s.recovered = true
+	s.mu.Unlock()
+	if ran || len(d.Journal.Orphans()) == 0 {
+		return nil
+	}
+	sp := s.cfg.Tracer.StartSpan(s.cfg.Tracer.Root(), "durable.recover")
+	txns, mods, err := d.ReplayOrphans(s.Controller, time.Now())
+	sp.AttrInt("txns", int64(txns)).AttrInt("mods", int64(mods))
+	if err != nil {
+		sp.Attr("error", err.Error())
+	}
+	sp.End()
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("durable recovery finished",
+			"txns", txns, "mods", mods, "err", err)
+	}
+	if err != nil {
+		return fmt.Errorf("core: durable recovery: %w", err)
 	}
 	return nil
 }

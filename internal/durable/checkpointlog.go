@@ -1,0 +1,196 @@
+package durable
+
+import (
+	"fmt"
+	"time"
+
+	"legosdn/internal/checkpoint"
+)
+
+// recCheckpoint is one checkpoint.Store Put: app, seq, taken, state.
+const recCheckpoint byte = 1
+
+// compactAfterSegments is how many live segments a client WAL may
+// accumulate before the next quiet moment triggers a snapshot+compact.
+const compactAfterSegments = 3
+
+// CheckpointLog is the checkpoint store's persistent backend: every
+// Put is appended (and fsynced) to a WAL, and Open replays the log so
+// per-app checkpoint histories survive a controller crash or upgrade —
+// the state the paper's §3.4 ten-second-upgrade path restores apps
+// from.
+//
+// The log keeps its own bounded mirror of the histories so compaction
+// can serialize a snapshot without re-entering the store's lock (the
+// sink is invoked synchronously under it).
+type CheckpointLog struct {
+	w     *WAL
+	store *checkpoint.Store
+
+	// mirror duplicates the store's bounded histories for snapshots;
+	// guarded by the WAL's append serialization via its own methods —
+	// all writes arrive through AppendCheckpoint, which the store
+	// serializes under its lock.
+	mirror    map[string][]checkpoint.Checkpoint
+	maxPerApp int
+
+	// restored counts checkpoints replayed from disk at open.
+	restored int
+}
+
+// OpenCheckpointLog opens (or creates) the checkpoint WAL in dir,
+// replays it into a fresh store bounded at maxPerApp (<=0 selects the
+// store default of 64), and installs itself as the store's sink.
+func OpenCheckpointLog(dir string, maxPerApp int, opts Options) (*CheckpointLog, error) {
+	if maxPerApp <= 0 {
+		maxPerApp = 64
+	}
+	w, err := Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	l := &CheckpointLog{
+		w:         w,
+		store:     checkpoint.NewStore(maxPerApp),
+		mirror:    make(map[string][]checkpoint.Checkpoint),
+		maxPerApp: maxPerApp,
+	}
+	err = w.Replay(func(rec Record) error {
+		switch rec.Type {
+		case RecSnapshot:
+			return l.replaySnapshot(rec.Payload)
+		case recCheckpoint:
+			return l.replayCheckpoint(rec.Payload)
+		default:
+			return fmt.Errorf("durable: unknown checkpoint record type %d", rec.Type)
+		}
+	})
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	l.store.SetSink(l)
+	return l, nil
+}
+
+// Store returns the restored store; every subsequent Put is journaled.
+func (l *CheckpointLog) Store() *checkpoint.Store { return l.store }
+
+// Restored reports how many checkpoints the open-time replay loaded.
+func (l *CheckpointLog) Restored() int { return l.restored }
+
+// WAL exposes the underlying log for instrumentation.
+func (l *CheckpointLog) WAL() *WAL { return l.w }
+
+// Close syncs and closes the log. The store keeps working in memory.
+func (l *CheckpointLog) Close() error {
+	l.store.SetSink(nil)
+	return l.w.Close()
+}
+
+// AppendCheckpoint implements checkpoint.Sink. Called synchronously
+// under the store's lock, so on-disk order matches history order.
+func (l *CheckpointLog) AppendCheckpoint(cp checkpoint.Checkpoint) error {
+	payload := appendString(nil, cp.App)
+	payload = appendU64(payload, cp.Seq)
+	payload = appendI64(payload, cp.Taken.UnixNano())
+	payload = appendBytes(payload, cp.State)
+	if err := l.w.Append(recCheckpoint, payload); err != nil {
+		return err
+	}
+	l.noteMirror(cp)
+	if l.w.SegmentCount() > compactAfterSegments {
+		return l.compact()
+	}
+	return nil
+}
+
+func (l *CheckpointLog) noteMirror(cp checkpoint.Checkpoint) {
+	cp.State = append([]byte(nil), cp.State...)
+	h := append(l.mirror[cp.App], cp)
+	if len(h) > l.maxPerApp {
+		h = h[len(h)-l.maxPerApp:]
+	}
+	l.mirror[cp.App] = h
+}
+
+// compact replaces the journal with a snapshot of the bounded mirror:
+// the history the store itself retains, which is all recovery can ever
+// restore.
+func (l *CheckpointLog) compact() error {
+	apps := make([]string, 0, len(l.mirror))
+	for app := range l.mirror {
+		apps = append(apps, app)
+	}
+	// Deterministic snapshot layout for same-seed reproducibility.
+	for i := 1; i < len(apps); i++ {
+		for j := i; j > 0 && apps[j] < apps[j-1]; j-- {
+			apps[j], apps[j-1] = apps[j-1], apps[j]
+		}
+	}
+	snap := appendU32(nil, uint32(len(apps)))
+	for _, app := range apps {
+		snap = appendString(snap, app)
+		h := l.mirror[app]
+		snap = appendU32(snap, uint32(len(h)))
+		for _, cp := range h {
+			snap = appendU64(snap, cp.Seq)
+			snap = appendI64(snap, cp.Taken.UnixNano())
+			snap = appendBytes(snap, cp.State)
+		}
+	}
+	return l.w.Compact(snap)
+}
+
+func (l *CheckpointLog) replaySnapshot(payload []byte) error {
+	r := &reader{b: payload}
+	napps, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < napps; i++ {
+		app, err := r.str()
+		if err != nil {
+			return err
+		}
+		ncps, err := r.u32()
+		if err != nil {
+			return err
+		}
+		for j := uint32(0); j < ncps; j++ {
+			if err := l.restoreOne(app, r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (l *CheckpointLog) replayCheckpoint(payload []byte) error {
+	r := &reader{b: payload}
+	app, err := r.str()
+	if err != nil {
+		return err
+	}
+	return l.restoreOne(app, r)
+}
+
+func (l *CheckpointLog) restoreOne(app string, r *reader) error {
+	seq, err := r.u64()
+	if err != nil {
+		return err
+	}
+	takenNano, err := r.i64()
+	if err != nil {
+		return err
+	}
+	state, err := r.bytes()
+	if err != nil {
+		return err
+	}
+	taken := time.Unix(0, takenNano)
+	l.store.RestorePut(app, seq, state, taken)
+	l.noteMirror(checkpoint.Checkpoint{App: app, Seq: seq, State: state, Taken: taken})
+	l.restored++
+	return nil
+}

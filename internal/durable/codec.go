@@ -1,0 +1,104 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Minimal big-endian append/read helpers shared by the WAL clients.
+// Decoding is defensive: every read checks bounds, because journal
+// payloads cross process lifetimes and a framing bug must surface as a
+// decode error, never a panic in the recovery path.
+
+func appendU16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(b, v)
+}
+
+func appendI64(b []byte, v int64) []byte {
+	return appendU64(b, uint64(v))
+}
+
+// appendBytes writes a u32 length prefix then the bytes.
+func appendBytes(b, v []byte) []byte {
+	b = appendU32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+// appendString writes a u16 length prefix then the string.
+func appendString(b []byte, s string) []byte {
+	b = appendU16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+var errShort = fmt.Errorf("durable: truncated record payload")
+
+type reader struct {
+	b []byte
+}
+
+func (r *reader) u16() (uint16, error) {
+	if len(r.b) < 2 {
+		return 0, errShort
+	}
+	v := uint16(r.b[0])<<8 | uint16(r.b[1])
+	r.b = r.b[2:]
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if len(r.b) < 4 {
+		return 0, errShort
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if len(r.b) < 8 {
+		return 0, errShort
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v, nil
+}
+
+func (r *reader) i64() (int64, error) {
+	v, err := r.u64()
+	return int64(v), err
+}
+
+// bytes returns a copy (WAL replay reuses its buffer between records).
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(len(r.b)) < n {
+		return nil, errShort
+	}
+	out := append([]byte(nil), r.b[:n]...)
+	r.b = r.b[n:]
+	return out, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	if len(r.b) < int(n) {
+		return "", errShort
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s, nil
+}

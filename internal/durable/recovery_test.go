@@ -1,0 +1,257 @@
+package durable
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"legosdn/internal/netlog"
+	"legosdn/internal/openflow"
+)
+
+// fakeSender records the messages recovery replays.
+type fakeSender struct {
+	mu       sync.Mutex
+	sent     []*openflow.FlowMod
+	dpids    []uint64
+	barriers []uint64
+}
+
+func (f *fakeSender) SendMessage(dpid uint64, msg openflow.Message) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fm, ok := msg.(*openflow.FlowMod); ok {
+		f.sent = append(f.sent, fm)
+		f.dpids = append(f.dpids, dpid)
+	}
+	return nil
+}
+
+func (f *fakeSender) Barrier(dpid uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.barriers = append(f.barriers, dpid)
+	return nil
+}
+
+func addMod(inPort uint16) *openflow.FlowMod {
+	m := openflow.MatchAll()
+	m.Wildcards &^= openflow.WildcardInPort
+	m.InPort = inPort
+	return &openflow.FlowMod{
+		Match: m, Command: openflow.FlowModAdd, Priority: 10,
+		BufferID: openflow.BufferIDNone, OutPort: openflow.PortNone,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: 99}},
+	}
+}
+
+func TestNetLogJournalCommittedTxnLeavesNoOrphan(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenNetLogJournal(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.TxnBegin(7)
+	j.TxnOp(7, netlog.JournalOp{DPID: 1, Inverses: []netlog.JournalInverse{{Mod: addMod(1)}}})
+	j.TxnCommit(7)
+	j.Close()
+
+	j2, err := OpenNetLogJournal(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.Orphans(); len(got) != 0 {
+		t.Fatalf("committed transaction resurfaced as orphan: %+v", got)
+	}
+}
+
+func TestNetLogJournalInterruptedTxnBecomesOrphan(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenNetLogJournal(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two interleaved transactions; only 3 commits. 5 is the crash victim.
+	j.TxnBegin(3)
+	j.TxnOp(3, netlog.JournalOp{DPID: 1, Inverses: []netlog.JournalInverse{{Mod: addMod(1)}}})
+	j.TxnBegin(5)
+	inv := addMod(2)
+	inv.HardTimeout = 60
+	j.TxnOp(5, netlog.JournalOp{DPID: 2, Inverses: []netlog.JournalInverse{
+		{Mod: inv, Restore: true, Installed: time.Unix(5000, 0)},
+	}})
+	j.TxnCommit(3)
+	j.Close() // crash: 5 never commits or aborts
+
+	j2, err := OpenNetLogJournal(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	orphans := j2.Orphans()
+	if len(orphans) != 1 || orphans[0].ID != 5 {
+		t.Fatalf("orphans = %+v, want exactly txn 5", orphans)
+	}
+	ops := orphans[0].Ops
+	if len(ops) != 1 || ops[0].DPID != 2 || len(ops[0].Inverses) != 1 {
+		t.Fatalf("orphan ops = %+v", ops)
+	}
+	got := ops[0].Inverses[0]
+	if !got.Restore || got.Mod.HardTimeout != 60 || got.Mod.Match.InPort != 2 {
+		t.Fatalf("inverse did not round-trip: %+v / %+v", got, got.Mod)
+	}
+	if !got.Installed.Equal(time.Unix(5000, 0)) {
+		t.Fatalf("installed time lost: %v", got.Installed)
+	}
+}
+
+func TestNetLogJournalResolveIsDurable(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := OpenNetLogJournal(dir, Options{})
+	j.TxnBegin(1)
+	j.TxnOp(1, netlog.JournalOp{DPID: 1, Inverses: []netlog.JournalInverse{{Mod: addMod(1)}}})
+	j.Close()
+
+	j2, _ := OpenNetLogJournal(dir, Options{})
+	if len(j2.Orphans()) != 1 {
+		t.Fatal("setup: expected one orphan")
+	}
+	if err := j2.Resolve(1); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	j3, _ := OpenNetLogJournal(dir, Options{})
+	defer j3.Close()
+	if got := j3.Orphans(); len(got) != 0 {
+		t.Fatalf("resolved orphan came back: %+v", got)
+	}
+}
+
+func TestNetLogJournalCompactsWhenIdle(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenNetLogJournal(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for id := uint64(1); id <= 100; id++ {
+		j.TxnBegin(id)
+		j.TxnOp(id, netlog.JournalOp{DPID: 1, Inverses: []netlog.JournalInverse{{Mod: addMod(uint16(id))}}})
+		j.TxnCommit(id)
+	}
+	if segs := j.WAL().SegmentCount(); segs > compactAfterSegments+1 {
+		t.Fatalf("idle journal never compacted: %d segments", segs)
+	}
+}
+
+func TestManagerJournalsTransactionsThroughWAL(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenNetLogJournal(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := &fakeSender{}
+	m := netlog.NewManager(sender, nil)
+	m.SetJournal(j)
+	hook := m.Hook()
+
+	// Committed transaction: begin/op/commit reach the WAL.
+	tx := m.Begin()
+	m.SetActive(tx)
+	hook(1, addMod(1))
+	m.SetActive(nil)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted transaction: ops journaled, then the "controller dies".
+	tx2 := m.Begin()
+	m.SetActive(tx2)
+	hook(1, addMod(2))
+	hook(1, addMod(3))
+	m.SetActive(nil)
+	j.Close() // crash point: no commit, no abort
+
+	j2, err := OpenNetLogJournal(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	orphans := j2.Orphans()
+	if len(orphans) != 1 {
+		t.Fatalf("want exactly the interrupted txn, got %+v", orphans)
+	}
+	if len(orphans[0].Ops) != 2 {
+		t.Fatalf("interrupted txn journaled %d ops, want 2", len(orphans[0].Ops))
+	}
+	// The inverses for ADDs are strict deletes.
+	for _, op := range orphans[0].Ops {
+		if inv := op.Inverses[0]; inv.Mod.Command != openflow.FlowModDeleteStrict || inv.Restore {
+			t.Fatalf("ADD inverse should be a strict delete: %+v", inv.Mod)
+		}
+	}
+}
+
+func TestStateReplayOrphansRollsBackAndResolves(t *testing.T) {
+	dir := t.TempDir()
+	// Seed the journal with one interrupted transaction: op A (dpid 1,
+	// strict-delete inverse), then op B (dpid 2, restore inverse with a
+	// 60s hard timeout installed 45s before the replay instant).
+	installed := time.Unix(9000, 0)
+	now := installed.Add(45 * time.Second)
+	j, err := OpenNetLogJournal(filepath.Join(dir, "netlog"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := addMod(1)
+	del.Command = openflow.FlowModDeleteStrict
+	j.TxnBegin(42)
+	j.TxnOp(42, netlog.JournalOp{DPID: 1, Inverses: []netlog.JournalInverse{{Mod: del}}})
+	restore := addMod(2)
+	restore.HardTimeout = 60
+	j.TxnOp(42, netlog.JournalOp{DPID: 2, Inverses: []netlog.JournalInverse{
+		{Mod: restore, Restore: true, Installed: installed},
+	}})
+	j.Close()
+
+	st, err := OpenState(dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := &fakeSender{}
+	txns, mods, err := st.ReplayOrphans(sender, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txns != 1 || mods != 2 {
+		t.Fatalf("replayed txns=%d mods=%d, want 1 and 2", txns, mods)
+	}
+	if st.RecoveredTxns() != 1 || st.RecoveredMods() != 2 {
+		t.Fatalf("counters: txns=%d mods=%d", st.RecoveredTxns(), st.RecoveredMods())
+	}
+	// Ops replay in reverse order: the restore (op B) before the delete.
+	if len(sender.sent) != 2 || sender.dpids[0] != 2 || sender.dpids[1] != 1 {
+		t.Fatalf("replay order wrong: dpids %v", sender.dpids)
+	}
+	// §3.2 remaining-budget rule across the restart: 60s - 45s elapsed.
+	if got := sender.sent[0].HardTimeout; got != 15 {
+		t.Fatalf("replayed hard timeout = %d, want 15", got)
+	}
+	if len(sender.barriers) != 2 {
+		t.Fatalf("want a barrier per touched switch, got %v", sender.barriers)
+	}
+	st.Close()
+
+	// A second open finds nothing left to do — the abort was durable.
+	st2, err := OpenState(dir, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Journal.Orphans(); len(got) != 0 {
+		t.Fatalf("resolved txn resurfaced: %+v", got)
+	}
+}

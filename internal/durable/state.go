@@ -1,0 +1,127 @@
+package durable
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"legosdn/internal/checkpoint"
+	"legosdn/internal/metrics"
+	"legosdn/internal/netlog"
+)
+
+// State is a controller's durable footprint: the checkpoint WAL and the
+// NetLog transaction journal, side by side under one state directory.
+//
+//	<dir>/checkpoints/wal-*.seg
+//	<dir>/netlog/wal-*.seg
+//
+// Opening a State is the recovery entry point — it replays both logs,
+// leaving the checkpoint store restored and the interrupted transactions
+// (if any) queued for ReplayOrphans.
+type State struct {
+	Checkpoints *CheckpointLog
+	Journal     *NetLogJournal
+
+	dir string
+
+	recoveredTxns metrics.Counter
+	recoveredMods metrics.Counter
+}
+
+// OpenState opens (or creates) the durable state under dir. maxPerApp
+// bounds each app's restored checkpoint history (<=0 selects the store
+// default).
+func OpenState(dir string, maxPerApp int, opts Options) (*State, error) {
+	cl, err := OpenCheckpointLog(filepath.Join(dir, "checkpoints"), maxPerApp, opts)
+	if err != nil {
+		return nil, fmt.Errorf("durable: opening checkpoint log: %w", err)
+	}
+	j, err := OpenNetLogJournal(filepath.Join(dir, "netlog"), opts)
+	if err != nil {
+		cl.Close()
+		return nil, fmt.Errorf("durable: opening netlog journal: %w", err)
+	}
+	return &State{Checkpoints: cl, Journal: j, dir: dir}, nil
+}
+
+// Dir returns the state directory.
+func (s *State) Dir() string { return s.dir }
+
+// Store returns the restored checkpoint store; Puts into it are
+// journaled from here on.
+func (s *State) Store() *checkpoint.Store { return s.Checkpoints.Store() }
+
+// Instrument registers both WALs' instruments plus the recovery
+// counters.
+func (s *State) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s.Checkpoints.WAL().Instrument(reg, "checkpoints")
+	s.Journal.WAL().Instrument(reg, "netlog")
+	reg.RegisterCounter("legosdn_durable_recovered_txns_total",
+		"interrupted transactions rolled back at startup", &s.recoveredTxns)
+	reg.RegisterCounter("legosdn_durable_recovered_mods_total",
+		"inverse flow mods replayed during startup recovery", &s.recoveredMods)
+}
+
+// RecoveredTxns reports interrupted transactions rolled back so far;
+// RecoveredMods the inverse messages that replay sent.
+func (s *State) RecoveredTxns() uint64 { return s.recoveredTxns.Load() }
+func (s *State) RecoveredMods() uint64 { return s.recoveredMods.Load() }
+
+// ReplayOrphans undoes every interrupted transaction the journal found
+// at open: for each orphan (newest first) it sends the journaled
+// inverses in reverse op order, waits for a barrier on every touched
+// switch, and only then appends the abort record (Resolve) — so a crash
+// during recovery itself re-replays on the next start. The inverses are
+// absolute restores and strict deletes, so double replay converges.
+//
+// Restored entries get their hard timeout re-derived from the journaled
+// install time via netlog.RemainingHardTimeout, honoring §3.2's
+// remaining-budget rule across the restart.
+//
+// Call after the controller's switches are attached and before new
+// events flow. Returns the transaction and message counts replayed.
+func (s *State) ReplayOrphans(sender netlog.Sender, now time.Time) (txns, mods int, err error) {
+	for _, t := range s.Journal.Orphans() {
+		dpids := make(map[uint64]bool)
+		for i := len(t.Ops) - 1; i >= 0; i-- {
+			op := t.Ops[i]
+			for _, inv := range op.Inverses {
+				mod := *inv.Mod // shallow copy: timeout patch must not alias the journal
+				if inv.Restore {
+					mod.HardTimeout = netlog.RemainingHardTimeout(mod.HardTimeout, inv.Installed, now)
+				}
+				if err := sender.SendMessage(op.DPID, &mod); err != nil {
+					return txns, mods, fmt.Errorf("durable: replaying inverse for txn %d: %w", t.ID, err)
+				}
+				mods++
+				s.recoveredMods.Inc()
+			}
+			dpids[op.DPID] = true
+		}
+		for d := range dpids {
+			if err := sender.Barrier(d); err != nil {
+				return txns, mods, fmt.Errorf("durable: barrier after txn %d replay: %w", t.ID, err)
+			}
+		}
+		if err := s.Journal.Resolve(t.ID); err != nil {
+			return txns, mods, err
+		}
+		txns++
+		s.recoveredTxns.Inc()
+	}
+	return txns, mods, nil
+}
+
+// Close syncs and closes both logs.
+func (s *State) Close() error {
+	err1 := s.Checkpoints.Close()
+	err2 := s.Journal.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

@@ -1,0 +1,277 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func collect(t *testing.T, w *WAL) []Record {
+	t.Helper()
+	var recs []Record
+	err := w.Replay(func(r Record) error {
+		recs = append(recs, Record{Type: r.Type, Payload: append([]byte(nil), r.Payload...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Append(1, []byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	recs := collect(t, w2)
+	if len(recs) != 10 {
+		t.Fatalf("recovered %d records, want 10", len(recs))
+	}
+	if w2.RecoveredRecords() != 10 {
+		t.Fatalf("RecoveredRecords = %d, want 10", w2.RecoveredRecords())
+	}
+	for i, r := range recs {
+		if want := fmt.Sprintf("rec-%d", i); string(r.Payload) != want {
+			t.Fatalf("record %d = %q, want %q", i, r.Payload, want)
+		}
+	}
+}
+
+func TestWALZeroLengthFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal-00000001.seg"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("zero-length segment must open cleanly: %v", err)
+	}
+	defer w.Close()
+	if recs := collect(t, w); len(recs) != 0 {
+		t.Fatalf("empty file replayed %d records", len(recs))
+	}
+	// And the log must still accept appends into that segment.
+	if err := w.Append(1, []byte("after-empty")); err != nil {
+		t.Fatal(err)
+	}
+	if recs := collect(t, w); len(recs) != 1 || string(recs[0].Payload) != "after-empty" {
+		t.Fatalf("append after empty open: got %v", recs)
+	}
+}
+
+func TestWALTornFinalRecordTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(1, []byte("intact-1"))
+	w.Append(1, []byte("intact-2"))
+	w.Close()
+
+	// Simulate a crash mid-write: half a frame at the tail.
+	path := filepath.Join(dir, "wal-00000001.seg")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := frameRecord(1, []byte("torn-away"))
+	if _, err := f.Write(torn[:len(torn)-4]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("torn tail must be recoverable: %v", err)
+	}
+	defer w2.Close()
+	if w2.TruncatedBytes() == 0 {
+		t.Fatal("torn tail not counted")
+	}
+	recs := collect(t, w2)
+	if len(recs) != 2 || string(recs[1].Payload) != "intact-2" {
+		t.Fatalf("after torn-tail recovery got %d records: %v", len(recs), recs)
+	}
+	// The torn bytes are physically gone: a new append must not
+	// interleave with garbage.
+	if err := w2.Append(1, []byte("post-recovery")); err != nil {
+		t.Fatal(err)
+	}
+	if recs := collect(t, w2); len(recs) != 3 {
+		t.Fatalf("append after truncation: %d records, want 3", len(recs))
+	}
+}
+
+func TestWALCorruptCRCMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payloads [][]byte
+	for i := 0; i < 5; i++ {
+		p := []byte(fmt.Sprintf("record-number-%d", i))
+		payloads = append(payloads, p)
+		w.Append(1, p)
+	}
+	w.Close()
+
+	// Flip one payload byte in the middle of the segment.
+	path := filepath.Join(dir, "wal-00000001.seg")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := len(frameRecord(1, payloads[0]))
+	off := 2*frame + headerSize + 3 // inside record 2's payload
+	data[off] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Single (= final) segment: damage reads as a torn tail, everything
+	// from the bad record on is dropped.
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("final-segment corruption must truncate, not fail: %v", err)
+	}
+	recs := collect(t, w2)
+	w2.Close()
+	if len(recs) != 2 {
+		t.Fatalf("after mid-segment CRC flip got %d records, want 2", len(recs))
+	}
+	if !bytes.Equal(recs[1].Payload, payloads[1]) {
+		t.Fatalf("surviving record mismatch: %q", recs[1].Payload)
+	}
+}
+
+func TestWALCorruptNonFinalSegmentIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		w.Append(1, []byte(fmt.Sprintf("spill-into-multiple-segments-%d", i)))
+	}
+	if w.SegmentCount() < 2 {
+		t.Fatalf("need multiple segments, got %d", w.SegmentCount())
+	}
+	w.Close()
+
+	// Damage the FIRST segment: later segments prove these records were
+	// once durable, so this is corruption, not a torn tail.
+	path := filepath.Join(dir, "wal-00000001.seg")
+	data, _ := os.ReadFile(path)
+	data[headerSize+2] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+
+	if _, err := Open(dir, Options{SegmentBytes: 64}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("non-final corruption: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWALRotationAtExactBoundary(t *testing.T) {
+	payload := []byte("0123456789") // frame = 8 + 1 + 10 = 19 bytes
+	frame := len(frameRecord(1, payload))
+	dir := t.TempDir()
+	// Two frames fill a segment exactly.
+	w, err := Open(dir, Options{SegmentBytes: int64(2 * frame)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(1, payload)
+	w.Append(1, payload) // lands exactly at the boundary: no rotation yet
+	if got := w.SegmentCount(); got != 1 {
+		t.Fatalf("exactly-full segment rotated early: %d segments", got)
+	}
+	w.Append(1, payload) // first byte past the boundary: rotates
+	if got := w.SegmentCount(); got != 2 {
+		t.Fatalf("append past exactly-full boundary: %d segments, want 2", got)
+	}
+	// An oversized record still gets written, alone in its own segment.
+	big := bytes.Repeat([]byte("x"), 3*frame)
+	if err := w.Append(2, big); err != nil {
+		t.Fatalf("oversized record refused: %v", err)
+	}
+	w.Close()
+
+	w2, err := Open(dir, Options{SegmentBytes: int64(2 * frame)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	recs := collect(t, w2)
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records across rotated segments, want 4", len(recs))
+	}
+	if !bytes.Equal(recs[3].Payload, big) {
+		t.Fatal("oversized record did not survive rotation")
+	}
+}
+
+func TestWALCompactReplacesHistory(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		w.Append(1, []byte(fmt.Sprintf("will-be-compacted-away-%d", i)))
+	}
+	if err := w.Compact([]byte("the-snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.SegmentCount(); got != 1 {
+		t.Fatalf("post-compact segments = %d, want 1", got)
+	}
+	w.Append(1, []byte("after-snapshot"))
+	w.Close()
+
+	w2, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	recs := collect(t, w2)
+	if len(recs) != 2 {
+		t.Fatalf("post-compact replay: %d records, want snapshot+1", len(recs))
+	}
+	if recs[0].Type != RecSnapshot || string(recs[0].Payload) != "the-snapshot" {
+		t.Fatalf("first record after compact = (%d, %q), want snapshot", recs[0].Type, recs[0].Payload)
+	}
+	if string(recs[1].Payload) != "after-snapshot" {
+		t.Fatalf("append after compact lost: %q", recs[1].Payload)
+	}
+}
+
+func TestWALAppendAfterCloseFails(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := w.Append(1, []byte("x")); err == nil {
+		t.Fatal("append after close must fail")
+	}
+}

@@ -459,9 +459,9 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			var cum uint64
 			for i, b := range hs.Bounds {
 				cum += hs.Buckets[i]
-				fmt.Fprintf(w, "%s %d\n", labeledName(in.name+"_bucket", fmt.Sprintf("le=%q", formatBound(b))), cum)
+				fmt.Fprintf(w, "%s %d\n", labeledName(baseSeries(in.name, "_bucket"), fmt.Sprintf("le=%q", formatBound(b))), cum)
 			}
-			fmt.Fprintf(w, "%s %d\n", labeledName(in.name+"_bucket", `le="+Inf"`), hs.Count)
+			fmt.Fprintf(w, "%s %d\n", labeledName(baseSeries(in.name, "_bucket"), `le="+Inf"`), hs.Count)
 			fmt.Fprintf(w, "%s %v\n", baseSeries(in.name, "_sum"), hs.Sum)
 			fmt.Fprintf(w, "%s %d\n", baseSeries(in.name, "_count"), hs.Count)
 		}

@@ -381,3 +381,33 @@ func TestConcurrentRegisterGaugeFunc(t *testing.T) {
 		}
 	}
 }
+
+func TestPrometheusLabeledHistogram(t *testing.T) {
+	// A labeled histogram family must splice _bucket/_sum/_count between
+	// the base name and the label set, with le merged into the labels —
+	// not appended after the closing brace.
+	r := NewRegistry()
+	h := r.Histogram(`legosdn_fsync_seconds{wal="checkpoints"}`, "fsync latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE legosdn_fsync_seconds histogram\n",
+		`legosdn_fsync_seconds_bucket{wal="checkpoints",le="0.1"} 1` + "\n",
+		`legosdn_fsync_seconds_bucket{wal="checkpoints",le="1"} 2` + "\n",
+		`legosdn_fsync_seconds_bucket{wal="checkpoints",le="+Inf"} 2` + "\n",
+		`legosdn_fsync_seconds_sum{wal="checkpoints"} 0.55` + "\n",
+		`legosdn_fsync_seconds_count{wal="checkpoints"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\ngot:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `}_bucke`) {
+		t.Errorf("corrupt bucket series name in exposition:\n%s", out)
+	}
+}

@@ -1,0 +1,105 @@
+package netlog
+
+import (
+	"time"
+
+	"legosdn/internal/flowtable"
+	"legosdn/internal/openflow"
+)
+
+// Journal is the durability hook for the transaction layer. A Manager
+// with a journal installed records every transaction's lifecycle —
+// begin, one record per journaled FlowMod carrying the precomputed
+// inverse, commit, abort — durably enough that a controller killed
+// mid-transaction can detect the orphan at startup and replay the
+// inverses against the switches before new events flow (the
+// crash-consistency the paper's rollback guarantees assume).
+//
+// Calls arrive in journal order for a given transaction: TxnBegin
+// strictly before its first TxnOp, TxnCommit/TxnAbort strictly after
+// the last. TxnAbort is written only after the in-memory rollback has
+// finished sending inverses, so a crash mid-rollback leaves the
+// transaction open in the journal and recovery re-replays the inverses
+// (they are absolute state restores, so replaying them twice
+// converges). Implementations must be safe for concurrent use.
+type Journal interface {
+	TxnBegin(id uint64) error
+	TxnOp(id uint64, op JournalOp) error
+	TxnCommit(id uint64) error
+	TxnAbort(id uint64) error
+}
+
+// JournalOp is the durable form of one journaled FlowMod's undo: the
+// inverse messages that, sent in order, erase the op's effects.
+type JournalOp struct {
+	DPID     uint64
+	Inverses []JournalInverse
+}
+
+// JournalInverse is one inverse control message. For entries the op
+// destroyed (Restore true), Mod is the ADD that resurrects them with
+// the FULL original hard timeout; Installed carries the entry's
+// install time so recovery can recompute the remaining budget at
+// replay time. For entries the op created, Mod is the strict delete.
+type JournalInverse struct {
+	Mod       *openflow.FlowMod
+	Restore   bool
+	Installed time.Time
+}
+
+// journalOp converts an in-memory undoOp to its durable form.
+func (op undoOp) journalOp() JournalOp {
+	jo := JournalOp{DPID: op.dpid}
+	for _, k := range op.remove {
+		jo.Inverses = append(jo.Inverses, JournalInverse{
+			Mod: &openflow.FlowMod{
+				Match:    k.match,
+				Command:  openflow.FlowModDeleteStrict,
+				Priority: k.priority,
+				BufferID: openflow.BufferIDNone,
+				OutPort:  openflow.PortNone,
+			},
+		})
+	}
+	for _, e := range op.restore {
+		jo.Inverses = append(jo.Inverses, JournalInverse{
+			Mod:       journalRestoreMod(e),
+			Restore:   true,
+			Installed: e.Installed,
+		})
+	}
+	return jo
+}
+
+// journalRestoreMod builds the resurrecting ADD with the full original
+// hard timeout (unlike restoreFlowMod, which deducts the budget spent
+// by abort time — at journal-write time the abort instant is unknown).
+func journalRestoreMod(e *flowtable.Entry) *openflow.FlowMod {
+	return &openflow.FlowMod{
+		Match:       e.Match,
+		Cookie:      e.Cookie,
+		Command:     openflow.FlowModAdd,
+		IdleTimeout: e.IdleTimeout,
+		HardTimeout: e.HardTimeout,
+		Priority:    e.Priority,
+		BufferID:    openflow.BufferIDNone,
+		OutPort:     openflow.PortNone,
+		Flags:       e.Flags,
+		Actions:     openflow.CopyActions(e.Actions),
+	}
+}
+
+// RemainingHardTimeout deducts the budget an entry spent installed from
+// its full hard timeout, flooring at 1 second (the minimum the wire
+// protocol can express for an about-to-expire entry). Recovery uses it
+// to honor §3.2's remaining-budget rule across a controller restart.
+func RemainingHardTimeout(full uint16, installed, now time.Time) uint16 {
+	if full == 0 || installed.IsZero() {
+		return full
+	}
+	remaining := int(full) - int(now.Sub(installed)/time.Second)
+	if remaining < 1 {
+		remaining = 1
+	}
+	return uint16(remaining)
+}

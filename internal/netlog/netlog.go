@@ -95,6 +95,11 @@ type Txn struct {
 	ops   []undoOp
 	dpids map[uint64]bool // switches touched
 
+	// journaled is set once the transaction's begin record (and at
+	// least one op) is on disk; only journaled transactions write
+	// commit/abort records.
+	journaled bool
+
 	// span is the "netlog.txn" lifecycle span for a traced transaction
 	// (nil otherwise); sc is its context, the parent of journal and
 	// abort child spans.
@@ -144,6 +149,11 @@ type Manager struct {
 	clock  flowtable.Clock
 	tracer *trace.Tracer
 
+	// journal, when set, makes transactions crash-recoverable; see
+	// SetJournal. Written once before traffic flows, read without
+	// synchronization on the hot path.
+	journal Journal
+
 	shards [shardCount]netShard
 
 	mu       sync.Mutex
@@ -162,6 +172,10 @@ type Manager struct {
 	CommittedTxns  metrics.Counter
 	// BegunTxns counts transactions opened via Begin.
 	BegunTxns metrics.Counter
+	// JournalErrors counts failed journal appends. Journaling is
+	// best-effort by policy: a write error degrades recoverability,
+	// never availability.
+	JournalErrors metrics.Counter
 
 	// inversionLatency times Abort end to end (inverse computation,
 	// inverse sends and the closing barriers). Nil when uninstrumented.
@@ -184,6 +198,20 @@ func NewManager(sender Sender, clock flowtable.Clock) *Manager {
 
 // SetTracer wires the tracing layer in; nil disables transaction spans.
 func (m *Manager) SetTracer(t *trace.Tracer) { m.tracer = t }
+
+// SetJournal installs the durability journal. Must be called before
+// traffic flows (the field is read without synchronization on the hot
+// path); nil leaves transactions memory-only, the pre-durability
+// behavior.
+func (m *Manager) SetJournal(j Journal) { m.journal = j }
+
+// journalAppend runs one journal write, absorbing errors into the
+// JournalErrors counter (availability over durability).
+func (m *Manager) journalAppend(fn func() error) {
+	if err := fn(); err != nil {
+		m.JournalErrors.Add(1)
+	}
+}
 
 // shardOf maps a datapath id to its shard.
 func (m *Manager) shardOf(dpid uint64) *netShard {
@@ -208,6 +236,7 @@ func (m *Manager) Instrument(reg *metrics.Registry) {
 	reg.RegisterCounter("legosdn_netlog_txn_committed_total", "transactions committed", &m.CommittedTxns)
 	reg.RegisterCounter("legosdn_netlog_txn_rollbacks_total", "transactions aborted and rolled back", &m.Rollbacks)
 	reg.RegisterCounter("legosdn_netlog_rolled_back_mods_total", "inverse messages sent during rollbacks", &m.RolledBackMods)
+	reg.RegisterCounter("legosdn_netlog_journal_errors_total", "failed durable-journal appends", &m.JournalErrors)
 	m.inversionLatency = reg.Histogram("legosdn_netlog_inversion_seconds",
 		"latency of one transaction abort: inverse sends plus closing barriers", nil)
 	reg.RegisterGaugeFunc("legosdn_netlog_counter_cache_entries",
@@ -343,6 +372,18 @@ func (m *Manager) Hook() controller.OutboundHook {
 			if m.active == active && active.state == TxnOpen {
 				active.ops = append(active.ops, undo)
 				active.dpids[dpid] = true
+				if m.journal != nil {
+					// Durable journal, written under mu so record order
+					// matches op order. TxnBegin is lazy — written with
+					// the first op — so transactions that never touch a
+					// switch cost no fsyncs.
+					if !active.journaled {
+						active.journaled = true
+						m.journalAppend(func() error { return m.journal.TxnBegin(active.ID) })
+					}
+					jop := undo.journalOp()
+					m.journalAppend(func() error { return m.journal.TxnOp(active.ID, jop) })
+				}
 			}
 			m.mu.Unlock()
 		}
@@ -491,8 +532,15 @@ func (t *Txn) Commit() error {
 	t.m.CommittedTxns.Add(1)
 	dpids := keys(t.dpids)
 	span, ops := t.span, len(t.ops)
+	journaled := t.journaled
 	t.span = nil
 	t.m.mu.Unlock()
+	if journaled && t.m.journal != nil {
+		// The commit record makes the decision durable before the
+		// barriers flush it: a crash after this point must not roll the
+		// transaction back.
+		t.m.journalAppend(func() error { return t.m.journal.TxnCommit(t.ID) })
+	}
 	if span != nil {
 		span.Attr("state", "committed").AttrInt("ops", int64(ops)).End()
 	}
@@ -523,6 +571,7 @@ func (t *Txn) Abort() error {
 	t.m.rollback++
 	ops := t.ops
 	span := t.span
+	journaled := t.journaled
 	t.span = nil
 	t.m.mu.Unlock()
 
@@ -580,6 +629,12 @@ func (t *Txn) Abort() error {
 		if err := t.m.sender.Barrier(d); err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	if journaled && t.m.journal != nil {
+		// Written only after the inverse sends and barriers finished: a
+		// crash mid-rollback leaves the transaction open in the journal
+		// so recovery re-replays the (convergent) inverses.
+		t.m.journalAppend(func() error { return t.m.journal.TxnAbort(t.ID) })
 	}
 	if abortSpan != nil {
 		abortSpan.AttrInt("mods", int64(len(ops))).AttrInt("dpids", int64(len(dpids))).End()
