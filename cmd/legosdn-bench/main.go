@@ -75,6 +75,9 @@ var index = []struct {
 	{"C13", "No-Compromise escalation (§5)", func(bool) experiments.Table {
 		return experiments.ClaimInvariantEscalation()
 	}},
+	{"C14", "incremental checkpoints + group commit (§5)", func(q bool) experiments.Table {
+		return experiments.ClaimIncrementalCheckpoints(pick(q, 200, 1000), 32<<10, 16)
+	}},
 	{"P1", "event pipeline throughput (serial vs parallel, direct vs AppVisor)", func(q bool) experiments.Table {
 		return experiments.ClaimThroughput(q)
 	}},

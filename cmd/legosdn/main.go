@@ -52,6 +52,10 @@ func main() {
 	traceBuf := flag.Int("trace-buf", 0, "span ring-buffer capacity (0 = default)")
 	stateDir := flag.String("state-dir", "",
 		"durable state directory: checkpoints and the NetLog transaction journal persist here, and a restart rolls back any transaction a crash interrupted (empty = in-memory only)")
+	checkpointDelta := flag.Int("checkpoint-delta", 16,
+		"incremental checkpoints: full image every Nth per-app checkpoint, byte-range deltas between (<=1 stores every checkpoint as a full image)")
+	walGroupCommit := flag.Bool("wal-group-commit", true,
+		"batch concurrent WAL appends under one fsync (only meaningful with -state-dir)")
 	flag.Parse()
 
 	m, err := parseMode(*mode)
@@ -93,8 +97,9 @@ func main() {
 	if *checkInv {
 		cfg.Checker = invariant.NewSuite(n).CrashPadChecker(nil)
 	}
+	cfg.CheckpointDelta = *checkpointDelta
 	if *stateDir != "" {
-		st, err := durable.OpenState(*stateDir, 0, durable.Options{})
+		st, err := durable.OpenState(*stateDir, 0, durable.Options{GroupCommit: *walGroupCommit})
 		if err != nil {
 			log.Fatalf("legosdn: %v", err)
 		}

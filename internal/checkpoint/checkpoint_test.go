@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -152,14 +153,22 @@ func TestAccessorsReturnDefensiveCopies(t *testing.T) {
 	}
 }
 
-// The sink sees every Put, in order, under the store's serialization.
+// The sink sees every Put and Drop, in order, under the store's
+// serialization.
 type recordingSink struct {
-	got []Checkpoint
+	got   []Checkpoint
+	drops []string
+	err   error
 }
 
 func (r *recordingSink) AppendCheckpoint(cp Checkpoint) error {
 	r.got = append(r.got, cp)
-	return nil
+	return r.err
+}
+
+func (r *recordingSink) AppendDrop(app string) error {
+	r.drops = append(r.drops, app)
+	return r.err
 }
 
 func TestSinkObservesPutsInOrder(t *testing.T) {
@@ -177,5 +186,39 @@ func TestSinkObservesPutsInOrder(t *testing.T) {
 	}
 	if cp := s.Latest("c"); cp == nil || string(cp.State) != "restored" {
 		t.Fatalf("RestorePut lost: %+v", cp)
+	}
+}
+
+// Regression: Drop used to leave the sink unnotified, so the durable
+// mirror kept the dropped history and a compaction resurrected it.
+func TestDropNotifiesSink(t *testing.T) {
+	s := NewStore(0)
+	sink := &recordingSink{}
+	s.SetSink(sink)
+	s.Put("a", 1, []byte("one"))
+	s.Drop("a")
+	if len(sink.drops) != 1 || sink.drops[0] != "a" {
+		t.Fatalf("sink drops = %v, want [a]", sink.drops)
+	}
+	// Dropping resets the delta cadence: the next put must be a full
+	// image, not a delta against evicted state.
+	s.SetDeltaEvery(4)
+	s.Put("a", 2, []byte("after-drop"))
+	if last := sink.got[len(sink.got)-1]; last.Delta {
+		t.Fatalf("first put after drop was a delta: %+v", last)
+	}
+}
+
+// A failing sink must be counted, never silent: every lost checkpoint
+// (and drop) increments the sink-error counter.
+func TestSinkErrorsCounted(t *testing.T) {
+	s := NewStore(0)
+	sink := &recordingSink{err: fmt.Errorf("disk gone")}
+	s.SetSink(sink)
+	s.Put("a", 1, []byte("one"))
+	s.Put("a", 2, []byte("two"))
+	s.Drop("a")
+	if got := s.SinkErrors.Load(); got != 3 {
+		t.Fatalf("sink errors = %d, want 3", got)
 	}
 }

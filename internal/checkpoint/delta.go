@@ -1,0 +1,130 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Delta encoding: a checkpoint can be stored as a byte-range patch
+// against the previous checkpoint's state instead of a full image. The
+// store takes a full image every DeltaEvery-th put and deltas between,
+// which is what makes per-event checkpointing affordable once app state
+// grows past a few kilobytes (§5's overhead concern) — the journaled
+// and fsynced bytes shrink to the changed ranges.
+//
+// Wire format (big-endian, shared with the durable journal):
+//
+//	[u32 target length] op* until exhausted
+//	op := 0x00 [u32 base offset] [u32 length]      copy from base
+//	    | 0x01 [u32 length] [bytes]                literal
+//
+// Encoding walks base and target in lockstep and emits copy ops for
+// aligned matching runs of at least minCopyRun bytes; everything else
+// (including any tail past the base's length) becomes literals. The
+// result is deterministic: the same (base, target) pair always encodes
+// to the same bytes, which the durable log's reconstruction relies on.
+//
+// Apply is defensive: deltas cross process lifetimes through the WAL,
+// so every read is bounds-checked and damage surfaces as an error,
+// never a panic or an out-of-spec output length.
+
+const (
+	opCopy byte = 0
+	opLit  byte = 1
+
+	// minCopyRun is the shortest matching run worth a copy op; shorter
+	// matches cost more in framing (9 bytes) than they save.
+	minCopyRun = 16
+)
+
+// EncodeDelta encodes target as a patch against base. The result is
+// independent of both inputs (no aliasing). Identical inputs encode to
+// a single copy op; an empty target encodes to just the length header.
+func EncodeDelta(base, target []byte) []byte {
+	out := binary.BigEndian.AppendUint32(nil, uint32(len(target)))
+	n := len(base)
+	if len(target) < n {
+		n = len(target)
+	}
+	lit := 0 // start of the pending literal run in target
+	i := 0
+	for i < n {
+		start := i
+		for i < n && base[i] == target[i] {
+			i++
+		}
+		if i-start >= minCopyRun {
+			out = appendLiteral(out, target[lit:start])
+			out = append(out, opCopy)
+			out = binary.BigEndian.AppendUint32(out, uint32(start))
+			out = binary.BigEndian.AppendUint32(out, uint32(i-start))
+			lit = i
+		}
+		for i < n && base[i] != target[i] {
+			i++
+		}
+	}
+	return appendLiteral(out, target[lit:])
+}
+
+func appendLiteral(out, lit []byte) []byte {
+	if len(lit) == 0 {
+		return out
+	}
+	out = append(out, opLit)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(lit)))
+	return append(out, lit...)
+}
+
+// ApplyDelta reconstructs the target state from base and a delta
+// produced by EncodeDelta. The result never aliases base or delta. Any
+// malformed input — truncated ops, copy ranges outside base, output
+// exceeding the declared length — returns an error.
+func ApplyDelta(base, delta []byte) ([]byte, error) {
+	if len(delta) < 4 {
+		return nil, fmt.Errorf("checkpoint: delta shorter than its length header")
+	}
+	targetLen := int(binary.BigEndian.Uint32(delta))
+	d := delta[4:]
+	out := make([]byte, 0, targetLen)
+	for len(d) > 0 {
+		op := d[0]
+		d = d[1:]
+		switch op {
+		case opCopy:
+			if len(d) < 8 {
+				return nil, fmt.Errorf("checkpoint: truncated copy op")
+			}
+			off := int(binary.BigEndian.Uint32(d))
+			length := int(binary.BigEndian.Uint32(d[4:]))
+			d = d[8:]
+			if off < 0 || length < 0 || off+length > len(base) || off+length < off {
+				return nil, fmt.Errorf("checkpoint: copy op [%d,%d) outside base of %d bytes", off, off+length, len(base))
+			}
+			if len(out)+length > targetLen {
+				return nil, fmt.Errorf("checkpoint: delta output exceeds declared length %d", targetLen)
+			}
+			out = append(out, base[off:off+length]...)
+		case opLit:
+			if len(d) < 4 {
+				return nil, fmt.Errorf("checkpoint: truncated literal op")
+			}
+			length := int(binary.BigEndian.Uint32(d))
+			d = d[4:]
+			if length < 0 || length > len(d) {
+				return nil, fmt.Errorf("checkpoint: literal of %d bytes overruns delta", length)
+			}
+			if len(out)+length > targetLen {
+				return nil, fmt.Errorf("checkpoint: delta output exceeds declared length %d", targetLen)
+			}
+			out = append(out, d[:length]...)
+			d = d[length:]
+		default:
+			return nil, fmt.Errorf("checkpoint: unknown delta op %d", op)
+		}
+	}
+	if len(out) != targetLen {
+		return nil, fmt.Errorf("checkpoint: delta reconstructed %d bytes, declared %d", len(out), targetLen)
+	}
+	return out, nil
+}

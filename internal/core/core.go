@@ -60,6 +60,11 @@ type Config struct {
 	Mode Mode
 	// CheckpointEvery is Crash-Pad's checkpoint cadence (default 1).
 	CheckpointEvery int
+	// CheckpointDelta enables incremental checkpoints: the store keeps a
+	// full image every CheckpointDelta-th put per app and byte-range
+	// deltas between, with accessors reconstructing transparently.
+	// <=1 disables (every checkpoint a full image).
+	CheckpointDelta int
 	// Policies is the operator availability/correctness policy set
 	// (default: absolute compromise everywhere).
 	Policies *crashpad.PolicySet
@@ -157,6 +162,11 @@ func NewStack(cfg Config) *Stack {
 	if cfg.Logger != nil {
 		cfg.Logger = slog.New(trace.WrapHandler(cfg.Logger.Handler()))
 	}
+	if cfg.CheckpointDelta > 1 {
+		cfg.Store.SetDeltaEvery(cfg.CheckpointDelta)
+	}
+	cfg.Store.Instrument(cfg.Metrics)
+	cfg.Store.SetLogger(cfg.Logger)
 	s := &Stack{
 		Mode:     cfg.Mode,
 		Store:    cfg.Store,

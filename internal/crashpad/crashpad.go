@@ -111,6 +111,15 @@ type CrashPad struct {
 	Fallbacks         metrics.Counter
 	Unrecoverable     metrics.Counter
 	DeepRecoveries    metrics.Counter
+	// SnapshotErrors counts Snapshot() calls that failed: each one is a
+	// checkpoint silently not taken, so recovery depth degrades. A dead
+	// serializer must be visible, not a bare return.
+	SnapshotErrors metrics.Counter
+
+	// Rate limit for the snapshot-failure warning (one line per second,
+	// not one per event at 100k ev/s).
+	warnMu   sync.Mutex
+	lastWarn time.Time
 
 	// Duration histograms and per-outcome counters; nil without a
 	// registry (observing a nil instrument is a no-op).
@@ -152,6 +161,8 @@ func New(opts Options) *CrashPad {
 		reg.RegisterCounter("legosdn_crashpad_fallbacks_total", "equivalence compromises that fell back to ignoring", &cp.Fallbacks)
 		reg.RegisterCounter("legosdn_crashpad_unrecoverable_total", "recoveries whose restore machinery failed", &cp.Unrecoverable)
 		reg.RegisterCounter("legosdn_crashpad_deep_recoveries_total", "multi-event deep recoveries", &cp.DeepRecoveries)
+		reg.RegisterCounter("legosdn_checkpoint_snapshot_errors_total", "app Snapshot() failures on the checkpoint path", &cp.SnapshotErrors)
+		opts.Store.Instrument(reg)
 		cp.checkpointDur = reg.Histogram("legosdn_crashpad_checkpoint_seconds", "time to snapshot and store app state", nil)
 		cp.restoreDur = reg.Histogram("legosdn_crashpad_restore_seconds", "time to respawn, load checkpoint and replay suffix", nil)
 		cp.recoveryDur = reg.Histogram("legosdn_crashpad_recovery_seconds", "end-to-end recovery time per failure", nil)
@@ -488,11 +499,52 @@ func (cp *CrashPad) maybeCheckpoint(app controller.App, name string, seq uint64,
 	}
 	state, err := snap.Snapshot()
 	if err != nil {
-		return // snapshotting is best-effort; recovery degrades gracefully
+		// Snapshotting is best-effort — recovery degrades gracefully —
+		// but the degradation must be observable.
+		cp.noteSnapshotError(name, seq, err)
+		return
 	}
 	cp.opts.Store.Put(name, seq, state)
 	cp.mu.Lock()
 	cp.replays[name] = nil
+	cp.mu.Unlock()
+}
+
+// noteSnapshotError makes a failed Snapshot() visible: counter always,
+// warning at most once per second.
+func (cp *CrashPad) noteSnapshotError(name string, seq uint64, err error) {
+	cp.SnapshotErrors.Inc()
+	lg := cp.opts.Logger
+	if lg == nil {
+		return
+	}
+	cp.warnMu.Lock()
+	now := time.Now()
+	ok := now.Sub(cp.lastWarn) >= time.Second
+	if ok {
+		cp.lastWarn = now
+	}
+	cp.warnMu.Unlock()
+	if ok {
+		lg.Warn("app snapshot failing; checkpoint not taken and recovery depth degraded",
+			slog.String("app", name),
+			slog.Uint64("seq", seq),
+			slog.String("error", err.Error()),
+			slog.Uint64("snapshot_errors_total", cp.SnapshotErrors.Load()))
+	}
+}
+
+// DropApp forgets everything the pad holds for a removed app: its
+// checkpoints (durably, via the store's drop record), replay suffix,
+// event history, crash streak, and checkpoint cadence. Without this,
+// cadence counters and histories leak for every app ever uninstalled.
+func (cp *CrashPad) DropApp(name string) {
+	cp.opts.Store.Drop(name)
+	cp.everyN.Reset(name)
+	cp.mu.Lock()
+	delete(cp.replays, name)
+	delete(cp.histories, name)
+	delete(cp.streaks, name)
 	cp.mu.Unlock()
 }
 
@@ -508,6 +560,7 @@ func (cp *CrashPad) rebaseline(app controller.App, name string, seq uint64) {
 	}
 	state, err := snap.Snapshot()
 	if err != nil {
+		cp.noteSnapshotError(name, seq, err)
 		return
 	}
 	cp.opts.Store.Put(name, seq, state)

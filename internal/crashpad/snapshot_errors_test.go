@@ -1,0 +1,134 @@
+package crashpad
+
+import (
+	"bytes"
+	"errors"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"legosdn/internal/checkpoint"
+	"legosdn/internal/controller"
+	"legosdn/internal/metrics"
+)
+
+// brokenSnapApp processes events fine but cannot serialize its state —
+// the dead-disk/dead-serializer case that used to degrade durability
+// with zero signal.
+type brokenSnapApp struct {
+	name    string
+	handled int
+}
+
+func (a *brokenSnapApp) Name() string                          { return a.name }
+func (a *brokenSnapApp) Subscriptions() []controller.EventKind { return controller.AllEventKinds() }
+func (a *brokenSnapApp) HandleEvent(controller.Context, controller.Event) error {
+	a.handled++
+	return nil
+}
+func (a *brokenSnapApp) Snapshot() ([]byte, error) { return nil, errors.New("serializer wedged") }
+func (a *brokenSnapApp) Restore([]byte) error      { return nil }
+
+func TestSnapshotErrorsCountedAndWarned(t *testing.T) {
+	var logBuf bytes.Buffer
+	reg := metrics.NewRegistry()
+	app := &brokenSnapApp{name: "broken"}
+	cp := New(Options{
+		Metrics: reg,
+		Logger:  slog.New(slog.NewTextHandler(&logBuf, nil)),
+	})
+	ctx := &recCtx{}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if f := cp.RunEvent(app, ctx, pktIn(seq, 1)); f != nil {
+			t.Fatalf("event %d failed: %v", seq, f)
+		}
+	}
+	// CheckpointEvery defaults to 1: every event tried (and failed) to
+	// snapshot.
+	if got := cp.SnapshotErrors.Load(); got != 3 {
+		t.Fatalf("snapshot errors = %d, want 3", got)
+	}
+	if cp.Store().Latest("broken") != nil {
+		t.Fatal("no checkpoint should exist for an unsnapshottable app")
+	}
+	// The warn fired (at least once; rate limiting may drop repeats)...
+	if !strings.Contains(logBuf.String(), "app snapshot failing") {
+		t.Fatalf("no warning logged: %q", logBuf.String())
+	}
+	// ...but is rate-limited to roughly one line per second.
+	if n := strings.Count(logBuf.String(), "app snapshot failing"); n > 1 {
+		t.Fatalf("warning not rate-limited: %d lines", n)
+	}
+	// And the counter is visible through Prometheus exposition.
+	var expo bytes.Buffer
+	reg.WritePrometheus(&expo)
+	if !strings.Contains(expo.String(), "legosdn_checkpoint_snapshot_errors_total 3") {
+		t.Fatalf("snapshot error counter missing from exposition:\n%s", expo.String())
+	}
+}
+
+// The store's sink-error counter rides the same registry via
+// Store.Instrument, wired by New.
+func TestSinkErrorCounterExposed(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cp := New(Options{Metrics: reg})
+	cp.Store().SetSink(failingSink{})
+	app := &ctApp{name: "a"}
+	ctx := &recCtx{}
+	if f := cp.RunEvent(app, ctx, pktIn(1, 1)); f != nil {
+		t.Fatalf("event failed: %v", f)
+	}
+	if got := cp.Store().SinkErrors.Load(); got == 0 {
+		t.Fatal("sink error not counted")
+	}
+	var expo bytes.Buffer
+	reg.WritePrometheus(&expo)
+	if !strings.Contains(expo.String(), "legosdn_checkpoint_sink_errors_total") {
+		t.Fatalf("sink error counter missing from exposition:\n%s", expo.String())
+	}
+}
+
+type failingSink struct{}
+
+func (failingSink) AppendCheckpoint(checkpoint.Checkpoint) error { return errors.New("disk gone") }
+func (failingSink) AppendDrop(string) error                      { return errors.New("disk gone") }
+
+func TestDropAppForgetsEverything(t *testing.T) {
+	app := &ctApp{name: "gone", crashOnPort: 13}
+	cp := New(Options{})
+	ctx := &recCtx{}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if f := cp.RunEvent(app, ctx, pktIn(seq, 1)); f != nil {
+			t.Fatalf("event failed: %v", f)
+		}
+	}
+	if f := cp.RunEvent(app, ctx, pktIn(4, 13)); f != nil {
+		t.Fatalf("recovery failed: %v", f)
+	}
+	if cp.Store().Latest("gone") == nil {
+		t.Fatal("precondition: app has checkpoints")
+	}
+
+	cp.DropApp("gone")
+
+	if cp.Store().Latest("gone") != nil {
+		t.Fatal("checkpoints survived DropApp")
+	}
+	cp.mu.Lock()
+	_, hasReplays := cp.replays["gone"]
+	_, hasHist := cp.histories["gone"]
+	_, hasStreak := cp.streaks["gone"]
+	cp.mu.Unlock()
+	if hasReplays || hasHist || hasStreak {
+		t.Fatalf("pad state leaked: replays=%v histories=%v streaks=%v", hasReplays, hasHist, hasStreak)
+	}
+	// A re-installed app under the same name starts a fresh cadence:
+	// its first event checkpoints immediately.
+	app2 := &ctApp{name: "gone"}
+	if f := cp.RunEvent(app2, ctx, pktIn(10, 1)); f != nil {
+		t.Fatalf("fresh app event failed: %v", f)
+	}
+	if cp.Store().Latest("gone") == nil {
+		t.Fatal("re-installed app did not re-checkpoint from scratch")
+	}
+}

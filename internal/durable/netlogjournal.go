@@ -121,12 +121,18 @@ func (j *NetLogJournal) Resolve(id uint64) error {
 
 // TxnBegin implements netlog.Journal.
 func (j *NetLogJournal) TxnBegin(id uint64) error {
-	if err := j.w.Append(recTxnBegin, appendU64(nil, id)); err != nil {
-		return err
-	}
+	// Register the transaction before appending: a concurrent Resolve's
+	// idle-compaction must see it as live, or it could discard the
+	// begin record right after it lands.
 	j.mu.Lock()
 	j.live[id] = true
 	j.mu.Unlock()
+	if err := j.w.Append(recTxnBegin, appendU64(nil, id)); err != nil {
+		j.mu.Lock()
+		delete(j.live, id)
+		j.mu.Unlock()
+		return err
+	}
 	return nil
 }
 

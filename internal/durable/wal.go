@@ -77,6 +77,19 @@ type Options struct {
 	// NoSync skips the fsync after each append. Only for tests and
 	// benchmarks — a crash can then lose or tear acknowledged records.
 	NoSync bool
+	// GroupCommit batches concurrent appends: Append enqueues the frame
+	// and a committer goroutine writes every queued frame with a single
+	// fsync, amortizing the sync across all appenders that arrived while
+	// the previous batch was on disk. Durability is unchanged — Append
+	// still returns only after its record is synced — but p50 append
+	// latency under concurrency drops from one fsync per record to one
+	// per batch.
+	GroupCommit bool
+	// SyncCheckpointSink is read by OpenCheckpointLog, not the WAL: it
+	// disables the asynchronous checkpoint sink queue so every Put
+	// writes and fsyncs under the store's lock — the pre-group-commit
+	// behavior, kept as the overhead baseline for benchmarks.
+	SyncCheckpointSink bool
 }
 
 func (o *Options) fill() {
@@ -103,7 +116,27 @@ type WAL struct {
 	truncatedBytes   int64
 
 	appends  metrics.Counter
+	bytes    metrics.Counter // framed bytes written (what each fsync pays for)
+	commits  metrics.Counter // append-path sync points (batches, not records)
 	fsyncDur *metrics.Histogram
+
+	// Group-commit state, used only when opts.GroupCommit is set. The
+	// queue has its own lock so enqueueing never waits on an in-flight
+	// write+fsync (which holds mu).
+	gcMu     sync.Mutex
+	gcCond   *sync.Cond
+	gcQueue  []*gcReq
+	gcClosed bool
+	gcWG     sync.WaitGroup
+}
+
+// gcReq is one appender's batch waiting for the committer. done is
+// closed once every frame is written and synced (or failed); err then
+// holds the outcome.
+type gcReq struct {
+	frames [][]byte
+	err    error
+	done   chan struct{}
 }
 
 // Open opens (or creates) the WAL in dir, scanning existing segments
@@ -134,6 +167,11 @@ func Open(dir string, opts Options) (*WAL, error) {
 		}
 		w.cur, w.curSeq, w.curSize = f, seq, st.Size()
 	}
+	if w.opts.GroupCommit {
+		w.gcCond = sync.NewCond(&w.gcMu)
+		w.gcWG.Add(1)
+		go w.committer()
+	}
 	return w, nil
 }
 
@@ -146,6 +184,8 @@ func (w *WAL) Instrument(reg *metrics.Registry, name string) {
 	}
 	label := fmt.Sprintf("{wal=%q}", name)
 	reg.RegisterCounter("legosdn_durable_appends_total"+label, "records appended to the WAL", &w.appends)
+	reg.RegisterCounter("legosdn_durable_appended_bytes_total"+label, "framed bytes written to the WAL", &w.bytes)
+	reg.RegisterCounter("legosdn_durable_commits_total"+label, "append-path sync batches (one fsync each)", &w.commits)
 	w.fsyncDur = reg.Histogram("legosdn_durable_fsync_seconds"+label,
 		"latency of one fsync on the WAL append path", nil)
 	reg.RegisterGaugeFunc("legosdn_durable_recovered_records"+label,
@@ -164,6 +204,13 @@ func (w *WAL) Instrument(reg *metrics.Registry, name string) {
 // found; TruncatedBytes how many torn-tail bytes it discarded.
 func (w *WAL) RecoveredRecords() int { return w.recoveredRecords }
 func (w *WAL) TruncatedBytes() int64 { return w.truncatedBytes }
+
+// AppendedBytes reports the framed bytes written since open — the
+// volume each sync point pays for. Commits reports the number of
+// append-path sync batches; appends/commits is the group-commit
+// amortization factor.
+func (w *WAL) AppendedBytes() uint64 { return w.bytes.Load() }
+func (w *WAL) Commits() uint64      { return w.commits.Load() }
 
 // SegmentCount reports the number of live segment files.
 func (w *WAL) SegmentCount() int {
@@ -299,18 +346,60 @@ func replaySegment(path string, fn func(Record) error) error {
 }
 
 // Append durably writes one record: frame, write, fsync (unless
-// NoSync). The record is on disk when Append returns.
+// NoSync). The record is on disk when Append returns. With GroupCommit
+// the frame rides the committer's next batch — same durability, one
+// fsync shared with every concurrent appender.
 func (w *WAL) Append(typ byte, payload []byte) error {
+	if w.opts.GroupCommit {
+		return w.submit([][]byte{frameRecord(typ, payload)})
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.appendLocked(typ, payload)
+}
+
+// AppendBatch durably writes the records in order with a single sync
+// at the end, so a caller flushing a burst pays one fsync instead of
+// len(recs). Either the whole batch is acknowledged or an error is
+// returned; after a crash, replay may see any prefix of the batch but
+// never a torn interior record (each record carries its own CRC).
+func (w *WAL) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	frames := make([][]byte, len(recs))
+	for i, r := range recs {
+		frames[i] = frameRecord(r.Type, r.Payload)
+	}
+	if w.opts.GroupCommit {
+		return w.submit(frames)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("durable: WAL closed")
+	}
+	for _, f := range frames {
+		if err := w.writeFrameLocked(f); err != nil {
+			return err
+		}
+	}
+	return w.syncLocked()
 }
 
 func (w *WAL) appendLocked(typ byte, payload []byte) error {
 	if w.closed {
 		return fmt.Errorf("durable: WAL closed")
 	}
-	frame := frameRecord(typ, payload)
+	if err := w.writeFrameLocked(frameRecord(typ, payload)); err != nil {
+		return err
+	}
+	return w.syncLocked()
+}
+
+// writeFrameLocked rotates if needed and writes one framed record —
+// no sync; the caller chooses the durability point.
+func (w *WAL) writeFrameLocked(frame []byte) error {
 	if w.curSize > 0 && w.curSize+int64(len(frame)) > w.opts.SegmentBytes {
 		if err := w.rotateLocked(); err != nil {
 			return err
@@ -321,7 +410,86 @@ func (w *WAL) appendLocked(typ byte, payload []byte) error {
 	}
 	w.curSize += int64(len(frame))
 	w.appends.Add(1)
-	return w.syncLocked()
+	w.bytes.Add(uint64(len(frame)))
+	return nil
+}
+
+// submit hands frames to the committer goroutine and waits for the
+// batch containing them to reach disk.
+func (w *WAL) submit(frames [][]byte) error {
+	req := &gcReq{frames: frames, done: make(chan struct{})}
+	w.gcMu.Lock()
+	if w.gcClosed {
+		w.gcMu.Unlock()
+		return fmt.Errorf("durable: WAL closed")
+	}
+	w.gcQueue = append(w.gcQueue, req)
+	w.gcCond.Signal()
+	w.gcMu.Unlock()
+	<-req.done
+	return req.err
+}
+
+// committer drains the group-commit queue: every request queued while
+// the previous batch was being written+synced is collected and paid
+// for with a single fsync. Runs until Close; drains remaining requests
+// before exiting.
+func (w *WAL) committer() {
+	defer w.gcWG.Done()
+	for {
+		w.gcMu.Lock()
+		for len(w.gcQueue) == 0 && !w.gcClosed {
+			w.gcCond.Wait()
+		}
+		batch := w.gcQueue
+		w.gcQueue = nil
+		stop := w.gcClosed
+		w.gcMu.Unlock()
+		if len(batch) == 0 {
+			return // closed with nothing pending
+		}
+
+		w.mu.Lock()
+		var werr error
+		if w.closed {
+			werr = fmt.Errorf("durable: WAL closed")
+		}
+		for _, req := range batch {
+			if werr == nil {
+				for _, f := range req.frames {
+					if werr = w.writeFrameLocked(f); werr != nil {
+						break
+					}
+				}
+			}
+			req.err = werr
+		}
+		// Sync even when a later write failed: requests written before
+		// the failure must still be made durable before they are acked.
+		if !w.closed {
+			if serr := w.syncLocked(); serr != nil {
+				for _, req := range batch {
+					if req.err == nil {
+						req.err = serr
+					}
+				}
+			}
+		}
+		w.mu.Unlock()
+		for _, req := range batch {
+			close(req.done)
+		}
+		if stop {
+			// One final drain pass in case requests slipped in between
+			// the queue grab and gcClosed being observed by submitters.
+			w.gcMu.Lock()
+			empty := len(w.gcQueue) == 0
+			w.gcMu.Unlock()
+			if empty {
+				return
+			}
+		}
+	}
 }
 
 func frameRecord(typ byte, payload []byte) []byte {
@@ -336,6 +504,7 @@ func frameRecord(typ byte, payload []byte) []byte {
 }
 
 func (w *WAL) syncLocked() error {
+	w.commits.Inc()
 	if w.opts.NoSync {
 		return nil
 	}
@@ -431,8 +600,19 @@ func (w *WAL) Sync() error {
 	return err
 }
 
-// Close syncs and closes the WAL. Further appends fail.
+// Close syncs and closes the WAL. Further appends fail. With
+// GroupCommit the committer first drains every queued append, so
+// records acknowledged (or in flight) before Close reach disk.
 func (w *WAL) Close() error {
+	if w.opts.GroupCommit {
+		w.gcMu.Lock()
+		if !w.gcClosed {
+			w.gcClosed = true
+			w.gcCond.Broadcast()
+		}
+		w.gcMu.Unlock()
+		w.gcWG.Wait()
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {

@@ -413,5 +413,13 @@ func All(quick bool) []Table {
 		ClaimMCS(48),
 		ClaimResourceLimits(300),
 		ClaimInvariantEscalation(),
+		ClaimIncrementalCheckpoints(pickInt(quick, 200, 1000), 32<<10, 16),
 	}
+}
+
+func pickInt(quick bool, q, full int) int {
+	if quick {
+		return q
+	}
+	return full
 }
