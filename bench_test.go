@@ -131,6 +131,12 @@ func BenchmarkClaimThroughput(b *testing.B) {
 	}
 }
 
+func BenchmarkClaimScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.ClaimScale(true))
+	}
+}
+
 // --- Micro-benchmarks: the hot paths the tables are built from. ---
 
 func BenchmarkOpenFlowEncodeFlowMod(b *testing.B) {

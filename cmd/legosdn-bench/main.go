@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -81,6 +82,9 @@ var index = []struct {
 	{"P1", "event pipeline throughput (serial vs parallel, direct vs AppVisor)", func(q bool) experiments.Table {
 		return experiments.ClaimThroughput(q)
 	}},
+	{"P2", "data-plane scale: topologies, indexed lookups, AppVisor capacity", func(q bool) experiments.Table {
+		return experiments.ClaimScale(q)
+	}},
 }
 
 func pick(quick bool, q, full int) int {
@@ -107,6 +111,7 @@ func main() {
 	smokeIters := flag.Int("durable-smoke", 0, "run N crash-recovery smoke iterations against -state-dir, then exit")
 	smokeHold := flag.Duration("durable-smoke-hold", 80*time.Millisecond, "how long each smoke iteration holds its transaction open")
 	smokeKill := flag.Int("durable-smoke-kill", 0, "SIGKILL this process mid-transaction at iteration N (0 disables); deterministic crash for recovery testing")
+	floors := flag.String("floor", "", "comma-separated key=min checks against experiment headline values (e.g. p2_max_events_per_sec=20000); exit nonzero if any value is missing or below its floor")
 	flag.Parse()
 
 	if *smokeIters > 0 {
@@ -190,6 +195,50 @@ func main() {
 		fmt.Printf("wrote %s (open in chrome://tracing)\n", *traceOut)
 	}
 	fmt.Printf("ran %d experiment(s) in %s\n", ran, time.Since(start).Round(time.Millisecond))
+	if *floors != "" {
+		if !checkFloors(*floors, results) {
+			os.Exit(1)
+		}
+	}
+}
+
+// checkFloors enforces -floor: every key=min pair must find a headline
+// value at or above the floor among the experiments that ran. This is
+// the CI regression gate for throughput numbers.
+func checkFloors(spec string, results benchResults) bool {
+	all := map[string]float64{}
+	for _, res := range results.Experiments {
+		for k, v := range res.Values {
+			all[k] = v
+		}
+	}
+	ok := true
+	for _, pair := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(pair), "=", 2)
+		if len(kv) != 2 {
+			fmt.Fprintf(os.Stderr, "legosdn-bench: bad -floor entry %q (want key=min)\n", pair)
+			ok = false
+			continue
+		}
+		want, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "legosdn-bench: bad -floor value %q: %v\n", kv[1], err)
+			ok = false
+			continue
+		}
+		got, have := all[kv[0]]
+		switch {
+		case !have:
+			fmt.Fprintf(os.Stderr, "legosdn-bench: floor %s: value not produced by this run\n", kv[0])
+			ok = false
+		case got < want:
+			fmt.Fprintf(os.Stderr, "legosdn-bench: floor %s: %.0f below minimum %.0f\n", kv[0], got, want)
+			ok = false
+		default:
+			fmt.Printf("floor %s: %.0f >= %.0f ok\n", kv[0], got, want)
+		}
+	}
+	return ok
 }
 
 // runChaos drives the chaos scenario library under one seed and prints

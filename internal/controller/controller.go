@@ -149,10 +149,17 @@ type Controller struct {
 
 	// dispatchLatency times dispatchOne end to end (the paper's
 	// event-processing latency); sendLatency times each wire write.
-	// Nil (no Config.Metrics) means unobserved.
+	// batchSize distributes how many events each parallel worker
+	// drained per delivery — the amortization the batched AppVisor path
+	// depends on. Nil (no Config.Metrics) means unobserved.
 	dispatchLatency *metrics.Histogram
 	sendLatency     *metrics.Histogram
+	batchSize       *metrics.Histogram
 }
+
+// BatchSizeBuckets are the histogram bounds for per-delivery batch
+// sizes (counts, not seconds).
+var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // recoveringRunner is the default isolated runner: panics become
 // AppFailures but no recovery is attempted (the app stays quarantined).
@@ -234,6 +241,8 @@ func New(cfg Config) *Controller {
 			"end-to-end dispatch latency of one event across all subscribed apps", nil)
 		c.sendLatency = reg.Histogram("legosdn_controller_send_seconds",
 			"per-switch send latency of one outbound message (wire write)", nil)
+		c.batchSize = reg.Histogram("legosdn_controller_batch_size_events",
+			"events drained per parallel-worker delivery", BatchSizeBuckets)
 	}
 	c.wg.Add(1)
 	go c.dispatchLoop()
@@ -599,6 +608,7 @@ func (c *Controller) deliverBatch(e *appEntry, batch []queuedEvent) {
 	c.mu.Lock()
 	runner := c.runner
 	c.mu.Unlock()
+	c.batchSize.Observe(float64(len(batch)))
 
 	br, runnerOK := runner.(BatchRunner)
 	_, appOK := e.app.(BatchApp)

@@ -5,19 +5,35 @@
 // NetLog uses it as the controller-side shadow of each switch — both
 // sides of the paper's rollback machinery therefore share one tested
 // implementation of the semantics.
+//
+// Lookup is the data-plane hot path and runs against a priority-bucketed
+// index (see index.go) under a read lock, with per-entry statistics kept
+// in atomics so concurrent lookups never contend or race. The original
+// linear scan survives as an unexported reference implementation that
+// the property tests and benchmarks compare against.
 package flowtable
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"legosdn/internal/openflow"
 )
 
 // Entry is one installed rule in a switch flow table.
+//
+// The exported counter and timestamp fields are snapshots: they are
+// authoritative on entries the caller built (InsertEntry input) and on
+// entries the table hands back out of its own structures (Entries,
+// MatchingEntries, Peek clones, Removed entries). On the live entry
+// returned by Lookup they are frozen at insert time — read the moving
+// values through Counters and LastMatchedAt, which Lookup maintains in
+// atomics so concurrent lookups never race.
 type Entry struct {
 	Match       openflow.Match // normalized
 	Priority    uint16
@@ -31,6 +47,89 @@ type Entry struct {
 	LastMatched time.Time
 	PacketCount uint64
 	ByteCount   uint64
+
+	// Index bookkeeping, populated by prepare when the entry enters a
+	// table: tieKey is Match.String() computed once so priority ties
+	// break deterministically without per-lookup allocations; packed and
+	// exact feed the exact-match hash index; stats holds the live
+	// counters that Lookup bumps atomically under the read lock.
+	tieKey string
+	exact  bool
+	packed openflow.PackedFields
+	stats  *entryStats
+}
+
+// entryStats are the counters Lookup mutates. They live behind a
+// pointer so clones (plain struct copies) can drop them, and they are
+// atomics so lookups under the shared read lock never race each other.
+type entryStats struct {
+	packets     atomic.Uint64
+	bytes       atomic.Uint64
+	lastMatched atomic.Int64 // UnixNano; zeroTimeNano encodes the zero time.Time
+}
+
+// zeroTimeNano stands in for the zero time.Time, whose UnixNano is
+// undefined (year 1 is outside the representable range).
+const zeroTimeNano = math.MinInt64
+
+func nanoOf(t time.Time) int64 {
+	if t.IsZero() {
+		return zeroTimeNano
+	}
+	return t.UnixNano()
+}
+
+func timeOf(n int64) time.Time {
+	if n == zeroTimeNano {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+// prepare computes the index bookkeeping and moves the entry's snapshot
+// counters into live atomics. Called once, under the table write lock,
+// when the entry enters the table.
+func (e *Entry) prepare() {
+	e.tieKey = e.Match.String()
+	e.packed, e.exact = e.Match.ExactFields()
+	s := &entryStats{}
+	s.packets.Store(e.PacketCount)
+	s.bytes.Store(e.ByteCount)
+	s.lastMatched.Store(nanoOf(e.LastMatched))
+	e.stats = s
+}
+
+// materialize freezes the live counters back into the exported snapshot
+// fields. Called on entries leaving the table (removal, expiry) so
+// FlowRemoved emission and journaling read final values. The stats
+// pointer is kept: a caller still holding this entry from an earlier
+// Lookup may call Counters concurrently, and once the entry is out of
+// the index the atomics can no longer move.
+func (e *Entry) materialize() {
+	if e.stats == nil {
+		return
+	}
+	e.PacketCount = e.stats.packets.Load()
+	e.ByteCount = e.stats.bytes.Load()
+	e.LastMatched = timeOf(e.stats.lastMatched.Load())
+}
+
+// Counters returns the entry's packet and byte counters: the live
+// values on an entry returned by Lookup, the snapshot on a clone.
+func (e *Entry) Counters() (packets, bytes uint64) {
+	if e.stats != nil {
+		return e.stats.packets.Load(), e.stats.bytes.Load()
+	}
+	return e.PacketCount, e.ByteCount
+}
+
+// LastMatchedAt returns the time of the entry's most recent Lookup hit
+// (its install time if it has never matched).
+func (e *Entry) LastMatchedAt() time.Time {
+	if e.stats != nil {
+		return timeOf(e.stats.lastMatched.Load())
+	}
+	return e.LastMatched
 }
 
 // key identifies an entry for strict matching: identical normalized
@@ -42,10 +141,17 @@ type flowKey struct {
 
 func (e *Entry) key() flowKey { return flowKey{e.Match, e.Priority} }
 
-// clone deep-copies the entry so snapshots never alias live state.
+// clone deep-copies the entry so snapshots never alias live state. Live
+// counters are materialized into the clone's exported fields.
 func (e *Entry) clone() *Entry {
 	c := *e
 	c.Actions = openflow.CopyActions(e.Actions)
+	if e.stats != nil {
+		c.PacketCount = e.stats.packets.Load()
+		c.ByteCount = e.stats.bytes.Load()
+		c.LastMatched = timeOf(e.stats.lastMatched.Load())
+		c.stats = nil
+	}
 	return &c
 }
 
@@ -60,12 +166,14 @@ type Removed struct {
 // Table implements OpenFlow 1.0 single-table semantics: priority
 // lookup, strict and non-strict modify/delete, overlap checking, idle
 // and hard timeouts, and per-entry counters. It is safe for concurrent
-// use.
+// use; lookups share a read lock and scale with readers.
 type Table struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	entries map[flowKey]*Entry
+	index   tableIndex
 	clock   Clock
 	maxSize int // 0 = unlimited
+	onDepth func(depth int)
 }
 
 // New returns an empty table reading time from clock
@@ -74,7 +182,7 @@ func New(clock Clock) *Table {
 	if clock == nil {
 		clock = RealClock{}
 	}
-	return &Table{entries: make(map[flowKey]*Entry), clock: clock}
+	return &Table{entries: make(map[flowKey]*Entry), index: newTableIndex(), clock: clock}
 }
 
 // SetMaxSize bounds the number of entries; Apply of an ADD beyond the
@@ -85,10 +193,20 @@ func (t *Table) SetMaxSize(n int) {
 	t.maxSize = n
 }
 
-// Len reports the number of installed entries.
-func (t *Table) Len() int {
+// SetDepthObserver installs a callback invoked with the number of
+// entries each Lookup examined. The network simulator wires this to a
+// lookup-depth histogram; fn must be fast and must not call back into
+// the table. A nil fn removes the observer.
+func (t *Table) SetDepthObserver(fn func(depth int)) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.onDepth = fn
+}
+
+// Len reports the number of installed entries.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return len(t.entries)
 }
 
@@ -97,6 +215,19 @@ var ErrTableFull = fmt.Errorf("flowtable: flow table full")
 
 // ErrOverlap is returned when CHECK_OVERLAP finds a conflicting entry.
 var ErrOverlap = fmt.Errorf("flowtable: overlapping flow entry")
+
+// install prepares the entry and places it in both the map and the
+// index, displacing any previous entry under the same strict key.
+// Caller holds the write lock.
+func (t *Table) install(e *Entry) {
+	k := e.key()
+	if old, ok := t.entries[k]; ok {
+		t.index.remove(old)
+	}
+	e.prepare()
+	t.entries[k] = e
+	t.index.insert(e)
+}
 
 // Apply executes a FlowMod against the table, returning entries removed
 // as a side effect (for DELETE commands those carry reason DELETE; an
@@ -120,7 +251,7 @@ func (t *Table) Apply(fm *openflow.FlowMod) ([]Removed, error) {
 		if _, exists := t.entries[k]; !exists && t.maxSize > 0 && len(t.entries) >= t.maxSize {
 			return nil, ErrTableFull
 		}
-		t.entries[k] = &Entry{
+		t.install(&Entry{
 			Match:       norm,
 			Priority:    fm.Priority,
 			Cookie:      fm.Cookie,
@@ -130,7 +261,7 @@ func (t *Table) Apply(fm *openflow.FlowMod) ([]Removed, error) {
 			Actions:     openflow.CopyActions(fm.Actions),
 			Installed:   now,
 			LastMatched: now,
-		}
+		})
 		return nil, nil
 
 	case openflow.FlowModModify, openflow.FlowModModifyStrict:
@@ -138,6 +269,8 @@ func (t *Table) Apply(fm *openflow.FlowMod) ([]Removed, error) {
 		modified := false
 		for _, e := range t.entries {
 			if t.selects(e, &norm, fm.Priority, strict, openflow.PortNone) {
+				// Match and priority are untouched, so the index needs
+				// no maintenance here.
 				e.Actions = openflow.CopyActions(fm.Actions)
 				e.Cookie = fm.Cookie
 				modified = true
@@ -145,11 +278,10 @@ func (t *Table) Apply(fm *openflow.FlowMod) ([]Removed, error) {
 		}
 		if !modified {
 			// OpenFlow 1.0: a modify that matches nothing behaves as an add.
-			k := flowKey{norm, fm.Priority}
 			if t.maxSize > 0 && len(t.entries) >= t.maxSize {
 				return nil, ErrTableFull
 			}
-			t.entries[k] = &Entry{
+			t.install(&Entry{
 				Match:       norm,
 				Priority:    fm.Priority,
 				Cookie:      fm.Cookie,
@@ -159,7 +291,7 @@ func (t *Table) Apply(fm *openflow.FlowMod) ([]Removed, error) {
 				Actions:     openflow.CopyActions(fm.Actions),
 				Installed:   now,
 				LastMatched: now,
-			}
+			})
 		}
 		return nil, nil
 
@@ -169,6 +301,8 @@ func (t *Table) Apply(fm *openflow.FlowMod) ([]Removed, error) {
 		for k, e := range t.entries {
 			if t.selects(e, &norm, fm.Priority, strict, fm.OutPort) {
 				delete(t.entries, k)
+				t.index.remove(e)
+				e.materialize()
 				removed = append(removed, Removed{Entry: e, Reason: openflow.FlowRemovedDelete})
 			}
 		}
@@ -216,27 +350,54 @@ func matchesOverlap(a, b *openflow.Match) bool {
 
 // Lookup returns the highest-priority entry matching the packet fields
 // and, when found, bumps its counters by size bytes. Ties on priority
-// are broken deterministically by match string so simulation runs are
-// reproducible.
+// are broken deterministically by the precomputed match key so
+// simulation runs are reproducible. The hit path takes the read lock,
+// probes the index, and updates atomics: zero allocations, and
+// concurrent lookups proceed in parallel.
 func (t *Table) Lookup(p openflow.PacketFields, size int) *Entry {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	key := p.Pack()
+	t.mu.RLock()
+	best, depth := t.index.lookup(p, key)
+	if best != nil {
+		best.stats.packets.Add(1)
+		best.stats.bytes.Add(uint64(size))
+		best.stats.lastMatched.Store(nanoOf(t.clock.Now()))
+	}
+	onDepth := t.onDepth
+	t.mu.RUnlock()
+	if onDepth != nil {
+		onDepth(depth)
+	}
+	return best
+}
+
+// lookupLinear is the pre-index reference implementation: walk every
+// entry, keep the highest priority, break ties on the precomputed
+// match key. Retained so property tests can assert the index returns
+// byte-identical results and benchmarks can measure the speedup.
+// Caller holds at least the read lock. Does not touch counters.
+func (t *Table) lookupLinear(p openflow.PacketFields) *Entry {
 	var best *Entry
 	for _, e := range t.entries {
 		if !e.Match.Matches(p) {
 			continue
 		}
 		if best == nil || e.Priority > best.Priority ||
-			(e.Priority == best.Priority && e.Match.String() < best.Match.String()) {
+			(e.Priority == best.Priority && e.tieKey < best.tieKey) {
 			best = e
 		}
 	}
-	if best != nil {
-		best.PacketCount++
-		best.ByteCount += uint64(size)
-		best.LastMatched = t.clock.Now()
-	}
 	return best
+}
+
+// LookupLinear runs the retained linear-scan reference implementation
+// without updating counters. It exists for differential testing and
+// for benchmarking the index against its predecessor; the hot path
+// never calls it.
+func (t *Table) LookupLinear(p openflow.PacketFields) *Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.lookupLinear(p)
 }
 
 // Peek returns a deep copy of the highest-priority entry matching the
@@ -244,18 +405,10 @@ func (t *Table) Lookup(p openflow.PacketFields, size int) *Entry {
 // checkers use it to trace forwarding behavior without perturbing the
 // statistics the control plane observes.
 func (t *Table) Peek(p openflow.PacketFields) *Entry {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var best *Entry
-	for _, e := range t.entries {
-		if !e.Match.Matches(p) {
-			continue
-		}
-		if best == nil || e.Priority > best.Priority ||
-			(e.Priority == best.Priority && e.Match.String() < best.Match.String()) {
-			best = e
-		}
-	}
+	key := p.Pack()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	best, _ := t.index.lookup(p, key)
 	if best == nil {
 		return nil
 	}
@@ -270,14 +423,19 @@ func (t *Table) Expire() []Removed {
 	now := t.clock.Now()
 	var removed []Removed
 	for k, e := range t.entries {
+		var reason openflow.FlowRemovedReason
 		switch {
 		case e.HardTimeout > 0 && now.Sub(e.Installed) >= time.Duration(e.HardTimeout)*time.Second:
-			delete(t.entries, k)
-			removed = append(removed, Removed{Entry: e, Reason: openflow.FlowRemovedHardTimeout})
-		case e.IdleTimeout > 0 && now.Sub(e.LastMatched) >= time.Duration(e.IdleTimeout)*time.Second:
-			delete(t.entries, k)
-			removed = append(removed, Removed{Entry: e, Reason: openflow.FlowRemovedIdleTimeout})
+			reason = openflow.FlowRemovedHardTimeout
+		case e.IdleTimeout > 0 && now.Sub(e.LastMatchedAt()) >= time.Duration(e.IdleTimeout)*time.Second:
+			reason = openflow.FlowRemovedIdleTimeout
+		default:
+			continue
 		}
+		delete(t.entries, k)
+		t.index.remove(e)
+		e.materialize()
+		removed = append(removed, Removed{Entry: e, Reason: reason})
 	}
 	return removed
 }
@@ -285,17 +443,17 @@ func (t *Table) Expire() []Removed {
 // Entries returns deep copies of all entries, ordered by descending
 // priority then match string, suitable for stats replies and snapshots.
 func (t *Table) Entries() []*Entry {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
 	out := make([]*Entry, 0, len(t.entries))
 	for _, e := range t.entries {
 		out = append(out, e.clone())
 	}
+	t.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Priority != out[j].Priority {
 			return out[i].Priority > out[j].Priority
 		}
-		return out[i].Match.String() < out[j].Match.String()
+		return out[i].tieKey < out[j].tieKey
 	})
 	return out
 }
@@ -308,14 +466,13 @@ func (t *Table) InsertEntry(e *Entry) {
 	defer t.mu.Unlock()
 	c := e.clone()
 	c.Match = c.Match.Normalize()
-	t.entries[c.key()] = c
+	t.install(c)
 }
 
 // MatchingEntries returns deep copies of entries selected by an
 // OpenFlow stats-request filter (non-strict match plus out-port).
 func (t *Table) MatchingEntries(filter *openflow.Match, outPort uint16) []*Entry {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
 	norm := filter.Normalize()
 	var out []*Entry
 	for _, e := range t.entries {
@@ -323,11 +480,12 @@ func (t *Table) MatchingEntries(filter *openflow.Match, outPort uint16) []*Entry
 			out = append(out, e.clone())
 		}
 	}
+	t.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Priority != out[j].Priority {
 			return out[i].Priority > out[j].Priority
 		}
-		return out[i].Match.String() < out[j].Match.String()
+		return out[i].tieKey < out[j].tieKey
 	})
 	return out
 }

@@ -36,8 +36,8 @@ func TestFlowTableAddLookup(t *testing.T) {
 	if e == nil {
 		t.Fatal("lookup missed installed entry")
 	}
-	if e.PacketCount != 1 || e.ByteCount != 100 {
-		t.Errorf("counters = %d/%d, want 1/100", e.PacketCount, e.ByteCount)
+	if pk, by := e.Counters(); pk != 1 || by != 100 {
+		t.Errorf("counters = %d/%d, want 1/100", pk, by)
 	}
 	if ft.Lookup(openflow.PacketFields{InPort: 2}, 100) != nil {
 		t.Error("lookup matched wrong port")
@@ -72,8 +72,8 @@ func TestFlowTableAddReplacesIdentical(t *testing.T) {
 		t.Fatalf("table len = %d, want 1 (replacement)", ft.Len())
 	}
 	e := ft.Lookup(openflow.PacketFields{InPort: 1}, 1)
-	if e.PacketCount != 1 {
-		t.Errorf("replacement should reset counters, got %d", e.PacketCount)
+	if pk, _ := e.Counters(); pk != 1 {
+		t.Errorf("replacement should reset counters, got %d", pk)
 	}
 	if e.Actions[0].(*openflow.ActionOutput).Port != 3 {
 		t.Error("replacement did not update actions")
@@ -143,8 +143,8 @@ func TestFlowTableModify(t *testing.T) {
 	if e.Actions[0].(*openflow.ActionOutput).Port != 7 {
 		t.Error("modify did not change actions")
 	}
-	if e.PacketCount != 2 {
-		t.Errorf("modify should keep counters, got %d", e.PacketCount)
+	if pk, _ := e.Counters(); pk != 2 {
+		t.Errorf("modify should keep counters, got %d", pk)
 	}
 	// Modify of a non-existent match adds it.
 	ft.Apply(&openflow.FlowMod{

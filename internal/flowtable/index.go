@@ -1,0 +1,131 @@
+package flowtable
+
+import (
+	"sort"
+
+	"legosdn/internal/openflow"
+)
+
+// tableIndex accelerates Lookup from a linear scan over every entry to
+// a probe of two structures kept in lockstep with the entries map:
+//
+//   - exact: rules that constrain all twelve header fields, hashed on
+//     the packed field key. A packet can hit at most one exact key (its
+//     own Pack()), so one map probe finds every exact candidate.
+//   - wild: everything else, grouped into buckets of equal priority
+//     sorted descending, each bucket's entries sorted ascending by
+//     tie-break key. Lookup walks buckets top-down and stops at the
+//     first priority level that produced a match, so a hit near the top
+//     of the table never pays for the rules below it.
+//
+// Tie-break determinism is preserved exactly: the winner among equal
+// priorities is the entry with the smallest precomputed tieKey, which
+// is byte-for-byte the Match.String() ordering the linear scan used.
+type tableIndex struct {
+	exact map[openflow.PackedFields][]*Entry // per key: descending priority
+	wild  []wildBucket                       // descending priority
+}
+
+// wildBucket holds all non-exact entries installed at one priority.
+type wildBucket struct {
+	prio    uint16
+	entries []*Entry // ascending tieKey
+}
+
+func newTableIndex() tableIndex {
+	return tableIndex{exact: make(map[openflow.PackedFields][]*Entry)}
+}
+
+// insert adds an entry prepared by prepare(). The caller must have
+// removed any previous entry with the same (match, priority) first.
+func (ix *tableIndex) insert(e *Entry) {
+	if e.exact {
+		s := ix.exact[e.packed]
+		i := sort.Search(len(s), func(i int) bool { return s[i].Priority <= e.Priority })
+		s = append(s, nil)
+		copy(s[i+1:], s[i:])
+		s[i] = e
+		ix.exact[e.packed] = s
+		return
+	}
+	bi := sort.Search(len(ix.wild), func(i int) bool { return ix.wild[i].prio <= e.Priority })
+	if bi == len(ix.wild) || ix.wild[bi].prio != e.Priority {
+		ix.wild = append(ix.wild, wildBucket{})
+		copy(ix.wild[bi+1:], ix.wild[bi:])
+		ix.wild[bi] = wildBucket{prio: e.Priority}
+	}
+	b := &ix.wild[bi]
+	j := sort.Search(len(b.entries), func(i int) bool { return b.entries[i].tieKey >= e.tieKey })
+	b.entries = append(b.entries, nil)
+	copy(b.entries[j+1:], b.entries[j:])
+	b.entries[j] = e
+}
+
+// remove drops the entry (located by pointer identity) from the index.
+func (ix *tableIndex) remove(e *Entry) {
+	if e.exact {
+		s := ix.exact[e.packed]
+		for i, cur := range s {
+			if cur == e {
+				s = append(s[:i], s[i+1:]...)
+				break
+			}
+		}
+		if len(s) == 0 {
+			delete(ix.exact, e.packed)
+		} else {
+			ix.exact[e.packed] = s
+		}
+		return
+	}
+	for bi := range ix.wild {
+		b := &ix.wild[bi]
+		if b.prio != e.Priority {
+			continue
+		}
+		for i, cur := range b.entries {
+			if cur == e {
+				b.entries = append(b.entries[:i], b.entries[i+1:]...)
+				break
+			}
+		}
+		if len(b.entries) == 0 {
+			ix.wild = append(ix.wild[:bi], ix.wild[bi+1:]...)
+		}
+		return
+	}
+}
+
+// lookup returns the winning entry for the packet — highest priority,
+// ties broken by smallest tieKey — and the number of entries examined
+// (the lookup depth). key must be p.Pack(). It performs no allocations.
+func (ix *tableIndex) lookup(p openflow.PacketFields, key openflow.PackedFields) (*Entry, int) {
+	depth := 0
+	var best *Entry
+	if s := ix.exact[key]; len(s) > 0 {
+		// All entries under one key share an identical match, so the
+		// head of the priority-sorted slice is the only candidate.
+		best = s[0]
+		depth++
+	}
+	for i := range ix.wild {
+		b := &ix.wild[i]
+		if best != nil && b.prio < best.Priority {
+			break // every remaining bucket is lower priority
+		}
+		for _, e := range b.entries {
+			depth++
+			if !e.Match.Matches(p) {
+				continue
+			}
+			if best == nil || e.Priority > best.Priority ||
+				(e.Priority == best.Priority && e.tieKey < best.tieKey) {
+				best = e
+			}
+		}
+		if best != nil && best.Priority >= b.prio {
+			break // a winner at or above this level cannot be beaten below it
+		}
+	}
+	return best, depth
+}

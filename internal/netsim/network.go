@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"legosdn/internal/metrics"
 	"legosdn/internal/openflow"
 )
 
@@ -96,7 +97,17 @@ type Network struct {
 
 	// LossDrops counts frames shed by lossy links.
 	LossDrops atomic.Uint64
+
+	// depthHist, when set, observes every flow-table lookup's depth
+	// (entries examined); AddSwitch wires it into new switches.
+	depthHist *metrics.Histogram
 }
+
+// LookupDepthBuckets are the histogram bounds for flow-table lookup
+// depth: entries examined per lookup, 1 being an immediate exact-match
+// hit. An indexed table should keep nearly all mass in the first
+// buckets even at 10k entries.
+var LookupDepthBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096}
 
 // NewNetwork creates an empty network using clock for all switch
 // timekeeping (RealClock if nil).
@@ -137,8 +148,32 @@ func (n *Network) AddSwitch(dpid uint64) *Switch {
 		return s
 	}
 	s := newSwitch(n, dpid, n.clock)
+	if h := n.depthHist; h != nil {
+		s.Table().SetDepthObserver(func(depth int) { h.Observe(float64(depth)) })
+	}
 	n.switches[dpid] = s
 	return s
+}
+
+// InstrumentFlowTables points every switch's flow table — existing and
+// future — at a lookup-depth histogram, one observation per dataplane
+// lookup. Pass nil to detach. The histogram is the evidence that the
+// indexed tables keep lookup depth flat as rule counts grow.
+func (n *Network) InstrumentFlowTables(h *metrics.Histogram) {
+	n.mu.Lock()
+	n.depthHist = h
+	switches := make([]*Switch, 0, len(n.switches))
+	for _, s := range n.switches {
+		switches = append(switches, s)
+	}
+	n.mu.Unlock()
+	obs := func(depth int) { h.Observe(float64(depth)) }
+	if h == nil {
+		obs = nil
+	}
+	for _, s := range switches {
+		s.Table().SetDepthObserver(obs)
+	}
 }
 
 // Switch returns the switch with the given dpid, or nil.

@@ -172,6 +172,7 @@ func TestTopologyShapes(t *testing.T) {
 		{"tree d3 f2", Tree(3, 2, nil), 7, 8},
 		{"ring4", Ring(4, nil), 4, 4},
 		{"fattree4", FatTree(4, nil), 20, 16},
+		{"clos 4x8", Clos2Tier(4, 8, 3, nil), 12, 24},
 		{"random8", Random(8, 3, 1, nil), 8, 8},
 	}
 	for _, tc := range tests {

@@ -173,6 +173,44 @@ func FatTree(k int, clock Clock) *Network {
 	return net
 }
 
+// Clos2Tier builds a two-tier leaf-spine Clos fabric: every leaf
+// connects to every spine, hosts attach only to leaves. With a handful
+// of spines this scales to clusters of ten thousand switches while
+// keeping the link count linear in the leaf count — the shape the
+// data-plane scaling experiments sweep. Spines take dpids 1..spines;
+// leaves follow. Leaf uplink to spine s uses port s; spine downlink to
+// leaf j uses port j.
+func Clos2Tier(spines, leaves, hostsPerLeaf int, clock Clock) *Network {
+	if spines < 1 || leaves < 1 || hostsPerLeaf < 0 {
+		panic("netsim: clos needs at least one spine and one leaf")
+	}
+	if spines >= hostPortBase {
+		panic("netsim: clos spine count would collide with host ports")
+	}
+	if leaves*hostsPerLeaf > 0xffff {
+		panic("netsim: clos host count exceeds the 10.0.x.y address space")
+	}
+	net := NewNetwork(clock)
+	for s := 1; s <= spines; s++ {
+		net.AddSwitch(uint64(s))
+	}
+	hostIdx := 1
+	for j := 1; j <= leaves; j++ {
+		leaf := uint64(spines + j)
+		net.AddSwitch(leaf)
+		for s := 1; s <= spines; s++ {
+			if err := net.AddLink(uint64(s), uint16(j), leaf, uint16(s)); err != nil {
+				panic(err)
+			}
+		}
+		for hp := 0; hp < hostsPerLeaf; hp++ {
+			addHostN(net, hostIdx, leaf, hostPortBase+uint16(hp))
+			hostIdx++
+		}
+	}
+	return net
+}
+
 // Random builds a connected random topology: a spanning tree over n
 // switches plus extra random links, one host per switch. The same seed
 // yields the same graph.

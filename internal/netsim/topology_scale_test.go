@@ -1,0 +1,82 @@
+package netsim
+
+import (
+	"testing"
+
+	"legosdn/internal/metrics"
+	"legosdn/internal/openflow"
+)
+
+func TestClos2TierWiring(t *testing.T) {
+	const spines, leaves, hostsPerLeaf = 4, 6, 2
+	n := Clos2Tier(spines, leaves, hostsPerLeaf, nil)
+
+	// Every leaf reaches every spine over the documented port plan.
+	for j := 1; j <= leaves; j++ {
+		leaf := uint64(spines + j)
+		for s := 1; s <= spines; s++ {
+			kind, peer, port, _ := n.Peer(leaf, uint16(s))
+			if kind != PeerSwitch || peer != uint64(s) || port != uint16(j) {
+				t.Fatalf("leaf %d port %d: got kind=%v peer=%d port=%d", leaf, s, kind, peer, port)
+			}
+		}
+	}
+	// Spines carry no hosts; leaves carry hostsPerLeaf each.
+	for _, h := range n.Hosts() {
+		if h.attach.dpid <= spines {
+			t.Fatalf("host %s attached to spine %d", h.Name, h.attach.dpid)
+		}
+	}
+	if got := len(n.Hosts()); got != leaves*hostsPerLeaf {
+		t.Fatalf("hosts = %d, want %d", got, leaves*hostsPerLeaf)
+	}
+}
+
+// TestClos2TierBuildsLarge exercises the scaling claim directly: a
+// fabric in the thousands of switches builds in-process without
+// quadratic blowup (links are spines×leaves, not leaves²).
+func TestClos2TierBuildsLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large topology build")
+	}
+	const spines, leaves = 8, 1992 // 2000 switches
+	n := Clos2Tier(spines, leaves, 0, nil)
+	if got := len(n.Switches()); got != spines+leaves {
+		t.Fatalf("switches = %d, want %d", got, spines+leaves)
+	}
+	if got := len(n.links); got != spines*leaves {
+		t.Fatalf("links = %d, want %d", got, spines*leaves)
+	}
+}
+
+func TestInstrumentFlowTables(t *testing.T) {
+	n := Single(2, nil)
+	h := metrics.NewHistogram(LookupDepthBuckets)
+	n.InstrumentFlowTables(h)
+
+	sw := n.Switch(1)
+	m := openflow.MatchAll()
+	sw.Table().Apply(&openflow.FlowMod{
+		Match: m, Command: openflow.FlowModAdd, Priority: 1,
+		BufferID: openflow.BufferIDNone, OutPort: openflow.PortNone,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: openflow.PortFlood}},
+	})
+	h1, h2 := n.Host("h1"), n.Host("h2")
+	n.SendFromHost("h1", TCPFrame(h1, h2, 1000, 80, nil))
+	if c := h.Snapshot().Count; c == 0 {
+		t.Fatal("no lookup depths observed after dataplane traffic")
+	}
+	// Switches added after instrumentation report into the same histogram.
+	before := h.Snapshot().Count
+	s2 := n.AddSwitch(99)
+	s2.Table().Lookup(openflow.PacketFields{InPort: 1}, 64)
+	if c := h.Snapshot().Count; c != before+1 {
+		t.Fatalf("late-added switch not instrumented: count %d, want %d", c, before+1)
+	}
+	// Detach stops observation.
+	n.InstrumentFlowTables(nil)
+	s2.Table().Lookup(openflow.PacketFields{InPort: 1}, 64)
+	if c := h.Snapshot().Count; c != before+1 {
+		t.Fatal("detached histogram still observing")
+	}
+}

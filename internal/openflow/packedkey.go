@@ -1,0 +1,80 @@
+package openflow
+
+import "encoding/binary"
+
+// PackedFieldsLen is the encoded size of a PackedFields key: every
+// PacketFields field laid out big-endian, back to back, no padding.
+const PackedFieldsLen = 33
+
+// PackedFields is a fixed-size, comparable byte encoding of a full
+// twelve-tuple of packet header fields. Flow tables use it as the hash
+// key of their exact-match index: a rule that constrains every field
+// hits a packet iff the rule's packed match equals the packet's packed
+// fields, so one map probe replaces a linear scan. The layout is
+// canonical (big-endian, declaration order of PacketFields), making the
+// key stable across processes — fingerprints and journals may persist it.
+type PackedFields [PackedFieldsLen]byte
+
+// Pack encodes the packet fields into their canonical packed key.
+// It performs no allocations; the result is a plain value.
+func (p PacketFields) Pack() PackedFields {
+	var k PackedFields
+	binary.BigEndian.PutUint16(k[0:2], p.InPort)
+	copy(k[2:8], p.DlSrc[:])
+	copy(k[8:14], p.DlDst[:])
+	binary.BigEndian.PutUint16(k[14:16], p.DlVlan)
+	k[16] = p.DlVlanPcp
+	binary.BigEndian.PutUint16(k[17:19], p.DlType)
+	k[19] = p.NwTos
+	k[20] = p.NwProto
+	binary.BigEndian.PutUint32(k[21:25], p.NwSrc)
+	binary.BigEndian.PutUint32(k[25:29], p.NwDst)
+	binary.BigEndian.PutUint16(k[29:31], p.TpSrc)
+	binary.BigEndian.PutUint16(k[31:33], p.TpDst)
+	return k
+}
+
+// Unpack decodes a packed key back into packet fields. Pack and Unpack
+// are exact inverses: Unpack(Pack(p)) == p and Pack(Unpack(k)) == k for
+// every p and k.
+func (k PackedFields) Unpack() PacketFields {
+	var p PacketFields
+	p.InPort = binary.BigEndian.Uint16(k[0:2])
+	copy(p.DlSrc[:], k[2:8])
+	copy(p.DlDst[:], k[8:14])
+	p.DlVlan = binary.BigEndian.Uint16(k[14:16])
+	p.DlVlanPcp = k[16]
+	p.DlType = binary.BigEndian.Uint16(k[17:19])
+	p.NwTos = k[19]
+	p.NwProto = k[20]
+	p.NwSrc = binary.BigEndian.Uint32(k[21:25])
+	p.NwDst = binary.BigEndian.Uint32(k[25:29])
+	p.TpSrc = binary.BigEndian.Uint16(k[29:31])
+	p.TpDst = binary.BigEndian.Uint16(k[31:33])
+	return p
+}
+
+// ExactFields reports whether the match constrains every field exactly
+// (no wildcard bits, no CIDR masking) and, if so, returns the packed
+// key its packets must carry. The match must be normalized; a
+// normalized match is exact iff its wildcard word is zero, because
+// Normalize clamps the CIDR widths into the same word.
+func (m *Match) ExactFields() (PackedFields, bool) {
+	if m.Wildcards != 0 {
+		return PackedFields{}, false
+	}
+	return PacketFields{
+		InPort:    m.InPort,
+		DlSrc:     m.DlSrc,
+		DlDst:     m.DlDst,
+		DlVlan:    m.DlVlan,
+		DlVlanPcp: m.DlVlanPcp,
+		DlType:    m.DlType,
+		NwTos:     m.NwTos,
+		NwProto:   m.NwProto,
+		NwSrc:     m.NwSrc,
+		NwDst:     m.NwDst,
+		TpSrc:     m.TpSrc,
+		TpDst:     m.TpDst,
+	}.Pack(), true
+}

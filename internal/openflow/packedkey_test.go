@@ -1,0 +1,117 @@
+package openflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomFields(r *rand.Rand) PacketFields {
+	var p PacketFields
+	p.InPort = uint16(r.Uint32())
+	r.Read(p.DlSrc[:])
+	r.Read(p.DlDst[:])
+	p.DlVlan = uint16(r.Uint32())
+	p.DlVlanPcp = uint8(r.Uint32())
+	p.DlType = uint16(r.Uint32())
+	p.NwTos = uint8(r.Uint32())
+	p.NwProto = uint8(r.Uint32())
+	p.NwSrc = r.Uint32()
+	p.NwDst = r.Uint32()
+	p.TpSrc = uint16(r.Uint32())
+	p.TpDst = uint16(r.Uint32())
+	return p
+}
+
+func TestPackedFieldsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		p := randomFields(rand.New(rand.NewSource(seed)))
+		return p.Pack().Unpack() == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackedFieldsInjective(t *testing.T) {
+	// Two distinct field sets must never pack to the same key: the
+	// exact-match index relies on Pack being a bijection.
+	r := rand.New(rand.NewSource(7))
+	seen := make(map[PackedFields]PacketFields)
+	for i := 0; i < 5000; i++ {
+		p := randomFields(r)
+		if prev, dup := seen[p.Pack()]; dup && prev != p {
+			t.Fatalf("collision: %+v and %+v pack identically", prev, p)
+		}
+		seen[p.Pack()] = p
+	}
+}
+
+func TestExactFields(t *testing.T) {
+	// A fully wildcarded match is not exact.
+	all := MatchAll()
+	if _, ok := all.ExactFields(); ok {
+		t.Error("MatchAll should not be exact")
+	}
+	// A match constraining every field is exact, and its key equals the
+	// packed fields of a packet it matches.
+	m := Match{
+		InPort: 3,
+		DlSrc:  EthAddr{1, 2, 3, 4, 5, 6},
+		DlDst:  EthAddr{6, 5, 4, 3, 2, 1},
+		DlVlan: 10, DlVlanPcp: 2, DlType: 0x0800,
+		NwTos: 4, NwProto: 6,
+		NwSrc: 0x0a000001, NwDst: 0x0a000002,
+		TpSrc: 1234, TpDst: 80,
+	}
+	key, ok := m.ExactFields()
+	if !ok {
+		t.Fatal("fully constrained match should be exact")
+	}
+	p := PacketFields{
+		InPort: 3,
+		DlSrc:  EthAddr{1, 2, 3, 4, 5, 6},
+		DlDst:  EthAddr{6, 5, 4, 3, 2, 1},
+		DlVlan: 10, DlVlanPcp: 2, DlType: 0x0800,
+		NwTos: 4, NwProto: 6,
+		NwSrc: 0x0a000001, NwDst: 0x0a000002,
+		TpSrc: 1234, TpDst: 80,
+	}
+	if key != p.Pack() {
+		t.Error("exact key does not equal the matching packet's packed fields")
+	}
+	if !m.Matches(p) {
+		t.Error("exact match should accept its own packet")
+	}
+	// Any single masked bit disqualifies exactness.
+	masked := m
+	masked.SetNwSrcMaskBits(1)
+	if _, ok := masked.ExactFields(); ok {
+		t.Error("CIDR-masked match should not be exact")
+	}
+	wild := m
+	wild.Wildcards |= WildcardTpDst
+	if _, ok := wild.ExactFields(); ok {
+		t.Error("wildcarded match should not be exact")
+	}
+}
+
+// FuzzPackedFields checks the packed match-key codec: any 33 bytes
+// decode to fields that re-encode to the identical key, and any fields
+// round-trip through the key unchanged.
+func FuzzPackedFields(f *testing.F) {
+	f.Add(make([]byte, PackedFieldsLen))
+	f.Add([]byte{1, 2, 3})
+	seed := randomFields(rand.New(rand.NewSource(1))).Pack()
+	f.Add(seed[:])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < PackedFieldsLen {
+			return
+		}
+		var k PackedFields
+		copy(k[:], data)
+		if k.Unpack().Pack() != k {
+			t.Fatalf("key %x does not round-trip", k)
+		}
+	})
+}

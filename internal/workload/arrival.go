@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"legosdn/internal/controller"
+	"legosdn/internal/netsim"
+	"legosdn/internal/openflow"
+)
+
+// PoissonArrivals draws n inter-arrival gaps from an exponential
+// distribution with the given mean rate (events per second) — a Poisson
+// arrival process, the standard model for aggregate new-flow arrivals
+// at a controller. Deterministic per seed.
+func PoissonArrivals(n int, ratePerSec float64, seed int64) []time.Duration {
+	if ratePerSec <= 0 {
+		ratePerSec = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(r.ExpFloat64() / ratePerSec * float64(time.Second))
+	}
+	return out
+}
+
+// ParetoFlowSizes draws n flow sizes in bytes from a bounded Pareto
+// distribution with the given shape alpha and minimum size — the
+// heavy-tailed "mice and elephants" mix measured in datacenter traffic.
+// Shape values near 1.1–1.5 reproduce the canonical skew where a few
+// percent of flows carry most bytes. Deterministic per seed.
+func ParetoFlowSizes(n int, alpha float64, minBytes uint64, seed int64) []uint64 {
+	if alpha <= 0 {
+		alpha = 1.2
+	}
+	if minBytes == 0 {
+		minBytes = 64
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]uint64, n)
+	for i := range out {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		size := float64(minBytes) * math.Pow(u, -1/alpha)
+		if size > 1<<40 { // clamp the tail so one draw cannot be "a terabyte"
+			size = 1 << 40
+		}
+		out[i] = uint64(size)
+	}
+	return out
+}
+
+// FlowSpace maps dense flow IDs onto distinct five-tuples over a host
+// population, so a generator can hand out millions of unique flows
+// without storing them: flow id f is (src, dst, sport) decoded
+// mixed-radix from f. Hosts is capped at the 10.0.x.y address space.
+type FlowSpace struct {
+	hosts int
+}
+
+// NewFlowSpace returns a flow space over the given host count
+// (minimum 2, maximum 65535 — the deterministic HostIP space).
+func NewFlowSpace(hosts int) FlowSpace {
+	if hosts < 2 {
+		hosts = 2
+	}
+	if hosts > 0xffff {
+		hosts = 0xffff
+	}
+	return FlowSpace{hosts: hosts}
+}
+
+// Distinct reports how many distinct flows the space can produce before
+// five-tuples repeat: hosts × (hosts-1) destination pairs × the
+// ephemeral source-port range.
+func (s FlowSpace) Distinct() uint64 {
+	return uint64(s.hosts) * uint64(s.hosts-1) * uint64(sportRange)
+}
+
+const (
+	sportBase  = 10000
+	sportRange = 50000
+)
+
+// Tuple decodes flow id into its five-tuple. IDs beyond Distinct wrap.
+func (s FlowSpace) Tuple(id uint64) (src, dst int, sport, dport uint16) {
+	h := uint64(s.hosts)
+	src = int(id%h) + 1
+	id /= h
+	dst = int(id % (h - 1))
+	id /= h - 1
+	// Skip the diagonal so src != dst always.
+	if dst >= src-1 {
+		dst++
+	}
+	dst++
+	sport = uint16(sportBase + id%sportRange)
+	return src, dst, sport, 80
+}
+
+// PacketIn builds the PacketIn event for flow id: the first packet of
+// the flow arriving at a switch with no matching rule. The frame is a
+// TCP SYN-sized 5-tuple between the decoded hosts.
+func (s FlowSpace) PacketIn(id uint64, dpid uint64, seq uint64) controller.Event {
+	src, dst, sport, dport := s.Tuple(id)
+	f := &netsim.Frame{
+		DlSrc:   netsim.HostMAC(src),
+		DlDst:   netsim.HostMAC(dst),
+		DlType:  netsim.EtherTypeIPv4,
+		NwProto: netsim.IPProtoTCP,
+		NwSrc:   netsim.HostIP(src),
+		NwDst:   netsim.HostIP(dst),
+		TpSrc:   sport,
+		TpDst:   dport,
+	}
+	return controller.Event{
+		Seq:  seq,
+		Kind: controller.EventPacketIn,
+		DPID: dpid,
+		Message: &openflow.PacketIn{
+			BufferID: openflow.BufferIDNone,
+			InPort:   uint16(1 + id%4),
+			Reason:   openflow.PacketInReasonNoMatch,
+			Data:     f.Marshal(),
+		},
+	}
+}
+
+// EventStream pre-generates n PacketIn events over a flow space: flow
+// IDs stride through the space so consecutive events are distinct
+// flows (millions of them at scale), switch assignment round-robins
+// over the topology, and Poisson arrival offsets are returned alongside
+// for generators that pace injection. Deterministic per seed.
+func EventStream(n int, switches int, space FlowSpace, ratePerSec float64, seed int64) ([]controller.Event, []time.Duration) {
+	if switches < 1 {
+		switches = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	events := make([]controller.Event, n)
+	// A large odd stride relatively prime to the space visits distinct
+	// flow IDs in a scattered order, like real arrivals.
+	stride := uint64(2*r.Intn(1<<20) + 1)
+	id := uint64(r.Int63())
+	for i := range events {
+		id += stride
+		events[i] = space.PacketIn(id%space.Distinct(), uint64(i%switches)+1, uint64(i+1))
+	}
+	return events, PoissonArrivals(n, ratePerSec, seed+1)
+}

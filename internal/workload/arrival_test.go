@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"legosdn/internal/openflow"
+)
+
+func TestPoissonArrivals(t *testing.T) {
+	const n, rate = 20000, 1000.0
+	gaps := PoissonArrivals(n, rate, 7)
+	var sum time.Duration
+	for _, g := range gaps {
+		if g < 0 {
+			t.Fatal("negative inter-arrival gap")
+		}
+		sum += g
+	}
+	mean := sum.Seconds() / n
+	if mean < 0.0008 || mean > 0.0012 {
+		t.Errorf("mean gap %.6fs, want ~%.6fs", mean, 1/rate)
+	}
+	again := PoissonArrivals(n, rate, 7)
+	for i := range gaps {
+		if gaps[i] != again[i] {
+			t.Fatal("same seed produced different arrivals")
+		}
+	}
+}
+
+func TestParetoFlowSizes(t *testing.T) {
+	const n = 50000
+	sizes := ParetoFlowSizes(n, 1.2, 64, 11)
+	var sum float64
+	over10x := 0
+	for _, s := range sizes {
+		if s < 64 {
+			t.Fatalf("size %d below minimum", s)
+		}
+		if s > 640 {
+			over10x++
+		}
+		sum += float64(s)
+	}
+	// Heavy tail: mean well above the minimum, yet most flows are mice.
+	if mean := sum / n; mean < 128 {
+		t.Errorf("mean %.0f suggests no tail", mean)
+	}
+	if frac := float64(over10x) / n; frac > 0.30 {
+		t.Errorf("%.0f%% of flows are elephants; tail too fat for alpha=1.2", frac*100)
+	}
+}
+
+func TestFlowSpaceTuples(t *testing.T) {
+	s := NewFlowSpace(50)
+	type key struct {
+		src, dst int
+		sport    uint16
+	}
+	uniq := map[key]struct{}{}
+	for id := uint64(0); id < 20000; id++ {
+		src, dst, sport, dport := s.Tuple(id)
+		if src < 1 || src > 50 || dst < 1 || dst > 50 {
+			t.Fatalf("id %d: hosts out of range (%d, %d)", id, src, dst)
+		}
+		if src == dst {
+			t.Fatalf("id %d: src == dst == %d", id, src)
+		}
+		if dport != 80 {
+			t.Fatalf("id %d: dport %d", id, dport)
+		}
+		uniq[key{src, dst, sport}] = struct{}{}
+	}
+	if len(uniq) != 20000 {
+		t.Fatalf("only %d distinct five-tuples in 20000 ids", len(uniq))
+	}
+	if want := uint64(50 * 49 * 50000); s.Distinct() != want {
+		t.Fatalf("Distinct = %d, want %d", s.Distinct(), want)
+	}
+}
+
+func TestEventStream(t *testing.T) {
+	space := NewFlowSpace(1000)
+	events, gaps := EventStream(5000, 16, space, 100000, 3)
+	if len(events) != 5000 || len(gaps) != 5000 {
+		t.Fatalf("lengths %d/%d", len(events), len(gaps))
+	}
+	flows := map[string]struct{}{}
+	for i, ev := range events {
+		if ev.DPID < 1 || ev.DPID > 16 {
+			t.Fatalf("event %d: dpid %d", i, ev.DPID)
+		}
+		pin, ok := ev.Message.(*openflow.PacketIn)
+		if !ok {
+			t.Fatalf("event %d: %T", i, ev.Message)
+		}
+		flows[string(pin.Data)] = struct{}{}
+	}
+	// Strided IDs: consecutive events are (nearly always) distinct flows.
+	if len(flows) < 4900 {
+		t.Errorf("only %d distinct flows in 5000 events", len(flows))
+	}
+	again, _ := EventStream(5000, 16, space, 100000, 3)
+	for i := range events {
+		if events[i].DPID != again[i].DPID {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
