@@ -137,6 +137,12 @@ func BenchmarkClaimScale(b *testing.B) {
 	}
 }
 
+func BenchmarkClaimRecoveryForensics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.ClaimRecoveryForensics(true))
+	}
+}
+
 // --- Micro-benchmarks: the hot paths the tables are built from. ---
 
 func BenchmarkOpenFlowEncodeFlowMod(b *testing.B) {

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -85,6 +86,9 @@ var index = []struct {
 	{"P2", "data-plane scale: topologies, indexed lookups, AppVisor capacity", func(q bool) experiments.Table {
 		return experiments.ClaimScale(q)
 	}},
+	{"R1", "crash forensics: MTTR breakdown by recovery phase, autopsy coverage", func(q bool) experiments.Table {
+		return experiments.ClaimRecoveryForensics(q)
+	}},
 }
 
 func pick(quick bool, q, full int) int {
@@ -96,7 +100,7 @@ func pick(quick bool, q, full int) int {
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced iteration counts")
-	only := flag.String("only", "", "run a single experiment by id (e.g. C3)")
+	only := flag.String("only", "", "run a subset of experiments by id, comma-separated (e.g. C3 or P2,R1)")
 	list := flag.Bool("list", false, "print the experiment index and exit")
 	noMetrics := flag.Bool("no-metrics", false, "suppress the per-experiment metrics JSON blocks")
 	benchOut := flag.String("bench-out", "", "write each experiment's headline numbers (Table.Values) to this JSON file")
@@ -107,6 +111,7 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 1, "fault schedule seed for -chaos (same seed, same faults)")
 	chaosOnly := flag.String("chaos-only", "", "run a single chaos scenario by name")
 	chaosVerbose := flag.Bool("chaos-v", false, "print each scenario's full report and fault schedule")
+	autopsyDir := flag.String("autopsy-dir", "", "persist every autopsy report a chaos stack assembles as JSON files under this directory")
 	stateDir := flag.String("state-dir", "", "durable state directory for -durable-smoke (WAL-backed checkpoints + NetLog journal)")
 	smokeIters := flag.Int("durable-smoke", 0, "run N crash-recovery smoke iterations against -state-dir, then exit")
 	smokeHold := flag.Duration("durable-smoke-hold", 80*time.Millisecond, "how long each smoke iteration holds its transaction open")
@@ -118,7 +123,7 @@ func main() {
 		os.Exit(runDurableSmoke(*stateDir, *smokeIters, *smokeHold, *smokeKill))
 	}
 	if *chaosRun {
-		os.Exit(runChaos(*chaosSeed, *chaosOnly, *chaosVerbose))
+		os.Exit(runChaos(*chaosSeed, *chaosOnly, *chaosVerbose, *autopsyDir))
 	}
 
 	var tracer *trace.Tracer
@@ -146,7 +151,7 @@ func main() {
 	start := time.Now()
 	results := benchResults{Generated: start.UTC().Format(time.RFC3339), Experiments: map[string]benchResult{}}
 	for _, e := range index {
-		if *only != "" && !strings.EqualFold(*only, e.id) {
+		if !wantExperiment(*only, e.id) {
 			continue
 		}
 		t0 := time.Now()
@@ -202,6 +207,20 @@ func main() {
 	}
 }
 
+// wantExperiment matches an experiment id against the comma-separated
+// -only spec (empty spec = run everything).
+func wantExperiment(spec, id string) bool {
+	if spec == "" {
+		return true
+	}
+	for _, want := range strings.Split(spec, ",") {
+		if strings.EqualFold(strings.TrimSpace(want), id) {
+			return true
+		}
+	}
+	return false
+}
+
 // checkFloors enforces -floor: every key=min pair must find a headline
 // value at or above the floor among the experiments that ran. This is
 // the CI regression gate for throughput numbers.
@@ -245,7 +264,7 @@ func checkFloors(spec string, results benchResults) bool {
 // a result table; the exit code is nonzero if any invariant fails, so a
 // CI smoke step can gate on it. A failing run reproduces from the
 // printed seed alone.
-func runChaos(seed uint64, only string, verbose bool) int {
+func runChaos(seed uint64, only string, verbose bool, autopsyDir string) int {
 	scenarios := chaos.Library()
 	if only != "" {
 		sc, ok := chaos.Find(only)
@@ -266,6 +285,11 @@ func runChaos(seed uint64, only string, verbose bool) int {
 	start := time.Now()
 	for _, sc := range scenarios {
 		t0 := time.Now()
+		if autopsyDir != "" {
+			// One subdirectory per scenario: autopsy ids restart at 1 for
+			// every stack, so two scenarios must not share a directory.
+			sc.AutopsyDir = filepath.Join(autopsyDir, sc.Name)
+		}
 		rep := sc.Run(seed, nil)
 		faults := 0
 		for _, c := range rep.Fired {
@@ -290,6 +314,20 @@ func runChaos(seed uint64, only string, verbose bool) int {
 				fmt.Print(rep.ScheduleFingerprint)
 			}
 			fmt.Println()
+		}
+		if rep.Failed() {
+			// A failing scenario gets its forensics printed: the autopsy
+			// ties the violated invariants to the flight recorder's last
+			// records, so the console has the why, not just the what.
+			for _, a := range rep.Autopsies {
+				if a.Trigger == "chaos-invariant" {
+					fmt.Print(a.Render())
+					fmt.Println()
+				}
+			}
+			if sc.AutopsyDir != "" {
+				fmt.Printf("autopsies persisted under %s\n\n", sc.AutopsyDir)
+			}
 		}
 	}
 	fmt.Printf("\n%d/%d scenarios passed in %s (reproduce with -chaos-seed %d)\n",

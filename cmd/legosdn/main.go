@@ -139,9 +139,10 @@ func main() {
 	if *metricsAddr != "" {
 		go func() {
 			mux := trace.NewDebugMux(tracer, stack.Metrics)
+			mux.Handle("/debug/autopsy", stack.Autopsies.HTTPHandler())
 			srv := &http.Server{Addr: *metricsAddr, Handler: mux}
-			fmt.Printf("metrics on http://%s/metrics, traces on http://%s/debug/traces, pprof on http://%s/debug/pprof\n",
-				*metricsAddr, *metricsAddr, *metricsAddr)
+			fmt.Printf("metrics on http://%s/metrics, traces on http://%s/debug/traces, autopsies on http://%s/debug/autopsy, pprof on http://%s/debug/pprof\n",
+				*metricsAddr, *metricsAddr, *metricsAddr, *metricsAddr)
 			if err := srv.ListenAndServe(); err != http.ErrServerClosed {
 				log.Printf("legosdn: metrics server: %v", err)
 			}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"legosdn/internal/controller"
+	"legosdn/internal/flightrec"
 	"legosdn/internal/metrics"
 	"legosdn/internal/openflow"
 	"legosdn/internal/trace"
@@ -111,6 +112,10 @@ type ProxyOptions struct {
 	// Tracer records the proxy-side relay span of each traced event's
 	// stub round trip. Nil disables.
 	Tracer *trace.Tracer
+	// Flight is the always-on flight recorder: stub lifecycle (crash
+	// detections, respawns, kills) leaves bounded structured records for
+	// autopsies. Never written on the per-event relay path. Nil no-ops.
+	Flight *flightrec.Recorder
 }
 
 func (o *ProxyOptions) fill() {
@@ -297,6 +302,10 @@ func (p *Proxy) Respawn() error {
 			return fmt.Errorf("appvisor: proxy for %q closed during respawn", p.name)
 		}
 		if err = p.spawn(); err == nil {
+			p.opts.Flight.Record(flightrec.Record{
+				Layer: flightrec.LayerAppVisor, Kind: flightrec.KindStubRespawn,
+				App: p.Name(), Note: fmt.Sprintf("attempt %d", attempt+1),
+			})
 			return nil
 		}
 	}
@@ -318,6 +327,10 @@ func (p *Proxy) KillStub() {
 	p.mu.Unlock()
 	if stub != nil {
 		stub.Kill()
+		p.opts.Flight.Record(flightrec.Record{
+			Layer: flightrec.LayerAppVisor, Kind: flightrec.KindStubKill,
+			App: p.Name(), Note: "chaos kill",
+		})
 	}
 }
 
@@ -516,6 +529,16 @@ func (p *Proxy) noteCrash(reason CrashReason, panicValue, stack string, ev *cont
 	if int(reason) < len(p.crashBy) {
 		p.crashBy[reason].Inc()
 	}
+	rec := flightrec.Record{
+		Layer: flightrec.LayerAppVisor, Kind: flightrec.KindCrashDetected,
+		App: report.App, Note: reason.String(),
+	}
+	if ev != nil {
+		rec.Trace = ev.Trace.TraceID
+		rec.EvSeq = ev.Seq
+		rec.DPID = ev.DPID
+	}
+	p.opts.Flight.Record(rec)
 	p.mu.Lock()
 	p.lastCrash = report
 	stub := p.stub

@@ -142,6 +142,9 @@ func runDurableRecovery(sc Scenario, seed uint64, reg *metrics.Registry) *Report
 		HeartbeatTimeout: -1,
 		Metrics:          metrics.NewRegistry(),
 		Durable:          stB,
+		// Incarnation B performs the recovery, so it is the one whose
+		// autopsy the operator (and the CI smoke check) wants persisted.
+		AutopsyDir: sc.AutopsyDir,
 	})
 	defer stackB.Close()
 	if err := stackB.AddApp(func() controller.App { return newRecorder(appName, log) }); err != nil {
@@ -208,6 +211,7 @@ func runDurableRecovery(sc Scenario, seed uint64, reg *metrics.Registry) *Report
 	add("controller-alive", aliveErr)
 
 	rep.ScheduleFingerprint = sched.Fingerprint()
+	attachAutopsies(rep, stackB)
 	return rep
 }
 

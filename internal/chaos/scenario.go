@@ -8,6 +8,7 @@ import (
 
 	"legosdn/internal/controller"
 	"legosdn/internal/core"
+	"legosdn/internal/flightrec"
 	"legosdn/internal/metrics"
 	"legosdn/internal/netsim"
 	"legosdn/internal/openflow"
@@ -65,6 +66,10 @@ type Scenario struct {
 	// scenarios that deliberately leave rollback residue
 	// (inverse-fail faults desynchronize shadow and switch by design).
 	SkipShadowCheck bool
+	// AutopsyDir, when set, persists every autopsy the stack writes
+	// during the run (crash recoveries plus the synthesized
+	// invariant-violation autopsy on failure) as JSON files there.
+	AutopsyDir string
 	// AllowQuarantine drops the recovered/<app> invariant for scenarios
 	// hostile enough that Crash-Pad may legitimately exhaust its
 	// recovery attempts (e.g. a scheduled crash landing inside a replay
@@ -98,6 +103,13 @@ type Report struct {
 	Fired               map[string]int
 	Invariants          []InvariantResult
 	ScheduleFingerprint string
+	// Autopsies carries every autopsy report the stack assembled during
+	// the run — the Crash-Pad ones for each recovery plus, when an
+	// invariant failed, a synthesized chaos-invariant autopsy capturing
+	// the flight-recorder tail. Deliberately NOT part of Render():
+	// autopsies carry wall-clock durations, and Render must stay
+	// byte-for-byte reproducible from the seed.
+	Autopsies []*flightrec.Autopsy
 }
 
 // Failed reports whether any invariant was violated.
@@ -180,6 +192,7 @@ func (sc Scenario) Run(seed uint64, reg *metrics.Registry) *Report {
 		EventTimeout:     sc.EventTimeout,
 		HeartbeatTimeout: -1, // crash detection via event timeout only: deterministic
 		Metrics:          reg,
+		AutopsyDir:       sc.AutopsyDir,
 	})
 	defer stack.Close()
 
@@ -307,7 +320,41 @@ func (sc Scenario) Run(seed uint64, reg *metrics.Registry) *Report {
 	}
 	rep.Invariants = sc.checkInvariants(stack, n, log, appNames, dpids)
 	rep.ScheduleFingerprint = sched.Fingerprint()
+	attachAutopsies(rep, stack)
 	return rep
+}
+
+// attachAutopsies copies the stack's autopsy reports onto the chaos
+// report and, when an invariant failed, synthesizes one more autopsy
+// pinning the violation to the flight recorder's tail — a chaos failure
+// is a crash of the *model*, and it deserves the same forensics as a
+// crash of an app.
+func attachAutopsies(rep *Report, stack *core.Stack) {
+	if stack == nil || stack.Autopsies == nil {
+		return
+	}
+	rep.Autopsies = stack.Autopsies.All()
+	if !rep.Failed() {
+		return
+	}
+	var violations []string
+	for _, iv := range rep.Invariants {
+		if iv.Err != nil {
+			violations = append(violations, fmt.Sprintf("%s: %v", iv.Name, iv.Err))
+		}
+	}
+	a := &flightrec.Autopsy{
+		App:        "chaos",
+		Trigger:    "chaos-invariant",
+		Class:      "invariant-violation",
+		Culprit:    fmt.Sprintf("scenario %s seed %d", rep.Scenario, rep.Seed),
+		Outcome:    "Failed",
+		Violations: violations,
+		Timeline:   (*flightrec.Timeline)(nil).Phases(),
+		Records:    stack.Flight.Correlated("", 0, 0, 32),
+	}
+	stack.Autopsies.Add(a)
+	rep.Autopsies = append(rep.Autopsies, a)
 }
 
 func failedReport(sc Scenario, sched *Schedule, inj *Injector, injected int, err error) *Report {

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"legosdn/internal/flightrec"
 	"legosdn/internal/metrics"
 	"legosdn/internal/openflow"
 	"legosdn/internal/trace"
@@ -65,6 +66,11 @@ type Config struct {
 	// traced events carry the trace id (wrap with trace.WrapHandler).
 	// Logf remains the plain-text fallback.
 	Logger *slog.Logger
+	// Flight is the always-on flight recorder: every dispatched event
+	// leaves one bounded record, so a crash autopsy can show the events
+	// leading up to the failure even when tracing sampled them out. Nil
+	// no-ops.
+	Flight *flightrec.Recorder
 	// Logf receives diagnostic output; nil silences it.
 	Logf func(format string, args ...any)
 }
@@ -410,6 +416,11 @@ func (c *Controller) dispatchLoop() {
 }
 
 func (c *Controller) dispatchOne(ev Event) {
+	c.cfg.Flight.Record(flightrec.Record{
+		Layer: flightrec.LayerController, Kind: flightrec.KindEventDispatched,
+		Trace: ev.Trace.TraceID, EvSeq: ev.Seq, DPID: ev.DPID,
+		Note: ev.Kind.String(),
+	})
 	if c.cfg.Parallel {
 		c.fanOut(ev)
 		return
@@ -492,10 +503,16 @@ func (c *Controller) deliver(e *appEntry, runner AppRunner, ev Event) {
 func (c *Controller) quarantine(e *appEntry, failure *AppFailure, ev Event) {
 	e.failures.Add(1)
 	e.disabled.Store(true)
+	c.cfg.Flight.Record(flightrec.Record{
+		Layer: flightrec.LayerController, Kind: flightrec.KindQuarantine,
+		App: failure.App, Trace: ev.Trace.TraceID, EvSeq: ev.Seq, DPID: ev.DPID,
+		Note: "quarantined after " + ev.Kind.String(),
+	})
 	if lg := c.cfg.Logger; lg != nil {
-		lg.LogAttrs(trace.ContextWith(context.Background(), ev.Trace), slog.LevelWarn,
+		lctx := trace.ContextWith(context.Background(), ev.Trace)
+		lctx = trace.ContextWithCrash(lctx, failure.App, 0)
+		lg.LogAttrs(lctx, slog.LevelWarn,
 			"app quarantined after crash",
-			slog.String("app", failure.App),
 			slog.String("event", ev.String()))
 	}
 	c.logf("controller: app %q quarantined after crash on %v", failure.App, ev)

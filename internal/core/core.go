@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"legosdn/internal/controller"
 	"legosdn/internal/crashpad"
 	"legosdn/internal/durable"
+	"legosdn/internal/flightrec"
 	"legosdn/internal/flowtable"
 	"legosdn/internal/metrics"
 	"legosdn/internal/netlog"
@@ -124,6 +126,15 @@ type Config struct {
 	// wrapped with trace.WrapHandler so log lines carried by traced
 	// events include the trace id. Nil disables structured logging.
 	Logger *slog.Logger
+	// Flight is the always-on crash flight recorder shared by every
+	// layer. Unlike Tracer it cannot be disabled: nil allocates one with
+	// default ring sizes, so the last moments before a crash are always
+	// available to autopsy reports (exposed as Stack.Flight).
+	Flight *flightrec.Recorder
+	// AutopsyDir persists autopsy reports as JSON files. Empty defaults
+	// to <Durable dir>/autopsies when Durable is set, else autopsies
+	// stay in-memory only (served by Stack.Autopsies.HTTPHandler).
+	AutopsyDir string
 }
 
 // Stack is a fully wired LegoSDN deployment.
@@ -135,6 +146,8 @@ type Stack struct {
 	CrashPad   *crashpad.CrashPad
 	Store      *checkpoint.Store
 	Metrics    *metrics.Registry
+	Flight     *flightrec.Recorder
+	Autopsies  *flightrec.Store
 
 	cfg Config
 
@@ -165,15 +178,26 @@ func NewStack(cfg Config) *Stack {
 	if cfg.CheckpointDelta > 1 {
 		cfg.Store.SetDeltaEvery(cfg.CheckpointDelta)
 	}
+	if cfg.Flight == nil {
+		cfg.Flight = flightrec.New(flightrec.Options{})
+	}
+	if cfg.AutopsyDir == "" && cfg.Durable != nil {
+		cfg.AutopsyDir = filepath.Join(cfg.Durable.Dir(), "autopsies")
+	}
+	autopsies := flightrec.NewStore(cfg.AutopsyDir, 0)
 	cfg.Store.Instrument(cfg.Metrics)
 	cfg.Store.SetLogger(cfg.Logger)
+	cfg.Flight.Instrument(cfg.Metrics)
+	autopsies.Instrument(cfg.Metrics)
 	s := &Stack{
-		Mode:     cfg.Mode,
-		Store:    cfg.Store,
-		Metrics:  cfg.Metrics,
-		cfg:      cfg,
-		proxies:  make(map[string]*appvisor.Proxy),
-		replicas: make(map[string]func() controller.App),
+		Mode:      cfg.Mode,
+		Store:     cfg.Store,
+		Metrics:   cfg.Metrics,
+		Flight:    cfg.Flight,
+		Autopsies: autopsies,
+		cfg:       cfg,
+		proxies:   make(map[string]*appvisor.Proxy),
+		replicas:  make(map[string]func() controller.App),
 	}
 	cfg.Tracer.Instrument(cfg.Metrics)
 	RegisterBuildInfo(cfg.Metrics)
@@ -183,7 +207,7 @@ func NewStack(cfg Config) *Stack {
 
 	ctrlCfg := controller.Config{Logf: cfg.Logf, Metrics: cfg.Metrics,
 		Parallel: cfg.Parallel, BatchMax: cfg.BatchMax,
-		Tracer: cfg.Tracer, Logger: cfg.Logger}
+		Tracer: cfg.Tracer, Logger: cfg.Logger, Flight: cfg.Flight}
 	switch cfg.Mode {
 	case ModeMonolithic:
 		ctrlCfg.Monolithic = true
@@ -201,6 +225,7 @@ func NewStack(cfg Config) *Stack {
 			s.NetLog = netlog.NewManager(s.Controller, cfg.Clock)
 			s.NetLog.Instrument(cfg.Metrics)
 			s.NetLog.SetTracer(cfg.Tracer)
+			s.NetLog.SetFlight(cfg.Flight)
 			if cfg.Durable != nil {
 				s.NetLog.SetJournal(cfg.Durable.Journal)
 			}
@@ -218,6 +243,8 @@ func NewStack(cfg Config) *Stack {
 			Metrics:           cfg.Metrics,
 			Tracer:            cfg.Tracer,
 			Logger:            cfg.Logger,
+			Flight:            cfg.Flight,
+			Autopsies:         autopsies,
 			// Deep recovery (§5) replays against throwaway replicas
 			// built from the same factories AddApp registered.
 			ReplicaFactory: func(name string) controller.App {
@@ -265,6 +292,7 @@ func (s *Stack) AddApp(newApp func() controller.App) error {
 				HeartbeatTimeout: s.cfg.HeartbeatTimeout,
 				Metrics:          s.Metrics,
 				Tracer:           s.cfg.Tracer,
+				Flight:           s.cfg.Flight,
 			})
 		if err != nil {
 			return fmt.Errorf("core: launching stub for %q: %w", name, err)
@@ -344,13 +372,54 @@ func (s *Stack) recoverDurable() error {
 	if ran || len(d.Journal.Orphans()) == 0 {
 		return nil
 	}
+	// The previous incarnation died with transactions open: this restart
+	// is itself a recovery, so it gets a timeline and an autopsy like any
+	// app crash. Detect covers the orphan scan (charged up to here),
+	// rollback covers the inverse replay; there is no checkpoint restore
+	// or event replay in this path, so those phases report zero.
+	orphans := len(d.Journal.Orphans())
+	tl := flightrec.NewTimeline(nil)
+	s.cfg.Flight.Record(flightrec.Record{
+		Layer: flightrec.LayerCrashPad, Kind: flightrec.KindCrashDetected,
+		App:  "controller",
+		Note: fmt.Sprintf("durable journal holds %d orphaned txn(s)", orphans),
+	})
 	sp := s.cfg.Tracer.StartSpan(s.cfg.Tracer.Root(), "durable.recover")
+	tl.Enter(flightrec.PhaseRollback)
 	txns, mods, err := d.ReplayOrphans(s.Controller, time.Now())
+	tl.Enter(flightrec.PhaseResume)
 	sp.AttrInt("txns", int64(txns)).AttrInt("mods", int64(mods))
 	if err != nil {
 		sp.Attr("error", err.Error())
 	}
 	sp.End()
+	tl.Finish()
+	outcome := "Recovered"
+	if err != nil {
+		outcome = "Failed"
+	}
+	s.cfg.Flight.Record(flightrec.Record{
+		Layer: flightrec.LayerCrashPad, Kind: flightrec.KindRecoveryDone,
+		App:  "controller",
+		Note: fmt.Sprintf("durable recovery: %d txn(s), %d mod(s), outcome=%s", txns, mods, outcome),
+	})
+	a := &flightrec.Autopsy{
+		App:     "controller",
+		Trigger: "durable-recovery",
+		Class:   "crash-restart",
+		Culprit: fmt.Sprintf("%d orphaned transaction(s) in durable journal", orphans),
+		Outcome: outcome,
+		Notes: []string{
+			fmt.Sprintf("rolled back %d txn(s) via %d inverse mod(s)", txns, mods),
+		},
+		Timeline:        tl.Phases(),
+		RecoverySeconds: tl.Total().Seconds(),
+		Records:         s.cfg.Flight.Correlated("controller", 0, 0, 16),
+	}
+	if err != nil {
+		a.Notes = append(a.Notes, "error: "+err.Error())
+	}
+	s.Autopsies.Add(a)
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Info("durable recovery finished",
 			"txns", txns, "mods", mods, "err", err)

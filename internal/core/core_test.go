@@ -12,9 +12,12 @@ import (
 	"legosdn/internal/controller"
 	"legosdn/internal/crashpad"
 	"legosdn/internal/faultinject"
+	"legosdn/internal/flightrec"
 	"legosdn/internal/invariant"
+	"legosdn/internal/metrics"
 	"legosdn/internal/netsim"
 	"legosdn/internal/openflow"
+	"legosdn/internal/trace"
 )
 
 func waitFor(t *testing.T, what string, cond func() bool) {
@@ -525,5 +528,56 @@ app learning-switch default no
 	}
 	if stack.Controller.Crashed() {
 		t.Fatal("controller must survive even under no-compromise")
+	}
+}
+
+// TestStackMetricNamesUnique builds a full LegoSDN stack (every layer
+// instrumenting the same registry, including the flight recorder and
+// the autopsy store) under a strict registry: any two layers claiming
+// the same metric name with different instruments panics the build.
+// This is the programmatic half of CI's duplicate-metric gate.
+func TestStackMetricNamesUnique(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.SetStrict(true)
+	stack := NewStack(Config{
+		Mode:    ModeLegoSDN,
+		Metrics: reg,
+		Tracer:  trace.New(trace.Options{}),
+	})
+	defer stack.Close()
+	if err := stack.AddApp(newPortPoisonApp(6666)); err != nil {
+		t.Fatal(err)
+	}
+	n := netsim.Single(2, nil)
+	if err := stack.ConnectNetwork(n); err != nil {
+		t.Fatal(err)
+	}
+	if dups := reg.Duplicates(); len(dups) != 0 {
+		t.Fatalf("duplicate metric registrations: %v", dups)
+	}
+}
+
+// TestStackFlightRecorderAlwaysOn: the recorder cannot be configured
+// away — a default stack records dispatches without any observability
+// opt-in, so post-crash forensics never depend on foresight.
+func TestStackFlightRecorderAlwaysOn(t *testing.T) {
+	stack := NewStack(Config{Mode: ModeLegoSDN})
+	defer stack.Close()
+	if stack.Flight == nil {
+		t.Fatal("Stack.Flight nil: flight recorder must default on")
+	}
+	if stack.Autopsies == nil {
+		t.Fatal("Stack.Autopsies nil: autopsy store must default on")
+	}
+	if err := stack.AddApp(newPortPoisonApp(6666)); err != nil {
+		t.Fatal(err)
+	}
+	n := netsim.Single(2, nil)
+	if err := stack.ConnectNetwork(n); err != nil {
+		t.Fatal(err)
+	}
+	recs := stack.Flight.LayerRecords(flightrec.LayerController, 10)
+	if len(recs) == 0 {
+		t.Fatal("no controller flight records after switch-up dispatches")
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"legosdn/internal/appvisor"
 	"legosdn/internal/checkpoint"
 	"legosdn/internal/controller"
+	"legosdn/internal/flightrec"
 	"legosdn/internal/metrics"
 	"legosdn/internal/netlog"
 	"legosdn/internal/trace"
@@ -86,6 +87,18 @@ type Options struct {
 	// Logger, when set, receives structured recovery diagnostics; lines
 	// for traced events carry the trace id (wrap with trace.WrapHandler).
 	Logger *slog.Logger
+	// Flight is the always-on flight recorder: crash detections, policy
+	// decisions, checkpoint puts/restores and replays become bounded
+	// structured records that autopsies correlate across layers. Nil
+	// no-ops.
+	Flight *flightrec.Recorder
+	// Autopsies, when set, receives an assembled autopsy report for
+	// every recovery: culprit event, policy decision, six-phase timeline
+	// and the correlated flight records.
+	Autopsies *flightrec.Store
+	// Clock feeds recovery-phase timelines (default time.Now). Tests
+	// inject a fake to pin phase-duration boundaries exactly.
+	Clock func() time.Time
 }
 
 // CrashPad is the recovery engine. It implements controller.AppRunner;
@@ -127,6 +140,9 @@ type CrashPad struct {
 	restoreDur    *metrics.Histogram
 	recoveryDur   *metrics.Histogram
 	outcomeBy     [5]*metrics.Counter // indexed by Outcome
+	// phaseDur breaks recovery time into the six paper phases, one
+	// labeled histogram per flightrec.Phase.
+	phaseDur [flightrec.NumPhases]*metrics.Histogram
 }
 
 // New creates a CrashPad.
@@ -171,6 +187,12 @@ func New(opts Options) *CrashPad {
 				fmt.Sprintf("legosdn_crashpad_outcomes_total{outcome=%q}", o.String()),
 				"recovery endings by policy outcome")
 		}
+		for p := flightrec.Phase(0); p < flightrec.NumPhases; p++ {
+			cp.phaseDur[p] = reg.Histogram(
+				fmt.Sprintf("legosdn_recovery_phase_seconds{phase=%q}", p.String()),
+				"recovery time spent per phase (detect/isolate/checkpoint-restore/rollback/replay/resume)", nil)
+		}
+		opts.Autopsies.Instrument(reg)
 	}
 	return cp
 }
@@ -227,8 +249,19 @@ func (cp *CrashPad) RunEvent(app controller.App, ctx controller.Context, ev cont
 			}
 			if violations := cp.opts.Checker.Check(); len(violations) > 0 {
 				cp.ByzantineSeen.Add(1)
+				// The recovery-phase timeline opens in detect; the
+				// rollback phase brackets the transaction abort, and
+				// recover() drives the rest.
+				tl := flightrec.NewTimeline(cp.opts.Clock)
+				cp.opts.Flight.Record(flightrec.Record{
+					Layer: flightrec.LayerCrashPad, Kind: flightrec.KindCrashDetected,
+					App: name, Trace: ev.Trace.TraceID, EvSeq: ev.Seq, DPID: ev.DPID,
+					Note: fmt.Sprintf("byzantine: %d invariant violation(s)", len(violations)),
+				})
+				tl.Enter(flightrec.PhaseRollback)
 				cp.rollbackAtomic(tx)
-				return cp.recover(app, ctx, ev, Byzantine, &failInfo{panicValue: "invariant violation"}, violations)
+				tl.Enter(flightrec.PhaseIsolate)
+				return cp.recover(app, ctx, ev, Byzantine, &failInfo{panicValue: "invariant violation"}, violations, tl)
 			}
 		}
 		cp.commitAtomic(tx)
@@ -241,17 +274,33 @@ func (cp *CrashPad) RunEvent(app controller.App, ctx controller.Context, ev cont
 
 	// Fail-stop crash.
 	cp.CrashesSeen.Add(1)
+	tl := flightrec.NewTimeline(cp.opts.Clock)
+	cp.opts.Flight.Record(flightrec.Record{
+		Layer: flightrec.LayerCrashPad, Kind: flightrec.KindCrashDetected,
+		App: name, Trace: ev.Trace.TraceID, EvSeq: ev.Seq, DPID: ev.DPID,
+		Note: "fail-stop: " + crash.panicValue,
+	})
+	tl.Enter(flightrec.PhaseRollback)
 	cp.rollbackAtomic(tx)
-	return cp.recover(app, ctx, ev, FailStop, crash, nil)
+	tl.Enter(flightrec.PhaseIsolate)
+	return cp.recover(app, ctx, ev, FailStop, crash, nil, tl)
 }
 
-// recover drives the §3.3 recovery loop for one failure.
+// recover drives the §3.3 recovery loop for one failure. tl is the
+// recovery-phase timeline opened at detection; recover advances it
+// through isolate/restore/replay/resume and finish() freezes it into
+// the phase histograms and the autopsy.
 func (cp *CrashPad) recover(app controller.App, ctx controller.Context, ev controller.Event,
-	class FailureClass, info *failInfo, violations []Violation) *controller.AppFailure {
+	class FailureClass, info *failInfo, violations []Violation, tl *flightrec.Timeline) *controller.AppFailure {
 
 	name := app.Name()
 	start := time.Now()
 	policy := cp.opts.Policies.For(name, ev.Kind)
+	cp.opts.Flight.Record(flightrec.Record{
+		Layer: flightrec.LayerCrashPad, Kind: flightrec.KindPolicyDecision,
+		App: name, Trace: ev.Trace.TraceID, EvSeq: ev.Seq,
+		Note: fmt.Sprintf("class=%s policy=%s", class, policy),
+	})
 	// The recovery span brackets the whole decision loop; finish() closes
 	// it with the chosen policy, decision and outcome as attributes. Its
 	// context parents the restore/replay spans below.
@@ -288,19 +337,64 @@ func (cp *CrashPad) recover(app controller.App, ctx controller.Context, ev contr
 	}
 	finish := func(outcome Outcome) {
 		ticket.Outcome = outcome
-		ticket.RecoveryTime = time.Since(start)
+		tl.Finish()
+		if tl != nil {
+			// The timeline's clock is authoritative (tests inject fakes);
+			// fall back to wall time when no timeline was opened.
+			ticket.RecoveryTime = tl.Total()
+		} else {
+			ticket.RecoveryTime = time.Since(start)
+		}
 		cp.recoveryDur.Observe(ticket.RecoveryTime.Seconds())
+		if tl != nil {
+			durs := tl.Durations()
+			for p := flightrec.Phase(0); p < flightrec.NumPhases; p++ {
+				cp.phaseDur[p].Observe(durs[p].Seconds())
+			}
+		}
 		if int(outcome) < len(cp.outcomeBy) {
 			cp.outcomeBy[outcome].Inc()
 		}
 		cp.tickets.open(ticket)
+		cp.opts.Flight.Record(flightrec.Record{
+			Layer: flightrec.LayerCrashPad, Kind: flightrec.KindRecoveryDone,
+			App: name, Trace: ev.Trace.TraceID, EvSeq: ev.Seq,
+			Note: fmt.Sprintf("outcome=%s decision=%s", outcome, decision),
+		})
 		if recSpan != nil {
 			recSpan.Attr("decision", decision).Attr("outcome", outcome.String()).End()
 		}
+		if cp.opts.Autopsies != nil {
+			trigger := "app-crash"
+			if class == Byzantine {
+				trigger = "byzantine"
+			}
+			a := &flightrec.Autopsy{
+				App:             name,
+				Trigger:         trigger,
+				Class:           class.String(),
+				Culprit:         ev.String(),
+				TicketID:        ticket.ID,
+				Policy:          policy.String(),
+				Decision:        decision,
+				Outcome:         outcome.String(),
+				PanicValue:      info.panicValue,
+				Violations:      append([]string(nil), ticket.Violations...),
+				Notes:           append([]string(nil), ticket.Notes...),
+				Timeline:        tl.Phases(),
+				RecoverySeconds: ticket.RecoveryTime.Seconds(),
+				Records:         cp.opts.Flight.Correlated(name, ev.Trace.TraceID, 0, 16),
+			}
+			if ev.Trace.TraceID != 0 {
+				a.TraceID = trace.IDString(ev.Trace.TraceID)
+			}
+			cp.opts.Autopsies.Add(a)
+		}
 		if lg := cp.opts.Logger; lg != nil {
-			lg.LogAttrs(trace.ContextWith(context.Background(), ev.Trace), slog.LevelWarn,
+			lctx := trace.ContextWith(context.Background(), ev.Trace)
+			lctx = trace.ContextWithCrash(lctx, name, ticket.ID)
+			lg.LogAttrs(lctx, slog.LevelWarn,
 				"app failure recovered",
-				slog.String("app", name),
 				slog.String("class", class.String()),
 				slog.String("policy", policy.String()),
 				slog.String("decision", decision),
@@ -334,6 +428,7 @@ func (cp *CrashPad) recover(app controller.App, ctx controller.Context, ev contr
 	// escalate to the §5 multi-event pipeline (history minimization +
 	// deeper rollback) before the plain single-event path.
 	if streak := cp.crashStreak(name); streak >= cp.opts.DeepRecoveryThreshold {
+		tl.Enter(flightrec.PhaseRestore)
 		if err := cp.deepRecover(app, ctx, name, ticket); err == nil {
 			cp.Recoveries.Add(1)
 			cp.IgnoredEvents.Add(1) // the inducing events were excised
@@ -347,12 +442,13 @@ func (cp *CrashPad) recover(app controller.App, ctx controller.Context, ev contr
 
 	// Restore the app to its pre-event state: respawn, load checkpoint,
 	// replay the suffix.
-	if err := cp.restoreApp(app, ctx, name, recCtx); err != nil {
+	if err := cp.restoreApp(app, ctx, name, recCtx, tl); err != nil {
 		cp.Unrecoverable.Add(1)
 		ticket.Notes = append(ticket.Notes, fmt.Sprintf("restore failed: %v", err))
 		finish(OutcomeUnrecoverable)
 		return quarantine()
 	}
+	tl.Enter(flightrec.PhaseResume)
 
 	outcome := OutcomeRecovered
 	switch policy {
@@ -375,7 +471,7 @@ func (cp *CrashPad) recover(app controller.App, ctx controller.Context, ev contr
 			cp.IgnoredEvents.Add(1)
 			outcome = OutcomeFallback
 			ticket.Notes = append(ticket.Notes, fmt.Sprintf("equivalent events also failed (%v); fell back to ignoring", err))
-			if err := cp.restoreApp(app, ctx, name, recCtx); err != nil {
+			if err := cp.restoreApp(app, ctx, name, recCtx, tl); err != nil {
 				cp.Unrecoverable.Add(1)
 				ticket.Notes = append(ticket.Notes, fmt.Sprintf("second restore failed: %v", err))
 				finish(OutcomeUnrecoverable)
@@ -424,8 +520,10 @@ func (cp *CrashPad) deliverTransformed(app controller.App, ctx controller.Contex
 
 // restoreApp brings the app back to its last checkpointed state and
 // replays the events processed since. sc parents the restore and replay
-// spans (normally the recovery span's context).
-func (cp *CrashPad) restoreApp(app controller.App, ctx controller.Context, name string, sc trace.SpanContext) error {
+// spans (normally the recovery span's context); tl charges the
+// checkpoint-restore and replay phases.
+func (cp *CrashPad) restoreApp(app controller.App, ctx controller.Context, name string, sc trace.SpanContext, tl *flightrec.Timeline) error {
+	tl.Enter(flightrec.PhaseRestore)
 	if cp.restoreDur != nil {
 		defer cp.restoreDur.ObserveSince(time.Now())
 	}
@@ -452,12 +550,18 @@ func (cp *CrashPad) restoreApp(app controller.App, ctx controller.Context, name 
 		if err := snap.Restore(last.State); err != nil {
 			return fmt.Errorf("restore checkpoint: %w", err)
 		}
+		cp.opts.Flight.Record(flightrec.Record{
+			Layer: flightrec.LayerCheckpoint, Kind: flightrec.KindCheckpointRestore,
+			App: name, Trace: sc.TraceID, EvSeq: last.Seq,
+			Note: fmt.Sprintf("restored checkpoint seq=%d", last.Seq),
+		})
 	}
 	// Replay the suffix (§5: checkpoint every few events, replay the
 	// rest at recovery).
 	cp.mu.Lock()
 	suffix := append([]controller.Event(nil), cp.replays[name]...)
 	cp.mu.Unlock()
+	tl.Enter(flightrec.PhaseReplay)
 	for _, rev := range suffix {
 		// Replayed events run under the restore span, not their original
 		// trace: the replay belongs to this recovery's timeline.
@@ -476,6 +580,11 @@ func (cp *CrashPad) restoreApp(app controller.App, ctx controller.Context, name 
 		cp.commitAtomic(tx)
 		rsp.End()
 		cp.ReplayedEvents.Add(1)
+		cp.opts.Flight.Record(flightrec.Record{
+			Layer: flightrec.LayerCrashPad, Kind: flightrec.KindReplay,
+			App: name, Trace: rev.Trace.TraceID, EvSeq: rev.Seq, DPID: rev.DPID,
+			Note: rev.Kind.String(),
+		})
 	}
 	return nil
 }
@@ -505,6 +614,10 @@ func (cp *CrashPad) maybeCheckpoint(app controller.App, name string, seq uint64,
 		return
 	}
 	cp.opts.Store.Put(name, seq, state)
+	cp.opts.Flight.Record(flightrec.Record{
+		Layer: flightrec.LayerCheckpoint, Kind: flightrec.KindCheckpointPut,
+		App: name, Trace: sc.TraceID, EvSeq: seq, N: int64(len(state)),
+	})
 	cp.mu.Lock()
 	cp.replays[name] = nil
 	cp.mu.Unlock()
@@ -564,6 +677,11 @@ func (cp *CrashPad) rebaseline(app controller.App, name string, seq uint64) {
 		return
 	}
 	cp.opts.Store.Put(name, seq, state)
+	cp.opts.Flight.Record(flightrec.Record{
+		Layer: flightrec.LayerCheckpoint, Kind: flightrec.KindCheckpointPut,
+		App: name, EvSeq: seq, N: int64(len(state)),
+		Note: "rebaseline",
+	})
 	cp.mu.Lock()
 	cp.replays[name] = nil
 	cp.mu.Unlock()

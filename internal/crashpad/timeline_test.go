@@ -1,0 +1,184 @@
+package crashpad
+
+import (
+	"testing"
+	"time"
+
+	"legosdn/internal/flightrec"
+)
+
+// tickClock is a fake clock advancing a fixed step per Now() call, so
+// every recovery-phase boundary lands at a known instant: the timeline
+// calls it once at open (detect starts), once per phase transition and
+// once at Finish. With step=1ms, a full six-phase recovery charges
+// exactly 1ms to every phase — any extra or missing clock call shifts a
+// boundary and fails the assertions below.
+type tickClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *tickClock) Now() time.Time {
+	now := c.t
+	c.t = c.t.Add(c.step)
+	return now
+}
+
+// phasesByName flattens an autopsy timeline for lookup.
+func phasesByName(t *testing.T, tl []flightrec.PhaseDuration) map[string]float64 {
+	t.Helper()
+	if len(tl) != int(flightrec.NumPhases) {
+		t.Fatalf("timeline has %d phases, want %d", len(tl), flightrec.NumPhases)
+	}
+	m := make(map[string]float64, len(tl))
+	for _, pd := range tl {
+		m[pd.Phase] = pd.Seconds
+	}
+	return m
+}
+
+// TestRecoveryTimelineFullPath pins every phase boundary of a fail-stop
+// recovery under AbsoluteCompromise: detect brackets crash detection up
+// to the transaction rollback, rollback up to the policy decision,
+// isolate up to the checkpoint restore, restore up to the suffix
+// replay, replay up to resume, and resume up to finish. With the fake
+// clock stepping 1ms per reading, each phase is exactly 1ms.
+func TestRecoveryTimelineFullPath(t *testing.T) {
+	clock := &tickClock{t: time.Unix(1000, 0), step: time.Millisecond}
+	autopsies := flightrec.NewStore("", 0)
+	var tickets []*Ticket
+	cp := New(Options{
+		Policies:  NewPolicySet(AbsoluteCompromise),
+		OnTicket:  func(tk *Ticket) { tickets = append(tickets, tk) },
+		Clock:     clock.Now,
+		Autopsies: autopsies,
+	})
+	app := &ctApp{name: "m", crashOnPort: 13}
+	ctx := &recCtx{}
+
+	for seq := uint64(1); seq <= 3; seq++ {
+		if f := cp.RunEvent(app, ctx, pktIn(seq, 1)); f != nil {
+			t.Fatalf("healthy event %d failed: %v", seq, f)
+		}
+	}
+	if f := cp.RunEvent(app, ctx, pktIn(4, 13)); f != nil {
+		t.Fatalf("crash should recover, got failure: %v", f)
+	}
+
+	if len(tickets) != 1 {
+		t.Fatalf("got %d tickets, want 1", len(tickets))
+	}
+	if want := 6 * time.Millisecond; tickets[0].RecoveryTime != want {
+		t.Errorf("RecoveryTime = %v, want %v (6 clock steps)", tickets[0].RecoveryTime, want)
+	}
+
+	all := autopsies.All()
+	if len(all) != 1 {
+		t.Fatalf("got %d autopsies, want 1", len(all))
+	}
+	a := all[0]
+	if a.Trigger != "app-crash" || a.Outcome != OutcomeRecovered.String() {
+		t.Errorf("autopsy trigger=%q outcome=%q, want app-crash/%s", a.Trigger, a.Outcome, OutcomeRecovered)
+	}
+	phases := phasesByName(t, a.Timeline)
+	ms := time.Millisecond.Seconds()
+	for _, name := range flightrec.PhaseNames() {
+		if got := phases[name]; got != ms {
+			t.Errorf("phase %q = %vs, want exactly %vs", name, got, ms)
+		}
+	}
+	if got, want := a.RecoverySeconds, 6*ms; got != want {
+		t.Errorf("RecoverySeconds = %v, want %v", got, want)
+	}
+}
+
+// TestRecoveryTimelineNoCompromise pins the short path: NoCompromise
+// sacrifices availability, so the timeline closes after isolate with
+// the restore/replay/resume phases never entered (exactly zero).
+func TestRecoveryTimelineNoCompromise(t *testing.T) {
+	clock := &tickClock{t: time.Unix(1000, 0), step: time.Millisecond}
+	autopsies := flightrec.NewStore("", 0)
+	cp := New(Options{
+		Policies:  NewPolicySet(NoCompromise),
+		Clock:     clock.Now,
+		Autopsies: autopsies,
+	})
+	app := &ctApp{name: "m", crashOnPort: 13}
+	ctx := &recCtx{}
+
+	if f := cp.RunEvent(app, ctx, pktIn(1, 1)); f != nil {
+		t.Fatalf("healthy event failed: %v", f)
+	}
+	if f := cp.RunEvent(app, ctx, pktIn(2, 13)); f == nil {
+		t.Fatal("NoCompromise should quarantine (non-nil failure)")
+	}
+
+	all := autopsies.All()
+	if len(all) != 1 {
+		t.Fatalf("got %d autopsies, want 1", len(all))
+	}
+	phases := phasesByName(t, all[0].Timeline)
+	ms := time.Millisecond.Seconds()
+	for name, want := range map[string]float64{
+		"detect":             ms, // crash detection -> rollback
+		"rollback":           ms, // rollback -> policy decision
+		"isolate":            ms, // policy decision -> finish
+		"checkpoint-restore": 0,  // never entered: app stays down
+		"replay":             0,
+		"resume":             0,
+	} {
+		if got := phases[name]; got != want {
+			t.Errorf("phase %q = %vs, want %vs", name, got, want)
+		}
+	}
+	if got, want := all[0].RecoverySeconds, 3*ms; got != want {
+		t.Errorf("RecoverySeconds = %v, want %v", got, want)
+	}
+}
+
+// TestRecoveryTimelineByzantine drives the byzantine detection path
+// (handler succeeds, invariant checker objects) through a full restore
+// under AbsoluteCompromise: the same six clock steps as the fail-stop
+// path, since detection cost is charged identically.
+func TestRecoveryTimelineByzantine(t *testing.T) {
+	clock := &tickClock{t: time.Unix(1000, 0), step: time.Millisecond}
+	autopsies := flightrec.NewStore("", 0)
+	checker := &oneShotChecker{}
+	cp := New(Options{
+		Policies:  NewPolicySet(AbsoluteCompromise),
+		Checker:   checker,
+		Clock:     clock.Now,
+		Autopsies: autopsies,
+	})
+	app := &ctApp{name: "m"}
+	ctx := &recCtx{}
+
+	if f := cp.RunEvent(app, ctx, pktIn(1, 1)); f != nil {
+		t.Fatalf("healthy event failed: %v", f)
+	}
+	checker.mu.Lock()
+	checker.armed = true
+	checker.mu.Unlock()
+	if f := cp.RunEvent(app, ctx, pktIn(2, 1)); f != nil {
+		t.Fatalf("byzantine recovery should succeed, got: %v", f)
+	}
+
+	all := autopsies.All()
+	if len(all) != 1 {
+		t.Fatalf("got %d autopsies, want 1", len(all))
+	}
+	a := all[0]
+	if a.Trigger != "byzantine" {
+		t.Errorf("autopsy trigger = %q, want byzantine", a.Trigger)
+	}
+	if len(a.Violations) != 1 {
+		t.Errorf("autopsy carries %d violations, want 1", len(a.Violations))
+	}
+	phases := phasesByName(t, a.Timeline)
+	ms := time.Millisecond.Seconds()
+	for _, name := range flightrec.PhaseNames() {
+		if got := phases[name]; got != ms {
+			t.Errorf("phase %q = %vs, want exactly %vs", name, got, ms)
+		}
+	}
+}

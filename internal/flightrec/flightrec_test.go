@@ -1,0 +1,213 @@
+package flightrec
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"legosdn/internal/metrics"
+)
+
+func TestNilRecorderNoops(t *testing.T) {
+	var r *Recorder
+	r.Record(Record{Layer: LayerNetLog})
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil snapshot = %v", got)
+	}
+	if got := r.LayerRecords(LayerNetLog, 4); got != nil {
+		t.Fatalf("nil layer records = %v", got)
+	}
+	if got := r.Correlated("x", 1, 1, 4); got != nil {
+		t.Fatalf("nil correlated = %v", got)
+	}
+	r.Instrument(metrics.NewRegistry())
+}
+
+func TestRecordOrderingAndStamps(t *testing.T) {
+	r := New(Options{PerLayer: 8})
+	for i := 0; i < 5; i++ {
+		r.Record(Record{Layer: LayerController, Kind: KindEventDispatched, EvSeq: uint64(i)})
+	}
+	recs := r.LayerRecords(LayerController, 0)
+	if len(recs) != 5 {
+		t.Fatalf("held %d records, want 5", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d seq=%d, want %d", i, rec.Seq, i+1)
+		}
+		if rec.TS == 0 {
+			t.Fatalf("record %d missing timestamp", i)
+		}
+		if rec.EvSeq != uint64(i) {
+			t.Fatalf("record %d out of order: ev_seq=%d", i, rec.EvSeq)
+		}
+	}
+	if got := r.Records.Load(); got != 5 {
+		t.Fatalf("Records=%d, want 5", got)
+	}
+	if got := r.Laps.Load(); got != 0 {
+		t.Fatalf("Laps=%d, want 0", got)
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	r := New(Options{PerLayer: 4})
+	for i := 0; i < 10; i++ {
+		r.Record(Record{Layer: LayerNetLog, Kind: KindTxnCommit, Txn: uint64(i)})
+	}
+	recs := r.LayerRecords(LayerNetLog, 0)
+	if len(recs) != 4 {
+		t.Fatalf("held %d records after wrap, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if want := uint64(6 + i); rec.Txn != want {
+			t.Fatalf("slot %d holds txn %d, want %d (newest four)", i, rec.Txn, want)
+		}
+	}
+	if got := r.Laps.Load(); got != 6 {
+		t.Fatalf("Laps=%d, want 6", got)
+	}
+}
+
+func TestLayersAreIndependent(t *testing.T) {
+	r := New(Options{PerLayer: 4})
+	r.Record(Record{Layer: LayerController, Kind: KindEventDispatched})
+	r.Record(Record{Layer: LayerCrashPad, Kind: KindPolicyDecision})
+	r.Record(Record{Layer: NumLayers + 3}) // out of range: dropped
+	if n := len(r.LayerRecords(LayerController, 0)); n != 1 {
+		t.Fatalf("controller ring holds %d, want 1", n)
+	}
+	if n := len(r.LayerRecords(LayerCrashPad, 0)); n != 1 {
+		t.Fatalf("crashpad ring holds %d, want 1", n)
+	}
+	if n := len(r.Snapshot()); n != 2 {
+		t.Fatalf("snapshot holds %d, want 2", n)
+	}
+}
+
+func TestCorrelatedFiltersByAppTraceTxn(t *testing.T) {
+	r := New(Options{PerLayer: 16})
+	r.Record(Record{Layer: LayerController, Kind: KindEventDispatched, Trace: 0xabc, EvSeq: 7})
+	r.Record(Record{Layer: LayerNetLog, Kind: KindTxnBegin, Txn: 42, Trace: 0xabc})
+	r.Record(Record{Layer: LayerAppVisor, Kind: KindCrashDetected, App: "lswitch"})
+	r.Record(Record{Layer: LayerAppVisor, Kind: KindStubRespawn, App: "other"})
+	r.Record(Record{Layer: LayerCrashPad, Kind: KindPolicyDecision, App: "lswitch", Trace: 0xabc})
+
+	got := r.Correlated("lswitch", 0xabc, 42, 8)
+	if len(got["controller"]) != 1 {
+		t.Fatalf("controller records = %v", got["controller"])
+	}
+	if len(got["netlog"]) != 1 || got["netlog"][0].Txn != 42 {
+		t.Fatalf("netlog records = %v", got["netlog"])
+	}
+	av := got["appvisor"]
+	if len(av) != 1 || av[0].App != "lswitch" {
+		t.Fatalf("appvisor records should exclude other app: %v", av)
+	}
+	if len(got["crashpad"]) != 1 {
+		t.Fatalf("crashpad records = %v", got["crashpad"])
+	}
+	if _, ok := got["checkpoint"]; ok {
+		t.Fatalf("empty layer should be omitted")
+	}
+}
+
+func TestCorrelatedBoundsPerLayer(t *testing.T) {
+	r := New(Options{PerLayer: 64})
+	for i := 0; i < 40; i++ {
+		r.Record(Record{Layer: LayerNetLog, Kind: KindTxnCommit, Txn: uint64(i)})
+	}
+	got := r.Correlated("", 0, 0, 5)
+	recs := got["netlog"]
+	if len(recs) != 5 {
+		t.Fatalf("correlated kept %d, want 5", len(recs))
+	}
+	if recs[0].Txn != 35 || recs[4].Txn != 39 {
+		t.Fatalf("correlated should keep the newest five, oldest first: %v", recs)
+	}
+}
+
+// TestConcurrentWrapHammer drives many writers through a tiny ring so
+// slots wrap constantly while a reader snapshots, proving the
+// publication scheme race-clean (run under -race in CI) and that every
+// observed record is internally consistent.
+func TestConcurrentWrapHammer(t *testing.T) {
+	r := New(Options{PerLayer: 64})
+	const writers = 8
+	const perWriter = 5000
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() { // concurrent reader
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, rec := range r.Snapshot() {
+				if rec.Seq == 0 || rec.TS == 0 {
+					panic(fmt.Sprintf("torn record observed: %+v", rec))
+				}
+			}
+		}
+	}()
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			app := fmt.Sprintf("app%d", w)
+			for i := 0; i < perWriter; i++ {
+				r.Record(Record{
+					Layer: Layer(uint64(w+i) % uint64(NumLayers)),
+					Kind:  KindEventDispatched,
+					App:   app,
+					EvSeq: uint64(i),
+				})
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := r.Records.Load(); got != writers*perWriter {
+		t.Fatalf("Records=%d, want %d", got, writers*perWriter)
+	}
+	// Every ring is full (far more writes than capacity) and the
+	// newest records survived.
+	total := 0
+	var maxSeq uint64
+	for l := Layer(0); l < NumLayers; l++ {
+		recs := r.LayerRecords(l, 0)
+		total += len(recs)
+		for _, rec := range recs {
+			if rec.Seq > maxSeq {
+				maxSeq = rec.Seq
+			}
+		}
+	}
+	if total != int(NumLayers)*64 {
+		t.Fatalf("held %d records, want %d full rings", total, int(NumLayers)*64)
+	}
+	if maxSeq != writers*perWriter {
+		t.Fatalf("newest seq %d lost, want %d", maxSeq, writers*perWriter)
+	}
+	if r.Laps.Load() == 0 {
+		t.Fatalf("expected wrap-around laps under hammer")
+	}
+}
+
+func TestInstrumentRegistersCounters(t *testing.T) {
+	reg := metrics.NewRegistry()
+	r := New(Options{})
+	r.Instrument(reg)
+	r.Record(Record{Layer: LayerController})
+	if got := r.Records.Load(); got != 1 {
+		t.Fatalf("Records=%d, want 1", got)
+	}
+}

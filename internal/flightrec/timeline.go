@@ -1,0 +1,135 @@
+package flightrec
+
+import "time"
+
+// Phase is one stage of a Crash-Pad recovery. The six phases mirror the
+// paper's recovery arc: detect the crash, roll the open transaction
+// back, isolate the failure (classify + pick a policy), restore the
+// last checkpoint into a fresh stub, replay the event suffix, and
+// resume normal delivery.
+type Phase uint8
+
+// Recovery phases, in canonical reporting order.
+const (
+	PhaseDetect Phase = iota
+	PhaseIsolate
+	PhaseRestore // checkpoint-restore
+	PhaseRollback
+	PhaseReplay
+	PhaseResume
+	NumPhases
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseDetect:
+		return "detect"
+	case PhaseIsolate:
+		return "isolate"
+	case PhaseRestore:
+		return "checkpoint-restore"
+	case PhaseRollback:
+		return "rollback"
+	case PhaseReplay:
+		return "replay"
+	case PhaseResume:
+		return "resume"
+	default:
+		return "unknown"
+	}
+}
+
+// PhaseNames lists all six phases in reporting order; every timeline
+// and every autopsy carries exactly these entries, so consumers (CI,
+// benchmarks) can assert completeness by name.
+func PhaseNames() []string {
+	names := make([]string, NumPhases)
+	for p := Phase(0); p < NumPhases; p++ {
+		names[p] = p.String()
+	}
+	return names
+}
+
+// PhaseDuration is one timeline entry as exported in autopsies.
+type PhaseDuration struct {
+	Phase   string  `json:"phase"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Timeline accumulates wall-clock time into recovery phases. It starts
+// in PhaseDetect; Enter closes the current phase and opens the next;
+// phases may be re-entered (durations accumulate), and phases never
+// entered report zero — the timeline always exports all six. Not
+// goroutine-safe: a recovery runs on one goroutine. A nil *Timeline
+// no-ops everywhere so call sites need no guards.
+type Timeline struct {
+	now      func() time.Time
+	durs     [NumPhases]time.Duration
+	cur      Phase
+	curStart time.Time
+	done     bool
+}
+
+// NewTimeline opens a timeline in PhaseDetect. now defaults to
+// time.Now; tests inject a fake clock to pin phase boundaries.
+func NewTimeline(now func() time.Time) *Timeline {
+	if now == nil {
+		now = time.Now
+	}
+	return &Timeline{now: now, cur: PhaseDetect, curStart: now()}
+}
+
+// Enter closes the running phase, charging it the elapsed time, and
+// starts p.
+func (t *Timeline) Enter(p Phase) {
+	if t == nil || t.done || p >= NumPhases {
+		return
+	}
+	now := t.now()
+	t.durs[t.cur] += now.Sub(t.curStart)
+	t.cur = p
+	t.curStart = now
+}
+
+// Finish closes the running phase and freezes the timeline; further
+// Enter/Finish calls no-op.
+func (t *Timeline) Finish() {
+	if t == nil || t.done {
+		return
+	}
+	t.durs[t.cur] += t.now().Sub(t.curStart)
+	t.done = true
+}
+
+// Durations returns per-phase accumulated time, indexed by Phase.
+func (t *Timeline) Durations() [NumPhases]time.Duration {
+	if t == nil {
+		return [NumPhases]time.Duration{}
+	}
+	return t.durs
+}
+
+// Total is the sum across all phases.
+func (t *Timeline) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range t.durs {
+		sum += d
+	}
+	return sum
+}
+
+// Phases exports the timeline for an autopsy: always exactly six
+// entries, canonical order, zero seconds for phases never entered.
+func (t *Timeline) Phases() []PhaseDuration {
+	out := make([]PhaseDuration, NumPhases)
+	for p := Phase(0); p < NumPhases; p++ {
+		out[p] = PhaseDuration{Phase: p.String()}
+		if t != nil {
+			out[p].Seconds = t.durs[p].Seconds()
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package flightrec
+
+import (
+	"testing"
+	"time"
+)
+
+// stepClock advances a fixed step per Now() call, so a timeline that
+// calls the clock exactly once per transition charges each closed
+// phase exactly one step.
+type stepClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *stepClock) Now() time.Time {
+	now := c.t
+	c.t = c.t.Add(c.step)
+	return now
+}
+
+func TestTimelinePhasesInOrder(t *testing.T) {
+	clk := &stepClock{t: time.Unix(0, 0), step: time.Millisecond}
+	tl := NewTimeline(clk.Now)
+	tl.Enter(PhaseRollback)
+	tl.Enter(PhaseIsolate)
+	tl.Enter(PhaseRestore)
+	tl.Enter(PhaseReplay)
+	tl.Enter(PhaseResume)
+	tl.Finish()
+
+	durs := tl.Durations()
+	for p := Phase(0); p < NumPhases; p++ {
+		if durs[p] != time.Millisecond {
+			t.Fatalf("phase %s = %v, want exactly 1ms", p, durs[p])
+		}
+	}
+	if got := tl.Total(); got != 6*time.Millisecond {
+		t.Fatalf("total = %v, want 6ms", got)
+	}
+}
+
+func TestTimelineAccumulatesReenteredPhase(t *testing.T) {
+	clk := &stepClock{t: time.Unix(0, 0), step: time.Millisecond}
+	tl := NewTimeline(clk.Now)
+	tl.Enter(PhaseRestore) // detect: 1ms
+	tl.Enter(PhaseReplay)  // restore: 1ms
+	tl.Enter(PhaseRestore) // replay: 1ms — deep recovery re-restores
+	tl.Enter(PhaseResume)  // restore: +1ms = 2ms
+	tl.Finish()            // resume: 1ms
+
+	durs := tl.Durations()
+	if durs[PhaseRestore] != 2*time.Millisecond {
+		t.Fatalf("re-entered restore = %v, want 2ms", durs[PhaseRestore])
+	}
+	if durs[PhaseReplay] != time.Millisecond {
+		t.Fatalf("replay = %v, want 1ms", durs[PhaseReplay])
+	}
+	if durs[PhaseRollback] != 0 || durs[PhaseIsolate] != 0 {
+		t.Fatalf("unentered phases must stay zero: %v", durs)
+	}
+	if got := tl.Total(); got != 5*time.Millisecond {
+		t.Fatalf("total = %v, want 5ms (detect 1 + restore 2 + replay 1 + resume 1)", got)
+	}
+}
+
+func TestTimelineFinishFreezes(t *testing.T) {
+	clk := &stepClock{t: time.Unix(0, 0), step: time.Millisecond}
+	tl := NewTimeline(clk.Now)
+	tl.Finish()
+	before := tl.Durations()
+	tl.Enter(PhaseReplay)
+	tl.Finish()
+	if tl.Durations() != before {
+		t.Fatalf("frozen timeline mutated: %v -> %v", before, tl.Durations())
+	}
+}
+
+func TestTimelinePhasesExportAlwaysComplete(t *testing.T) {
+	want := []string{"detect", "isolate", "checkpoint-restore", "rollback", "replay", "resume"}
+	for _, tl := range []*Timeline{nil, NewTimeline((&stepClock{t: time.Unix(0, 0), step: time.Millisecond}).Now)} {
+		phases := tl.Phases()
+		if len(phases) != int(NumPhases) {
+			t.Fatalf("exported %d phases, want %d", len(phases), NumPhases)
+		}
+		for i, pd := range phases {
+			if pd.Phase != want[i] {
+				t.Fatalf("phase %d = %q, want %q", i, pd.Phase, want[i])
+			}
+		}
+	}
+	if names := PhaseNames(); len(names) != int(NumPhases) || names[2] != "checkpoint-restore" {
+		t.Fatalf("PhaseNames = %v", names)
+	}
+}
+
+func TestNilTimelineNoops(t *testing.T) {
+	var tl *Timeline
+	tl.Enter(PhaseReplay)
+	tl.Finish()
+	if tl.Total() != 0 {
+		t.Fatalf("nil total = %v", tl.Total())
+	}
+}

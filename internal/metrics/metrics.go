@@ -198,6 +198,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 }
 
 // Quantile estimates the q-quantile from the snapshot's buckets.
+// Whatever bucket interpolation estimates, no quantile can exceed the
+// exact observed maximum, so the result is clamped to Max — without
+// the clamp a single outlier landing in the +Inf bucket (or a bucket's
+// upper bound sitting above every real observation) reports p99 > max,
+// which is nonsense on its face and skews MTTR dashboards.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 || q <= 0 {
 		return 0
@@ -205,6 +210,20 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
+	return s.clamp(s.estimate(q))
+}
+
+// clamp bounds a bucket-interpolated estimate by the exact observed
+// max. Observe never records below zero, so with Count > 0 the tracked
+// Max is the true maximum even when it is 0.
+func (s HistogramSnapshot) clamp(est float64) float64 {
+	if est > s.Max {
+		return s.Max
+	}
+	return est
+}
+
+func (s HistogramSnapshot) estimate(q float64) float64 {
 	rank := q * float64(s.Count)
 	var cum uint64
 	for i, c := range s.Buckets {
@@ -263,9 +282,11 @@ type instrument struct {
 // no-ops (returning nil instruments, which are themselves no-ops), so
 // components can be wired unconditionally.
 type Registry struct {
-	mu    sync.Mutex
-	by    map[string]*instrument
-	order []*instrument
+	mu     sync.Mutex
+	by     map[string]*instrument
+	order  []*instrument
+	strict bool
+	dups   []string
 }
 
 // NewRegistry creates an empty registry.
@@ -276,21 +297,60 @@ func NewRegistry() *Registry {
 // register implements get-or-create semantics: re-registering a name
 // with the same kind returns the existing instrument (a respawned
 // component re-wires cleanly); a kind clash panics, as that is a
-// programming error no caller can handle.
-func (r *Registry) register(name, help string, k kind, build func() *instrument) *instrument {
+// programming error no caller can handle. The second return reports
+// whether the name already existed.
+func (r *Registry) register(name, help string, k kind, build func() *instrument) (*instrument, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if in, ok := r.by[name]; ok {
 		if in.kind != k {
 			panic(fmt.Sprintf("metrics: %q re-registered as a different kind", name))
 		}
-		return in
+		return in, true
 	}
 	in := build()
 	in.name, in.help, in.kind = name, help, k
 	r.by[name] = in
 	r.order = append(r.order, in)
-	return in
+	return in, false
+}
+
+// SetStrict toggles strict registration: when on, a duplicate
+// registration — one that would silently discard a distinct backing
+// instrument — panics instead of being recorded. Get-or-create lookups
+// (Counter/Gauge/Histogram by name) are never duplicates; attaching a
+// *different* counter under a taken name, or re-registering a gauge
+// func, is. CI builds the full stack strict to catch metric-name
+// collisions at registration time.
+func (r *Registry) SetStrict(on bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.strict = on
+	r.mu.Unlock()
+}
+
+// Duplicates lists duplicate registrations seen so far (non-strict
+// registries record them instead of panicking).
+func (r *Registry) Duplicates() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.dups...)
+}
+
+func (r *Registry) noteDuplicate(name, what string) {
+	msg := fmt.Sprintf("metrics: duplicate registration of %q would discard a distinct %s", name, what)
+	r.mu.Lock()
+	strict := r.strict
+	r.dups = append(r.dups, msg)
+	r.mu.Unlock()
+	if strict {
+		panic(msg)
+	}
 }
 
 // Counter returns (creating if needed) the named counter. The name may
@@ -299,7 +359,7 @@ func (r *Registry) Counter(name, help string) *Counter {
 	if r == nil {
 		return nil
 	}
-	in := r.register(name, help, kindCounter, func() *instrument {
+	in, _ := r.register(name, help, kindCounter, func() *instrument {
 		return &instrument{counter: &Counter{}}
 	})
 	return in.counter
@@ -311,9 +371,12 @@ func (r *Registry) RegisterCounter(name, help string, c *Counter) *Counter {
 	if r == nil || c == nil {
 		return c
 	}
-	r.register(name, help, kindCounter, func() *instrument {
+	in, existed := r.register(name, help, kindCounter, func() *instrument {
 		return &instrument{counter: c}
 	})
+	if existed && in.counter != c {
+		r.noteDuplicate(name, "counter")
+	}
 	return c
 }
 
@@ -322,7 +385,7 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	in := r.register(name, help, kindGauge, func() *instrument {
+	in, _ := r.register(name, help, kindGauge, func() *instrument {
 		return &instrument{gauge: &Gauge{}}
 	})
 	return in.gauge
@@ -334,9 +397,14 @@ func (r *Registry) RegisterGaugeFunc(name, help string, fn func() float64) {
 	if r == nil || fn == nil {
 		return
 	}
-	r.register(name, help, kindGaugeFunc, func() *instrument {
+	_, existed := r.register(name, help, kindGaugeFunc, func() *instrument {
 		return &instrument{gaugeFn: fn}
 	})
+	if existed {
+		// Funcs are not comparable; any re-registration silently drops
+		// the new read-out, so flag it.
+		r.noteDuplicate(name, "gauge func")
+	}
 }
 
 // Histogram returns (creating if needed) the named histogram over the
@@ -345,7 +413,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
-	in := r.register(name, help, kindHistogram, func() *instrument {
+	in, _ := r.register(name, help, kindHistogram, func() *instrument {
 		return &instrument{histogram: NewHistogram(bounds)}
 	})
 	return in.histogram

@@ -111,11 +111,11 @@ func TestHistogramQuantiles(t *testing.T) {
 			tol:    1e-9,
 		},
 		{
-			name:   "p99 lands in top finite bucket",
+			name:   "p99 in top finite bucket clamps to observed max",
 			bounds: []float64{1, 10},
 			obs:    repeat(0.5, 90, 9.0, 10),
 			q:      0.99,
-			want:   9.1, // rank 99: 9 of the top bucket's 10 obs -> 1 + 9*(9/10)
+			want:   9.0, // interpolation says 9.1, but nothing above 9.0 was observed
 			tol:    1e-9,
 		},
 		{
@@ -410,4 +410,87 @@ func TestPrometheusLabeledHistogram(t *testing.T) {
 	if strings.Contains(out, `}_bucke`) {
 		t.Errorf("corrupt bucket series name in exposition:\n%s", out)
 	}
+}
+
+func TestQuantileNeverExceedsObservedMax(t *testing.T) {
+	// One outlier in the +Inf bucket plus interpolation used to let
+	// estimated quantiles float above the exact observed max.
+	cases := []struct {
+		name   string
+		bounds []float64
+		obs    []float64
+	}{
+		{"single outlier above all bounds", []float64{0.25, 0.5}, []float64{0.3, 0.3, 0.3, 7}},
+		{"all obs below bucket bound", []float64{0.25, 0.5}, []float64{0.3, 0.3, 0.3}},
+		{"identical values", []float64{1, 10}, []float64{2, 2, 2, 2}},
+		{"zeros only", []float64{1}, []float64{0, 0, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(tc.bounds)
+			max := 0.0
+			for _, v := range tc.obs {
+				h.Observe(v)
+				if v > max {
+					max = v
+				}
+			}
+			s := h.Snapshot()
+			for _, q := range []float64{0.5, 0.95, 0.99, 1.0} {
+				if got := s.Quantile(q); got > max {
+					t.Fatalf("Quantile(%v) = %v exceeds observed max %v", q, got, max)
+				}
+			}
+			if s.P99 > s.Max {
+				t.Fatalf("snapshot P99 %v exceeds Max %v", s.P99, s.Max)
+			}
+		})
+	}
+}
+
+func TestRegistryDuplicateDetection(t *testing.T) {
+	reg := NewRegistry()
+	var a, b Counter
+
+	// Same counter re-attached: legitimate re-wiring, not a duplicate.
+	reg.RegisterCounter("dup_total", "h", &a)
+	reg.RegisterCounter("dup_total", "h", &a)
+	if d := reg.Duplicates(); len(d) != 0 {
+		t.Fatalf("re-attaching the same counter flagged: %v", d)
+	}
+
+	// A distinct counter under a taken name is recorded.
+	reg.RegisterCounter("dup_total", "h", &b)
+	if d := reg.Duplicates(); len(d) != 1 {
+		t.Fatalf("distinct counter not flagged: %v", d)
+	}
+
+	// Gauge funcs are not comparable: any re-registration is flagged.
+	reg.RegisterGaugeFunc("depth", "h", func() float64 { return 1 })
+	reg.RegisterGaugeFunc("depth", "h", func() float64 { return 2 })
+	if d := reg.Duplicates(); len(d) != 2 {
+		t.Fatalf("gauge func re-registration not flagged: %v", d)
+	}
+
+	// Get-or-create by name stays clean.
+	reg.Counter("byname_total", "h")
+	reg.Counter("byname_total", "h")
+	reg.Histogram("hist_seconds", "h", nil)
+	reg.Histogram("hist_seconds", "h", nil)
+	if d := reg.Duplicates(); len(d) != 2 {
+		t.Fatalf("get-or-create flagged as duplicate: %v", d)
+	}
+}
+
+func TestRegistryStrictPanicsOnDuplicate(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetStrict(true)
+	var a, b Counter
+	reg.RegisterCounter("strict_total", "h", &a)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("strict registry did not panic on duplicate")
+		}
+	}()
+	reg.RegisterCounter("strict_total", "h", &b)
 }

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"legosdn/internal/controller"
+	"legosdn/internal/flightrec"
 	"legosdn/internal/flowtable"
 	"legosdn/internal/metrics"
 	"legosdn/internal/openflow"
@@ -105,6 +106,10 @@ type Txn struct {
 	// abort child spans.
 	span *trace.Span
 	sc   trace.SpanContext
+
+	// traceID is the opening event's trace id, kept even for unsampled
+	// events so flight records correlate txn lifecycle with dispatch.
+	traceID uint64
 }
 
 // counterKey identifies a flow entry across delete/restore cycles.
@@ -148,6 +153,7 @@ type Manager struct {
 	sender Sender
 	clock  flowtable.Clock
 	tracer *trace.Tracer
+	flight *flightrec.Recorder
 
 	// journal, when set, makes transactions crash-recoverable; see
 	// SetJournal. Written once before traffic flows, read without
@@ -204,6 +210,11 @@ func (m *Manager) SetTracer(t *trace.Tracer) { m.tracer = t }
 // path); nil leaves transactions memory-only, the pre-durability
 // behavior.
 func (m *Manager) SetJournal(j Journal) { m.journal = j }
+
+// SetFlight installs the always-on flight recorder. Like SetJournal,
+// written once before traffic flows; nil leaves txn lifecycle
+// unrecorded.
+func (m *Manager) SetFlight(f *flightrec.Recorder) { m.flight = f }
 
 // journalAppend runs one journal write, absorbing errors into the
 // JournalErrors counter (availability over durability).
@@ -285,12 +296,15 @@ func (m *Manager) BeginTraced(sc trace.SpanContext) *Txn {
 	defer m.mu.Unlock()
 	m.nextTxn++
 	m.BegunTxns.Add(1)
-	tx := &Txn{ID: m.nextTxn, m: m, dpids: make(map[uint64]bool)}
+	tx := &Txn{ID: m.nextTxn, m: m, dpids: make(map[uint64]bool), traceID: sc.TraceID}
 	if sp := m.tracer.StartSpan(sc, "netlog.txn"); sp != nil {
 		sp.AttrInt("txn", int64(tx.ID))
 		tx.span = sp
 		tx.sc = sp.Context()
 	}
+	// No flight record here: Commit/Abort write one record per txn that
+	// did something, which implies the begin. Recording every open would
+	// double the per-event cost and fill the NetLog ring with noise.
 	return tx
 }
 
@@ -544,6 +558,16 @@ func (t *Txn) Commit() error {
 	if span != nil {
 		span.Attr("state", "committed").AttrInt("ops", int64(ops)).End()
 	}
+	if ops > 0 || journaled {
+		// Empty transactions (an app handled the event and sent
+		// nothing) are the common case at capacity; recording them
+		// would lap real evidence out of the bounded ring in
+		// milliseconds. A commit record implies its begin.
+		t.m.flight.Record(flightrec.Record{
+			Layer: flightrec.LayerNetLog, Kind: flightrec.KindTxnCommit,
+			Trace: t.traceID, Txn: t.ID, N: int64(ops),
+		})
+	}
 	for _, d := range dpids {
 		if err := t.m.sender.Barrier(d); err != nil {
 			return fmt.Errorf("netlog: commit barrier to %d: %w", d, err)
@@ -642,6 +666,11 @@ func (t *Txn) Abort() error {
 	if span != nil {
 		span.Attr("state", "aborted").AttrInt("ops", int64(len(ops))).End()
 	}
+	t.m.flight.Record(flightrec.Record{
+		Layer: flightrec.LayerNetLog, Kind: flightrec.KindTxnAbort,
+		Trace: t.traceID, Txn: t.ID, N: int64(len(ops)),
+		Note: fmt.Sprintf("rolled back across %d switch(es)", len(dpids)),
+	})
 	return firstErr
 }
 

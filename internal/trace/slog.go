@@ -25,6 +25,34 @@ func FromContext(ctx context.Context) SpanContext {
 	return sc
 }
 
+// crashKey carries crash attribution through a context.Context.
+type crashKey struct{}
+
+// crashInfo is the app + Crash-Pad ticket pair stamped onto log records
+// emitted during a recovery.
+type crashInfo struct {
+	app    string
+	ticket int
+}
+
+// ContextWithCrash returns ctx additionally carrying the failing app's
+// name and its Crash-Pad ticket id, so recovery-time log records line
+// up with autopsy reports and ticket dumps without grepping by time.
+// ticket 0 means "no ticket yet" and stamps only the app.
+func ContextWithCrash(ctx context.Context, app string, ticket int) context.Context {
+	if app == "" && ticket == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, crashKey{}, crashInfo{app: app, ticket: ticket})
+}
+
+// CrashFromContext extracts crash attribution from ctx ("" and 0 if
+// none).
+func CrashFromContext(ctx context.Context) (app string, ticket int) {
+	ci, _ := ctx.Value(crashKey{}).(crashInfo)
+	return ci.app, ci.ticket
+}
+
 // IDString renders a trace or span id the way every export does.
 func IDString(id uint64) string { return fmt.Sprintf("%016x", id) }
 
@@ -51,6 +79,14 @@ func (h *slogHandler) Handle(ctx context.Context, r slog.Record) error {
 		r.AddAttrs(slog.String("trace_id", IDString(sc.TraceID)))
 		if sc.SpanID != 0 {
 			r.AddAttrs(slog.String("span_id", IDString(sc.SpanID)))
+		}
+	}
+	if app, ticket := CrashFromContext(ctx); app != "" || ticket != 0 {
+		if app != "" {
+			r.AddAttrs(slog.String("app", app))
+		}
+		if ticket != 0 {
+			r.AddAttrs(slog.Int("crashpad_ticket", ticket))
 		}
 	}
 	return h.inner.Handle(ctx, r)

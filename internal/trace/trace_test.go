@@ -294,6 +294,41 @@ func TestSlogTraceCorrelation(t *testing.T) {
 	}
 }
 
+func TestSlogCrashCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(WrapHandler(slog.NewTextHandler(&buf, nil)))
+
+	// App + ticket stamp alongside trace ids.
+	ctx := ContextWith(context.Background(), SpanContext{TraceID: 0xabcd, SpanID: 1})
+	ctx = ContextWithCrash(ctx, "lswitch", 7)
+	logger.InfoContext(ctx, "recovered")
+	line := buf.String()
+	for _, want := range []string{"trace_id=000000000000abcd", "app=lswitch", "crashpad_ticket=7"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("log line missing %q: %q", want, line)
+		}
+	}
+
+	// App alone (no ticket yet) stamps only the app.
+	buf.Reset()
+	logger.InfoContext(ContextWithCrash(context.Background(), "router", 0), "detected")
+	line = buf.String()
+	if !strings.Contains(line, "app=router") || strings.Contains(line, "crashpad_ticket") {
+		t.Fatalf("app-only stamp wrong: %q", line)
+	}
+
+	// Empty attribution adds nothing.
+	buf.Reset()
+	logger.InfoContext(ContextWithCrash(context.Background(), "", 0), "plain")
+	if strings.Contains(buf.String(), "app=") || strings.Contains(buf.String(), "crashpad_ticket") {
+		t.Fatalf("empty crash info stamped attrs: %q", buf.String())
+	}
+
+	if app, ticket := CrashFromContext(context.Background()); app != "" || ticket != 0 {
+		t.Fatalf("CrashFromContext on empty ctx = %q, %d", app, ticket)
+	}
+}
+
 func TestCeilPow2(t *testing.T) {
 	cases := map[int]int{1: 1, 2: 2, 3: 4, 8: 8, 9: 16, 1000: 1024}
 	for in, want := range cases {
