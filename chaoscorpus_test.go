@@ -1,0 +1,39 @@
+package legosdn_test
+
+import (
+	"testing"
+
+	"legosdn/internal/chaos/campaign"
+)
+
+// TestChaosCorpusReplay is the tier-1 gate over the failing-seed
+// regression corpus: every committed entry under testdata/chaos-corpus
+// must replay byte-for-byte — same invariants fail, same schedule
+// fingerprint, same report text. A diff here means a behavior change
+// reached a previously-minimized failure; update the corpus entry
+// deliberately (CHAOS_CORPUS_REGEN=1 in internal/chaos/campaign) or
+// fix the regression, never ignore it.
+func TestChaosCorpusReplay(t *testing.T) {
+	entries, err := campaign.LoadCorpus("testdata/chaos-corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no corpus entries committed under testdata/chaos-corpus")
+	}
+	for name, e := range entries {
+		name, e := name, e
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if e.Synthetic == nil {
+				t.Errorf("%s: no synthetic hook; committed entries are expected to carry one", name)
+			}
+			if got := float64(len(e.Atoms)) / float64(e.OriginalAtoms); got > 0.25 {
+				t.Errorf("%s: shrink ratio %.2f exceeds the 25%% acceptance bar", name, got)
+			}
+			if err := campaign.VerifyEntry(e); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"legosdn/internal/chaos"
+	"legosdn/internal/chaos/campaign"
+)
+
+// Campaign/chaos exit codes: 0 all invariants held, 1 an invariant
+// failed (or a corpus entry stopped reproducing), 2 the run could not
+// be set up at all (bad flags, unknown scenario, unwritable output).
+// CI gates on the distinction: 1 pages the on-call for a regression,
+// 2 means the job itself is broken.
+const (
+	exitOK            = 0
+	exitInvariantFail = 1
+	exitSetupError    = 2
+)
+
+// campaignOpts carries the -campaign flag set.
+type campaignOpts struct {
+	seed       uint64
+	runs       int
+	shrink     bool
+	parallel   int
+	out        string // summary JSON path
+	corpusDir  string // write minimized failures here
+	replayDir  string // replay an existing corpus instead of searching
+	autopsyDir string
+}
+
+// runCampaign drives either a corpus replay (-campaign-replay) or a
+// randomized search campaign, printing the summary and returning a
+// process exit code.
+func runCampaign(o campaignOpts) int {
+	if o.replayDir != "" {
+		return replayCorpus(o.replayDir)
+	}
+
+	sum, err := campaign.Run(campaign.Config{
+		Seed:       o.seed,
+		Runs:       o.runs,
+		Shrink:     o.shrink,
+		Parallel:   o.parallel,
+		CorpusDir:  o.corpusDir,
+		AutopsyDir: o.autopsyDir,
+		Log:        os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "legosdn-bench: campaign: %v\n", err)
+		return exitSetupError
+	}
+
+	var ratioSum float64
+	for _, rec := range sum.Records {
+		if sh := rec.Shrink; sh != nil && sh.Reproducible {
+			ratioSum += sh.Ratio
+		}
+	}
+	fmt.Printf("\ncampaign seed %d: %d seeds run, %d failure(s), %d shrunk",
+		sum.CampaignSeed, sum.SeedsRun, sum.Failures, sum.Shrunk)
+	if sum.Shrunk > 0 {
+		fmt.Printf(" (avg shrink ratio %.2f, %d replays)", ratioSum/float64(sum.Shrunk), sum.TotalReplays)
+	}
+	fmt.Printf(", %s wall\n", (time.Duration(sum.WallMS) * time.Millisecond).Round(time.Millisecond))
+	for _, kv := range sortedTallies(sum.ClassTallies) {
+		fmt.Printf("  class %-10s %d run(s)\n", kv.k, kv.v)
+	}
+	fmt.Printf("(reproduce with -campaign-seed %d -campaign-seeds %d)\n", sum.CampaignSeed, sum.SeedsRun)
+
+	if o.out != "" {
+		b, err := sum.DeterministicJSON()
+		if err == nil {
+			err = os.WriteFile(o.out, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "legosdn-bench: writing %s: %v\n", o.out, err)
+			return exitSetupError
+		}
+		fmt.Printf("wrote %s\n", o.out)
+	}
+	if sum.Failures > 0 {
+		return exitInvariantFail
+	}
+	return exitOK
+}
+
+// replayCorpus verifies every entry in a regression corpus directory
+// byte-for-byte: same invariants fail, same schedule fingerprint, same
+// report text.
+func replayCorpus(dir string) int {
+	entries, err := campaign.LoadCorpus(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "legosdn-bench: corpus %s: %v\n", dir, err)
+		return exitSetupError
+	}
+	if len(entries) == 0 {
+		fmt.Printf("corpus %s: no entries\n", dir)
+		return exitOK
+	}
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	bad := 0
+	start := time.Now()
+	for _, name := range names {
+		e := entries[name]
+		t0 := time.Now()
+		err := campaign.VerifyEntry(e)
+		status := "ok"
+		if err != nil {
+			status = "FAIL"
+			bad++
+		}
+		fmt.Printf("%-28s %-22s %2d atom(s)  %-4s %s\n",
+			name, e.Spec.Name, len(e.Atoms), status, time.Since(t0).Round(time.Millisecond))
+		if err != nil {
+			fmt.Printf("  %v\n", err)
+		}
+	}
+	fmt.Printf("\n%d/%d corpus entries replayed byte-for-byte in %s\n",
+		len(names)-bad, len(names), time.Since(start).Round(time.Millisecond))
+	if bad > 0 {
+		return exitInvariantFail
+	}
+	return exitOK
+}
+
+type tally struct {
+	k string
+	v int
+}
+
+// sortedTallies renders a class-count map in stable order.
+func sortedTallies(m map[string]int) []tally {
+	out := make([]tally, 0, len(m))
+	for k, v := range m {
+		out = append(out, tally{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}
+
+// chaosScenarioNames lists the chaos scenario library sorted by name,
+// for the -chaos-only error message.
+func chaosScenarioNames() []string {
+	lib := chaos.Library()
+	names := make([]string, 0, len(lib))
+	for _, s := range lib {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -14,6 +14,11 @@
 //	                                       # trace the pipeline, view in chrome://tracing
 //	legosdn-bench -chaos -chaos-seed 7     # chaos scenario suite under seed 7
 //	legosdn-bench -chaos -chaos-only av-drop
+//	legosdn-bench -campaign -campaign-seeds 200 -campaign-shrink
+//	                                       # randomized fault-schedule search; failures
+//	                                       # are ddmin-shrunk to 1-minimal reproducers
+//	legosdn-bench -campaign -campaign-replay testdata/chaos-corpus
+//	                                       # replay the regression corpus byte-for-byte
 //	legosdn-bench -state-dir ./state -durable-smoke 50
 //	                                       # crash-recovery smoke: kill -9 mid-run,
 //	                                       # rerun, grep recovered_txns=
@@ -89,6 +94,9 @@ var index = []struct {
 	{"R1", "crash forensics: MTTR breakdown by recovery phase, autopsy coverage", func(q bool) experiments.Table {
 		return experiments.ClaimRecoveryForensics(q)
 	}},
+	{"S1", "chaos search: fault-schedule minimization to 1-minimal reproducers (§5)", func(q bool) experiments.Table {
+		return experiments.ClaimChaosSearch(q)
+	}},
 }
 
 func pick(quick bool, q, full int) int {
@@ -111,6 +119,14 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 1, "fault schedule seed for -chaos (same seed, same faults)")
 	chaosOnly := flag.String("chaos-only", "", "run a single chaos scenario by name")
 	chaosVerbose := flag.Bool("chaos-v", false, "print each scenario's full report and fault schedule")
+	campaignRun := flag.Bool("campaign", false, "run a randomized chaos campaign instead of the experiments")
+	campaignSeed := flag.Uint64("campaign-seed", 1, "campaign seed: derives every run's scenario and fault schedule")
+	campaignSeeds := flag.Int("campaign-seeds", 100, "how many randomized per-seed scenarios the campaign runs")
+	campaignShrink := flag.Bool("campaign-shrink", false, "ddmin-shrink each failing run's fault schedule to a 1-minimal reproducer")
+	campaignOut := flag.String("campaign-out", "", "write the campaign summary JSON to this file")
+	campaignCorpus := flag.String("campaign-corpus", "", "persist minimized failures as regression corpus entries under this directory")
+	campaignReplay := flag.String("campaign-replay", "", "replay a regression corpus directory byte-for-byte instead of searching")
+	campaignParallel := flag.Int("campaign-parallel", 4, "campaign worker count (results are identical at any parallelism)")
 	autopsyDir := flag.String("autopsy-dir", "", "persist every autopsy report a chaos stack assembles as JSON files under this directory")
 	stateDir := flag.String("state-dir", "", "durable state directory for -durable-smoke (WAL-backed checkpoints + NetLog journal)")
 	smokeIters := flag.Int("durable-smoke", 0, "run N crash-recovery smoke iterations against -state-dir, then exit")
@@ -124,6 +140,18 @@ func main() {
 	}
 	if *chaosRun {
 		os.Exit(runChaos(*chaosSeed, *chaosOnly, *chaosVerbose, *autopsyDir))
+	}
+	if *campaignRun || *campaignReplay != "" {
+		os.Exit(runCampaign(campaignOpts{
+			seed:       *campaignSeed,
+			runs:       *campaignSeeds,
+			shrink:     *campaignShrink,
+			parallel:   *campaignParallel,
+			out:        *campaignOut,
+			corpusDir:  *campaignCorpus,
+			replayDir:  *campaignReplay,
+			autopsyDir: *autopsyDir,
+		}))
 	}
 
 	var tracer *trace.Tracer
@@ -269,12 +297,9 @@ func runChaos(seed uint64, only string, verbose bool, autopsyDir string) int {
 	if only != "" {
 		sc, ok := chaos.Find(only)
 		if !ok {
-			names := make([]string, 0, len(scenarios))
-			for _, s := range scenarios {
-				names = append(names, s.Name)
-			}
-			fmt.Fprintf(os.Stderr, "legosdn-bench: no chaos scenario %q (have: %s)\n", only, strings.Join(names, ", "))
-			return 2
+			fmt.Fprintf(os.Stderr, "legosdn-bench: no chaos scenario %q (have: %s)\n",
+				only, strings.Join(chaosScenarioNames(), ", "))
+			return exitSetupError
 		}
 		scenarios = []chaos.Scenario{sc}
 	}
@@ -333,9 +358,9 @@ func runChaos(seed uint64, only string, verbose bool, autopsyDir string) int {
 	fmt.Printf("\n%d/%d scenarios passed in %s (reproduce with -chaos-seed %d)\n",
 		len(scenarios)-failed, len(scenarios), time.Since(start).Round(time.Millisecond), seed)
 	if failed > 0 {
-		return 1
+		return exitInvariantFail
 	}
-	return 0
+	return exitOK
 }
 
 // benchResults is the -bench-out file layout: a timestamp plus each

@@ -1,0 +1,268 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// cheapSpec is a fast deterministic generator for tests: duplicated and
+// delayed datagrams only (no timeout-driven recovery), so a full run
+// completes in well under a second and every run fires wire atoms.
+func cheapSpec(runSeed uint64) ScenarioSpec {
+	return ScenarioSpec{
+		Name:            fmt.Sprintf("cheap-%016x", runSeed),
+		Seed:            runSeed,
+		Switches:        1,
+		Apps:            2,
+		Events:          24,
+		CheckpointEvery: 4,
+		EventTimeoutMS:  250,
+		Dup:             0.12,
+		Delay:           0.06,
+		Deterministic:   true,
+	}
+}
+
+// The generator is a pure function of the run seed, and every spec it
+// emits is valid and arms at least one fault class.
+func TestSynthesizeDeterministicAndValid(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		seed := RunSeed(99, i)
+		a, b := Synthesize(seed), Synthesize(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two syntheses differ:\n%+v\n%+v", seed, a, b)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid spec: %v\n%+v", seed, err, a)
+		}
+		if len(a.Classes()) == 0 {
+			t.Fatalf("seed %d: generated spec arms no fault class: %+v", seed, a)
+		}
+		if (a.InverseFailProb > 0 || a.DisconnectProb > 0) && a.CrashEvery == 0 {
+			t.Fatalf("seed %d: netlog faults without armed crashes can never fire: %+v", seed, a)
+		}
+	}
+}
+
+// Satellite: same campaign seed => byte-identical scenario set,
+// schedule fingerprints and summary JSON (wall-time fields excluded),
+// independent of worker count — mirroring the PR 4 same-seed replay
+// guarantee at campaign scale.
+func TestCampaignSameSeedByteIdentical(t *testing.T) {
+	run := func(parallel int) *Summary {
+		sum, err := Run(Config{Seed: 7, Runs: 6, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	a, b := run(1), run(3)
+
+	for i := range a.Records {
+		if a.Records[i].Scenario != b.Records[i].Scenario || a.Records[i].Seed != b.Records[i].Seed {
+			t.Fatalf("run %d scenario set differs: %+v vs %+v", i, a.Records[i], b.Records[i])
+		}
+		if a.Records[i].ScheduleFP != b.Records[i].ScheduleFP {
+			t.Errorf("run %d schedule fingerprint differs: %s vs %s",
+				i, a.Records[i].ScheduleFP, b.Records[i].ScheduleFP)
+		}
+	}
+	aj, err := a.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("summaries differ byte-for-byte:\n--- serial ---\n%s\n--- parallel ---\n%s", aj, bj)
+	}
+	if a.WallMS < 0 {
+		t.Error("negative wall time")
+	}
+}
+
+// Acceptance: a seeded campaign under a deliberately-broken invariant
+// (the synthetic test hook) finds the failure, shrinks its schedule to
+// a 1-minimal reproducer at <= 25% of the original decision count, and
+// persists a corpus entry that replays byte-for-byte.
+func TestCampaignFindsAndShrinksBrokenInvariant(t *testing.T) {
+	corpus := t.TempDir()
+	autopsies := t.TempDir()
+	var log bytes.Buffer
+	sum, err := Run(Config{
+		Seed:       11,
+		Runs:       2,
+		Shrink:     true,
+		Parallel:   2,
+		CorpusDir:  corpus,
+		AutopsyDir: autopsies,
+		Synthetic:  &SyntheticCheck{Kind: SyntheticFiredAtLeast, Point: "appvisor/dup", N: 1},
+		Generate:   cheapSpec,
+		Log:        &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failures == 0 {
+		t.Fatalf("campaign found no failures under the broken invariant:\n%s", log.String())
+	}
+	if sum.Shrunk == 0 {
+		t.Fatalf("no failure shrunk:\n%s", log.String())
+	}
+	verified := 0
+	for _, rec := range sum.Records {
+		if !rec.Failed {
+			continue
+		}
+		sh := rec.Shrink
+		if sh == nil || !sh.Reproducible {
+			t.Fatalf("failed run %d not reproducible: %+v", rec.Index, sh)
+		}
+		if !sh.Minimal {
+			t.Errorf("run %d shrink not 1-minimal (%d replays)", rec.Index, sh.Replays)
+		}
+		if sh.MinAtoms != 1 {
+			t.Errorf("run %d minimized to %d atoms, want 1 (single dup reproduces fired-at-least n=1)",
+				rec.Index, sh.MinAtoms)
+		}
+		if sh.Ratio > 0.25 {
+			t.Errorf("run %d shrink ratio %.2f exceeds the 25%% acceptance bar (%d -> %d)",
+				rec.Index, sh.Ratio, sh.OriginalAtoms, sh.MinAtoms)
+		}
+		if sh.CorpusFile == "" {
+			t.Fatalf("run %d: no corpus entry written", rec.Index)
+		}
+		data, err := os.ReadFile(filepath.Join(corpus, sh.CorpusFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := DecodeEntry(data)
+		if err != nil {
+			t.Fatalf("corpus entry %s: %v", sh.CorpusFile, err)
+		}
+		if err := VerifyEntry(e); err != nil {
+			t.Errorf("corpus entry %s does not replay byte-for-byte: %v", sh.CorpusFile, err)
+		}
+		verified++
+	}
+	if verified == 0 {
+		t.Fatal("no corpus entry verified")
+	}
+	if sum.TotalReplays == 0 {
+		t.Error("shrinking reported zero replays")
+	}
+}
+
+// Without the broken-invariant hook the same campaign passes clean —
+// the hook, not the harness, is what fails.
+func TestCampaignCleanWithoutHook(t *testing.T) {
+	sum, err := Run(Config{Seed: 11, Runs: 2, Parallel: 2, Generate: cheapSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failures != 0 {
+		t.Fatalf("clean campaign reported %d failures: %+v", sum.Failures, sum.Records)
+	}
+}
+
+// Setup problems are errors (exit code 2 territory), not invariant
+// failures.
+func TestCampaignSetupErrors(t *testing.T) {
+	if _, err := Run(Config{Seed: 1, Runs: 0}); err == nil {
+		t.Error("runs=0 accepted")
+	}
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Config{Seed: 1, Runs: 1, CorpusDir: filepath.Join(blocker, "sub")}); err == nil {
+		t.Error("corpus dir under a regular file accepted")
+	}
+	if _, err := Run(Config{Seed: 1, Runs: 1, Synthetic: &SyntheticCheck{Kind: "bogus"}}); err == nil {
+		t.Error("bogus synthetic check accepted")
+	}
+}
+
+// Synthetic check predicate semantics, including per-app prefix
+// matching of wire points.
+func TestSyntheticCheck(t *testing.T) {
+	rep := replayPinned(cheapSpec(3), nil, nil) // no faults fire
+	if n := firedAt(rep, "appvisor/dup"); n != 0 {
+		t.Fatalf("pinned-empty replay fired %d dups", n)
+	}
+	mustFail := func(c SyntheticCheck, fired map[string]int, want bool) {
+		t.Helper()
+		rep := replayPinned(cheapSpec(3), nil, nil)
+		rep.Fired = fired
+		rep.Invariants = nil
+		c.Apply(rep)
+		if got := rep.Failed(); got != want {
+			t.Errorf("%+v over %v: failed=%v, want %v", c, fired, got, want)
+		}
+	}
+	mustFail(SyntheticCheck{Kind: SyntheticFiredAtLeast, Point: "appvisor/dup", N: 2},
+		map[string]int{"appvisor/dup/rec0": 1, "appvisor/dup/rec1": 1}, true)
+	mustFail(SyntheticCheck{Kind: SyntheticFiredAtLeast, Point: "appvisor/dup", N: 3},
+		map[string]int{"appvisor/dup/rec0": 2}, false)
+	mustFail(SyntheticCheck{Kind: SyntheticFiredPair, Point: "appvisor/kill", Point2: "netsim/flap"},
+		map[string]int{"appvisor/kill": 1, "netsim/flap": 2}, true)
+	mustFail(SyntheticCheck{Kind: SyntheticFiredPair, Point: "appvisor/kill", Point2: "netsim/flap"},
+		map[string]int{"appvisor/kill": 1}, false)
+	// Prefix matching must not cross path-segment boundaries.
+	mustFail(SyntheticCheck{Kind: SyntheticFiredAtLeast, Point: "appvisor/d", N: 1},
+		map[string]int{"appvisor/dup/rec0": 1}, false)
+}
+
+// Regeneration hook for the committed regression corpus: run with
+// CHAOS_CORPUS_REGEN=1 to rewrite testdata/chaos-corpus at the repo
+// root from the canonical campaign below. The committed entries are
+// what TestChaosCorpusReplay (repo root) replays on every test run.
+func TestRegenerateCommittedCorpus(t *testing.T) {
+	if os.Getenv("CHAOS_CORPUS_REGEN") == "" {
+		t.Skip("set CHAOS_CORPUS_REGEN=1 to regenerate testdata/chaos-corpus")
+	}
+	dir := filepath.Join("..", "..", "..", "testdata", "chaos-corpus")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	old, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range old {
+		if err := os.Remove(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum, err := Run(Config{
+		Seed:      11,
+		Runs:      2,
+		Shrink:    true,
+		CorpusDir: dir,
+		Synthetic: &SyntheticCheck{Kind: SyntheticFiredAtLeast, Point: "appvisor/dup", N: 1},
+		Generate:  cheapSpec,
+		Log:       os.Stderr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Shrunk == 0 {
+		t.Fatal("regeneration campaign shrank nothing; corpus would be empty")
+	}
+	entries, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for name := range entries {
+		names = append(names, name)
+	}
+	t.Logf("regenerated %d corpus entries: %s", len(entries), strings.Join(names, ", "))
+}

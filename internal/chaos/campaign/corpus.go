@@ -1,0 +1,238 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"legosdn/internal/chaos"
+)
+
+// EntryVersion is the corpus file format version. Bump it when the
+// entry layout or replay semantics change; the decoder rejects
+// versions it does not understand rather than misreplaying them.
+const EntryVersion = 1
+
+// Entry is one failing seed in the regression corpus: everything
+// needed to rebuild the scenario, replay its minimized fault schedule
+// byte for byte, and assert the same invariants fail the same way.
+type Entry struct {
+	Version      int          `json:"version"`
+	CampaignSeed uint64       `json:"campaign_seed"`
+	RunSeed      uint64       `json:"run_seed"`
+	Spec         ScenarioSpec `json:"scenario"`
+	// Synthetic carries the broken-invariant test hook the failure was
+	// found under, if any, so the entry replays self-contained.
+	Synthetic         *SyntheticCheck `json:"synthetic,omitempty"`
+	FailingInvariants []string        `json:"failing_invariants"`
+	// OriginalAtoms is the failing run's fired-fault count before
+	// minimization; len(Atoms)/OriginalAtoms is the shrink ratio.
+	OriginalAtoms int          `json:"original_atoms"`
+	Atoms         []chaos.Atom `json:"atoms"`
+	ShrinkReplays int          `json:"shrink_replays"`
+	// ReplayFingerprint and ReplayRender are the pinned replay's
+	// canonical schedule log and report text — the byte-for-byte
+	// regression oracle.
+	ReplayFingerprint string `json:"replay_fingerprint"`
+	ReplayRender      string `json:"replay_render"`
+}
+
+// Validate bounds-checks a decoded entry. Corpus files cross trust
+// boundaries (CI artifacts, fuzzers), so a malformed entry must error
+// here rather than misbehave during replay.
+func (e *Entry) Validate() error {
+	if e.Version != EntryVersion {
+		return fmt.Errorf("campaign: corpus entry version %d, want %d", e.Version, EntryVersion)
+	}
+	if err := e.Spec.Validate(); err != nil {
+		return err
+	}
+	if e.Spec.Seed != e.RunSeed {
+		return fmt.Errorf("campaign: spec seed %d != run seed %d", e.Spec.Seed, e.RunSeed)
+	}
+	if e.Synthetic != nil {
+		if err := e.Synthetic.Validate(); err != nil {
+			return err
+		}
+	}
+	if len(e.FailingInvariants) == 0 {
+		return fmt.Errorf("campaign: corpus entry lists no failing invariants")
+	}
+	for _, name := range e.FailingInvariants {
+		if name == "" || len(name) > 200 {
+			return fmt.Errorf("campaign: bad invariant name %q", name)
+		}
+	}
+	if len(e.Atoms) > 100000 || e.OriginalAtoms < len(e.Atoms) || e.OriginalAtoms > 1000000 {
+		return fmt.Errorf("campaign: implausible atom counts: %d minimized of %d original",
+			len(e.Atoms), e.OriginalAtoms)
+	}
+	for _, a := range e.Atoms {
+		if a.Point == "" || len(a.Point) > 200 || strings.HasSuffix(a.Point, "/pick") {
+			return fmt.Errorf("campaign: bad atom point %q", a.Point)
+		}
+		if a.Index < 0 || a.Index > 1<<30 {
+			return fmt.Errorf("campaign: atom index %d out of range", a.Index)
+		}
+		if a.PickPoint != "" && a.PickPoint != a.Point+"/pick" {
+			return fmt.Errorf("campaign: atom pick point %q does not match %q", a.PickPoint, a.Point)
+		}
+	}
+	if e.ReplayFingerprint == "" {
+		return fmt.Errorf("campaign: corpus entry missing replay fingerprint")
+	}
+	if e.ShrinkReplays < 0 || e.ShrinkReplays > 1<<24 {
+		return fmt.Errorf("campaign: implausible shrink replay count %d", e.ShrinkReplays)
+	}
+	return nil
+}
+
+// BuildEntry assembles a corpus entry for a minimized failure by
+// performing one more pinned replay to capture the canonical
+// fingerprint and report text the regression test will compare
+// against. It errors if the minimized schedule no longer reproduces
+// the failure (a minimizer bug, better caught at write time).
+func BuildEntry(campaignSeed uint64, spec ScenarioSpec, syn *SyntheticCheck,
+	failing []string, originalAtoms int, minAtoms []chaos.Atom, replays int) (*Entry, error) {
+	sched := chaos.NewPinnedSchedule(spec.Seed, minAtoms)
+	rep := spec.Scenario().RunSchedule(sched, nil)
+	syn.Apply(rep)
+	if !failsSuperset(rep, failing) {
+		return nil, fmt.Errorf("campaign: minimized schedule for %s no longer reproduces %v",
+			spec.Name, failing)
+	}
+	e := &Entry{
+		Version:           EntryVersion,
+		CampaignSeed:      campaignSeed,
+		RunSeed:           spec.Seed,
+		Spec:              spec,
+		Synthetic:         syn,
+		FailingInvariants: append([]string(nil), failing...),
+		OriginalAtoms:     originalAtoms,
+		Atoms:             append([]chaos.Atom(nil), minAtoms...),
+		ShrinkReplays:     replays,
+		ReplayFingerprint: sched.Fingerprint(),
+		ReplayRender:      rep.Render(),
+	}
+	sort.Strings(e.FailingInvariants)
+	return e, e.Validate()
+}
+
+// EncodeEntry renders an entry in its canonical file form: validated,
+// indented JSON with a trailing newline.
+func EncodeEntry(e *Entry) ([]byte, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeEntry parses and validates a corpus file. Unknown fields,
+// trailing garbage, truncation and out-of-range values all error;
+// no input may panic (FuzzCorpusEntry holds the line).
+func DecodeEntry(data []byte) (*Entry, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var e Entry
+	if err := dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("campaign: corpus entry: %w", err)
+	}
+	// Reject trailing content after the JSON document.
+	if dec.More() {
+		return nil, fmt.Errorf("campaign: corpus entry: trailing data after document")
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// WriteEntry persists an entry under dir with its canonical name,
+// returning the file name.
+func WriteEntry(dir string, e *Entry) (string, error) {
+	b, err := EncodeEntry(e)
+	if err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("entry-%016x.json", e.RunSeed)
+	if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// LoadCorpus reads every *.json entry under dir, sorted by file name.
+// A missing directory is an empty corpus, not an error; a malformed
+// entry is an error naming the file.
+func LoadCorpus(dir string) (map[string]*Entry, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	out := make(map[string]*Entry, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		e, err := DecodeEntry(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", filepath.Base(f), err)
+		}
+		out[filepath.Base(f)] = e
+	}
+	return out, nil
+}
+
+// ReplayEntry re-executes an entry's minimized schedule under pinned
+// replay and returns the fresh report plus its fingerprint.
+func ReplayEntry(e *Entry) (*chaos.Report, string, error) {
+	if err := e.Validate(); err != nil {
+		return nil, "", err
+	}
+	sched := chaos.NewPinnedSchedule(e.RunSeed, e.Atoms)
+	rep := e.Spec.Scenario().RunSchedule(sched, nil)
+	e.Synthetic.Apply(rep)
+	return rep, sched.Fingerprint(), nil
+}
+
+// VerifyEntry replays an entry and checks the regression oracle: the
+// recorded invariants still fail, and both the schedule fingerprint
+// and the report render match the stored bytes exactly.
+func VerifyEntry(e *Entry) error {
+	rep, fp, err := ReplayEntry(e)
+	if err != nil {
+		return err
+	}
+	if !failsSuperset(rep, e.FailingInvariants) {
+		return fmt.Errorf("campaign: replay failed %v, want at least %v",
+			failingNames(rep), e.FailingInvariants)
+	}
+	if fp != e.ReplayFingerprint {
+		return fmt.Errorf("campaign: replay fingerprint diverged from corpus entry:\n--- got ---\n%s--- want ---\n%s",
+			head(fp, 12), head(e.ReplayFingerprint, 12))
+	}
+	if rep.Render() != e.ReplayRender {
+		return fmt.Errorf("campaign: replay report diverged:\n--- got ---\n%s--- want ---\n%s",
+			rep.Render(), e.ReplayRender)
+	}
+	return nil
+}
+
+// head trims s to its first n lines for readable errors.
+func head(s string, n int) string {
+	lines := strings.SplitAfter(s, "\n")
+	if len(lines) <= n {
+		return s
+	}
+	return strings.Join(lines[:n], "") + "...\n"
+}

@@ -1,0 +1,192 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"legosdn/internal/chaos"
+)
+
+// buildTestEntry produces a real corpus entry by running a cheap
+// scenario, extracting its fired atoms, and building against the same
+// broken-invariant hook the campaign tests use.
+func buildTestEntry(t *testing.T) *Entry {
+	t.Helper()
+	spec := cheapSpec(RunSeed(11, 0))
+	syn := &SyntheticCheck{Kind: SyntheticFiredAtLeast, Point: "appvisor/dup", N: 1}
+	sched := chaos.NewSchedule(spec.Seed)
+	rep := spec.Scenario().RunSchedule(sched, nil)
+	syn.Apply(rep)
+	if !rep.Failed() {
+		t.Fatal("cheap scenario did not trip the synthetic check; pick a different seed")
+	}
+	atoms := chaos.AtomsFromDecisions(sched.Decisions())
+	e, err := BuildEntry(11, spec, syn, failingNames(rep), len(atoms), atoms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestCorpusRoundTrip(t *testing.T) {
+	e := buildTestEntry(t)
+	b, err := EncodeEntry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(b, []byte("}\n")) {
+		t.Error("canonical encoding must end with a newline")
+	}
+	got, err := DecodeEntry(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e, got) {
+		t.Fatalf("round trip changed the entry:\n%+v\n%+v", e, got)
+	}
+	b2, err := EncodeEntry(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Error("re-encoding is not byte-stable")
+	}
+	if err := VerifyEntry(got); err != nil {
+		t.Fatalf("decoded entry does not verify: %v", err)
+	}
+}
+
+func TestCorpusWriteLoad(t *testing.T) {
+	dir := t.TempDir()
+	e := buildTestEntry(t)
+	name, err := WriteEntry(dir, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(name, "entry-") || !strings.HasSuffix(name, ".json") {
+		t.Fatalf("unexpected corpus file name %q", name)
+	}
+	entries, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[name] == nil {
+		t.Fatalf("loaded %d entries, want entry %q", len(entries), name)
+	}
+	if !reflect.DeepEqual(entries[name], e) {
+		t.Error("loaded entry differs from written entry")
+	}
+	// A missing directory is an empty corpus, not an error.
+	empty, err := LoadCorpus(filepath.Join(dir, "nope"))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("missing dir: entries=%d err=%v", len(empty), err)
+	}
+	// A malformed file in the directory is an error naming the file.
+	bad := filepath.Join(dir, "zz-bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(dir); err == nil || !strings.Contains(err.Error(), "zz-bad.json") {
+		t.Fatalf("malformed corpus file not reported by name: %v", err)
+	}
+}
+
+// Every mutation below must be rejected by DecodeEntry, with an error,
+// never a panic.
+func TestDecodeEntryRejectsMalformed(t *testing.T) {
+	canonical, err := EncodeEntry(buildTestEntry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(e *Entry)) []byte {
+		e, err := DecodeEntry(canonical)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f(e)
+		b, err := json.MarshalIndent(e, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":           nil,
+		"not-json":        []byte("hello"),
+		"truncated":       canonical[:len(canonical)/2],
+		"trailing-data":   append(append([]byte{}, canonical...), []byte("{}")...),
+		"unknown-field":   bytes.Replace(canonical, []byte(`"version"`), []byte(`"versionx"`), 1),
+		"wrong-version":   mutate(func(e *Entry) { e.Version = 99 }),
+		"seed-mismatch":   mutate(func(e *Entry) { e.RunSeed++ }),
+		"no-invariants":   mutate(func(e *Entry) { e.FailingInvariants = nil }),
+		"pick-atom-point": mutate(func(e *Entry) { e.Atoms[0].Point = "appvisor/dup/pick" }),
+		"negative-index":  mutate(func(e *Entry) { e.Atoms[0].Index = -1 }),
+		"bad-pick-point":  mutate(func(e *Entry) { e.Atoms[0].PickPoint = "other/pick" }),
+		"atom-inflation":  mutate(func(e *Entry) { e.OriginalAtoms = len(e.Atoms) - 1 }),
+		"no-fingerprint":  mutate(func(e *Entry) { e.ReplayFingerprint = "" }),
+		"bad-synthetic":   mutate(func(e *Entry) { e.Synthetic.Kind = "bogus" }),
+		"bad-spec":        mutate(func(e *Entry) { e.Spec.Events = -5 }),
+	}
+	for name, data := range cases {
+		if _, err := DecodeEntry(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// A tampered oracle makes VerifyEntry fail loudly rather than letting
+// a stale corpus entry rot into a no-op test.
+func TestVerifyEntryCatchesTampering(t *testing.T) {
+	e := buildTestEntry(t)
+	if err := VerifyEntry(e); err != nil {
+		t.Fatalf("pristine entry: %v", err)
+	}
+	fp := e.ReplayFingerprint
+	e.ReplayFingerprint = fp + "tampered\n"
+	if err := VerifyEntry(e); err == nil {
+		t.Error("tampered fingerprint verified")
+	}
+	e.ReplayFingerprint = fp
+	e.ReplayRender += "tampered\n"
+	if err := VerifyEntry(e); err == nil {
+		t.Error("tampered render verified")
+	}
+}
+
+// FuzzCorpusEntry holds the decoder's no-panic line: any input either
+// decodes to an entry that re-encodes cleanly, or errors.
+func FuzzCorpusEntry(f *testing.F) {
+	spec := cheapSpec(RunSeed(11, 0))
+	syn := &SyntheticCheck{Kind: SyntheticFiredAtLeast, Point: "appvisor/dup", N: 1}
+	sched := chaos.NewSchedule(spec.Seed)
+	rep := spec.Scenario().RunSchedule(sched, nil)
+	syn.Apply(rep)
+	atoms := chaos.AtomsFromDecisions(sched.Decisions())
+	if e, err := BuildEntry(11, spec, syn, failingNames(rep), len(atoms), atoms, 1); err == nil {
+		if b, err := EncodeEntry(e); err == nil {
+			f.Add(b)
+			f.Add(b[:len(b)/2])
+			f.Add(bytes.Replace(b, []byte(`"atoms"`), []byte(`"atomz"`), 1))
+		}
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"version":1,"atoms":[{"index":-9}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := DecodeEntry(data) // must never panic
+		if err != nil {
+			return
+		}
+		// Anything that decodes must survive the encode path too.
+		if _, err := EncodeEntry(e); err != nil {
+			t.Fatalf("decoded entry fails to re-encode: %v", err)
+		}
+	})
+}

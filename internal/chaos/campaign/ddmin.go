@@ -1,0 +1,162 @@
+// Package campaign turns the chaos harness from a fixed scenario
+// library into a search: randomized fault-schedule campaigns over the
+// full injection-point catalog, automatic shrinking of failures to
+// 1-minimal reproducing fault sequences (the STS-style "minimal causal
+// sequence" substitution §5 of the paper proposes), and a versioned
+// regression corpus of failing seeds that replays on every test run.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MinimizeStats reports what a Minimize call cost and guaranteed.
+type MinimizeStats struct {
+	// Tests is the number of distinct predicate evaluations performed
+	// (cache hits are free and not counted).
+	Tests int
+	// CacheHits counts predicate calls answered from the result cache.
+	CacheHits int
+	// Minimal is true when the result is provably 1-minimal: removing
+	// any single remaining element makes the predicate pass. It is false
+	// only when MaxTests stopped the search early.
+	Minimal bool
+}
+
+// Minimize shrinks the index set {0..n-1} to a 1-minimal subset that
+// still satisfies fails, using Zeller-Hildebrandt ddmin: try chunks,
+// then complements, then double the granularity. fails receives a
+// sorted ascending subset of indices (subsequence order is preserved,
+// so order-dependent failures minimize correctly) and must be
+// deterministic — every result is cached and replays are never
+// repeated for the same subset.
+//
+// fails(all indices) must be true; Minimize does not re-test it.
+// maxTests <= 0 means unbounded. When the budget stops the search
+// early, the best (smallest still-failing) subset found so far is
+// returned with Minimal=false.
+func Minimize(n int, fails func([]int) bool, maxTests int) ([]int, MinimizeStats) {
+	var stats MinimizeStats
+	if n <= 0 {
+		return nil, stats
+	}
+	cache := make(map[string]bool)
+	budgetHit := false
+	test := func(keep []int) bool {
+		key := subsetKey(keep)
+		if v, ok := cache[key]; ok {
+			stats.CacheHits++
+			return v
+		}
+		if maxTests > 0 && stats.Tests >= maxTests {
+			budgetHit = true
+			return false
+		}
+		stats.Tests++
+		v := fails(keep)
+		cache[key] = v
+		return v
+	}
+
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+	}
+
+	// Degenerate fast path: if the failure needs no atoms at all, the
+	// empty set is the minimal reproducer (the "failure" is independent
+	// of the fault schedule — worth knowing early and cheaply).
+	if test(nil) {
+		stats.Minimal = true
+		return nil, stats
+	}
+
+	gran := 2
+	for len(cur) >= 2 && !budgetHit {
+		chunks := splitChunks(cur, gran)
+		reduced := false
+		for _, c := range chunks {
+			if test(c) {
+				cur, gran, reduced = c, 2, true
+				break
+			}
+		}
+		if !reduced {
+			for i := range chunks {
+				comp := complement(cur, chunks[i])
+				if test(comp) {
+					cur = comp
+					gran--
+					if gran < 2 {
+						gran = 2
+					}
+					reduced = true
+					break
+				}
+			}
+		}
+		if !reduced {
+			if gran >= len(cur) {
+				// Every single-element removal passed: 1-minimal.
+				stats.Minimal = !budgetHit
+				return cur, stats
+			}
+			gran *= 2
+			if gran > len(cur) {
+				gran = len(cur)
+			}
+		}
+	}
+	if len(cur) <= 1 && !budgetHit {
+		stats.Minimal = true
+	}
+	return cur, stats
+}
+
+// splitChunks partitions s into k contiguous chunks of near-equal size.
+func splitChunks(s []int, k int) [][]int {
+	if k > len(s) {
+		k = len(s)
+	}
+	out := make([][]int, 0, k)
+	for i := 0; i < k; i++ {
+		lo, hi := i*len(s)/k, (i+1)*len(s)/k
+		if lo < hi {
+			out = append(out, s[lo:hi])
+		}
+	}
+	return out
+}
+
+// complement returns cur minus chunk (both sorted ascending).
+func complement(cur, chunk []int) []int {
+	drop := make(map[int]bool, len(chunk))
+	for _, v := range chunk {
+		drop[v] = true
+	}
+	out := make([]int, 0, len(cur)-len(chunk))
+	for _, v := range cur {
+		if !drop[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// subsetKey renders a subset canonically for the result cache.
+func subsetKey(s []int) string {
+	if !sort.IntsAreSorted(s) {
+		s = append([]int(nil), s...)
+		sort.Ints(s)
+	}
+	var b strings.Builder
+	for i, v := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}

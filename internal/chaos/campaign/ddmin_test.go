@@ -1,0 +1,182 @@
+package campaign
+
+import (
+	"sort"
+	"testing"
+)
+
+// contains reports whether sorted keep includes v.
+func contains(keep []int, v int) bool {
+	i := sort.SearchInts(keep, v)
+	return i < len(keep) && keep[i] == v
+}
+
+// Table-driven minimizer checks against synthetic failure predicates
+// with known minimal subsets. Each case asserts the exact minimum,
+// 1-minimality, and a bound on how many replays the search spent —
+// the budget a campaign's shrink phase inherits.
+func TestMinimize(t *testing.T) {
+	cases := []struct {
+		name     string
+		n        int
+		fails    func(keep []int) bool
+		want     []int
+		maxTests int // replay bound the search must respect
+	}{
+		{
+			// One culprit: ddmin's best case, logarithmic-ish descent.
+			name:     "single-culprit",
+			n:        32,
+			fails:    func(keep []int) bool { return contains(keep, 17) },
+			want:     []int{17},
+			maxTests: 40,
+		},
+		{
+			name:     "single-culprit-first",
+			n:        16,
+			fails:    func(keep []int) bool { return contains(keep, 0) },
+			want:     []int{0},
+			maxTests: 40,
+		},
+		{
+			// Pair interaction across chunk boundaries: both elements
+			// must survive every partition.
+			name:     "pair-interaction",
+			n:        24,
+			fails:    func(keep []int) bool { return contains(keep, 3) && contains(keep, 20) },
+			want:     []int{3, 20},
+			maxTests: 120,
+		},
+		{
+			// Order-dependent pair: fails only when 5 appears before 18
+			// in the kept subsequence. Subsets preserve original order,
+			// so the minimal reproducer is exactly {5, 18}.
+			name: "order-dependent-pair",
+			n:    24,
+			fails: func(keep []int) bool {
+				seen5 := false
+				for _, v := range keep {
+					if v == 5 {
+						seen5 = true
+					}
+					if v == 18 {
+						return seen5
+					}
+				}
+				return false
+			},
+			want:     []int{5, 18},
+			maxTests: 120,
+		},
+		{
+			// Threshold failure: any 3 of the first 6 elements suffice.
+			// ddmin must still land on some 3-element 1-minimal subset.
+			name: "any-three-of-six",
+			n:    12,
+			fails: func(keep []int) bool {
+				c := 0
+				for _, v := range keep {
+					if v < 6 {
+						c++
+					}
+				}
+				return c >= 3
+			},
+			want:     nil, // size-checked below
+			maxTests: 150,
+		},
+		{
+			// Schedule-independent failure: the empty set reproduces.
+			name:     "independent-of-atoms",
+			n:        8,
+			fails:    func(keep []int) bool { return true },
+			want:     []int{},
+			maxTests: 1,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got, stats := Minimize(tc.n, tc.fails, 0)
+			if !tc.fails(got) && tc.name != "independent-of-atoms" {
+				t.Fatalf("result %v does not fail", got)
+			}
+			if tc.want != nil {
+				if len(got) != len(tc.want) {
+					t.Fatalf("minimized to %v, want %v", got, tc.want)
+				}
+				for i := range got {
+					if got[i] != tc.want[i] {
+						t.Fatalf("minimized to %v, want %v", got, tc.want)
+					}
+				}
+			} else if len(got) != 3 {
+				t.Fatalf("minimized to %d elements %v, want any 3", len(got), got)
+			}
+			if !stats.Minimal {
+				t.Error("result not marked 1-minimal")
+			}
+			// Independent 1-minimality check: removing any one element
+			// must make the predicate pass.
+			for i := range got {
+				reduced := append(append([]int(nil), got[:i]...), got[i+1:]...)
+				if tc.fails(reduced) {
+					t.Errorf("not 1-minimal: still fails without element %d (%v)", got[i], reduced)
+				}
+			}
+			if stats.Tests > tc.maxTests {
+				t.Errorf("spent %d replays, budget %d", stats.Tests, tc.maxTests)
+			}
+			t.Logf("%s: %d atoms -> %v in %d tests (%d cache hits)",
+				tc.name, tc.n, got, stats.Tests, stats.CacheHits)
+		})
+	}
+}
+
+// The MaxTests budget stops the search early and reports Minimal=false
+// rather than claiming a guarantee it didn't earn.
+func TestMinimizeBudget(t *testing.T) {
+	calls := 0
+	fails := func(keep []int) bool {
+		calls++
+		return contains(keep, 40) && contains(keep, 41)
+	}
+	got, stats := Minimize(64, fails, 5)
+	if stats.Tests > 5 {
+		t.Fatalf("budget 5 but ran %d tests", stats.Tests)
+	}
+	if stats.Minimal {
+		t.Error("budget-stopped search claims 1-minimality")
+	}
+	// The best-so-far subset must still contain the culprits (it only
+	// ever narrows to failing subsets).
+	if !contains(got, 40) || !contains(got, 41) {
+		t.Errorf("budget-stopped result %v lost the culprits", got)
+	}
+}
+
+// The predicate result cache means a deterministic predicate is never
+// re-evaluated for the same subset.
+func TestMinimizeCacheNoRepeats(t *testing.T) {
+	seen := make(map[string]int)
+	fails := func(keep []int) bool {
+		seen[subsetKey(keep)]++
+		return contains(keep, 7)
+	}
+	_, stats := Minimize(16, fails, 0)
+	for k, n := range seen {
+		if n > 1 {
+			t.Errorf("subset %q evaluated %d times", k, n)
+		}
+	}
+	if stats.CacheHits == 0 {
+		t.Log("no cache hits for this shape (fine, but unexpected for gran=2 complements)")
+	}
+}
+
+func TestMinimizeEmpty(t *testing.T) {
+	got, stats := Minimize(0, func([]int) bool { t.Fatal("predicate called for n=0"); return false }, 0)
+	if len(got) != 0 || stats.Tests != 0 {
+		t.Fatalf("n=0 returned %v after %d tests", got, stats.Tests)
+	}
+}

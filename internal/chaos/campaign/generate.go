@@ -1,0 +1,242 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"legosdn/internal/chaos"
+)
+
+// ScenarioSpec is the serializable parameter set of one generated
+// scenario — the campaign's unit of randomization and the form a
+// corpus entry stores, so a failing run rebuilds the exact same
+// scenario years later without the generator that produced it.
+type ScenarioSpec struct {
+	Name            string  `json:"name"`
+	Seed            uint64  `json:"seed"` // run seed; also the schedule seed
+	Switches        int     `json:"switches"`
+	Apps            int     `json:"apps"`
+	Events          int     `json:"events"`
+	CheckpointEvery int     `json:"checkpoint_every"`
+	EventTimeoutMS  int     `json:"event_timeout_ms"`
+	Drop            float64 `json:"drop,omitempty"`
+	Dup             float64 `json:"dup,omitempty"`
+	Corrupt         float64 `json:"corrupt,omitempty"`
+	Delay           float64 `json:"delay,omitempty"`
+	KillProb        float64 `json:"kill_prob,omitempty"`
+	CrashEvery      int     `json:"crash_every,omitempty"`
+	InverseFailProb float64 `json:"inverse_fail_prob,omitempty"`
+	DisconnectProb  float64 `json:"disconnect_prob,omitempty"`
+	FlapProb        float64 `json:"flap_prob,omitempty"`
+	PartitionAt     int     `json:"partition_at,omitempty"`
+	LossBurst       bool    `json:"loss_burst,omitempty"`
+	SkipShadowCheck bool    `json:"skip_shadow_check,omitempty"`
+	AllowQuarantine bool    `json:"allow_quarantine,omitempty"`
+	// Deterministic marks the run safe for byte-for-byte fingerprint
+	// comparison and therefore eligible for shrinking: lockstep workload,
+	// no concurrent netsim event sources.
+	Deterministic bool `json:"deterministic"`
+}
+
+// Scenario materializes the spec as a runnable chaos scenario.
+func (sp ScenarioSpec) Scenario() chaos.Scenario {
+	return chaos.Scenario{
+		Name:            sp.Name,
+		Switches:        sp.Switches,
+		Apps:            sp.Apps,
+		Events:          sp.Events,
+		CheckpointEvery: sp.CheckpointEvery,
+		EventTimeout:    time.Duration(sp.EventTimeoutMS) * time.Millisecond,
+		Wire: chaos.WireFaultProbs{
+			Drop:    sp.Drop,
+			Dup:     sp.Dup,
+			Corrupt: sp.Corrupt,
+			Delay:   sp.Delay,
+		},
+		KillProb:        sp.KillProb,
+		CrashEvery:      sp.CrashEvery,
+		InverseFailProb: sp.InverseFailProb,
+		DisconnectProb:  sp.DisconnectProb,
+		FlapProb:        sp.FlapProb,
+		PartitionAt:     sp.PartitionAt,
+		LossBurst:       sp.LossBurst,
+		Deterministic:   sp.Deterministic,
+		SkipShadowCheck: sp.SkipShadowCheck,
+		AllowQuarantine: sp.AllowQuarantine,
+	}
+}
+
+// Validate bounds-checks a spec so corpus files from untrusted sources
+// (fuzzers, artifact uploads) can never drive a replay into absurd
+// resource use. The limits are generous multiples of anything the
+// generator emits.
+func (sp ScenarioSpec) Validate() error {
+	switch {
+	case sp.Name == "" || len(sp.Name) > 128:
+		return fmt.Errorf("campaign: spec name %q empty or too long", sp.Name)
+	case sp.Switches < 1 || sp.Switches > 64:
+		return fmt.Errorf("campaign: switches %d out of [1,64]", sp.Switches)
+	case sp.Apps < 1 || sp.Apps > 16:
+		return fmt.Errorf("campaign: apps %d out of [1,16]", sp.Apps)
+	case sp.Events < 1 || sp.Events > 10000:
+		return fmt.Errorf("campaign: events %d out of [1,10000]", sp.Events)
+	case sp.CheckpointEvery < 1 || sp.CheckpointEvery > 1000:
+		return fmt.Errorf("campaign: checkpoint cadence %d out of [1,1000]", sp.CheckpointEvery)
+	case sp.EventTimeoutMS < 1 || sp.EventTimeoutMS > 60000:
+		return fmt.Errorf("campaign: event timeout %dms out of [1,60000]", sp.EventTimeoutMS)
+	case sp.CrashEvery < 0 || sp.CrashEvery > 1000:
+		return fmt.Errorf("campaign: crash cadence %d out of [0,1000]", sp.CrashEvery)
+	case sp.PartitionAt < 0 || sp.PartitionAt > sp.Events:
+		return fmt.Errorf("campaign: partition index %d out of [0,%d]", sp.PartitionAt, sp.Events)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"drop", sp.Drop}, {"dup", sp.Dup}, {"corrupt", sp.Corrupt}, {"delay", sp.Delay},
+		{"kill", sp.KillProb}, {"inverse-fail", sp.InverseFailProb},
+		{"disconnect", sp.DisconnectProb}, {"flap", sp.FlapProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("campaign: %s probability %v out of [0,1]", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// specRNG is a tiny counter-mode generator over the harness's
+// SplitMix64 finalizer: the i-th value is a pure function of (seed, i),
+// so generation order never matters.
+type specRNG struct {
+	seed uint64
+	i    uint64
+}
+
+// weyl mirrors the Schedule's stream increment.
+const weyl = 0x9E3779B97F4A7C15
+
+func (r *specRNG) next() uint64 {
+	r.i++
+	return chaos.Mix64(r.seed + r.i*weyl)
+}
+
+// rng helpers: intIn draws uniformly from [lo,hi], probIn from the
+// probability range [lo,hi] quantized to 1/256ths (keeps JSON clean).
+func (r *specRNG) intIn(lo, hi int) int {
+	return lo + int(r.next()%uint64(hi-lo+1))
+}
+
+func (r *specRNG) probIn(lo, hi float64) float64 {
+	q := float64(r.next()%257) / 256
+	return lo + (hi-lo)*q
+}
+
+// Fault classes the generator mixes. Each class maps to the injection
+// points it arms; together they cover the full catalog.
+const (
+	classWire   = "wire"   // appvisor drop/dup/corrupt/delay/ack-drop
+	classKill   = "kill"   // appvisor/kill
+	classCrash  = "crash"  // armed app panics (checkpoint+replay path)
+	classNetlog = "netlog" // netlog inverse-fail + disconnect (needs crashes)
+	classNetsim = "netsim" // flap/partition/loss on multi-switch fabrics
+)
+
+var allClasses = []string{classWire, classKill, classCrash, classNetlog, classNetsim}
+
+// Synthesize derives one randomized scenario from a run seed: a pure
+// function, so the same seed always generates the same spec (the
+// campaign determinism guarantee starts here). The generated shapes
+// mirror the hand-written library's envelope — single-class scenarios
+// assert full recovery, hostile multi-class mixes assert containment
+// (AllowQuarantine), and netlog faults always ride on armed crashes
+// because rollback is the only path that reaches them.
+func Synthesize(runSeed uint64) ScenarioSpec {
+	r := &specRNG{seed: runSeed}
+	sp := ScenarioSpec{
+		Name:            fmt.Sprintf("campaign-%016x", runSeed),
+		Seed:            runSeed,
+		Switches:        1,
+		Apps:            r.intIn(1, 3),
+		Events:          r.intIn(24, 48),
+		CheckpointEvery: r.intIn(2, 6),
+		EventTimeoutMS:  150,
+		Deterministic:   true,
+	}
+
+	nClasses := r.intIn(1, 3)
+	classes := make(map[string]bool, nClasses)
+	for len(classes) < nClasses {
+		classes[allClasses[r.intIn(0, len(allClasses)-1)]] = true
+	}
+
+	if classes[classWire] {
+		// One or two wire fault kinds per scenario, modest probabilities:
+		// the library's single-fault envelope, randomized.
+		kinds := []*float64{&sp.Drop, &sp.Dup, &sp.Corrupt, &sp.Delay}
+		n := r.intIn(1, 2)
+		for i := 0; i < n; i++ {
+			k := kinds[r.intIn(0, len(kinds)-1)]
+			if *k == 0 {
+				*k = r.probIn(0.04, 0.12)
+			}
+		}
+	}
+	if classes[classKill] {
+		sp.KillProb = r.probIn(0.03, 0.08)
+	}
+	if classes[classCrash] {
+		sp.CrashEvery = r.intIn(5, 9)
+	}
+	if classes[classNetlog] {
+		if sp.CrashEvery == 0 {
+			sp.CrashEvery = r.intIn(5, 8) // rollback needs crashes to roll back
+		}
+		if r.next()%2 == 0 {
+			sp.InverseFailProb = r.probIn(0.2, 0.5)
+		} else {
+			sp.DisconnectProb = r.probIn(0.2, 0.4)
+		}
+		sp.SkipShadowCheck = true // rollback residue desynchronizes shadow by design
+	}
+	if classes[classNetsim] {
+		sp.Switches = r.intIn(2, 4)
+		sp.Deterministic = false // concurrent switch goroutines: invariants, not bytes
+		switch r.intIn(0, 2) {
+		case 0:
+			sp.FlapProb = r.probIn(0.05, 0.15)
+		case 1:
+			sp.PartitionAt = r.intIn(5, sp.Events/2)
+		default:
+			sp.LossBurst = true
+		}
+	}
+
+	// Compound mixes can legitimately exhaust Crash-Pad inside a
+	// disturbed recovery window; like the library's combo scenario they
+	// assert containment, not guaranteed recovery.
+	if nClasses >= 2 {
+		sp.AllowQuarantine = true
+	}
+	return sp
+}
+
+// Classes reports which fault classes a spec arms (for summary tallies).
+func (sp ScenarioSpec) Classes() []string {
+	var out []string
+	if sp.Drop > 0 || sp.Dup > 0 || sp.Corrupt > 0 || sp.Delay > 0 {
+		out = append(out, classWire)
+	}
+	if sp.KillProb > 0 {
+		out = append(out, classKill)
+	}
+	if sp.CrashEvery > 0 {
+		out = append(out, classCrash)
+	}
+	if sp.InverseFailProb > 0 || sp.DisconnectProb > 0 {
+		out = append(out, classNetlog)
+	}
+	if sp.FlapProb > 0 || sp.PartitionAt > 0 || sp.LossBurst {
+		out = append(out, classNetsim)
+	}
+	return out
+}

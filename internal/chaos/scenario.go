@@ -168,14 +168,24 @@ func (sc Scenario) withDefaults() Scenario {
 // set, chaos fault activations are exported through it alongside the
 // stack's own metrics.
 func (sc Scenario) Run(seed uint64, reg *metrics.Registry) *Report {
+	return sc.RunSchedule(NewSchedule(seed), reg)
+}
+
+// RunSchedule executes the scenario drawing from the caller's schedule,
+// so the caller keeps access to the full decision log afterwards and
+// can substitute a pinned schedule (NewPinnedSchedule) that replays a
+// recorded — possibly minimized — fault sequence instead of drawing
+// probabilistically. Custom scenarios manage their own schedules and
+// do not support pinned replay.
+func (sc Scenario) RunSchedule(sched *Schedule, reg *metrics.Registry) *Report {
 	sc = sc.withDefaults()
+	seed := sched.Seed()
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
 	if sc.Custom != nil {
 		return sc.Custom(sc, seed, reg)
 	}
-	sched := NewSchedule(seed)
 	inj := NewInjector(sched, reg, nil)
 
 	var n *netsim.Network

@@ -71,6 +71,30 @@ func TestScenariosSameSeedByteIdentical(t *testing.T) {
 	}
 }
 
+// A pinned schedule carrying the full recorded atom set replays a
+// deterministic scenario byte for byte — the property the campaign
+// minimizer's delta-debugging replays rest on.
+func TestScenarioPinnedFullReplay(t *testing.T) {
+	sc, ok := Find("av-dup-delay")
+	if !ok {
+		t.Fatal("library scenario av-dup-delay missing")
+	}
+	sched := NewSchedule(77)
+	orig := sc.RunSchedule(sched, nil)
+	atoms := AtomsFromDecisions(sched.Decisions())
+	if len(atoms) == 0 {
+		t.Fatal("recorded run fired no atoms; replay test is vacuous")
+	}
+	pinned := NewPinnedSchedule(77, atoms)
+	rep := sc.RunSchedule(pinned, nil)
+	if rep.ScheduleFingerprint != orig.ScheduleFingerprint {
+		t.Errorf("pinned full replay diverged:\n%s", diffHead(rep.ScheduleFingerprint, orig.ScheduleFingerprint))
+	}
+	if rep.Render() != orig.Render() {
+		t.Errorf("pinned replay report differs:\n--- pinned ---\n%s--- original ---\n%s", rep.Render(), orig.Render())
+	}
+}
+
 // Different seeds must produce different fault schedules (for scenarios
 // that draw at all).
 func TestScenariosSeedsIndependent(t *testing.T) {

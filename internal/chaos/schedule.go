@@ -49,6 +49,11 @@ func pointBase(seed uint64, name string) uint64 {
 	return splitmix64(seed ^ h)
 }
 
+// Mix64 exposes the harness's SplitMix64 finalizer for callers that
+// need to derive deterministic sub-seeds (the campaign runner derives
+// one run seed per campaign index this way).
+func Mix64(x uint64) uint64 { return splitmix64(x) }
+
 // Decision records one draw at a fault point.
 type Decision struct {
 	Point string
@@ -72,8 +77,30 @@ func (d Decision) String() string {
 type Schedule struct {
 	seed uint64
 
+	// pinned, when non-nil, switches the schedule into replay mode: a
+	// Decide draw's outcome is forced from the pin set instead of being
+	// computed from the draw and probability, and Pick draws take their
+	// values from the pinned pick queues. Draw *values* need no pinning —
+	// they are pure functions of (seed, point, index) — so a pinned
+	// schedule still produces a complete, canonical decision log.
+	pinned *pinSet
+
 	mu      sync.Mutex
 	streams map[string]*stream
+}
+
+// pinSet is the forced-outcome table a pinned schedule replays.
+type pinSet struct {
+	// fire maps point -> per-point draw index -> must fire. Absent
+	// entries pass: both "originally passed" and "removed by the
+	// minimizer" replay as non-firing, and draws beyond the recorded
+	// range (possible when removing a fault changes downstream draw
+	// counts) pass too.
+	fire map[string]map[int]bool
+	// picks maps a pick point -> FIFO of recorded draw values, one per
+	// *kept* parent firing in order. Pick draws beyond the queue fall
+	// back to the pure (seed, point, index) value.
+	picks map[string][]uint64
 }
 
 type stream struct {
@@ -87,6 +114,95 @@ type stream struct {
 func NewSchedule(seed uint64) *Schedule {
 	return &Schedule{seed: seed, streams: make(map[string]*stream)}
 }
+
+// Atom is one removable fault occurrence: a fired Decide decision plus,
+// when the fault drew a companion selection (kill victim, flap link),
+// the pick value that traveled with it. Atoms are the granules the
+// campaign minimizer removes and the unit a corpus entry's minimized
+// schedule is expressed in.
+type Atom struct {
+	Point string `json:"point"`
+	Index int    `json:"index"` // per-point draw index in the recorded run
+	// PickPoint/PickDraw carry the companion Pick decision ("<point>/pick")
+	// that accompanied this firing, if any, so the same victim replays
+	// even when earlier firings at the same point were removed.
+	PickPoint string `json:"pick_point,omitempty"`
+	PickDraw  uint64 `json:"pick_draw,omitempty"`
+}
+
+func (a Atom) String() string {
+	if a.PickPoint != "" {
+		return fmt.Sprintf("%s#%d(pick=%016x)", a.Point, a.Index, a.PickDraw)
+	}
+	return fmt.Sprintf("%s#%d", a.Point, a.Index)
+}
+
+// pickSuffix names the companion-selection convention: a fault point P
+// that needs to pick a victim draws once at P+pickSuffix per firing.
+const pickSuffix = "/pick"
+
+// AtomsFromDecisions extracts the removable fault occurrences from a
+// canonical decision log (as returned by Decisions()): every fired
+// non-pick decision becomes one Atom, bundled with the pick value of
+// its companion draw — the j-th pick at P/pick belongs to the j-th
+// firing at P, because pick draws happen exactly once per firing.
+func AtomsFromDecisions(decs []Decision) []Atom {
+	picks := make(map[string][]Decision)
+	for _, d := range decs {
+		if strings.HasSuffix(d.Point, pickSuffix) {
+			picks[d.Point] = append(picks[d.Point], d)
+		}
+	}
+	var atoms []Atom
+	firedRank := make(map[string]int)
+	for _, d := range decs {
+		if strings.HasSuffix(d.Point, pickSuffix) || !d.Fired {
+			continue
+		}
+		a := Atom{Point: d.Point, Index: d.Index}
+		j := firedRank[d.Point]
+		firedRank[d.Point]++
+		if ps := picks[d.Point+pickSuffix]; j < len(ps) {
+			a.PickPoint = d.Point + pickSuffix
+			a.PickDraw = ps[j].Draw
+		}
+		atoms = append(atoms, a)
+	}
+	return atoms
+}
+
+// NewPinnedSchedule creates a replay schedule that forces exactly the
+// given atoms to fire and every other decision to pass. Draw values
+// replay automatically (they depend only on seed, point and index), so
+// with the full atom set of a recorded deterministic run the replay is
+// byte-for-byte identical to the original; with a subset, the kept
+// faults still fire at their recorded per-point positions and their
+// companion picks return the recorded victims. Atoms must be in
+// recorded order (AtomsFromDecisions order; minimizer subsets keep it).
+func NewPinnedSchedule(seed uint64, atoms []Atom) *Schedule {
+	s := NewSchedule(seed)
+	pins := &pinSet{
+		fire:  make(map[string]map[int]bool),
+		picks: make(map[string][]uint64),
+	}
+	for _, a := range atoms {
+		m := pins.fire[a.Point]
+		if m == nil {
+			m = make(map[int]bool)
+			pins.fire[a.Point] = m
+		}
+		m[a.Index] = true
+		if a.PickPoint != "" {
+			pins.picks[a.PickPoint] = append(pins.picks[a.PickPoint], a.PickDraw)
+		}
+	}
+	s.pinned = pins
+	return s
+}
+
+// Pinned reports whether the schedule replays a pinned atom set instead
+// of drawing outcomes probabilistically.
+func (s *Schedule) Pinned() bool { return s.pinned != nil }
 
 // Seed returns the schedule's seed.
 func (s *Schedule) Seed() uint64 { return s.seed }
@@ -113,18 +229,34 @@ func (s *Schedule) record(point string, idx int, x uint64, fired bool) {
 }
 
 // Decide draws the named point's next sample and reports whether the
-// fault fires (probability prob in [0,1]).
+// fault fires (probability prob in [0,1]). On a pinned schedule the
+// probability is ignored: the draw fires exactly when the pin set says
+// the recorded decision at this per-point position fired and was kept.
 func (s *Schedule) Decide(point string, prob float64) bool {
 	x, idx := s.draw(point)
-	fired := prob >= 1 || (prob > 0 && float64(x)/float64(1<<63)/2 < prob)
+	var fired bool
+	if s.pinned != nil {
+		fired = s.pinned.fire[point][idx]
+	} else {
+		fired = prob >= 1 || (prob > 0 && float64(x)/float64(1<<63)/2 < prob)
+	}
 	s.record(point, idx, x, fired)
 	return fired
 }
 
 // Pick draws the named point's next sample as a uniform integer in
-// [0, n). n must be positive.
+// [0, n). n must be positive. On a pinned schedule the idx-th pick draw
+// replays the pick value bundled with the idx-th kept firing of the
+// parent point (picks draw exactly once per parent firing, so the
+// queues stay aligned); draws beyond the queue fall back to the pure
+// stream value.
 func (s *Schedule) Pick(point string, n int) int {
 	x, idx := s.draw(point)
+	if s.pinned != nil {
+		if q := s.pinned.picks[point]; idx < len(q) {
+			x = q[idx]
+		}
+	}
 	s.record(point, idx, x, true)
 	return int(x % uint64(n))
 }

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"strings"
 	"sync"
 	"testing"
 )
@@ -101,6 +102,110 @@ func TestSchedulePickRange(t *testing.T) {
 	}
 	if len(seen) != 4 {
 		t.Fatalf("Pick over 200 draws hit only %d of 4 values", len(seen))
+	}
+}
+
+// AtomsFromDecisions bundles each firing with its companion pick (the
+// j-th pick at P/pick belongs to the j-th firing at P) and skips both
+// passed decisions and the pick decisions themselves.
+func TestAtomsFromDecisions(t *testing.T) {
+	s := NewSchedule(21)
+	var picks []int
+	for i := 0; i < 60; i++ {
+		if s.Decide("appvisor/kill", 0.25) {
+			picks = append(picks, s.Pick("appvisor/kill/pick", 3))
+		}
+		s.Decide("quiet", 0.2)
+	}
+	atoms := AtomsFromDecisions(s.Decisions())
+	var kills []Atom
+	for _, a := range atoms {
+		if a.Point == "quiet" {
+			continue
+		}
+		if a.Point != "appvisor/kill" {
+			t.Fatalf("unexpected atom point %q", a.Point)
+		}
+		kills = append(kills, a)
+	}
+	if len(kills) != len(picks) {
+		t.Fatalf("%d kill atoms, want %d (one per firing)", len(kills), len(picks))
+	}
+	for j, a := range kills {
+		if a.PickPoint != "appvisor/kill/pick" {
+			t.Fatalf("atom %d missing pick bundle: %+v", j, a)
+		}
+		if got := int(a.PickDraw % 3); got != picks[j] {
+			t.Fatalf("atom %d pick value %d, want %d", j, got, picks[j])
+		}
+	}
+}
+
+// A pinned schedule with the full atom set replays the original run
+// byte for byte; with a subset, only the kept atoms fire and their
+// bundled picks return the recorded victims.
+func TestPinnedScheduleReplay(t *testing.T) {
+	const seed, rounds = 5, 50
+	drive := func(s *Schedule) []int {
+		var picked []int
+		for i := 0; i < rounds; i++ {
+			if s.Decide("f", 0.3) {
+				picked = append(picked, s.Pick("f/pick", 7))
+			}
+			s.Decide("g", 0.2)
+		}
+		return picked
+	}
+	orig := NewSchedule(seed)
+	origPicks := drive(orig)
+	atoms := AtomsFromDecisions(orig.Decisions())
+	if len(atoms) < 3 {
+		t.Fatalf("seed %d fired only %d atoms, test needs >= 3", seed, len(atoms))
+	}
+
+	full := NewPinnedSchedule(seed, atoms)
+	drive(full)
+	if full.Fingerprint() != orig.Fingerprint() {
+		t.Errorf("full pinned replay differs from original:\n%s\nvs\n%s",
+			diffHead(full.Fingerprint(), orig.Fingerprint()),
+			diffHead(orig.Fingerprint(), full.Fingerprint()))
+	}
+
+	// Keep only the second "f" firing: exactly one decision fires, at
+	// its recorded per-point position, with its recorded pick value.
+	var fAtoms []Atom
+	for _, a := range atoms {
+		if a.Point == "f" {
+			fAtoms = append(fAtoms, a)
+		}
+	}
+	kept := fAtoms[1]
+	sub := NewPinnedSchedule(seed, []Atom{kept})
+	subPicks := drive(sub)
+	fired := 0
+	for _, d := range sub.Decisions() {
+		if d.Fired && !strings.HasSuffix(d.Point, "/pick") {
+			if d.Point != "f" || d.Index != kept.Index {
+				t.Errorf("unexpected firing %v, want only f#%d", d, kept.Index)
+			}
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Errorf("subset replay fired %d decisions, want 1", fired)
+	}
+	if len(subPicks) != 1 || subPicks[0] != origPicks[1] {
+		t.Errorf("subset replay picked %v, want [%d] (the kept firing's recorded victim)",
+			subPicks, origPicks[1])
+	}
+
+	// Empty pin set: everything passes, probabilities notwithstanding.
+	empty := NewPinnedSchedule(seed, nil)
+	if empty.Decide("f", 1) {
+		t.Error("empty pin set fired a probability-1 decision")
+	}
+	if !empty.Pinned() || full.Seed() != seed {
+		t.Error("pinned schedule accessors broken")
 	}
 }
 

@@ -214,3 +214,22 @@ func TestClaimControlLoop(t *testing.T) {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
 }
+
+func TestClaimChaosSearch(t *testing.T) {
+	tab := ClaimChaosSearch(true)
+	if len(tab.Rows) == 0 {
+		t.Fatalf("S1 shrank nothing:\n%s", tab.Render())
+	}
+	for _, r := range tab.Rows {
+		if r[5] != "true" {
+			t.Fatalf("S1 row not 1-minimal:\n%s", tab.Render())
+		}
+	}
+	if tab.Values["s1_shrunk"] < 1 {
+		t.Fatalf("s1_shrunk = %v", tab.Values["s1_shrunk"])
+	}
+	if tab.Values["s1_avg_shrink_ratio"] > 0.25 {
+		t.Fatalf("avg shrink ratio %v exceeds the 25%% acceptance bar:\n%s",
+			tab.Values["s1_avg_shrink_ratio"], tab.Render())
+	}
+}
