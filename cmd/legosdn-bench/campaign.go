@@ -31,6 +31,7 @@ type campaignOpts struct {
 	corpusDir  string // write minimized failures here
 	replayDir  string // replay an existing corpus instead of searching
 	autopsyDir string
+	autopsyMax int // cap on failing runs that persist autopsies
 }
 
 // runCampaign drives either a corpus replay (-campaign-replay) or a
@@ -42,13 +43,14 @@ func runCampaign(o campaignOpts) int {
 	}
 
 	sum, err := campaign.Run(campaign.Config{
-		Seed:       o.seed,
-		Runs:       o.runs,
-		Shrink:     o.shrink,
-		Parallel:   o.parallel,
-		CorpusDir:  o.corpusDir,
-		AutopsyDir: o.autopsyDir,
-		Log:        os.Stdout,
+		Seed:               o.seed,
+		Runs:               o.runs,
+		Shrink:             o.shrink,
+		Parallel:           o.parallel,
+		CorpusDir:          o.corpusDir,
+		AutopsyDir:         o.autopsyDir,
+		MaxAutopsyFailures: o.autopsyMax,
+		Log:                os.Stdout,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "legosdn-bench: campaign: %v\n", err)

@@ -97,6 +97,9 @@ var index = []struct {
 	{"S1", "chaos search: fault-schedule minimization to 1-minimal reproducers (§5)", func(q bool) experiments.Table {
 		return experiments.ClaimChaosSearch(q)
 	}},
+	{"H1", "replicated control plane: leader-kill failover MTTR", func(q bool) experiments.Table {
+		return experiments.ClaimFailoverMTTR(q)
+	}},
 }
 
 func pick(quick bool, q, full int) int {
@@ -132,11 +135,17 @@ func main() {
 	smokeIters := flag.Int("durable-smoke", 0, "run N crash-recovery smoke iterations against -state-dir, then exit")
 	smokeHold := flag.Duration("durable-smoke-hold", 80*time.Millisecond, "how long each smoke iteration holds its transaction open")
 	smokeKill := flag.Int("durable-smoke-kill", 0, "SIGKILL this process mid-transaction at iteration N (0 disables); deterministic crash for recovery testing")
+	haSmoke := flag.Bool("ha-smoke", false, "run the 3-replica kill-leader failover smoke and exit (0 = all invariants held)")
+	haSmokeSeed := flag.Uint64("ha-smoke-seed", 1, "fault schedule seed for -ha-smoke")
+	campaignAutopsyMax := flag.Int("campaign-autopsy-max", 0, "cap how many failing campaign runs persist autopsies under -autopsy-dir (0 = default cap, negative = unlimited)")
 	floors := flag.String("floor", "", "comma-separated key=min checks against experiment headline values (e.g. p2_max_events_per_sec=20000); exit nonzero if any value is missing or below its floor")
 	flag.Parse()
 
 	if *smokeIters > 0 {
 		os.Exit(runDurableSmoke(*stateDir, *smokeIters, *smokeHold, *smokeKill))
+	}
+	if *haSmoke {
+		os.Exit(runHASmoke(*haSmokeSeed, *autopsyDir))
 	}
 	if *chaosRun {
 		os.Exit(runChaos(*chaosSeed, *chaosOnly, *chaosVerbose, *autopsyDir))
@@ -151,6 +160,7 @@ func main() {
 			corpusDir:  *campaignCorpus,
 			replayDir:  *campaignReplay,
 			autopsyDir: *autopsyDir,
+			autopsyMax: *campaignAutopsyMax,
 		}))
 	}
 

@@ -56,6 +56,8 @@ func main() {
 		"incremental checkpoints: full image every Nth per-app checkpoint, byte-range deltas between (<=1 stores every checkpoint as a full image)")
 	walGroupCommit := flag.Bool("wal-group-commit", true,
 		"batch concurrent WAL appends under one fsync (only meaningful with -state-dir)")
+	replicas := flag.Int("replicas", 1,
+		"run N control-plane replicas with leader election and WAL shipping; kills the leader mid-transaction and narrates the failover (>1 implies -mode legosdn, ignores -poison)")
 	flag.Parse()
 
 	m, err := parseMode(*mode)
@@ -65,6 +67,15 @@ func main() {
 	n, err := buildTopo(*topo)
 	if err != nil {
 		log.Fatalf("legosdn: %v", err)
+	}
+
+	if *replicas > 1 {
+		var names []string
+		for _, name := range strings.Split(*appList, ",") {
+			names = append(names, strings.TrimSpace(name))
+		}
+		runReplicated(*replicas, n, names, *flows, *stateDir, *topo)
+		return
 	}
 
 	var policies *crashpad.PolicySet

@@ -113,6 +113,12 @@ type Config struct {
 	// AutopsyDir, when set, persists the autopsy reports attached to
 	// each failing run as JSON files under <dir>/<scenario-name>/.
 	AutopsyDir string
+	// MaxAutopsyFailures bounds how many failing runs persist autopsies
+	// under AutopsyDir (0 = default 25, negative = unlimited). A
+	// hostile campaign can fail hundreds of runs; the first few dozen
+	// autopsy trees are triage gold, the rest are a disk-filling
+	// liability.
+	MaxAutopsyFailures int
 	// Synthetic, when set, is applied to every run as an extra
 	// invariant — the deliberately-broken-invariant test hook.
 	Synthetic *SyntheticCheck
@@ -164,15 +170,15 @@ type ShrinkRecord struct {
 // the wall-time fields is a pure function of the campaign seed and
 // config, which the determinism test pins down.
 type Summary struct {
-	Version      int         `json:"version"`
-	CampaignSeed uint64      `json:"campaign_seed"`
-	SeedsRun     int         `json:"seeds_run"`
-	Failures     int         `json:"failures"`
-	Shrunk       int         `json:"shrunk"`
-	TotalReplays int         `json:"total_replays"`
-	WallMS       int64       `json:"wall_ms"` // excluded from determinism comparisons
+	Version      int            `json:"version"`
+	CampaignSeed uint64         `json:"campaign_seed"`
+	SeedsRun     int            `json:"seeds_run"`
+	Failures     int            `json:"failures"`
+	Shrunk       int            `json:"shrunk"`
+	TotalReplays int            `json:"total_replays"`
+	WallMS       int64          `json:"wall_ms"` // excluded from determinism comparisons
 	ClassTallies map[string]int `json:"class_tallies"`
-	Records      []RunRecord `json:"records"`
+	Records      []RunRecord    `json:"records"`
 }
 
 // DeterministicJSON renders the summary with wall-time fields zeroed —
@@ -230,12 +236,13 @@ func Run(cfg Config) (*Summary, error) {
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
 	var mu sync.Mutex // guards cfg.Log writes and corpus/autopsy IO ordering
+	budget := newAutopsyBudget(cfg.MaxAutopsyFailures)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				rec := runOne(&cfg, gen, i, &mu)
+				rec := runOne(&cfg, gen, i, &mu, budget)
 				sum.Records[i] = rec
 			}
 		}()
@@ -264,9 +271,50 @@ func Run(cfg Config) (*Summary, error) {
 	return sum, nil
 }
 
+// autopsyBudget caps per-failure autopsy persistence campaign-wide.
+// The mutex is its own (not the campaign's log/IO mutex) so the cheap
+// take() check never serializes behind disk writes.
+type autopsyBudget struct {
+	mu    sync.Mutex
+	left  int
+	cap   int
+	noted bool
+}
+
+// defaultMaxAutopsyFailures is the persistence cap when the config
+// leaves MaxAutopsyFailures at zero.
+const defaultMaxAutopsyFailures = 25
+
+func newAutopsyBudget(max int) *autopsyBudget {
+	if max == 0 {
+		max = defaultMaxAutopsyFailures
+	}
+	return &autopsyBudget{left: max, cap: max}
+}
+
+// take consumes one persistence slot; exhausted reports a transition to
+// empty exactly once (for the one-time skip log line). A negative cap
+// means unlimited.
+func (b *autopsyBudget) take() (ok, exhausted bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cap < 0 {
+		return true, false
+	}
+	if b.left > 0 {
+		b.left--
+		return true, false
+	}
+	if !b.noted {
+		b.noted = true
+		return false, true
+	}
+	return false, false
+}
+
 // runOne executes run i end to end: generate, run, check, and (on
 // failure) shrink + persist.
-func runOne(cfg *Config, gen func(uint64) ScenarioSpec, i int, mu *sync.Mutex) RunRecord {
+func runOne(cfg *Config, gen func(uint64) ScenarioSpec, i int, mu *sync.Mutex, budget *autopsyBudget) RunRecord {
 	seed := RunSeed(cfg.Seed, i)
 	spec := gen(seed)
 	rec := RunRecord{
@@ -294,9 +342,14 @@ func runOne(cfg *Config, gen func(uint64) ScenarioSpec, i int, mu *sync.Mutex) R
 	logf(cfg, mu, "run %d (seed %d, %s): FAIL %s, %d fired atoms\n",
 		i, seed, spec.Name, strings.Join(rec.FailingInvariants, ","), len(atoms))
 	if cfg.AutopsyDir != "" {
-		mu.Lock()
-		persistAutopsies(cfg.AutopsyDir, spec.Name, rep)
-		mu.Unlock()
+		if ok, exhausted := budget.take(); ok {
+			mu.Lock()
+			persistAutopsies(cfg.AutopsyDir, spec.Name, rep)
+			mu.Unlock()
+		} else if exhausted {
+			logf(cfg, mu, "autopsy budget (%d failing runs) exhausted; later failures persist no autopsies\n",
+				budget.cap)
+		}
 	}
 	if !cfg.Shrink {
 		return rec

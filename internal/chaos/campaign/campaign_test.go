@@ -266,3 +266,111 @@ func TestRegenerateCommittedCorpus(t *testing.T) {
 	}
 	t.Logf("regenerated %d corpus entries: %s", len(entries), strings.Join(names, ", "))
 }
+
+// Satellite: the per-failure autopsy persistence is bounded: the
+// budget admits exactly MaxAutopsyFailures failing runs, logs its
+// exhaustion once, and a negative cap is unlimited.
+func TestCampaignAutopsyBudget(t *testing.T) {
+	b := newAutopsyBudget(2)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take(); !ok {
+			t.Fatalf("take %d refused within budget", i)
+		}
+	}
+	if ok, exhausted := b.take(); ok || !exhausted {
+		t.Fatalf("first over-budget take = (%v, %v), want (false, true)", ok, exhausted)
+	}
+	if ok, exhausted := b.take(); ok || exhausted {
+		t.Fatalf("later over-budget take = (%v, %v), want (false, false): exhaustion noted once", ok, exhausted)
+	}
+	unlimited := newAutopsyBudget(-1)
+	for i := 0; i < 100; i++ {
+		if ok, _ := unlimited.take(); !ok {
+			t.Fatal("negative cap must be unlimited")
+		}
+	}
+	if def := newAutopsyBudget(0); def.cap != defaultMaxAutopsyFailures {
+		t.Fatalf("zero cap defaulted to %d, want %d", def.cap, defaultMaxAutopsyFailures)
+	}
+
+	// End to end: every run fails under the hook; with a budget of 1
+	// the exhaustion is logged exactly once and later failures skip
+	// persistence silently.
+	var log bytes.Buffer
+	sum, err := Run(Config{
+		Seed:               13,
+		Runs:               3,
+		AutopsyDir:         t.TempDir(),
+		MaxAutopsyFailures: 1,
+		Synthetic:          &SyntheticCheck{Kind: SyntheticFiredAtLeast, Point: "appvisor/dup", N: 1},
+		Generate:           cheapSpec,
+		Log:                &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failures != 3 {
+		t.Fatalf("failures = %d, want 3 (hook fails every run)", sum.Failures)
+	}
+	if got := strings.Count(log.String(), "autopsy budget"); got != 1 {
+		t.Fatalf("budget exhaustion logged %d times, want once:\n%s", got, log.String())
+	}
+}
+
+// Failover specs resolve to the ha-* Custom scenarios, carry the
+// exclusive failover class, and are rejected when malformed.
+func TestFailoverSpecs(t *testing.T) {
+	sp := ScenarioSpec{
+		Name: "f", Seed: 1, Switches: 1, Apps: 1, Events: 12,
+		CheckpointEvery: 4, EventTimeoutMS: 150,
+		Failover: "ha-kill-leader-mid-txn",
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("valid failover spec rejected: %v", err)
+	}
+	if got := sp.Classes(); len(got) != 1 || got[0] != "failover" {
+		t.Fatalf("classes = %v, want [failover]", got)
+	}
+	sc := sp.Scenario()
+	if sc.Custom == nil {
+		t.Fatal("failover spec did not resolve to a Custom scenario")
+	}
+	if sc.Deterministic {
+		t.Fatal("failover scenario marked deterministic")
+	}
+	if sc.Events != 12 {
+		t.Fatalf("spec workload sizing not carried over: events = %d", sc.Events)
+	}
+
+	sp.Failover = "ha-no-such-scenario"
+	if err := sp.Validate(); err == nil {
+		t.Fatal("unknown failover scenario accepted")
+	}
+	sp.Failover = "ha-kill-leader-mid-txn"
+	sp.Deterministic = true
+	if err := sp.Validate(); err == nil {
+		t.Fatal("deterministic failover spec accepted")
+	}
+}
+
+// Synthesize emits failover specs at its fixed draw rate, and every
+// one validates.
+func TestSynthesizeEmitsFailoverSpecs(t *testing.T) {
+	found := 0
+	for i := 0; i < 400; i++ {
+		sp := Synthesize(RunSeed(42, i))
+		if sp.Failover == "" {
+			continue
+		}
+		found++
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("synthesized failover spec invalid: %v\n%+v", err, sp)
+		}
+		if sp.Deterministic {
+			t.Fatalf("synthesized failover spec deterministic: %+v", sp)
+		}
+	}
+	if found == 0 {
+		t.Fatal("400 syntheses produced no failover spec (expected ~1 in 8)")
+	}
+}

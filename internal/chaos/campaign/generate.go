@@ -30,8 +30,15 @@ type ScenarioSpec struct {
 	FlapProb        float64 `json:"flap_prob,omitempty"`
 	PartitionAt     int     `json:"partition_at,omitempty"`
 	LossBurst       bool    `json:"loss_burst,omitempty"`
-	SkipShadowCheck bool    `json:"skip_shadow_check,omitempty"`
-	AllowQuarantine bool    `json:"allow_quarantine,omitempty"`
+	// Failover, when set, names a replicated-control-plane library
+	// scenario (ha-*): the run exercises leader death/partition on a
+	// 3-replica cluster instead of the single-stack fault loop. The
+	// class is exclusive — HA runs are Custom scenarios that ignore the
+	// single-stack fault knobs — and never Deterministic (leases and
+	// election timing are wall-clock concurrent).
+	Failover        string `json:"failover,omitempty"`
+	SkipShadowCheck bool   `json:"skip_shadow_check,omitempty"`
+	AllowQuarantine bool   `json:"allow_quarantine,omitempty"`
 	// Deterministic marks the run safe for byte-for-byte fingerprint
 	// comparison and therefore eligible for shrinking: lockstep workload,
 	// no concurrent netsim event sources.
@@ -40,6 +47,17 @@ type ScenarioSpec struct {
 
 // Scenario materializes the spec as a runnable chaos scenario.
 func (sp ScenarioSpec) Scenario() chaos.Scenario {
+	if sp.Failover != "" {
+		// HA specs borrow the library scenario's Custom runner and keep
+		// only the workload-sizing knobs from the spec.
+		base, _ := chaos.Find(sp.Failover)
+		base.Name = sp.Name
+		base.Events = sp.Events
+		base.CheckpointEvery = sp.CheckpointEvery
+		base.EventTimeout = time.Duration(sp.EventTimeoutMS) * time.Millisecond
+		base.Deterministic = false
+		return base
+	}
 	return chaos.Scenario{
 		Name:            sp.Name,
 		Switches:        sp.Switches,
@@ -89,6 +107,14 @@ func (sp ScenarioSpec) Validate() error {
 	case sp.PartitionAt < 0 || sp.PartitionAt > sp.Events:
 		return fmt.Errorf("campaign: partition index %d out of [0,%d]", sp.PartitionAt, sp.Events)
 	}
+	if sp.Failover != "" {
+		if !haScenarioNames[sp.Failover] {
+			return fmt.Errorf("campaign: unknown failover scenario %q", sp.Failover)
+		}
+		if sp.Deterministic {
+			return fmt.Errorf("campaign: failover specs cannot be deterministic")
+		}
+	}
 	for _, p := range []struct {
 		name string
 		v    float64
@@ -134,14 +160,31 @@ func (r *specRNG) probIn(lo, hi float64) float64 {
 // Fault classes the generator mixes. Each class maps to the injection
 // points it arms; together they cover the full catalog.
 const (
-	classWire   = "wire"   // appvisor drop/dup/corrupt/delay/ack-drop
-	classKill   = "kill"   // appvisor/kill
-	classCrash  = "crash"  // armed app panics (checkpoint+replay path)
-	classNetlog = "netlog" // netlog inverse-fail + disconnect (needs crashes)
-	classNetsim = "netsim" // flap/partition/loss on multi-switch fabrics
+	classWire     = "wire"     // appvisor drop/dup/corrupt/delay/ack-drop
+	classKill     = "kill"     // appvisor/kill
+	classCrash    = "crash"    // armed app panics (checkpoint+replay path)
+	classNetlog   = "netlog"   // netlog inverse-fail + disconnect (needs crashes)
+	classNetsim   = "netsim"   // flap/partition/loss on multi-switch fabrics
+	classFailover = "failover" // replicated control plane: leader kill/partition/lag
 )
 
 var allClasses = []string{classWire, classKill, classCrash, classNetlog, classNetsim}
+
+// haScenarios are the replicated-control-plane library scenarios the
+// failover class draws from (exclusive of the single-stack classes).
+var haScenarios = []string{
+	"ha-kill-leader-mid-txn",
+	"ha-partition-leader",
+	"ha-follower-lag-failover",
+}
+
+var haScenarioNames = func() map[string]bool {
+	m := make(map[string]bool, len(haScenarios))
+	for _, n := range haScenarios {
+		m[n] = true
+	}
+	return m
+}()
 
 // Synthesize derives one randomized scenario from a run seed: a pure
 // function, so the same seed always generates the same spec (the
@@ -161,6 +204,17 @@ func Synthesize(runSeed uint64) ScenarioSpec {
 		CheckpointEvery: r.intIn(2, 6),
 		EventTimeoutMS:  150,
 		Deterministic:   true,
+	}
+
+	// One campaign run in eight exercises the replicated control plane
+	// instead of the single-stack fault loop. The class is exclusive
+	// (the HA runner ignores single-stack knobs) and wall-clock heavy,
+	// so it gets a small workload and stays nondeterministic.
+	if r.next()%8 == 0 {
+		sp.Events = r.intIn(10, 16)
+		sp.Deterministic = false
+		sp.Failover = haScenarios[r.intIn(0, len(haScenarios)-1)]
+		return sp
 	}
 
 	nClasses := r.intIn(1, 3)
@@ -222,6 +276,9 @@ func Synthesize(runSeed uint64) ScenarioSpec {
 
 // Classes reports which fault classes a spec arms (for summary tallies).
 func (sp ScenarioSpec) Classes() []string {
+	if sp.Failover != "" {
+		return []string{classFailover}
+	}
 	var out []string
 	if sp.Drop > 0 || sp.Dup > 0 || sp.Corrupt > 0 || sp.Delay > 0 {
 		out = append(out, classWire)

@@ -68,6 +68,24 @@ func Library() []Scenario {
 			Custom:        runDurableRecovery,
 		},
 		{
+			Name:        "ha-kill-leader-mid-txn",
+			Description: "replicated control plane: leader SIGKILLed mid-transaction; a follower wins the lease and rolls it back",
+			Events:      16,
+			Custom:      runHAKillLeader,
+		},
+		{
+			Name:        "ha-partition-leader",
+			Description: "replicated control plane: leader partitioned away; the successor fences it via switch role demotion",
+			Events:      16,
+			Custom:      runHAPartitionLeader,
+		},
+		{
+			Name:        "ha-follower-lag-failover",
+			Description: "replicated control plane: slow followers force a real catch-up drain before the successor serves",
+			Events:      16,
+			Custom:      runHAFollowerLag,
+		},
+		{
 			Name:        "netsim-flap",
 			Description: "inter-switch links flap under load",
 			Switches:    3,

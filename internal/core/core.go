@@ -89,6 +89,11 @@ type Config struct {
 	// the stack without closing the state) leaves the journal exactly as
 	// a real crash would.
 	Durable *durable.State
+	// Journal overrides the NetLog journal wiring when Durable is set:
+	// the replicated control plane wraps Durable.Journal so every append
+	// also waits for follower acknowledgment (wait-for-quorum commit).
+	// Nil keeps the plain Durable.Journal.
+	Journal netlog.Journal
 	// Clock drives NetLog timeout bookkeeping (nil = real time).
 	Clock flowtable.Clock
 	// EventTimeout bounds one proxied event round trip (default 2s).
@@ -226,7 +231,10 @@ func NewStack(cfg Config) *Stack {
 			s.NetLog.Instrument(cfg.Metrics)
 			s.NetLog.SetTracer(cfg.Tracer)
 			s.NetLog.SetFlight(cfg.Flight)
-			if cfg.Durable != nil {
+			switch {
+			case cfg.Journal != nil:
+				s.NetLog.SetJournal(cfg.Journal)
+			case cfg.Durable != nil:
 				s.NetLog.SetJournal(cfg.Durable.Journal)
 			}
 			s.NetLog.Install(s.Controller)
@@ -330,13 +338,27 @@ func (s *Stack) Proxy(name string) *appvisor.Proxy {
 // ConnectNetwork attaches every switch in the simulated network over
 // in-memory pipes and waits for their handshakes to finish dispatching.
 func (s *Stack) ConnectNetwork(n *netsim.Network) error {
-	target := s.Controller.Processed.Load()
+	conns := make([]*openflow.Conn, 0, len(n.Switches()))
 	for _, sw := range n.Switches() {
 		ctrlSide, swSide := openflow.Pipe()
 		if err := sw.Attach(swSide); err != nil {
 			return err
 		}
-		if err := s.Controller.AttachSwitchConn(ctrlSide); err != nil {
+		conns = append(conns, ctrlSide)
+	}
+	return s.ConnectConns(conns)
+}
+
+// ConnectConns attaches already-established switch connections (the
+// switch end must be pumping — e.g. a netsim slave connection promoted
+// to master during failover), waits for the handshakes to finish
+// dispatching, and then runs durable recovery. This is the failover
+// entry point: a promoted replica adopts the previous leader's switch
+// connections without re-dialing.
+func (s *Stack) ConnectConns(conns []*openflow.Conn) error {
+	target := s.Controller.Processed.Load()
+	for _, conn := range conns {
+		if err := s.Controller.AttachSwitchConn(conn); err != nil {
 			return err
 		}
 		target++

@@ -62,6 +62,13 @@ const headerSize = 4 + 4 + 1 // length + crc + type
 // read, so replay would silently lose committed state.
 var ErrCorrupt = fmt.Errorf("durable: corrupt record in non-final WAL segment")
 
+// ErrSegmentGone reports that a segment requested by a tailing reader
+// no longer exists: a compaction replaced the log while the tailer was
+// between listing segments and opening one. The tailer should call
+// TailState again — the generation will have advanced — and resync
+// from the snapshot-headed log.
+var ErrSegmentGone = fmt.Errorf("durable: WAL segment compacted away")
+
 // Record is one replayed WAL entry.
 type Record struct {
 	Type    byte
@@ -111,6 +118,17 @@ type WAL struct {
 	segments []uint64 // ascending segment sequence numbers, curSeq last
 	closed   bool
 
+	// Tail-replication coordinates. Positions are 1-based monotonic
+	// record counts over this WAL handle's lifetime: the i-th record
+	// visible since Open has position i, and the first record of the
+	// oldest live segment is always at logStart+1 (Compact advances
+	// logStart past everything it discards before writing the snapshot,
+	// and Open starts from logStart=0 with totalAppended preloaded to
+	// the recovered-record count, which preserves the invariant).
+	gen           uint64 // bumped by every Compact
+	totalAppended uint64 // position of the newest record (EndPos)
+	logStart      uint64 // position just before the oldest live record
+
 	// Open-time recovery facts, for instrumentation.
 	recoveredRecords int
 	truncatedBytes   int64
@@ -150,6 +168,7 @@ func Open(dir string, opts Options) (*WAL, error) {
 	if err := w.scan(); err != nil {
 		return nil, err
 	}
+	w.totalAppended = uint64(w.recoveredRecords)
 	if len(w.segments) == 0 {
 		if err := w.openSegmentLocked(1); err != nil {
 			return nil, err
@@ -210,7 +229,7 @@ func (w *WAL) TruncatedBytes() int64 { return w.truncatedBytes }
 // append-path sync batches; appends/commits is the group-commit
 // amortization factor.
 func (w *WAL) AppendedBytes() uint64 { return w.bytes.Load() }
-func (w *WAL) Commits() uint64      { return w.commits.Load() }
+func (w *WAL) Commits() uint64       { return w.commits.Load() }
 
 // SegmentCount reports the number of live segment files.
 func (w *WAL) SegmentCount() int {
@@ -409,6 +428,7 @@ func (w *WAL) writeFrameLocked(frame []byte) error {
 		return fmt.Errorf("durable: appending record: %w", err)
 	}
 	w.curSize += int64(len(frame))
+	w.totalAppended++
 	w.appends.Add(1)
 	w.bytes.Add(uint64(len(frame)))
 	return nil
@@ -570,6 +590,12 @@ func (w *WAL) Compact(snapshot []byte) error {
 		return err
 	}
 	w.segments = nil
+	// Everything before the snapshot is gone from the log; tailers must
+	// resync. Advance the start position first so the snapshot lands at
+	// logStart+1, then bump the generation so TailState exposes the
+	// change atomically with the new segment list.
+	w.logStart = w.totalAppended
+	w.gen++
 	if err := w.openSegmentLocked(w.curSeq + 1); err != nil {
 		return err
 	}
@@ -624,3 +650,136 @@ func (w *WAL) Close() error {
 	}
 	return w.cur.Close()
 }
+
+// --- Read-only tailing API -------------------------------------------
+//
+// Followers replicating this WAL need to read segments while the owner
+// keeps appending and occasionally compacting. The contract:
+//
+//   - TailState returns (generation, start position, segment list) as
+//     one atomic observation. Compact bumps the generation, so a tailer
+//     that sees the generation change knows its cursor is invalid and
+//     must restart from the snapshot-headed log.
+//   - OpenSegmentReader opens a listed segment under the WAL lock, so
+//     it can never race a concurrent Compact's unlink: either the
+//     segment is still listed (and therefore still on disk) or the call
+//     fails with ErrSegmentGone.
+//   - SegmentReader.Next tolerates a torn tail: a partial frame at the
+//     end of a live segment (an append in flight) reads as io.EOF
+//     without advancing, so the next poll retries from the same offset
+//     and sees the completed record.
+
+// Generation reports how many times this WAL has been compacted since
+// open. A tailer whose cached generation differs must resync.
+func (w *WAL) Generation() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.gen
+}
+
+// EndPos reports the position of the newest record: 1-based, monotonic
+// over the handle's lifetime, counting recovered records. A replication
+// quorum wait is "followers acked >= EndPos()".
+func (w *WAL) EndPos() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.totalAppended
+}
+
+// Segments returns the live segment sequence numbers, ascending.
+func (w *WAL) Segments() []uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]uint64(nil), w.segments...)
+}
+
+// TailState is one atomic observation of the log's replication
+// coordinates: the first record of Segments[0] is at StartPos+1, and a
+// Gen change means the log was compacted and StartPos moved.
+type TailState struct {
+	Gen      uint64
+	StartPos uint64
+	Segments []uint64
+}
+
+// TailState returns the current generation, start position, and segment
+// list under one lock acquisition.
+func (w *WAL) TailState() TailState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return TailState{
+		Gen:      w.gen,
+		StartPos: w.logStart,
+		Segments: append([]uint64(nil), w.segments...),
+	}
+}
+
+// SegmentReader iterates one segment's records from the start,
+// tolerating a torn or still-being-written tail. The open file keeps
+// the data readable even if a later Compact unlinks the segment; the
+// reader just stops seeing new records.
+type SegmentReader struct {
+	f   *os.File
+	seq uint64
+	off int64
+	buf []byte
+}
+
+// OpenSegmentReader opens seq for tailing. The check-and-open happens
+// under the WAL lock — the same lock Compact holds while unlinking —
+// so a listed segment cannot disappear between the membership check and
+// the open. Returns ErrSegmentGone if seq is no longer live.
+func (w *WAL) OpenSegmentReader(seq uint64) (*SegmentReader, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	live := false
+	for _, s := range w.segments {
+		if s == seq {
+			live = true
+			break
+		}
+	}
+	if !live {
+		return nil, fmt.Errorf("%w: wal-%08d.seg", ErrSegmentGone, seq)
+	}
+	f, err := os.Open(w.segmentPath(seq))
+	if err != nil {
+		return nil, fmt.Errorf("durable: opening segment for tailing: %w", err)
+	}
+	return &SegmentReader{f: f, seq: seq}, nil
+}
+
+// Seq reports which segment this reader iterates.
+func (r *SegmentReader) Seq() uint64 { return r.seq }
+
+// Next returns the next intact record, or io.EOF when no complete
+// record is available at the current offset. io.EOF is retryable: a
+// frame still being written (short header, short body, CRC not yet
+// matching) does not advance the offset, so a later Next sees the
+// completed record. The payload is only valid until the next call.
+func (r *SegmentReader) Next() (Record, error) {
+	var hdr [8]byte
+	if _, err := r.f.ReadAt(hdr[:], r.off); err != nil {
+		return Record{}, io.EOF
+	}
+	length := binary.BigEndian.Uint32(hdr[:4])
+	crc := binary.BigEndian.Uint32(hdr[4:8])
+	if length == 0 {
+		return Record{}, io.EOF
+	}
+	if cap(r.buf) < int(length) {
+		r.buf = make([]byte, length)
+	}
+	body := r.buf[:length]
+	if _, err := r.f.ReadAt(body, r.off+8); err != nil {
+		return Record{}, io.EOF
+	}
+	if crc32.ChecksumIEEE(body) != crc {
+		return Record{}, io.EOF
+	}
+	r.off += 8 + int64(length)
+	return Record{Type: body[0], Payload: body[1:]}, nil
+}
+
+// Close releases the underlying file.
+func (r *SegmentReader) Close() error { return r.f.Close() }

@@ -1,0 +1,221 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// readAll drains a SegmentReader into copies (Next reuses its buffer).
+func readAll(t *testing.T, r *SegmentReader) []Record {
+	t.Helper()
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, Record{Type: rec.Type, Payload: append([]byte(nil), rec.Payload...)})
+	}
+}
+
+// TestTailLiveAppends: records appended after a reader reaches EOF are
+// visible on the next poll — the io.EOF is retryable, not terminal.
+func TestTailLiveAppends(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	ts := w.TailState()
+	if ts.Gen != 0 || ts.StartPos != 0 || len(ts.Segments) != 1 {
+		t.Fatalf("unexpected tail state %+v", ts)
+	}
+	r, err := w.OpenSegmentReader(ts.Segments[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := readAll(t, r); len(got) != 1 || string(got[0].Payload) != "a" {
+		t.Fatalf("first poll: %v", got)
+	}
+	if err := w.Append(2, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, r)
+	if len(got) != 1 || got[0].Type != 2 || string(got[0].Payload) != "b" {
+		t.Fatalf("second poll after live append: %v", got)
+	}
+	if w.EndPos() != 2 {
+		t.Fatalf("EndPos = %d, want 2", w.EndPos())
+	}
+}
+
+// TestTailTornFrame: a partial frame at the tail reads as io.EOF
+// without advancing; completing the frame makes the record visible.
+func TestTailTornFrame(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(1, []byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	ts := w.TailState()
+	r, err := w.OpenSegmentReader(ts.Segments[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := readAll(t, r); len(got) != 1 {
+		t.Fatalf("want 1 intact record, got %v", got)
+	}
+
+	// Hand-write half a frame straight into the segment file, as an
+	// in-flight append would appear to a concurrent reader.
+	frame := frameRecord(7, []byte("torn-then-complete"))
+	w.mu.Lock()
+	if _, err := w.cur.Write(frame[:len(frame)/2]); err != nil {
+		w.mu.Unlock()
+		t.Fatal(err)
+	}
+	w.mu.Unlock()
+	for i := 0; i < 3; i++ {
+		if _, err := r.Next(); !errors.Is(err, io.EOF) {
+			t.Fatalf("torn frame must read as io.EOF, got %v", err)
+		}
+	}
+	w.mu.Lock()
+	if _, err := w.cur.Write(frame[len(frame)/2:]); err != nil {
+		w.mu.Unlock()
+		t.Fatal(err)
+	}
+	w.mu.Unlock()
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatalf("completed frame must now parse: %v", err)
+	}
+	if rec.Type != 7 || string(rec.Payload) != "torn-then-complete" {
+		t.Fatalf("got %d %q", rec.Type, rec.Payload)
+	}
+}
+
+// TestTailAcrossRotation: a tailer follows rotation by reading the old
+// segment to EOF and opening the next listed one; positions stay
+// contiguous.
+func TestTailAcrossRotation(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{NoSync: true, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := w.Append(1, []byte(fmt.Sprintf("rec-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := w.TailState()
+	if len(ts.Segments) < 2 {
+		t.Fatalf("expected rotation, segments=%v", ts.Segments)
+	}
+	var got []Record
+	for _, seq := range ts.Segments {
+		r, err := w.OpenSegmentReader(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, readAll(t, r)...)
+		r.Close()
+	}
+	if len(got) != n {
+		t.Fatalf("read %d records across segments, want %d", len(got), n)
+	}
+	for i, rec := range got {
+		if want := fmt.Sprintf("rec-%02d", i); string(rec.Payload) != want {
+			t.Fatalf("record %d = %q, want %q", i, rec.Payload, want)
+		}
+	}
+	if w.EndPos() != n || ts.StartPos != 0 {
+		t.Fatalf("EndPos=%d StartPos=%d", w.EndPos(), ts.StartPos)
+	}
+}
+
+// TestTailCompaction: Compact bumps the generation, moves StartPos past
+// the discarded history, and invalidates old segment handles —
+// OpenSegmentReader on a compacted-away seq returns ErrSegmentGone,
+// while the new log starts with the snapshot at StartPos+1.
+func TestTailCompaction(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 5; i++ {
+		if err := w.Append(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := w.TailState()
+	if err := w.Compact([]byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+	after := w.TailState()
+	if after.Gen != before.Gen+1 {
+		t.Fatalf("gen %d -> %d, want +1", before.Gen, after.Gen)
+	}
+	if after.StartPos != 5 {
+		t.Fatalf("StartPos = %d, want 5 (history discarded)", after.StartPos)
+	}
+	if w.EndPos() != 6 {
+		t.Fatalf("EndPos = %d, want 6 (snapshot at StartPos+1)", w.EndPos())
+	}
+	if _, err := w.OpenSegmentReader(before.Segments[0]); !errors.Is(err, ErrSegmentGone) {
+		t.Fatalf("compacted segment must be ErrSegmentGone, got %v", err)
+	}
+	r, err := w.OpenSegmentReader(after.Segments[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got := readAll(t, r)
+	if len(got) != 1 || got[0].Type != RecSnapshot || string(got[0].Payload) != "snap" {
+		t.Fatalf("new log must start with the snapshot, got %v", got)
+	}
+}
+
+// TestTailPositionsAfterReopen: positions restart counting from the
+// recovered records, so the invariant "first record of the oldest
+// segment is at StartPos+1" survives a process restart.
+func TestTailPositionsAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append(1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	ts := w2.TailState()
+	if ts.Gen != 0 || ts.StartPos != 0 || w2.EndPos() != 3 {
+		t.Fatalf("reopen: gen=%d start=%d end=%d", ts.Gen, ts.StartPos, w2.EndPos())
+	}
+}

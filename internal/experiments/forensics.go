@@ -65,7 +65,7 @@ func durationQuantile(samples []time.Duration, q float64) time.Duration {
 // legosdn_recovery_phase_seconds histograms aggregate), sustained
 // throughput with the always-on recorder in the path, and how many
 // persisted autopsy files re-read and re-parsed with a complete
-// six-phase timeline.
+// full-phase timeline.
 func ClaimRecoveryForensics(quick bool) Table {
 	events := 1200
 	crashEvery := 60
@@ -195,7 +195,7 @@ func ClaimRecoveryForensics(quick bool) Table {
 		}
 
 		// Forensics durability: every persisted autopsy must re-read,
-		// re-parse and carry a complete six-phase timeline.
+		// re-parse and carry a complete timeline (all flightrec phases).
 		parsed, files := 0, 0
 		entries, _ := os.ReadDir(dir)
 		for _, e := range entries {

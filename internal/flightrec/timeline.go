@@ -2,11 +2,15 @@ package flightrec
 
 import "time"
 
-// Phase is one stage of a Crash-Pad recovery. The six phases mirror the
-// paper's recovery arc: detect the crash, roll the open transaction
-// back, isolate the failure (classify + pick a policy), restore the
-// last checkpoint into a fresh stub, replay the event suffix, and
-// resume normal delivery.
+// Phase is one stage of a recovery. The first six phases mirror the
+// paper's Crash-Pad recovery arc: detect the crash, roll the open
+// transaction back, isolate the failure (classify + pick a policy),
+// restore the last checkpoint into a fresh stub, replay the event
+// suffix, and resume normal delivery. Controller failover (the
+// replicated control plane) adds two more: election — winning the
+// lease after the leader dies — and catch-up — draining the replicated
+// WAL backlog before serving. App-crash recoveries report zero for
+// those two; failover autopsies use the full set.
 type Phase uint8
 
 // Recovery phases, in canonical reporting order.
@@ -16,6 +20,8 @@ const (
 	PhaseRestore // checkpoint-restore
 	PhaseRollback
 	PhaseReplay
+	PhaseElection // failover: winning the leader lease
+	PhaseCatchUp  // failover: draining the replicated WAL backlog
 	PhaseResume
 	NumPhases
 )
@@ -32,6 +38,10 @@ func (p Phase) String() string {
 		return "rollback"
 	case PhaseReplay:
 		return "replay"
+	case PhaseElection:
+		return "election"
+	case PhaseCatchUp:
+		return "catch-up"
 	case PhaseResume:
 		return "resume"
 	default:
@@ -39,7 +49,7 @@ func (p Phase) String() string {
 	}
 }
 
-// PhaseNames lists all six phases in reporting order; every timeline
+// PhaseNames lists all phases in reporting order; every timeline
 // and every autopsy carries exactly these entries, so consumers (CI,
 // benchmarks) can assert completeness by name.
 func PhaseNames() []string {
@@ -59,7 +69,7 @@ type PhaseDuration struct {
 // Timeline accumulates wall-clock time into recovery phases. It starts
 // in PhaseDetect; Enter closes the current phase and opens the next;
 // phases may be re-entered (durations accumulate), and phases never
-// entered report zero — the timeline always exports all six. Not
+// entered report zero — the timeline always exports every phase. Not
 // goroutine-safe: a recovery runs on one goroutine. A nil *Timeline
 // no-ops everywhere so call sites need no guards.
 type Timeline struct {
@@ -121,7 +131,7 @@ func (t *Timeline) Total() time.Duration {
 	return sum
 }
 
-// Phases exports the timeline for an autopsy: always exactly six
+// Phases exports the timeline for an autopsy: always exactly NumPhases
 // entries, canonical order, zero seconds for phases never entered.
 func (t *Timeline) Phases() []PhaseDuration {
 	out := make([]PhaseDuration, NumPhases)

@@ -26,6 +26,8 @@ func TestTimelinePhasesInOrder(t *testing.T) {
 	tl.Enter(PhaseIsolate)
 	tl.Enter(PhaseRestore)
 	tl.Enter(PhaseReplay)
+	tl.Enter(PhaseElection)
+	tl.Enter(PhaseCatchUp)
 	tl.Enter(PhaseResume)
 	tl.Finish()
 
@@ -35,8 +37,8 @@ func TestTimelinePhasesInOrder(t *testing.T) {
 			t.Fatalf("phase %s = %v, want exactly 1ms", p, durs[p])
 		}
 	}
-	if got := tl.Total(); got != 6*time.Millisecond {
-		t.Fatalf("total = %v, want 6ms", got)
+	if got := tl.Total(); got != time.Duration(NumPhases)*time.Millisecond {
+		t.Fatalf("total = %v, want %dms", got, NumPhases)
 	}
 }
 
@@ -77,7 +79,7 @@ func TestTimelineFinishFreezes(t *testing.T) {
 }
 
 func TestTimelinePhasesExportAlwaysComplete(t *testing.T) {
-	want := []string{"detect", "isolate", "checkpoint-restore", "rollback", "replay", "resume"}
+	want := []string{"detect", "isolate", "checkpoint-restore", "rollback", "replay", "election", "catch-up", "resume"}
 	for _, tl := range []*Timeline{nil, NewTimeline((&stepClock{t: time.Unix(0, 0), step: time.Millisecond}).Now)} {
 		phases := tl.Phases()
 		if len(phases) != int(NumPhases) {

@@ -44,7 +44,8 @@ type Switch struct {
 	buffers     map[uint32]*bufferedPacket
 	nextBuf     uint32
 	missSendLen uint16
-	conn        *openflow.Conn
+	conn        *openflow.Conn   // master: receives asynchronous messages
+	slaves      []*openflow.Conn // warm standbys: request/reply only
 	down        bool
 
 	table *FlowTable
@@ -110,9 +111,11 @@ func (s *Switch) Down() bool {
 	return s.down
 }
 
-// Attach binds the switch to a controller connection and starts the
-// control pump, which owns all reads from the connection. The switch
-// sends its Hello immediately, as the protocol requires of both ends.
+// Attach binds the switch to a master controller connection and starts
+// the control pump, which owns all reads from the connection. The
+// switch sends its Hello immediately, as the protocol requires of both
+// ends. Asynchronous messages (PacketIn, FlowRemoved, PortStatus) go
+// only to the master; see AttachSlave for warm standbys.
 func (s *Switch) Attach(conn *openflow.Conn) error {
 	s.mu.Lock()
 	if s.down {
@@ -121,28 +124,109 @@ func (s *Switch) Attach(conn *openflow.Conn) error {
 	}
 	s.conn = conn
 	s.mu.Unlock()
-	// The Hello is sent from the pump goroutine: over synchronous
-	// transports (net.Pipe) a write blocks until the peer reads, and the
-	// peer may attach its reader after this call returns.
+	s.startPump(conn)
+	return nil
+}
+
+// AttachSlave binds an additional controller connection in the slave
+// role, mirroring OpenFlow's master/slave controller roles: the switch
+// answers the slave's requests (handshake, barriers, stats) but sends
+// it no asynchronous messages and accepts its state-changing commands
+// only after PromoteSlave. Replica followers hold slave connections so
+// failover needs no new TCP/handshake work.
+func (s *Switch) AttachSlave(conn *openflow.Conn) error {
+	s.mu.Lock()
+	if s.down {
+		s.mu.Unlock()
+		return fmt.Errorf("netsim: switch %d is down", s.DPID)
+	}
+	s.slaves = append(s.slaves, conn)
+	s.mu.Unlock()
+	s.startPump(conn)
+	return nil
+}
+
+// PromoteSlave moves a registered slave connection into the master
+// role. The displaced master, if any, is demoted to slave — its pump
+// keeps running and drops the conn when it errors (a dead leader's
+// conns are typically already closed). Returns an error if conn was
+// never attached as a slave.
+func (s *Switch) PromoteSlave(conn *openflow.Conn) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := -1
+	for i, c := range s.slaves {
+		if c == conn {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("netsim: switch %d: promoting a connection that is not an attached slave", s.DPID)
+	}
+	s.slaves = append(s.slaves[:idx], s.slaves[idx+1:]...)
+	if s.conn != nil {
+		s.slaves = append(s.slaves, s.conn)
+	}
+	s.conn = conn
+	return nil
+}
+
+// startPump sends the switch's Hello and runs the read pump. The Hello
+// is sent from the pump goroutine: over synchronous transports
+// (net.Pipe) a write blocks until the peer reads, and the peer may
+// attach its reader after Attach/AttachSlave returns.
+func (s *Switch) startPump(conn *openflow.Conn) {
 	go func() {
+		defer s.dropConn(conn)
 		if err := conn.WriteMessage(&openflow.Hello{}); err != nil {
 			return
 		}
 		s.pump(conn)
 	}()
-	return nil
 }
 
-// Detach severs the control channel (used for controller-failure
-// scenarios). The dataplane keeps forwarding on installed rules.
+// dropConn forgets a connection whose pump exited, so a dead master
+// stops eating asynchronous messages and a dead slave leaves the
+// standby list.
+func (s *Switch) dropConn(conn *openflow.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == conn {
+		s.conn = nil
+		return
+	}
+	for i, c := range s.slaves {
+		if c == conn {
+			s.slaves = append(s.slaves[:i], s.slaves[i+1:]...)
+			return
+		}
+	}
+}
+
+// Detach severs all control channels — master and slaves (used for
+// controller-failure scenarios). The dataplane keeps forwarding on
+// installed rules.
 func (s *Switch) Detach() {
 	s.mu.Lock()
 	conn := s.conn
+	slaves := s.slaves
 	s.conn = nil
+	s.slaves = nil
 	s.mu.Unlock()
 	if conn != nil {
 		conn.Close()
 	}
+	for _, c := range slaves {
+		c.Close()
+	}
+}
+
+// SlaveCount reports the number of attached standby connections.
+func (s *Switch) SlaveCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.slaves)
 }
 
 func (s *Switch) currentConn() *openflow.Conn {
@@ -165,12 +249,42 @@ func (s *Switch) pump(conn *openflow.Conn) {
 		if err != nil {
 			return
 		}
-		for _, reply := range s.HandleMessage(msg) {
+		var replies []openflow.Message
+		if stateChanging(msg) && !s.isMaster(conn) {
+			// Slave fencing: a standby (or a deposed master demoted by
+			// PromoteSlave) cannot mutate the dataplane. This is what
+			// keeps a partitioned old leader from issuing writes after
+			// a new leader took over.
+			replies = []openflow.Message{&openflow.ErrorMsg{
+				BaseMsg: openflow.BaseMsg{Xid: msg.GetXid()},
+				ErrType: openflow.ErrTypeBadRequest,
+				Code:    openflow.BadRequestEperm,
+			}}
+		} else {
+			replies = s.HandleMessage(msg)
+		}
+		for _, reply := range replies {
 			if err := conn.WriteMessage(reply); err != nil {
 				return
 			}
 		}
 	}
+}
+
+// stateChanging reports whether msg mutates switch state; only the
+// master connection may send these.
+func stateChanging(msg openflow.Message) bool {
+	switch msg.(type) {
+	case *openflow.FlowMod, *openflow.PacketOut, *openflow.PortMod, *openflow.SetConfig:
+		return true
+	}
+	return false
+}
+
+func (s *Switch) isMaster(conn *openflow.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn == conn
 }
 
 // HandleMessage executes one controller-to-switch message and returns

@@ -91,6 +91,13 @@ const (
 	FlowModFailedBadCommand    uint16 = 4
 )
 
+// Selected ofp_bad_request_code values used by the simulator.
+const (
+	// BadRequestEperm rejects a state-changing message from a
+	// connection that does not hold the master role.
+	BadRequestEperm uint16 = 5
+)
+
 // ErrorMsg reports a protocol-level failure (OFPT_ERROR). Data carries
 // at least the first 64 bytes of the offending message.
 type ErrorMsg struct {

@@ -1,0 +1,88 @@
+package replica
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLeaseStoreBasics covers grant, renewal, mutual exclusion, expiry
+// takeover and planned release.
+func TestLeaseStoreBasics(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := NewLeaseStore(func() time.Time { return now })
+	ttl := 100 * time.Millisecond
+
+	l, ok := s.TryAcquire("a", ttl)
+	if !ok || l.Holder != "a" || l.Epoch != 1 {
+		t.Fatalf("initial acquire = %+v, %v", l, ok)
+	}
+	if _, ok := s.TryAcquire("b", ttl); ok {
+		t.Fatal("b acquired an unexpired lease held by a")
+	}
+	now = now.Add(50 * time.Millisecond)
+	if l, ok := s.TryAcquire("a", ttl); !ok || l.Epoch != 1 {
+		t.Fatalf("renewal = %+v, %v (epoch must not bump)", l, ok)
+	}
+	now = now.Add(ttl + time.Millisecond)
+	l, ok = s.TryAcquire("b", ttl)
+	if !ok || l.Holder != "b" || l.Epoch != 2 {
+		t.Fatalf("takeover after expiry = %+v, %v", l, ok)
+	}
+	s.Release("b")
+	if l, ok := s.TryAcquire("a", ttl); !ok || l.Epoch != 3 {
+		t.Fatalf("acquire after release = %+v, %v", l, ok)
+	}
+	if got := s.Elections(); got != 3 {
+		t.Fatalf("elections = %d, want 3", got)
+	}
+}
+
+// TestElectionFlappingFakeClock drives two electors through repeated
+// lease expiries on a stepped clock: leadership must ping-pong with an
+// epoch bump and exactly one changed-transition pair per flap, and
+// never be held by both nodes at once.
+func TestElectionFlappingFakeClock(t *testing.T) {
+	now := time.Unix(2000, 0)
+	store := NewLeaseStore(func() time.Time { return now })
+	ttl := 100 * time.Millisecond
+	a := &Elector{Store: store, Node: "a", TTL: ttl}
+	b := &Elector{Store: store, Node: "b", TTL: ttl}
+
+	if leader, epoch, changed := a.Step(); !leader || epoch != 1 || !changed {
+		t.Fatalf("a first step = %v, %d, %v", leader, epoch, changed)
+	}
+	if leader, _, changed := b.Step(); leader || changed {
+		t.Fatal("b stole an unexpired lease")
+	}
+
+	holder := a
+	other := b
+	wantEpoch := uint64(1)
+	for flap := 0; flap < 6; flap++ {
+		// Holder renews within the TTL: no transition, no epoch bump.
+		now = now.Add(ttl / 2)
+		if leader, epoch, changed := holder.Step(); !leader || changed || epoch != wantEpoch {
+			t.Fatalf("flap %d: renewal = %v, %d, %v (want leading, epoch %d, unchanged)",
+				flap, leader, epoch, changed, wantEpoch)
+		}
+		if leader, _, _ := other.Step(); leader {
+			t.Fatalf("flap %d: both nodes leading", flap)
+		}
+		// Holder goes silent past the TTL: the other node takes over.
+		now = now.Add(ttl + time.Millisecond)
+		wantEpoch++
+		if leader, epoch, changed := other.Step(); !leader || !changed || epoch != wantEpoch {
+			t.Fatalf("flap %d: takeover = %v, %d, %v (want leading, epoch %d, changed)",
+				flap, leader, epoch, changed, wantEpoch)
+		}
+		// The deposed node observes the loss as its own transition.
+		if leader, _, changed := holder.Step(); leader || !changed {
+			t.Fatalf("flap %d: deposed node did not observe loss", flap)
+		}
+		holder, other = other, holder
+	}
+	// Initial election + one per flap.
+	if got := store.Elections(); got != 7 {
+		t.Fatalf("elections = %d, want 7", got)
+	}
+}

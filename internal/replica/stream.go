@@ -1,0 +1,107 @@
+package replica
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The replication stream is a full-duplex framed protocol between one
+// shipper (leader side) and one applier (follower side). Two logical
+// streams are multiplexed over the connection — the NetLog journal and
+// the checkpoint log — each carrying raw durable.WAL records tagged
+// with monotonic positions, plus reset frames announcing a new WAL
+// generation (compaction or a fresh leader). The follower acks every
+// frame on receipt; the leader's quorum-commit mode waits on those
+// acked positions.
+//
+// Frame layout:
+//
+//	[u8 kind] [u8 stream] [u8 rectype] [u64 pos] [u64 gen] [u32 len] [payload]
+//
+// kind=reset carries no payload; pos is the position just before the
+// first record of the new generation (the follower wipes its shadow
+// log and resumes applying at pos+1). kind=ack flows follower→leader
+// with pos = the highest position received on that stream.
+
+// Frame kinds.
+const (
+	frameReset  byte = 1
+	frameRecord byte = 2
+	frameAck    byte = 3
+)
+
+// Logical streams.
+const (
+	streamNetlog      byte = 1
+	streamCheckpoints byte = 2
+)
+
+// streamName labels a stream id for diagnostics.
+func streamName(id byte) string {
+	switch id {
+	case streamNetlog:
+		return "netlog"
+	case streamCheckpoints:
+		return "checkpoints"
+	default:
+		return fmt.Sprintf("stream(%d)", id)
+	}
+}
+
+// frame is one replication protocol message.
+type frame struct {
+	Kind    byte
+	Stream  byte
+	RecType byte
+	Pos     uint64
+	Gen     uint64
+	Payload []byte
+}
+
+const frameHeaderSize = 1 + 1 + 1 + 8 + 8 + 4
+
+// maxFramePayload bounds a frame body; WAL records are checkpoint
+// images and journal entries, well under this.
+const maxFramePayload = 64 << 20
+
+// writeFrame encodes f as one Write call (callers serialize writes per
+// connection themselves — each side has a single writer goroutine).
+func writeFrame(w io.Writer, f frame) error {
+	buf := make([]byte, frameHeaderSize+len(f.Payload))
+	buf[0] = f.Kind
+	buf[1] = f.Stream
+	buf[2] = f.RecType
+	binary.BigEndian.PutUint64(buf[3:11], f.Pos)
+	binary.BigEndian.PutUint64(buf[11:19], f.Gen)
+	binary.BigEndian.PutUint32(buf[19:23], uint32(len(f.Payload)))
+	copy(buf[frameHeaderSize:], f.Payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame decodes one frame, blocking until it is fully available.
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	f := frame{
+		Kind:    hdr[0],
+		Stream:  hdr[1],
+		RecType: hdr[2],
+		Pos:     binary.BigEndian.Uint64(hdr[3:11]),
+		Gen:     binary.BigEndian.Uint64(hdr[11:19]),
+	}
+	n := binary.BigEndian.Uint32(hdr[19:23])
+	if n > maxFramePayload {
+		return frame{}, fmt.Errorf("replica: frame payload %d exceeds limit", n)
+	}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return frame{}, err
+		}
+	}
+	return f, nil
+}
